@@ -1,0 +1,63 @@
+// Ablation study (extension beyond the paper): SWOLE on the TPC-H queries
+// with each technique individually disabled, quantifying each technique's
+// contribution per query (the per-query attributions §IV-A describes in
+// prose: Q1 <- key masking, Q3/Q4/Q5/Q19 <- positional bitmaps, Q6 <-
+// access merging + value masking, Q13 <- value masking).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace swole {
+namespace {
+
+void RegisterAll(const tpch::TpchData& data) {
+  static constexpr const char* kNames[] = {"Q1",  "Q3",  "Q4",  "Q5",
+                                           "Q6",  "Q13", "Q14", "Q19"};
+  struct Variant {
+    const char* label;
+    void (*apply)(StrategyOptions*);
+  };
+  const Variant variants[] = {
+      {"full", [](StrategyOptions*) {}},
+      {"no-value-masking",
+       [](StrategyOptions* o) { o->enable_value_masking = false; }},
+      {"no-key-masking",
+       [](StrategyOptions* o) { o->enable_key_masking = false; }},
+      {"no-access-merging",
+       [](StrategyOptions* o) { o->enable_access_merging = false; }},
+      {"no-positional-bitmaps",
+       [](StrategyOptions* o) { o->enable_positional_bitmaps = false; }},
+      {"no-eager-aggregation",
+       [](StrategyOptions* o) { o->enable_eager_aggregation = false; }},
+      {"no-masking",
+       [](StrategyOptions* o) {
+         o->enable_value_masking = false;
+         o->enable_key_masking = false;
+       }},
+  };
+  for (size_t q = 0; q < 8; ++q) {
+    for (const Variant& variant : variants) {
+      StrategyOptions options;
+      variant.apply(&options);
+      QueryPlan plan = std::move(tpch::AllQueries(data.catalog)[q]);
+      bench::RegisterPlanBenchmark(
+          StringFormat("ablation/%s/%s", kNames[q], variant.label),
+          data.catalog, StrategyKind::kSwole, std::move(plan), options);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::tpch::TpchData::Generate(
+      swole::tpch::TpchConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

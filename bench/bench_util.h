@@ -1,0 +1,72 @@
+#ifndef SWOLE_BENCH_BENCH_UTIL_H_
+#define SWOLE_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "plan/plan.h"
+#include "plan/result.h"
+#include "strategies/strategy.h"
+#include "strategies/swole.h"
+
+// Shared helpers for the figure-regeneration benchmarks. Each bench binary
+// registers one benchmark per (series, x-value) pair of its paper figure,
+// named `<figure>/<series>/<x>`, so the output rows are the figure's data
+// points. Data is generated once per process; plans are rebuilt per point
+// (selectivity is a plan literal, exactly like the paper's substitution
+// parameters).
+
+namespace swole::bench {
+
+// Keeps registered plans alive for the benchmark lambdas.
+inline std::vector<std::unique_ptr<QueryPlan>>& PlanPool() {
+  static std::vector<std::unique_ptr<QueryPlan>>* pool =
+      new std::vector<std::unique_ptr<QueryPlan>>();
+  return *pool;
+}
+
+inline std::vector<std::unique_ptr<Strategy>>& EnginePool() {
+  static std::vector<std::unique_ptr<Strategy>>* pool =
+      new std::vector<std::unique_ptr<Strategy>>();
+  return *pool;
+}
+
+/// Registers one benchmark running `plan` on a fresh engine of `kind`.
+inline void RegisterPlanBenchmark(const std::string& name,
+                                  const Catalog& catalog, StrategyKind kind,
+                                  QueryPlan plan,
+                                  StrategyOptions options = {}) {
+  PlanPool().push_back(std::make_unique<QueryPlan>(std::move(plan)));
+  EnginePool().push_back(MakeStrategy(kind, catalog, options));
+  const QueryPlan* plan_ptr = PlanPool().back().get();
+  Strategy* engine = EnginePool().back().get();
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [plan_ptr, engine](benchmark::State& state) {
+                                 int64_t checksum = 0;
+                                 for (auto _ : state) {
+                                   Result<QueryResult> result =
+                                       engine->Execute(*plan_ptr);
+                                   result.status().CheckOK();
+                                   checksum ^= result->grouped
+                                                   ? result->NumGroups()
+                                                   : result->scalar[0];
+                                   benchmark::DoNotOptimize(checksum);
+                                 }
+                               })
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// The selectivity grid of the microbenchmark figures (x-axis 0..100%).
+inline std::vector<int64_t> SelectivityGrid() {
+  return {0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+}  // namespace swole::bench
+
+#endif  // SWOLE_BENCH_BENCH_UTIL_H_

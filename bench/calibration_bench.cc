@@ -1,0 +1,66 @@
+// Cost-model calibration probe (supports §III's cost models): measures the
+// machine's read_seq / read_cond / ht_lookup(size) / ht_null constants and
+// prints the calibrated profile, plus the hash-table lookup cost curve
+// across working-set sizes (the step function behind Fig. 9's regimes).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "cost/calibration.h"
+#include "cost/cost_model.h"
+
+namespace swole {
+namespace {
+
+void BM_ReadSeq(benchmark::State& state) {
+  CalibrationOptions options;
+  options.probe_bytes = 16 << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureReadSeqNs(options));
+  }
+}
+BENCHMARK(BM_ReadSeq)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ReadCond(benchmark::State& state) {
+  CalibrationOptions options;
+  options.probe_bytes = 16 << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureReadCondNs(options));
+  }
+}
+BENCHMARK(BM_ReadCond)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_HtLookupCurve(benchmark::State& state) {
+  int64_t keys = state.range(0);
+  CalibrationOptions options;
+  options.ht_probes = 1 << 18;
+  double ns = 0;
+  for (auto _ : state) {
+    ns = MeasureHtLookupNs(keys, options);
+    benchmark::DoNotOptimize(ns);
+  }
+  state.counters["ns_per_lookup"] = ns;
+}
+BENCHMARK(BM_HtLookupCurve)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->RangeMultiplier(4)
+    ->Range(1 << 8, 1 << 22);
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // Print the full calibrated profile first (this is what SWOLE's cost
+  // model would consume on this machine).
+  swole::CalibrationOptions options;
+  options.probe_bytes = 16 << 20;
+  options.ht_probes = 1 << 18;
+  swole::CostProfile profile = swole::CalibrateCostProfile(options);
+  std::printf("calibrated profile: %s\n", profile.ToString().c_str());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Codegen validation bench (extension): the interpreted strategy engines
+// vs their JIT-compiled twins on microbenchmark Q1. If the engine layer's
+// tile-at-a-time execution adds material interpretation overhead, it shows
+// up here as a gap between `engine/...` and `jit/...` rows — keeping the
+// figure benchmarks honest about what they measure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "codegen/jit.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+std::vector<std::unique_ptr<codegen::CompiledKernel>>& KernelPool() {
+  static auto* pool =
+      new std::vector<std::unique_ptr<codegen::CompiledKernel>>();
+  return *pool;
+}
+
+void RegisterJit(const std::string& name, const MicroData& data,
+                 QueryPlan plan, const codegen::GeneratorOptions& options) {
+  Result<std::unique_ptr<codegen::CompiledKernel>> compiled =
+      codegen::GenerateAndCompile(plan, data.catalog, options);
+  compiled.status().CheckOK();
+  KernelPool().push_back(std::move(compiled).value());
+  codegen::CompiledKernel* kernel = KernelPool().back().get();
+  const Catalog* catalog = &data.catalog;
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [kernel, catalog](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   Result<QueryResult> result =
+                                       kernel->Run(*catalog);
+                                   result.status().CheckOK();
+                                   benchmark::DoNotOptimize(
+                                       result->scalar[0]);
+                                 }
+                               })
+      ->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll(const MicroData& data) {
+  for (int64_t sel : {int64_t{10}, int64_t{50}, int64_t{90}}) {
+    // Engine rows.
+    for (StrategyKind kind :
+         {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+      bench::RegisterPlanBenchmark(
+          StringFormat("engine/%s/sel:%lld", StrategyKindName(kind),
+                       static_cast<long long>(sel)),
+          data.catalog, kind, MicroQ1(false, sel));
+    }
+    StrategyOptions vm;
+    vm.force_agg = StrategyOptions::ForceAgg::kValueMasking;
+    bench::RegisterPlanBenchmark(
+        StringFormat("engine/value-masking/sel:%lld",
+                     static_cast<long long>(sel)),
+        data.catalog, StrategyKind::kSwole, MicroQ1(false, sel), vm);
+
+    // JIT rows.
+    codegen::GeneratorOptions dc;
+    dc.strategy = StrategyKind::kDataCentric;
+    RegisterJit(StringFormat("jit/data-centric/sel:%lld",
+                             static_cast<long long>(sel)),
+                data, MicroQ1(false, sel), dc);
+    codegen::GeneratorOptions hy;
+    hy.strategy = StrategyKind::kHybrid;
+    RegisterJit(StringFormat("jit/hybrid/sel:%lld",
+                             static_cast<long long>(sel)),
+                data, MicroQ1(false, sel), hy);
+    codegen::GeneratorOptions sw;
+    sw.strategy = StrategyKind::kSwole;
+    sw.agg_choice = AggChoice::kValueMasking;
+    RegisterJit(StringFormat("jit/value-masking/sel:%lld",
+                             static_cast<long long>(sel)),
+                data, MicroQ1(false, sel), sw);
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

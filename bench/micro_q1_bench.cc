@@ -1,0 +1,51 @@
+// Figure 8: microbenchmark Q1 — value masking vs data-centric vs hybrid on
+// `select sum(r_a [OP] r_b) from R where r_x < [SEL] and r_y = 1`.
+//
+//   8a: OP = '*' (memory-bound)  -> value masking flat and best nearly
+//       everywhere; data-centric shows the branch-misprediction hump;
+//       hybrid plateaus once memory-bound.
+//   8b: OP = '/' (compute-bound) -> value masking's wasted divisions only
+//       pay off at very high selectivity (~95%).
+//
+// Series: data-centric | hybrid | value-masking (SWOLE forced to VM).
+// Scale via SWOLE_MICRO_R (default 4M; paper: 100M).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+void RegisterAll(const MicroData& data) {
+  for (bool division : {false, true}) {
+    const char* figure = division ? "fig8b_div" : "fig8a_mul";
+    for (int64_t sel : bench::SelectivityGrid()) {
+      for (StrategyKind kind :
+           {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+        bench::RegisterPlanBenchmark(
+            StringFormat("%s/%s/sel:%lld", figure, StrategyKindName(kind),
+                         static_cast<long long>(sel)),
+            data.catalog, kind, MicroQ1(division, sel));
+      }
+      StrategyOptions vm;
+      vm.force_agg = StrategyOptions::ForceAgg::kValueMasking;
+      bench::RegisterPlanBenchmark(
+          StringFormat("%s/value-masking/sel:%lld", figure,
+                       static_cast<long long>(sel)),
+          data.catalog, StrategyKind::kSwole, MicroQ1(division, sel), vm);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

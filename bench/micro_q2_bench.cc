@@ -1,0 +1,63 @@
+// Figure 9: microbenchmark Q2 — group-by aggregation at four group-key
+// cardinalities (paper: 10 / 1K / 100K / 10M; the largest is capped at
+// |R|/4 at reduced scale).
+//
+// Expected shape: at small cardinalities (9a/9b) the hash table is cached
+// and value masking ≈ key masking, both beating hybrid at most
+// selectivities. At 100K (9c) value masking degrades (unconditional
+// lookups in a big table) while key masking overtakes hybrid around ~45%.
+// At the largest size (9d) hybrid wins until high selectivity (~85%),
+// contradicting Voodoo's claim that predicated lookups dominate.
+//
+// Series: data-centric | hybrid | value-masking | key-masking.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+void RegisterAll(const MicroData& data) {
+  for (size_t c = 0; c < data.c_columns.size(); ++c) {
+    std::string figure = StringFormat(
+        "fig9_keys:%lld", static_cast<long long>(data.c_actual[c]));
+    for (int64_t sel : bench::SelectivityGrid()) {
+      for (StrategyKind kind :
+           {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+        bench::RegisterPlanBenchmark(
+            StringFormat("%s/%s/sel:%lld", figure.c_str(),
+                         StrategyKindName(kind),
+                         static_cast<long long>(sel)),
+            data.catalog, kind,
+            MicroQ2(data.c_columns[c], data.c_actual[c], sel));
+      }
+      StrategyOptions vm;
+      vm.force_agg = StrategyOptions::ForceAgg::kValueMasking;
+      bench::RegisterPlanBenchmark(
+          StringFormat("%s/value-masking/sel:%lld", figure.c_str(),
+                       static_cast<long long>(sel)),
+          data.catalog, StrategyKind::kSwole,
+          MicroQ2(data.c_columns[c], data.c_actual[c], sel), vm);
+      StrategyOptions km;
+      km.force_agg = StrategyOptions::ForceAgg::kKeyMasking;
+      bench::RegisterPlanBenchmark(
+          StringFormat("%s/key-masking/sel:%lld", figure.c_str(),
+                       static_cast<long long>(sel)),
+          data.catalog, StrategyKind::kSwole,
+          MicroQ2(data.c_columns[c], data.c_actual[c], sel), km);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 10: microbenchmark Q3 — access merging on
+// `select sum(r_x * [COL]) from R where r_x < [SEL] and r_y = 1`.
+//
+//   10a: COL = r_b — the aggregate reuses one predicate attribute (r_x);
+//        access merging gains ~1.15x over plain value masking.
+//   10b: COL = r_y — both aggregate inputs are predicate attributes;
+//        merging gains ~1.9x.
+//
+// Series: data-centric | hybrid | value-masking (merging disabled) |
+//         access-merging (SWOLE default VM + merging).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+void RegisterAll(const MicroData& data) {
+  for (bool reuse_both : {false, true}) {
+    const char* figure = reuse_both ? "fig10b_both" : "fig10a_one";
+    for (int64_t sel : bench::SelectivityGrid()) {
+      for (StrategyKind kind :
+           {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+        bench::RegisterPlanBenchmark(
+            StringFormat("%s/%s/sel:%lld", figure, StrategyKindName(kind),
+                         static_cast<long long>(sel)),
+            data.catalog, kind, MicroQ3(reuse_both, sel));
+      }
+      StrategyOptions vm;
+      vm.force_agg = StrategyOptions::ForceAgg::kValueMasking;
+      vm.enable_access_merging = false;
+      bench::RegisterPlanBenchmark(
+          StringFormat("%s/value-masking/sel:%lld", figure,
+                       static_cast<long long>(sel)),
+          data.catalog, StrategyKind::kSwole, MicroQ3(reuse_both, sel), vm);
+      StrategyOptions am;
+      am.force_agg = StrategyOptions::ForceAgg::kValueMasking;
+      bench::RegisterPlanBenchmark(
+          StringFormat("%s/access-merging/sel:%lld", figure,
+                       static_cast<long long>(sel)),
+          data.catalog, StrategyKind::kSwole, MicroQ3(reuse_both, sel), am);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 11: microbenchmark Q4 — positional bitmaps on the fk join
+// `sum(r_a*r_b) from R, S where r_fk = s_pk and r_x < [SEL1] and
+// s_x < [SEL2]`, S = 1M rows.
+//
+//   11a: probe side fixed at 10%, build side swept  (hash probes rare ->
+//        strategies closest here)
+//   11b: probe side fixed at 90%, build side swept
+//   11c: build side fixed at 10%, probe side swept
+//   11d: build side fixed at 90%, probe side swept
+//
+// Expected: positional bitmaps significantly beat both hash strategies in
+// every configuration except the low-probe-selectivity corner.
+//
+// Series: data-centric | hybrid | positional-bitmaps (SWOLE).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+void RegisterPoint(const MicroData& data, const char* figure, int64_t sel1,
+                   int64_t sel2, int64_t x) {
+  for (StrategyKind kind :
+       {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+    bench::RegisterPlanBenchmark(
+        StringFormat("%s/%s/sel:%lld", figure, StrategyKindName(kind),
+                     static_cast<long long>(x)),
+        data.catalog, kind, MicroQ4(/*large_s=*/true, sel1, sel2));
+  }
+  bench::RegisterPlanBenchmark(
+      StringFormat("%s/positional-bitmaps/sel:%lld", figure,
+                   static_cast<long long>(x)),
+      data.catalog, StrategyKind::kSwole,
+      MicroQ4(/*large_s=*/true, sel1, sel2));
+}
+
+void RegisterAll(const MicroData& data) {
+  for (int64_t sel : bench::SelectivityGrid()) {
+    RegisterPoint(data, "fig11a_probe10_buildX", 10, sel, sel);
+    RegisterPoint(data, "fig11b_probe90_buildX", 90, sel, sel);
+    RegisterPoint(data, "fig11c_build10_probeX", sel, 10, sel);
+    RegisterPoint(data, "fig11d_build90_probeX", sel, 90, sel);
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 12: microbenchmark Q5 — eager aggregation vs the traditional
+// groupjoin on `select r_fk, sum(r_a*r_b) from R, S where r_fk = s_pk and
+// s_x < [SEL] group by r_fk`.
+//
+//   12a: |S| = 1K — group table cached: EA flat and nearly always best.
+//   12b: |S| = 1M — expensive lookups: EA only wins from ~30% selectivity.
+//   Hash strategies peak around 50% (branch mispredictions on the match).
+//
+// Series: data-centric | hybrid | eager-aggregation (SWOLE forced EA).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+void RegisterAll(const MicroData& data) {
+  struct Config {
+    bool large;
+    const char* figure;
+    int64_t s_rows;
+  };
+  Config configs[] = {
+      {false, "fig12a_s1k", data.config.s_small_rows},
+      {true, "fig12b_s1m", data.config.s_large_rows},
+  };
+  for (const Config& config : configs) {
+    for (int64_t sel : bench::SelectivityGrid()) {
+      for (StrategyKind kind :
+           {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+        bench::RegisterPlanBenchmark(
+            StringFormat("%s/%s/sel:%lld", config.figure,
+                         StrategyKindName(kind),
+                         static_cast<long long>(sel)),
+            data.catalog, kind,
+            MicroQ5(config.large, sel, config.s_rows));
+      }
+      StrategyOptions ea;
+      ea.force_eager_aggregation = true;
+      bench::RegisterPlanBenchmark(
+          StringFormat("%s/eager-aggregation/sel:%lld", config.figure,
+                       static_cast<long long>(sel)),
+          data.catalog, StrategyKind::kSwole,
+          MicroQ5(config.large, sel, config.s_rows), ea);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Skew ablation (extension): the paper's microbenchmark uses uniform keys
+// because "skew means some keys are more common than others and,
+// therefore, more likely to be cached ... a lookup in a large hash table
+// with uniformly distributed values will almost certainly result in a
+// cache miss" (§IV-B). This bench quantifies that: micro Q2 (large group
+// table) and micro Q4 (1M-row join) at Zipf theta 0 (uniform), 0.5, and
+// 0.9. Expect the hash-based strategies to recover as skew grows while
+// the positional/masked variants stay flat.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "micro/micro.h"
+
+namespace swole {
+namespace {
+
+std::vector<std::unique_ptr<MicroData>>& DataPool() {
+  static auto* pool = new std::vector<std::unique_ptr<MicroData>>();
+  return *pool;
+}
+
+void RegisterForTheta(double theta) {
+  MicroConfig config = MicroConfig::FromEnv();
+  config.zipf_theta = theta;
+  DataPool().push_back(MicroData::Generate(config));
+  const MicroData& data = *DataPool().back();
+
+  std::string tag = StringFormat("theta:%.1f", theta);
+  // Largest group-key cardinality: the Fig. 9d regime.
+  size_t c = data.c_columns.size() - 1;
+  for (StrategyKind kind :
+       {StrategyKind::kDataCentric, StrategyKind::kHybrid}) {
+    bench::RegisterPlanBenchmark(
+        StringFormat("skew_q2/%s/%s", StrategyKindName(kind), tag.c_str()),
+        data.catalog, kind,
+        MicroQ2(data.c_columns[c], data.c_actual[c], 50));
+  }
+  StrategyOptions km;
+  km.force_agg = StrategyOptions::ForceAgg::kKeyMasking;
+  bench::RegisterPlanBenchmark(
+      StringFormat("skew_q2/key-masking/%s", tag.c_str()), data.catalog,
+      StrategyKind::kSwole,
+      MicroQ2(data.c_columns[c], data.c_actual[c], 50), km);
+
+  for (StrategyKind kind :
+       {StrategyKind::kHybrid, StrategyKind::kSwole}) {
+    bench::RegisterPlanBenchmark(
+        StringFormat("skew_q4/%s/%s",
+                     kind == StrategyKind::kSwole ? "positional-bitmaps"
+                                                  : StrategyKindName(kind),
+                     tag.c_str()),
+        data.catalog, kind, MicroQ4(/*large_s=*/true, 50, 50));
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (double theta : {0.0, 0.5, 0.9}) {
+    swole::RegisterForTheta(theta);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

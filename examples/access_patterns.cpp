@@ -1,0 +1,60 @@
+// The paper's core claim, live: the same simple aggregation query executed
+// with predicate pushdown (data-centric, hybrid) vs predicate pullup
+// (value masking) across the selectivity range. Reproduces the story of
+// Fig. 1/3/8a in one terminal table.
+//
+//   $ SWOLE_MICRO_R=4000000 ./build/examples/access_patterns
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "micro/micro.h"
+#include "strategies/strategy.h"
+
+using namespace swole;
+
+namespace {
+
+double MeasureMs(Strategy* engine, const QueryPlan& plan) {
+  engine->Execute(plan).status().CheckOK();  // warm-up + plan analysis
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    engine->Execute(plan).status().CheckOK();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  MicroConfig config = MicroConfig::FromEnv();
+  std::printf("generating R with %lld rows ...\n",
+              static_cast<long long>(config.r_rows));
+  auto data = MicroData::Generate(config);
+
+  auto dc = MakeStrategy(StrategyKind::kDataCentric, data->catalog);
+  auto hybrid = MakeStrategy(StrategyKind::kHybrid, data->catalog);
+  StrategyOptions vm_options;
+  vm_options.force_agg = StrategyOptions::ForceAgg::kValueMasking;
+  auto vm = MakeStrategy(StrategyKind::kSwole, data->catalog, vm_options);
+
+  std::printf("\nselect sum(r_a * r_b) from R where r_x < SEL and r_y = 1\n");
+  std::printf("%5s %15s %10s %15s\n", "SEL%", "data-centric", "hybrid",
+              "value-masking");
+  for (int64_t sel : {0, 10, 25, 50, 75, 90, 100}) {
+    QueryPlan p1 = MicroQ1(false, sel);
+    QueryPlan p2 = MicroQ1(false, sel);
+    QueryPlan p3 = MicroQ1(false, sel);
+    std::printf("%5lld %13.1fms %8.1fms %13.1fms\n",
+                static_cast<long long>(sel), MeasureMs(dc.get(), p1),
+                MeasureMs(hybrid.get(), p2), MeasureMs(vm.get(), p3));
+  }
+  std::printf(
+      "\nNote the data-centric hump at intermediate selectivities (branch\n"
+      "mispredictions) and value masking's flat profile: its access\n"
+      "pattern — and therefore its cost — does not depend on the\n"
+      "predicate at all.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a table, write a query plan, execute it with every
+// strategy, and inspect SWOLE's cost-model decisions.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "common/random.h"
+#include "engine/reference_engine.h"
+#include "storage/table.h"
+#include "strategies/strategy.h"
+#include "strategies/swole.h"
+
+using namespace swole;
+
+int main() {
+  // 1. Build a 1M-row table with two payload columns and a predicate
+  //    column (narrow physical types, as the storage layer encourages).
+  Rng rng(42);
+  auto table = std::make_shared<Table>("sales");
+  auto amount = std::make_unique<Column>(
+      "amount", ColumnType::Int(PhysicalType::kInt32));
+  auto units = std::make_unique<Column>(
+      "units", ColumnType::Int(PhysicalType::kInt8));
+  auto day = std::make_unique<Column>(
+      "day", ColumnType::Int(PhysicalType::kInt16));
+  constexpr int64_t kRows = 1'000'000;
+  for (int64_t i = 0; i < kRows; ++i) {
+    amount->Append(rng.UniformInt(100, 100000));
+    units->Append(rng.UniformInt(1, 20));
+    day->Append(rng.UniformInt(0, 364));
+  }
+  table->AddColumn(std::move(amount)).CheckOK();
+  table->AddColumn(std::move(units)).CheckOK();
+  table->AddColumn(std::move(day)).CheckOK();
+
+  Catalog catalog;
+  catalog.AddTable(table).CheckOK();
+
+  // 2. Express: select sum(amount * units) from sales where day < 270.
+  QueryPlan plan;
+  plan.name = "quickstart";
+  plan.fact_table = "sales";
+  plan.fact_filter = Lt(Col("day"), Lit(270));
+  plan.aggs.emplace_back(AggKind::kSum, Mul(Col("amount"), Col("units")),
+                         "revenue");
+
+  std::printf("%s\n", plan.ToString().c_str());
+
+  // 3. Run the oracle and every strategy; results are bit-exact.
+  ReferenceEngine oracle(catalog);
+  QueryResult expected = oracle.Execute(plan).value();
+  std::printf("reference: %s", expected.ToString().c_str());
+
+  for (StrategyKind kind :
+       {StrategyKind::kDataCentric, StrategyKind::kHybrid, StrategyKind::kRof,
+        StrategyKind::kSwole}) {
+    std::unique_ptr<Strategy> engine = MakeStrategy(kind, catalog);
+    QueryResult result = engine->Execute(plan).value();
+    std::printf("%-13s revenue = %lld  (%s)\n", engine->name(),
+                static_cast<long long>(result.scalar[0]),
+                result == expected ? "matches" : "MISMATCH");
+  }
+
+  // 4. Ask SWOLE what it decided and why.
+  std::unique_ptr<SwoleStrategy> swole_engine = MakeSwoleStrategy(catalog);
+  swole_engine->Execute(plan).status().CheckOK();
+  const SwoleDecisions& decisions = swole_engine->last_decisions();
+  std::printf("\nSWOLE decisions: aggregation=%s merging=%d bitmaps=%d "
+              "eager-agg=%d\n  rationale: %s\n",
+              decisions.aggregation.c_str(),
+              decisions.used_access_merging,
+              decisions.used_positional_bitmaps,
+              decisions.used_eager_aggregation,
+              decisions.rationale.c_str());
+  return 0;
+}

@@ -1,0 +1,554 @@
+#include "codegen/generator.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+
+namespace swole::codegen {
+
+namespace {
+
+// Indented source writer.
+class CodeWriter {
+ public:
+  void Line(const std::string& text) {
+    if (!text.empty()) out_.append(indent_ * 2, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+  void Open(const std::string& text) {
+    Line(text);
+    ++indent_;
+  }
+  void Close(const std::string& text = "}") {
+    --indent_;
+    Line(text);
+  }
+  std::string&& Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  int indent_ = 0;
+};
+
+// Tracks column slot assignment per (table, column).
+class SlotTable {
+ public:
+  explicit SlotTable(const Catalog& catalog) : catalog_(catalog) {}
+
+  // Variable name of a column's typed pointer, registering it on first use.
+  std::string Column(const std::string& table, const std::string& column) {
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].table == table && slots_[s].column == column) {
+        return StringFormat("c%d", static_cast<int>(s));
+      }
+    }
+    ColumnSlot slot;
+    slot.table = table;
+    slot.column = column;
+    slot.physical =
+        catalog_.TableRef(table).ColumnRef(column).type().physical;
+    slots_.push_back(slot);
+    return StringFormat("c%d", static_cast<int>(slots_.size() - 1));
+  }
+
+  // Variable name of a table's row count, registering it on first use.
+  std::string Rows(const std::string& table) {
+    for (size_t s = 0; s < tables_.size(); ++s) {
+      if (tables_[s] == table) {
+        return StringFormat("rows%d", static_cast<int>(s));
+      }
+    }
+    tables_.push_back(table);
+    return StringFormat("rows%d", static_cast<int>(tables_.size() - 1));
+  }
+
+  // Variable name of a dim's fk offset array (positional joins).
+  std::string FkOffsets(const std::string& table, const std::string& fk) {
+    for (size_t s = 0; s < fk_tables_.size(); ++s) {
+      if (fk_tables_[s] == table && fk_columns_[s] == fk) {
+        return StringFormat("offs%d", static_cast<int>(s));
+      }
+    }
+    fk_tables_.push_back(table);
+    fk_columns_.push_back(fk);
+    return StringFormat("offs%d", static_cast<int>(fk_tables_.size() - 1));
+  }
+
+  void EmitDeclarations(CodeWriter* w) const {
+    for (size_t s = 0; s < slots_.size(); ++s) {
+      w->Line(StringFormat(
+          "const %s* __restrict__ c%d = static_cast<const %s*>("
+          "io->columns[%d]);",
+          PhysicalTypeCName(slots_[s].physical), static_cast<int>(s),
+          PhysicalTypeCName(slots_[s].physical), static_cast<int>(s)));
+    }
+    for (size_t s = 0; s < tables_.size(); ++s) {
+      w->Line(StringFormat("const int64_t rows%d = io->table_rows[%d];",
+                           static_cast<int>(s), static_cast<int>(s)));
+    }
+    for (size_t s = 0; s < fk_tables_.size(); ++s) {
+      w->Line(StringFormat(
+          "const uint32_t* __restrict__ offs%d = io->fk_offsets[%d];",
+          static_cast<int>(s), static_cast<int>(s)));
+    }
+  }
+
+  std::vector<ColumnSlot> slots_;
+  std::vector<std::string> tables_;
+  std::vector<std::string> fk_tables_;
+  std::vector<std::string> fk_columns_;
+
+ private:
+  const Catalog& catalog_;
+};
+
+enum class BoolStyle { kShortCircuit, kBranchFree };
+
+// Checks that an expression stays inside the codegen subset.
+Status CheckExprSupported(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kBinary:
+    case ExprKind::kNot:
+      for (const ExprPtr& child : expr.children) {
+        SWOLE_RETURN_NOT_OK(CheckExprSupported(*child));
+      }
+      return Status::OK();
+    case ExprKind::kInList:
+      return CheckExprSupported(*expr.children[0]);
+    default:
+      return Status::Unimplemented(StringFormat(
+          "codegen: unsupported expression: %s", expr.ToString().c_str()));
+  }
+}
+
+// Emits a C++ expression over table `table` at row expression `row`.
+// Boolean subexpressions yield int 0/1.
+std::string EmitExpr(const Expr& expr, const std::string& table,
+                     const std::string& row, SlotTable* slots,
+                     BoolStyle style) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      return StringFormat("(int64_t)%s[%s]",
+                          slots->Column(table, expr.column).c_str(),
+                          row.c_str());
+    case ExprKind::kLiteral:
+      return StringFormat("INT64_C(%lld)",
+                          static_cast<long long>(expr.literal));
+    case ExprKind::kBinary: {
+      std::string lhs =
+          EmitExpr(*expr.children[0], table, row, slots, style);
+      std::string rhs =
+          EmitExpr(*expr.children[1], table, row, slots, style);
+      const char* op = BinaryOpToken(expr.op);
+      if (style == BoolStyle::kBranchFree) {
+        if (expr.op == BinaryOp::kAnd) op = "&";
+        if (expr.op == BinaryOp::kOr) op = "|";
+      }
+      if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+        // Logical operands are already 0/1 ints; parenthesize heavily.
+        return StringFormat("((%s) %s (%s))", lhs.c_str(), op, rhs.c_str());
+      }
+      if (IsComparisonOp(expr.op)) {
+        return StringFormat("((int64_t)((%s) %s (%s)))", lhs.c_str(), op,
+                            rhs.c_str());
+      }
+      return StringFormat("((%s) %s (%s))", lhs.c_str(), op, rhs.c_str());
+    }
+    case ExprKind::kNot:
+      return StringFormat(
+          "((%s) == 0 ? INT64_C(1) : INT64_C(0))",
+          EmitExpr(*expr.children[0], table, row, slots, style).c_str());
+    case ExprKind::kInList: {
+      std::string value =
+          EmitExpr(*expr.children[0], table, row, slots, style);
+      std::string out = "(";
+      const char* join =
+          style == BoolStyle::kBranchFree ? " | " : " || ";
+      for (size_t i = 0; i < expr.in_list.size(); ++i) {
+        if (i > 0) out += join;
+        out += StringFormat("(int64_t)((%s) == INT64_C(%lld))",
+                            value.c_str(),
+                            static_cast<long long>(expr.in_list[i]));
+      }
+      out += ")";
+      return out;
+    }
+    default:
+      SWOLE_CHECK(false) << "unreachable (checked by CheckExprSupported)";
+      return "";
+  }
+}
+
+Status CheckPlanSupported(const QueryPlan& plan) {
+  if (!plan.reverse_dims.empty() || plan.disjunctive.has_value() ||
+      !plan.paths.empty() || !plan.path_equalities.empty() ||
+      plan.group_seed.has_value() || plan.histogram_of_agg0 ||
+      !plan.group_by_path.empty()) {
+    return Status::Unimplemented(
+        "codegen: plan uses features outside the codegen subset "
+        "(paths/reverse/disjunctive/seed/histogram)");
+  }
+  if (plan.fact_filter != nullptr) {
+    SWOLE_RETURN_NOT_OK(CheckExprSupported(*plan.fact_filter));
+  }
+  for (const DimJoin& dim : plan.dims) {
+    if (!dim.children.empty()) {
+      return Status::Unimplemented("codegen: nested dimension joins");
+    }
+    if (dim.filter != nullptr) {
+      SWOLE_RETURN_NOT_OK(CheckExprSupported(*dim.filter));
+    }
+  }
+  if (plan.group_by != nullptr) {
+    SWOLE_RETURN_NOT_OK(CheckExprSupported(*plan.group_by));
+  }
+  for (const AggSpec& agg : plan.aggs) {
+    if (agg.kind != AggKind::kSum && agg.kind != AggKind::kCount) {
+      return Status::Unimplemented("codegen: only sum/count aggregates");
+    }
+    if (!agg.path_factor.empty()) {
+      return Status::Unimplemented("codegen: path factors");
+    }
+    if (agg.expr != nullptr) {
+      SWOLE_RETURN_NOT_OK(CheckExprSupported(*agg.expr));
+    }
+  }
+  return Status::OK();
+}
+
+// The per-aggregate value expression at fact row `row` ("1" for count).
+std::string AggValueExpr(const AggSpec& agg, const std::string& fact,
+                         const std::string& row, SlotTable* slots,
+                         BoolStyle style) {
+  if (agg.kind == AggKind::kCount) return "INT64_C(1)";
+  return EmitExpr(*agg.expr, fact, row, slots, style);
+}
+
+}  // namespace
+
+Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
+                                       const Catalog& catalog,
+                                       const GeneratorOptions& options) {
+  SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog));
+  SWOLE_RETURN_NOT_OK(CheckPlanSupported(plan));
+  if (options.strategy == StrategyKind::kRof) {
+    return Status::Unimplemented(
+        "codegen: ROF emission is not implemented (the paper's evaluation "
+        "also excludes ROF); use the interpreted engine");
+  }
+
+  const bool grouped = plan.HasGroupBy();
+  const int naggs = static_cast<int>(plan.aggs.size());
+  const std::string& fact = plan.fact_table;
+  const bool swole = options.strategy == StrategyKind::kSwole;
+  const bool dc = options.strategy == StrategyKind::kDataCentric;
+  // SWOLE falls back to the hybrid loop shape when the cost model says so.
+  const bool masked =
+      swole && options.agg_choice != AggChoice::kHybridFallback;
+  const bool key_masked =
+      masked && grouped && options.agg_choice == AggChoice::kKeyMasking;
+
+  SlotTable slots(catalog);
+  CodeWriter body;  // emitted into the entry point after declarations
+
+  std::string fact_rows = slots.Rows(fact);
+
+  // ---- Build phase ----
+  for (size_t d = 0; d < plan.dims.size(); ++d) {
+    const DimJoin& dim = plan.dims[d];
+    const std::string& dt = dim.hop.to_table;
+    std::string dim_rows = slots.Rows(dt);
+    if (swole) {
+      // Positional bitmap, built sequentially with an unconditional store
+      // of the predicate result (§III-D).
+      body.Line(StringFormat("swole::PositionalBitmap bm%d(%s);",
+                             static_cast<int>(d), dim_rows.c_str()));
+      body.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
+                             dim_rows.c_str()));
+      std::string pred =
+          dim.filter != nullptr
+              ? EmitExpr(*dim.filter, dt, "i", &slots,
+                         BoolStyle::kBranchFree)
+              : std::string("INT64_C(1)");
+      body.Line(StringFormat("bm%d.SetTo(i, (%s) != 0);",
+                             static_cast<int>(d), pred.c_str()));
+      body.Close();
+      slots.FkOffsets(fact, dim.hop.fk_column);
+    } else {
+      // Hash set of qualifying primary keys, probed by value.
+      body.Line(StringFormat("swole::HashTable dim%d(0, %s);",
+                             static_cast<int>(d), dim_rows.c_str()));
+      body.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
+                             dim_rows.c_str()));
+      if (dim.filter != nullptr) {
+        body.Line(StringFormat(
+            "if (!(%s)) continue;",
+            EmitExpr(*dim.filter, dt, "i", &slots,
+                     dc ? BoolStyle::kShortCircuit : BoolStyle::kBranchFree)
+                .c_str()));
+      }
+      body.Line(StringFormat(
+          "dim%d.GetOrInsert(%s);", static_cast<int>(d),
+          EmitExpr(*Col(dim.hop.to_pk_column), dt, "i", &slots,
+                   BoolStyle::kShortCircuit)
+              .c_str()));
+      body.Close();
+    }
+  }
+
+  // ---- Accumulator / group table ----
+  if (grouped) {
+    body.Line(StringFormat("swole::HashTable groups(%d, INT64_C(%lld));",
+                           1 + naggs,
+                           static_cast<long long>(
+                               options.group_capacity_hint)));
+    if (key_masked) {
+      body.Line("groups.GetOrInsert(swole::HashTable::kMaskKey);");
+    }
+  } else {
+    for (int a = 0; a < naggs; ++a) {
+      body.Line(StringFormat("int64_t agg%d = 0;", a));
+    }
+  }
+
+  // ---- Probe loop ----
+  if (dc) {
+    // Fig. 1 (top): one fused tuple-at-a-time loop with branching.
+    body.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
+                           fact_rows.c_str()));
+    if (plan.fact_filter != nullptr) {
+      body.Line(StringFormat(
+          "if (!(%s)) continue;",
+          EmitExpr(*plan.fact_filter, fact, "i", &slots,
+                   BoolStyle::kShortCircuit)
+              .c_str()));
+    }
+    for (size_t d = 0; d < plan.dims.size(); ++d) {
+      body.Line(StringFormat(
+          "if (!dim%d.Contains(%s)) continue;", static_cast<int>(d),
+          EmitExpr(*Col(plan.dims[d].hop.fk_column), fact, "i", &slots,
+                   BoolStyle::kShortCircuit)
+              .c_str()));
+    }
+    if (grouped) {
+      body.Line(StringFormat(
+          "int64_t* p = groups.GetOrInsert(%s);",
+          EmitExpr(*plan.group_by, fact, "i", &slots,
+                   BoolStyle::kShortCircuit)
+              .c_str()));
+      body.Line("p[0] += 1;");
+      for (int a = 0; a < naggs; ++a) {
+        body.Line(StringFormat("p[%d] += %s;", 1 + a,
+                               AggValueExpr(plan.aggs[a], fact, "i", &slots,
+                                            BoolStyle::kShortCircuit)
+                                   .c_str()));
+      }
+    } else {
+      for (int a = 0; a < naggs; ++a) {
+        body.Line(StringFormat("agg%d += %s;", a,
+                               AggValueExpr(plan.aggs[a], fact, "i", &slots,
+                                            BoolStyle::kShortCircuit)
+                                   .c_str()));
+      }
+    }
+    body.Close();
+  } else {
+    // Tiled loop shared by hybrid and SWOLE.
+    body.Line(StringFormat("constexpr int64_t kTile = %lld;",
+                           static_cast<long long>(options.tile_size)));
+    body.Line("uint8_t cmp[kTile];");
+    if (!masked) body.Line("int32_t idx[kTile];");
+    body.Open(StringFormat(
+        "for (int64_t i = 0; i < %s; i += kTile) {", fact_rows.c_str()));
+    body.Line(StringFormat(
+        "const int64_t len = %s - i < kTile ? %s - i : kTile;",
+        fact_rows.c_str(), fact_rows.c_str()));
+
+    // Prepass: branch-free predicate evaluation into cmp (Fig. 1 middle).
+    body.Open("for (int64_t j = 0; j < len; ++j) {");
+    std::string pred =
+        plan.fact_filter != nullptr
+            ? EmitExpr(*plan.fact_filter, fact, "i + j", &slots,
+                       BoolStyle::kBranchFree)
+            : std::string("INT64_C(1)");
+    body.Line(StringFormat("cmp[j] = (uint8_t)((%s) != 0);", pred.c_str()));
+    body.Close();
+
+    if (swole) {
+      // Positional bitmap probes fold into the mask (predicate pullup).
+      for (size_t d = 0; d < plan.dims.size(); ++d) {
+        std::string offs =
+            slots.FkOffsets(fact, plan.dims[d].hop.fk_column);
+        body.Open("for (int64_t j = 0; j < len; ++j) {");
+        body.Line(StringFormat("cmp[j] &= (uint8_t)bm%d.Test(%s[i + j]);",
+                               static_cast<int>(d), offs.c_str()));
+        body.Close();
+      }
+    }
+
+    if (masked) {
+      if (!grouped) {
+        // Value masking (Fig. 3): unconditional aggregation, masked adds.
+        body.Open("for (int64_t j = 0; j < len; ++j) {");
+        for (int a = 0; a < naggs; ++a) {
+          body.Line(StringFormat(
+              "agg%d += (%s) * cmp[j];", a,
+              AggValueExpr(plan.aggs[a], fact, "i + j", &slots,
+                           BoolStyle::kBranchFree)
+                  .c_str()));
+        }
+        body.Close();
+      } else {
+        body.Open("for (int64_t j = 0; j < len; ++j) {");
+        std::string key = EmitExpr(*plan.group_by, fact, "i + j", &slots,
+                                   BoolStyle::kBranchFree);
+        if (key_masked) {
+          // Key masking (Fig. 4 bottom): non-qualifying keys map to the
+          // throwaway entry; values stay unmasked.
+          body.Line(StringFormat("int64_t mm = -(int64_t)cmp[j];"));
+          body.Line(StringFormat(
+              "int64_t key = ((%s) & mm) | (swole::HashTable::kMaskKey & "
+              "~mm);",
+              key.c_str()));
+          body.Line("int64_t* p = groups.GetOrInsert(key);");
+          body.Line("p[0] += 1;");
+          for (int a = 0; a < naggs; ++a) {
+            body.Line(StringFormat(
+                "p[%d] += %s;", 1 + a,
+                AggValueExpr(plan.aggs[a], fact, "i + j", &slots,
+                             BoolStyle::kBranchFree)
+                    .c_str()));
+          }
+        } else {
+          // Value masking over groups (Fig. 4 top).
+          body.Line(
+              StringFormat("int64_t* p = groups.GetOrInsert(%s);",
+                           key.c_str()));
+          body.Line("p[0] += cmp[j];");
+          for (int a = 0; a < naggs; ++a) {
+            body.Line(StringFormat(
+                "p[%d] += (%s) * cmp[j];", 1 + a,
+                AggValueExpr(plan.aggs[a], fact, "i + j", &slots,
+                             BoolStyle::kBranchFree)
+                    .c_str()));
+          }
+        }
+        body.Close();
+      }
+    } else {
+      // Selection vector, no-branch construction (Fig. 1 middle).
+      body.Line("int32_t n = 0;");
+      body.Open("for (int64_t j = 0; j < len; ++j) {");
+      body.Line("idx[n] = (int32_t)j;");
+      body.Line("n += cmp[j] != 0;");
+      body.Close();
+      if (!swole) {
+        // Hash-probe refinement per dimension (partial selection vectors).
+        for (size_t d = 0; d < plan.dims.size(); ++d) {
+          body.Line("{");
+          body.Line("  int32_t m = 0;");
+          body.Open("  for (int32_t k = 0; k < n; ++k) {");
+          body.Line(StringFormat(
+              "  const uint8_t f = dim%d.Contains(%s) ? 1 : 0;",
+              static_cast<int>(d),
+              EmitExpr(*Col(plan.dims[d].hop.fk_column), fact,
+                       "i + idx[k]", &slots, BoolStyle::kBranchFree)
+                  .c_str()));
+          body.Line("  idx[m] = idx[k];");
+          body.Line("  m += f;");
+          body.Close("  }");
+          body.Line("  n = m;");
+          body.Line("}");
+        }
+      }
+      if (!grouped) {
+        body.Open("for (int32_t k = 0; k < n; ++k) {");
+        for (int a = 0; a < naggs; ++a) {
+          body.Line(StringFormat(
+              "agg%d += %s;", a,
+              AggValueExpr(plan.aggs[a], fact, "i + idx[k]", &slots,
+                           BoolStyle::kBranchFree)
+                  .c_str()));
+        }
+        body.Close();
+      } else {
+        body.Open("for (int32_t k = 0; k < n; ++k) {");
+        body.Line(StringFormat(
+            "int64_t* p = groups.GetOrInsert(%s);",
+            EmitExpr(*plan.group_by, fact, "i + idx[k]", &slots,
+                     BoolStyle::kBranchFree)
+                .c_str()));
+        body.Line("p[0] += 1;");
+        for (int a = 0; a < naggs; ++a) {
+          body.Line(StringFormat(
+              "p[%d] += %s;", 1 + a,
+              AggValueExpr(plan.aggs[a], fact, "i + idx[k]", &slots,
+                           BoolStyle::kBranchFree)
+                  .c_str()));
+        }
+        body.Close();
+      }
+    }
+    body.Close();  // tile loop
+  }
+
+  // ---- Output ----
+  if (grouped) {
+    body.Open("groups.ForEach([&](int64_t key, const int64_t* p) {");
+    body.Line("if (key == swole::HashTable::kMaskKey) return;");
+    body.Line("if (p[0] == 0) return;");
+    body.Line("io->emit_group(io->group_ctx, key, p + 1);");
+    body.Close("});");
+  } else {
+    for (int a = 0; a < naggs; ++a) {
+      body.Line(StringFormat("io->scalar_out[%d] = agg%d;", a, a));
+    }
+  }
+
+  // ---- Assemble the translation unit ----
+  CodeWriter unit;
+  unit.Line(StringFormat(
+      "// Generated by swole::codegen — plan '%s', strategy %s.",
+      plan.name.c_str(), StrategyKindName(options.strategy)));
+  unit.Line("#include <cstdint>");
+  unit.Line("#include \"exec/hash_table.h\"");
+  unit.Line("#include \"exec/kernels.h\"");
+  unit.Line("#include \"storage/bitmap.h\"");
+  unit.Line("");
+  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO).");
+  unit.Open("struct SwoleKernelIO {");
+  unit.Line("const void* const* columns;");
+  unit.Line("const int64_t* table_rows;");
+  unit.Line("const uint32_t* const* fk_offsets;");
+  unit.Line("int64_t* scalar_out;");
+  unit.Line("void* group_ctx;");
+  unit.Line("void (*emit_group)(void* ctx, int64_t key, const int64_t*);");
+  unit.Close("};");
+  unit.Line("");
+  unit.Open(StringFormat(
+      "extern \"C\" void %s(const SwoleKernelIO* io) {", kEntryPoint));
+  slots.EmitDeclarations(&unit);
+  // Splice the body with an extra level of indentation.
+  for (const std::string& line : StrSplit(body.Take(), '\n')) {
+    unit.Line(line);
+  }
+  unit.Close();
+
+  GeneratedKernel kernel;
+  kernel.source = unit.Take();
+  kernel.column_slots = slots.slots_;
+  kernel.table_slots = slots.tables_;
+  kernel.fk_slots_table = slots.fk_tables_;
+  kernel.fk_slots_column = slots.fk_columns_;
+  kernel.num_aggs = naggs;
+  kernel.grouped = grouped;
+  return kernel;
+}
+
+}  // namespace swole::codegen

@@ -1,0 +1,83 @@
+#ifndef SWOLE_CODEGEN_GENERATOR_H_
+#define SWOLE_CODEGEN_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+#include "storage/types.h"
+#include "strategies/strategy.h"
+
+// Source-level code generation: given a plan and a strategy, emit a
+// complete, self-contained C++ translation unit whose loops are exactly
+// the paper's generated-code shapes:
+//
+//   data-centric  -> one fused loop with an if-chain (Fig. 1 top)
+//   hybrid        -> tiled prepass + no-branch selection vector (Fig. 1 mid)
+//   swole         -> value masking (Fig. 3), key masking (Fig. 4 bottom),
+//                    positional bitmaps for joins (§III-D)
+//
+// The generated unit includes only the header-only runtime
+// (exec/kernels.h, exec/hash_table.h, storage/bitmap.h) — the same
+// "library code" the engines use — and exports one extern "C" entry point.
+// codegen/jit.h compiles it with the system compiler and dlopens it.
+//
+// Supported plan subset: fact scan + filter (comparisons, AND/OR/NOT,
+// BETWEEN, IN over integer columns), existence dimension joins (single
+// level), scalar or grouped sum/count aggregation. LIKE, column paths,
+// reverse/disjunctive joins return Unimplemented — the interpreted engines
+// cover those.
+
+namespace swole::codegen {
+
+/// ABI between the host and a generated kernel. All column pointers are
+/// raw physical arrays in slot order (see GeneratedKernel::column_slots).
+struct KernelIO {
+  const void* const* columns = nullptr;   // one per column slot
+  const int64_t* table_rows = nullptr;    // one per table slot
+  const uint32_t* const* fk_offsets = nullptr;  // one per dim slot
+  int64_t* scalar_out = nullptr;          // naggs values (scalar plans)
+  void* group_ctx = nullptr;              // grouped plans: emit callback
+  void (*emit_group)(void* ctx, int64_t key, const int64_t* aggs) = nullptr;
+};
+
+/// Name of the entry point exported by every generated unit:
+/// extern "C" void swole_kernel_run(const swole::codegen::KernelIO* io);
+inline constexpr char kEntryPoint[] = "swole_kernel_run";
+
+struct ColumnSlot {
+  std::string table;
+  std::string column;
+  PhysicalType physical;
+};
+
+struct GeneratedKernel {
+  std::string source;                  // the full translation unit
+  std::vector<ColumnSlot> column_slots;
+  std::vector<std::string> table_slots;     // tables, slot order
+  std::vector<std::string> fk_slots_table;  // fk owner table per dim slot
+  std::vector<std::string> fk_slots_column; // fk column per dim slot
+  int num_aggs = 0;
+  bool grouped = false;
+};
+
+struct GeneratorOptions {
+  StrategyKind strategy = StrategyKind::kSwole;
+  int64_t tile_size = 1024;
+  // SWOLE technique selection (the engine's cost-model decision, made
+  // explicit so generated code is deterministic and inspectable).
+  AggChoice agg_choice = AggChoice::kValueMasking;
+  int64_t group_capacity_hint = 1024;
+};
+
+/// Emits the translation unit for `plan`, or Unimplemented if the plan
+/// uses features outside the codegen subset.
+Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
+                                       const Catalog& catalog,
+                                       const GeneratorOptions& options);
+
+}  // namespace swole::codegen
+
+#endif  // SWOLE_CODEGEN_GENERATOR_H_

@@ -1,0 +1,191 @@
+#include "codegen/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+
+// The include root for the header-only runtime the generated code uses,
+// injected by the build (src/CMakeLists.txt).
+#ifndef SWOLE_SOURCE_DIR
+#define SWOLE_SOURCE_DIR "."
+#endif
+
+namespace swole::codegen {
+
+namespace {
+
+std::atomic<int64_t> g_kernel_counter{0};
+
+Result<std::string> MakeWorkDir(const JitOptions& options) {
+  if (!options.work_dir.empty()) return options.work_dir;
+  std::string tmpl = "/tmp/swole_jit_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    return Status::IOError("mkdtemp failed for JIT work dir");
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+CompiledKernel::~CompiledKernel() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+Result<std::unique_ptr<CompiledKernel>> CompileKernel(
+    GeneratedKernel kernel, const QueryPlan& plan,
+    const JitOptions& options) {
+  SWOLE_ASSIGN_OR_RETURN(std::string dir, MakeWorkDir(options));
+  int64_t id = g_kernel_counter.fetch_add(1);
+  std::string base = StringFormat("%s/kernel_%lld", dir.c_str(),
+                                  static_cast<long long>(id));
+  std::string source_path = base + ".cc";
+  std::string library_path = base + ".so";
+
+  {
+    std::ofstream out(source_path);
+    if (!out) {
+      return Status::IOError(
+          StringFormat("cannot write %s", source_path.c_str()));
+    }
+    out << kernel.source;
+  }
+
+  // The generated unit needs the logging runtime (CHECK failures in the
+  // shared hash table); compile it in rather than exporting host symbols.
+  std::string compiler = GetEnvString("SWOLE_CXX", options.compiler);
+  std::string command = StringFormat(
+      "%s -std=c++20 %s -shared -fPIC -DNDEBUG -I%s %s %s/common/logging.cc "
+      "-o %s 2> %s.log",
+      compiler.c_str(), options.extra_flags.c_str(), SWOLE_SOURCE_DIR,
+      source_path.c_str(), SWOLE_SOURCE_DIR, library_path.c_str(),
+      base.c_str());
+  int rc = std::system(command.c_str());
+  if (rc != 0) {
+    std::string log;
+    std::ifstream log_in(base + ".log");
+    if (log_in) {
+      log.assign(std::istreambuf_iterator<char>(log_in),
+                 std::istreambuf_iterator<char>());
+    }
+    return Status::Internal(StringFormat(
+        "JIT compile failed (rc=%d): %s\n%s", rc, command.c_str(),
+        log.substr(0, 2000).c_str()));
+  }
+
+  void* handle = ::dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return Status::Internal(
+        StringFormat("dlopen failed: %s", ::dlerror()));
+  }
+  void* entry = ::dlsym(handle, kEntryPoint);
+  if (entry == nullptr) {
+    ::dlclose(handle);
+    return Status::Internal(
+        StringFormat("dlsym(%s) failed: %s", kEntryPoint, ::dlerror()));
+  }
+
+  auto compiled = std::unique_ptr<CompiledKernel>(new CompiledKernel());
+  compiled->kernel_ = std::move(kernel);
+  compiled->library_path_ = library_path;
+  compiled->source_path_ = source_path;
+  compiled->handle_ = handle;
+  compiled->entry_ = entry;
+  for (const AggSpec& agg : plan.aggs) {
+    compiled->agg_names_.push_back(agg.name);
+  }
+  if (!options.keep_artifacts) {
+    // The .so stays mapped after unlink; sources removed.
+    std::remove(source_path.c_str());
+    std::remove((base + ".log").c_str());
+    std::remove(library_path.c_str());
+  }
+  return compiled;
+}
+
+Result<QueryResult> CompiledKernel::Run(const Catalog& catalog) const {
+  // Bind column slots.
+  std::vector<const void*> columns;
+  for (const ColumnSlot& slot : kernel_.column_slots) {
+    SWOLE_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(slot.table));
+    SWOLE_ASSIGN_OR_RETURN(const Column* column,
+                           table->GetColumn(slot.column));
+    if (column->type().physical != slot.physical) {
+      return Status::TypeError(StringFormat(
+          "kernel slot %s.%s expects %s", slot.table.c_str(),
+          slot.column.c_str(), PhysicalTypeName(slot.physical)));
+    }
+    const void* data = DispatchPhysical(
+        column->type().physical,
+        [&]<typename T>() -> const void* { return column->Data<T>(); });
+    columns.push_back(data);
+  }
+
+  std::vector<int64_t> table_rows;
+  for (const std::string& name : kernel_.table_slots) {
+    SWOLE_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+    table_rows.push_back(table->num_rows());
+  }
+
+  std::vector<const uint32_t*> fk_offsets;
+  for (size_t s = 0; s < kernel_.fk_slots_table.size(); ++s) {
+    SWOLE_ASSIGN_OR_RETURN(const Table* table,
+                           catalog.GetTable(kernel_.fk_slots_table[s]));
+    SWOLE_ASSIGN_OR_RETURN(const FkIndex* index,
+                           table->GetFkIndex(kernel_.fk_slots_column[s]));
+    fk_offsets.push_back(index->offsets());
+  }
+
+  QueryResult result;
+  result.agg_names = agg_names_;
+  std::vector<int64_t> scalar(kernel_.num_aggs, 0);
+
+  struct EmitContext {
+    QueryResult* result;
+  } emit_context{&result};
+
+  KernelIO io;
+  io.columns = columns.data();
+  io.table_rows = table_rows.data();
+  io.fk_offsets = fk_offsets.data();
+  io.scalar_out = scalar.data();
+  io.group_ctx = &emit_context;
+  io.emit_group = [](void* ctx, int64_t key, const int64_t* aggs) {
+    auto* emit = static_cast<EmitContext*>(ctx);
+    emit->result->AddGroup(key, aggs);
+  };
+
+  if (kernel_.grouped) {
+    result.grouped = true;
+    result.num_aggs = kernel_.num_aggs;
+  }
+
+  using EntryFn = void (*)(const KernelIO*);
+  reinterpret_cast<EntryFn>(entry_)(&io);
+
+  if (kernel_.grouped) {
+    if (sort_groups_) result.SortGroups();
+  } else {
+    result.grouped = false;
+    result.scalar = std::move(scalar);
+  }
+  return result;
+}
+
+Result<std::unique_ptr<CompiledKernel>> GenerateAndCompile(
+    const QueryPlan& plan, const Catalog& catalog,
+    const GeneratorOptions& gen_options, const JitOptions& jit_options) {
+  SWOLE_ASSIGN_OR_RETURN(GeneratedKernel kernel,
+                         GenerateKernel(plan, catalog, gen_options));
+  return CompileKernel(std::move(kernel), plan, jit_options);
+}
+
+}  // namespace swole::codegen

@@ -1,0 +1,73 @@
+#ifndef SWOLE_CODEGEN_JIT_H_
+#define SWOLE_CODEGEN_JIT_H_
+
+#include <memory>
+#include <string>
+
+#include "codegen/generator.h"
+#include "plan/result.h"
+
+// JIT driver: writes a generated translation unit to a temp directory,
+// compiles it with the system C++ compiler (-O3 -shared -fPIC), dlopens the
+// result, and runs it against a catalog. This is the Daytona/HIQUE-style
+// compile-to-shared-object pipeline; the generated code is real, inspectable
+// C++ (keep the .cc around with keep_artifacts).
+
+namespace swole::codegen {
+
+struct JitOptions {
+  // Compiler binary; SWOLE_CXX overrides.
+  std::string compiler = "c++";
+  std::string extra_flags = "-O3 -march=native";
+  // Directory for generated sources/objects; empty => a fresh temp dir.
+  std::string work_dir;
+  bool keep_artifacts = false;
+};
+
+/// A compiled query kernel bound to the dlopened shared object.
+class CompiledKernel {
+ public:
+  ~CompiledKernel();
+
+  CompiledKernel(const CompiledKernel&) = delete;
+  CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+  /// Executes the kernel against `catalog`, binding column/table/fk-index
+  /// slots by name. The catalog must contain the same tables the kernel
+  /// was generated against.
+  Result<QueryResult> Run(const Catalog& catalog) const;
+
+  const GeneratedKernel& kernel() const { return kernel_; }
+  const std::string& library_path() const { return library_path_; }
+  const std::string& source_path() const { return source_path_; }
+
+ private:
+  friend Result<std::unique_ptr<CompiledKernel>> CompileKernel(
+      GeneratedKernel kernel, const QueryPlan& plan,
+      const JitOptions& options);
+
+  CompiledKernel() = default;
+
+  GeneratedKernel kernel_;
+  std::string library_path_;
+  std::string source_path_;
+  void* handle_ = nullptr;
+  void* entry_ = nullptr;
+  // Result post-processing metadata captured from the plan.
+  std::vector<std::string> agg_names_;
+  bool sort_groups_ = true;
+};
+
+/// Compiles a generated kernel into a shared object and loads it.
+Result<std::unique_ptr<CompiledKernel>> CompileKernel(
+    GeneratedKernel kernel, const QueryPlan& plan,
+    const JitOptions& options = {});
+
+/// One-stop: generate + compile for (plan, strategy).
+Result<std::unique_ptr<CompiledKernel>> GenerateAndCompile(
+    const QueryPlan& plan, const Catalog& catalog,
+    const GeneratorOptions& gen_options, const JitOptions& jit_options = {});
+
+}  // namespace swole::codegen
+
+#endif  // SWOLE_CODEGEN_JIT_H_

@@ -1,0 +1,39 @@
+#ifndef SWOLE_COMMON_BIT_UTIL_H_
+#define SWOLE_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+// Small bit-manipulation helpers shared by the hash table, positional
+// bitmaps, and null-suppressed column storage.
+
+namespace swole::bit_util {
+
+/// Smallest power of two >= v (and >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t v) {
+  return v <= 1 ? 1 : uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Number of 64-bit words needed to hold `bits` bits.
+inline uint64_t WordsForBits(uint64_t bits) { return (bits + 63) / 64; }
+
+inline int PopCount(uint64_t v) { return std::popcount(v); }
+
+/// Index of the lowest set bit. Preconditions: v != 0.
+inline int CountTrailingZeros(uint64_t v) { return std::countr_zero(v); }
+
+/// Bits needed to represent values in [0, n); at least 1.
+inline int BitsToRepresent(uint64_t n) {
+  return n <= 2 ? 1 : 64 - std::countl_zero(n - 1);
+}
+
+/// Rounds `v` up to a multiple of `align` (align must be a power of two).
+inline uint64_t RoundUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace swole::bit_util
+
+#endif  // SWOLE_COMMON_BIT_UTIL_H_

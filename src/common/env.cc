@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace swole {
+
+int64_t GetEnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(value, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+}  // namespace swole

@@ -1,0 +1,108 @@
+#ifndef SWOLE_COMMON_LOGGING_H_
+#define SWOLE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/macros.h"
+
+// Minimal streaming logger with CHECK macros, in the style of glog.
+//
+//   SWOLE_LOG(INFO) << "loaded " << n << " rows";
+//   SWOLE_CHECK(ptr != nullptr) << "null table";
+//   SWOLE_DCHECK_LT(i, size);   // debug builds only
+//
+// CHECK failures abort the process; they guard internal invariants, not
+// user-facing errors (those use Status).
+
+namespace swole {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  bool fatal_;
+  bool enabled_;
+};
+
+// Swallows the streamed-in message when a check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Converts a streamed LogMessage expression to void so CHECK macros can use
+// the ternary form (glog's voidify idiom): '&' binds looser than '<<'.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace swole
+
+#define SWOLE_LOG_DEBUG ::swole::LogLevel::kDebug
+#define SWOLE_LOG_INFO ::swole::LogLevel::kInfo
+#define SWOLE_LOG_WARNING ::swole::LogLevel::kWarning
+#define SWOLE_LOG_ERROR ::swole::LogLevel::kError
+
+#define SWOLE_LOG(level) \
+  ::swole::internal::LogMessage(SWOLE_LOG_##level, __FILE__, __LINE__)
+
+#define SWOLE_CHECK(cond)                                          \
+  (SWOLE_LIKELY(cond))                                             \
+      ? (void)0                                                    \
+      : ::swole::internal::Voidify() &                             \
+            (::swole::internal::LogMessage(                        \
+                 ::swole::LogLevel::kError, __FILE__, __LINE__,    \
+                 /*fatal=*/true)                                   \
+             << "Check failed: " #cond " ")
+
+#define SWOLE_CHECK_OP(lhs, op, rhs) SWOLE_CHECK((lhs)op(rhs))
+#define SWOLE_CHECK_EQ(a, b) SWOLE_CHECK_OP(a, ==, b)
+#define SWOLE_CHECK_NE(a, b) SWOLE_CHECK_OP(a, !=, b)
+#define SWOLE_CHECK_LT(a, b) SWOLE_CHECK_OP(a, <, b)
+#define SWOLE_CHECK_LE(a, b) SWOLE_CHECK_OP(a, <=, b)
+#define SWOLE_CHECK_GT(a, b) SWOLE_CHECK_OP(a, >, b)
+#define SWOLE_CHECK_GE(a, b) SWOLE_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define SWOLE_DCHECK(cond) \
+  while (false) SWOLE_CHECK(cond)
+#else
+#define SWOLE_DCHECK(cond) SWOLE_CHECK(cond)
+#endif
+
+#define SWOLE_DCHECK_EQ(a, b) SWOLE_DCHECK((a) == (b))
+#define SWOLE_DCHECK_NE(a, b) SWOLE_DCHECK((a) != (b))
+#define SWOLE_DCHECK_LT(a, b) SWOLE_DCHECK((a) < (b))
+#define SWOLE_DCHECK_LE(a, b) SWOLE_DCHECK((a) <= (b))
+#define SWOLE_DCHECK_GT(a, b) SWOLE_DCHECK((a) > (b))
+#define SWOLE_DCHECK_GE(a, b) SWOLE_DCHECK((a) >= (b))
+
+#endif  // SWOLE_COMMON_LOGGING_H_

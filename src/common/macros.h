@@ -1,0 +1,21 @@
+#ifndef SWOLE_COMMON_MACROS_H_
+#define SWOLE_COMMON_MACROS_H_
+
+// Project-wide helper macros. Kept deliberately small: branch hints for hot
+// loops and an always-on invariant check used at module boundaries.
+
+#define SWOLE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SWOLE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#define SWOLE_ALWAYS_INLINE inline __attribute__((always_inline))
+#define SWOLE_NOINLINE __attribute__((noinline))
+
+// Restrict-qualified pointer, used by the vectorized primitives so GCC can
+// auto-vectorize tiled loops the same way the paper's hand-written C does.
+#define SWOLE_RESTRICT __restrict__
+
+// Concatenation helpers for unique local identifiers in macros.
+#define SWOLE_CONCAT_IMPL(x, y) x##y
+#define SWOLE_CONCAT(x, y) SWOLE_CONCAT_IMPL(x, y)
+
+#endif  // SWOLE_COMMON_MACROS_H_

@@ -1,0 +1,163 @@
+#ifndef SWOLE_COMMON_STATUS_H_
+#define SWOLE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+// Error handling without exceptions (per the Google style guide). Fallible
+// operations return `Status`, or `Result<T>` when they produce a value.
+//
+// Usage:
+//   Status DoThing();
+//   Result<Table> LoadTable(...);
+//   SWOLE_RETURN_NOT_OK(DoThing());
+//   SWOLE_ASSIGN_OR_RETURN(Table t, LoadTable(...));
+
+namespace swole {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+  kTypeError,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK.
+  void CheckOK() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error. Holds either a `T` or a non-OK `Status`.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error Status keeps call sites
+  // terse (`return 42;` / `return Status::NotFound(...)`), matching the
+  // Status/Result idiom of Arrow.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {
+    if (SWOLE_UNLIKELY(std::get<Status>(data_).ok())) {
+      std::get<Status>(data_) =
+          Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  /// Preconditions: ok(). Aborts otherwise.
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(std::get<T>(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (SWOLE_UNLIKELY(!ok())) std::get<Status>(data_).CheckOK();
+  }
+
+  std::variant<T, Status> data_;
+};
+
+#define SWOLE_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::swole::Status _st = (expr);                  \
+    if (SWOLE_UNLIKELY(!_st.ok())) return _st;     \
+  } while (false)
+
+#define SWOLE_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (SWOLE_UNLIKELY(!result_name.ok())) {                   \
+    return result_name.status();                             \
+  }                                                          \
+  lhs = std::move(result_name).value()
+
+#define SWOLE_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  SWOLE_ASSIGN_OR_RETURN_IMPL(SWOLE_CONCAT(_result_, __LINE__), lhs, \
+                              rexpr)
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_STATUS_H_

@@ -1,0 +1,154 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace swole {
+
+std::string StringFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  SWOLE_CHECK_GE(needed, 0);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  // Two-pointer matching with backtracking to the last '%'.
+  size_t v = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_v = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == value[v])) {
+      ++p;
+      ++v;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string FormatDecimal(int64_t value, int scale) {
+  SWOLE_CHECK_GE(scale, 0);
+  if (scale == 0) return StringFormat("%lld", static_cast<long long>(value));
+  int64_t divisor = 1;
+  for (int i = 0; i < scale; ++i) divisor *= 10;
+  int64_t whole = value / divisor;
+  int64_t frac = value % divisor;
+  bool negative = value < 0;
+  if (frac < 0) frac = -frac;
+  if (negative && whole == 0) {
+    return StringFormat("-0.%0*lld", scale, static_cast<long long>(frac));
+  }
+  return StringFormat("%lld.%0*lld", static_cast<long long>(whole), scale,
+                      static_cast<long long>(frac));
+}
+
+namespace {
+// Howard Hinnant's days-from-civil algorithm (public domain).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, unsigned* month, unsigned* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = doy - (153 * mp + 2) / 5 + 1;
+  *month = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (*month <= 2));
+}
+}  // namespace
+
+int32_t DateToDays(int year, int month, int day) {
+  return static_cast<int32_t>(
+      DaysFromCivil(year, static_cast<unsigned>(month),
+                    static_cast<unsigned>(day)));
+}
+
+std::string DaysToDateString(int32_t days) {
+  int year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  CivilFromDays(days, &year, &month, &day);
+  return StringFormat("%04d-%02u-%02u", year, month, day);
+}
+
+int32_t ParseDate(std::string_view text) {
+  SWOLE_CHECK_EQ(text.size(), 10u) << "bad date: " << std::string(text);
+  SWOLE_CHECK(text[4] == '-' && text[7] == '-')
+      << "bad date: " << std::string(text);
+  auto to_int = [&](size_t pos, size_t len) {
+    int out = 0;
+    for (size_t i = pos; i < pos + len; ++i) {
+      SWOLE_CHECK(text[i] >= '0' && text[i] <= '9')
+          << "bad date: " << std::string(text);
+      out = out * 10 + (text[i] - '0');
+    }
+    return out;
+  };
+  return DateToDays(to_int(0, 4), to_int(5, 2), to_int(8, 2));
+}
+
+}  // namespace swole

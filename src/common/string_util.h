@@ -1,0 +1,48 @@
+#ifndef SWOLE_COMMON_STRING_UTIL_H_
+#define SWOLE_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// String helpers shared by the TPC-H generator, the LIKE matcher, and the
+// code generator's source emitter.
+
+namespace swole {
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// SQL LIKE with '%' (any run) and '_' (any single char) wildcards.
+/// Case-sensitive, as in TPC-H. Iterative two-pointer algorithm, O(n*m) worst
+/// case but linear on the patterns TPC-H uses.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Formats a fixed-point int64 (value * 10^scale) as a decimal string,
+/// e.g. FormatDecimal(123456, 2) == "1234.56".
+std::string FormatDecimal(int64_t value, int scale);
+
+/// Days-since-epoch (1970-01-01) for a calendar date; proleptic Gregorian.
+int32_t DateToDays(int year, int month, int day);
+
+/// Inverse of DateToDays; outputs "YYYY-MM-DD".
+std::string DaysToDateString(int32_t days);
+
+/// Parses "YYYY-MM-DD" into days-since-epoch; aborts on malformed input.
+int32_t ParseDate(std::string_view text);
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_STRING_UTIL_H_

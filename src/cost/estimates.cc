@@ -1,0 +1,55 @@
+#include "cost/estimates.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "expr/scalar_eval.h"
+#include "storage/table.h"
+
+namespace swole {
+
+double EstimateSelectivity(const Table& table, const Expr& expr,
+                           int64_t max_sample) {
+  SWOLE_CHECK_GT(max_sample, 0);
+  int64_t rows = table.num_rows();
+  if (rows == 0) return 0.0;
+  int64_t stride = std::max<int64_t>(1, rows / max_sample);
+  ScalarEvaluator eval(table);
+  int64_t sampled = 0;
+  int64_t hits = 0;
+  for (int64_t row = 0; row < rows; row += stride) {
+    ++sampled;
+    if (eval.Eval(expr, row) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(sampled);
+}
+
+int64_t EstimateDistinctCount(const Table& table, const Expr& expr,
+                              int64_t max_sample) {
+  SWOLE_CHECK_GT(max_sample, 0);
+  int64_t rows = table.num_rows();
+  if (rows == 0) return 0;
+  int64_t stride = std::max<int64_t>(1, rows / max_sample);
+  ScalarEvaluator eval(table);
+  std::unordered_map<int64_t, int64_t> counts;
+  int64_t sampled = 0;
+  for (int64_t row = 0; row < rows; row += stride) {
+    ++sampled;
+    counts[eval.Eval(expr, row)]++;
+  }
+  int64_t distinct = static_cast<int64_t>(counts.size());
+  if (stride == 1) return distinct;  // exact
+  // First-order jackknife: d_est = d + f1 * (n/sample - 1), where f1 is the
+  // number of values seen exactly once.
+  int64_t f1 = 0;
+  for (const auto& [value, count] : counts) {
+    if (count == 1) ++f1;
+  }
+  double scale = static_cast<double>(rows) / static_cast<double>(sampled);
+  int64_t estimate =
+      distinct + static_cast<int64_t>(static_cast<double>(f1) * (scale - 1.0));
+  return std::min(estimate, rows);
+}
+
+}  // namespace swole

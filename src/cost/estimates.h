@@ -1,0 +1,27 @@
+#ifndef SWOLE_COST_ESTIMATES_H_
+#define SWOLE_COST_ESTIMATES_H_
+
+#include <cstdint>
+
+#include "expr/expr.h"
+
+// Sampling-based cardinality estimation feeding the cost model's sigma and
+// hash-table-size inputs. Deterministic: strided samples, no RNG.
+
+namespace swole {
+
+class Table;
+
+/// Fraction of rows satisfying boolean `expr`, from a strided sample of at
+/// most `max_sample` rows. Returns a value in [0, 1].
+double EstimateSelectivity(const Table& table, const Expr& expr,
+                           int64_t max_sample = 16384);
+
+/// Estimated number of distinct values of `expr` over the table, from a
+/// strided sample (first-order jackknife scale-up, capped at row count).
+int64_t EstimateDistinctCount(const Table& table, const Expr& expr,
+                              int64_t max_sample = 16384);
+
+}  // namespace swole
+
+#endif  // SWOLE_COST_ESTIMATES_H_

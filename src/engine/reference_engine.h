@@ -1,0 +1,30 @@
+#ifndef SWOLE_ENGINE_REFERENCE_ENGINE_H_
+#define SWOLE_ENGINE_REFERENCE_ENGINE_H_
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "plan/result.h"
+
+// The correctness oracle: a naive row-at-a-time interpreter over the plan
+// algebra. Deliberately simple (no tiles, no masks, no selection vectors,
+// std::map for groups) so its results are obviously right; every strategy
+// engine and every JIT-generated kernel is tested against it bit-exactly.
+// Never benchmarked.
+
+namespace swole {
+
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Executes `plan`. Validates first; returns the normalized result with
+  /// groups sorted by key.
+  Result<QueryResult> Execute(const QueryPlan& plan);
+
+ private:
+  const Catalog& catalog_;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_ENGINE_REFERENCE_ENGINE_H_

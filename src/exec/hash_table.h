@@ -1,0 +1,196 @@
+#ifndef SWOLE_EXEC_HASH_TABLE_H_
+#define SWOLE_EXEC_HASH_TABLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "common/macros.h"
+
+// Open-addressing, linear-probing hash table with int64 keys and a
+// fixed-width int64 payload per key. This single structure backs group-by
+// aggregation, hash joins, semijoins (payload width 0), groupjoins, and the
+// eager-aggregation rewrite (which needs deletion, §III-E). It is the
+// shared "library code (e.g., hash table implementations)" of the paper's
+// evaluation — every strategy uses this same table.
+//
+// Key-masking support (§III-B): `kMaskKey` is an ordinary insertable key
+// reserved as the throwaway entry. Because it hashes to a fixed slot that
+// is touched for every masked tuple, it stays cache-resident — which is
+// exactly the property the technique relies on.
+
+namespace swole {
+
+class HashTable {
+ public:
+  /// Throwaway key used by key masking. Never produced by data generators.
+  static constexpr int64_t kMaskKey = INT64_MIN + 2;
+
+  /// `payload_width` int64 slots per key (0 for set-membership tables).
+  explicit HashTable(int payload_width, int64_t expected_keys = 16)
+      : payload_width_(payload_width) {
+    SWOLE_CHECK_GE(payload_width, 0);
+    int64_t capacity = bit_util::NextPowerOfTwo(
+        std::max<int64_t>(16, expected_keys * 10 / 7 + 1));
+    Rehash(capacity);
+  }
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+  HashTable(HashTable&&) = default;
+  HashTable& operator=(HashTable&&) = default;
+
+  int payload_width() const { return payload_width_; }
+  int64_t size() const { return size_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(keys_.size()) * 8 +
+           static_cast<int64_t>(payload_.size()) * 8;
+  }
+
+  /// Payload for `key`, inserting a zero-initialized entry if absent.
+  /// The pointer is invalidated by the next insertion. With width 0 the
+  /// returned pointer is non-null but must not be dereferenced.
+  SWOLE_ALWAYS_INLINE int64_t* GetOrInsert(int64_t key) {
+    SWOLE_DCHECK(key != kEmpty && key != kTombstone);
+    if (SWOLE_UNLIKELY((size_ + tombstones_ + 1) * 10 >= capacity_ * 7)) {
+      Rehash(capacity_ * 2);
+    }
+    uint64_t slot = Hash(key) & mask_;
+    int64_t first_tombstone = -1;
+    while (true) {
+      int64_t k = keys_[slot];
+      if (k == key) return PayloadAt(slot);
+      if (k == kEmpty) {
+        if (first_tombstone >= 0) {
+          slot = static_cast<uint64_t>(first_tombstone);
+          --tombstones_;
+        }
+        keys_[slot] = key;
+        ++size_;
+        return PayloadAt(slot);
+      }
+      if (k == kTombstone && first_tombstone < 0) {
+        first_tombstone = static_cast<int64_t>(slot);
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Payload for `key`, or nullptr if absent.
+  SWOLE_ALWAYS_INLINE int64_t* Find(int64_t key) {
+    uint64_t slot = Hash(key) & mask_;
+    while (true) {
+      int64_t k = keys_[slot];
+      if (k == key) return PayloadAt(slot);
+      if (k == kEmpty) return nullptr;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  SWOLE_ALWAYS_INLINE const int64_t* Find(int64_t key) const {
+    return const_cast<HashTable*>(this)->Find(key);
+  }
+
+  SWOLE_ALWAYS_INLINE bool Contains(int64_t key) const {
+    return Find(key) != nullptr;
+  }
+
+  /// Removes `key` (tombstone). Returns true if it was present. Used by the
+  /// eager-aggregation rewrite's deletion scan (§III-E).
+  bool Erase(int64_t key) {
+    uint64_t slot = Hash(key) & mask_;
+    while (true) {
+      int64_t k = keys_[slot];
+      if (k == key) {
+        keys_[slot] = kTombstone;
+        if (payload_width_ > 0) {
+          std::memset(&payload_[slot * payload_width_], 0,
+                      payload_width_ * sizeof(int64_t));
+        }
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      if (k == kEmpty) return false;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Prefetches the home slot of `key` (ROF's explicit prefetching).
+  SWOLE_ALWAYS_INLINE void PrefetchSlot(int64_t key) const {
+    uint64_t slot = Hash(key) & mask_;
+    __builtin_prefetch(&keys_[slot], 0, 1);
+    if (payload_width_ > 0) {
+      __builtin_prefetch(&payload_[slot * payload_width_], 1, 1);
+    }
+  }
+
+  /// Visits every live entry: fn(key, payload pointer).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int64_t slot = 0; slot < capacity_; ++slot) {
+      int64_t k = keys_[slot];
+      if (k != kEmpty && k != kTombstone) {
+        fn(k, payload_width_ > 0 ? &payload_[slot * payload_width_] : nullptr);
+      }
+    }
+  }
+
+  static uint64_t Hash(int64_t key) {
+    // Fibonacci-multiply + xor-shift finalizer; cheap and well-spread for
+    // the dense integer keys used everywhere in this workload.
+    uint64_t x = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+    return x ^ (x >> 32);
+  }
+
+ private:
+  static constexpr int64_t kEmpty = INT64_MIN;
+  static constexpr int64_t kTombstone = INT64_MIN + 1;
+
+  SWOLE_ALWAYS_INLINE int64_t* PayloadAt(uint64_t slot) {
+    // Width-0 tables still return a stable non-null sentinel address.
+    return payload_width_ > 0 ? &payload_[slot * payload_width_]
+                              : sentinel_;
+  }
+
+  void Rehash(int64_t new_capacity) {
+    SWOLE_CHECK(bit_util::IsPowerOfTwo(static_cast<uint64_t>(new_capacity)));
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<int64_t> old_payload = std::move(payload_);
+    int64_t old_capacity = capacity_;
+
+    capacity_ = new_capacity;
+    mask_ = static_cast<uint64_t>(new_capacity - 1);
+    keys_.assign(new_capacity, kEmpty);
+    payload_.assign(static_cast<size_t>(new_capacity) * payload_width_, 0);
+    size_ = 0;
+    tombstones_ = 0;
+
+    for (int64_t slot = 0; slot < old_capacity; ++slot) {
+      int64_t k = old_keys[slot];
+      if (k == kEmpty || k == kTombstone) continue;
+      int64_t* dst = GetOrInsert(k);
+      if (payload_width_ > 0) {
+        std::memcpy(dst, &old_payload[slot * payload_width_],
+                    payload_width_ * sizeof(int64_t));
+      }
+    }
+  }
+
+  int payload_width_;
+  int64_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  int64_t size_ = 0;
+  int64_t tombstones_ = 0;
+  std::vector<int64_t> keys_;
+  std::vector<int64_t> payload_;
+  int64_t sentinel_[1] = {0};
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_EXEC_HASH_TABLE_H_

@@ -1,0 +1,347 @@
+#include "expr/expr.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+
+namespace swole {
+
+bool IsBooleanOp(BinaryOp op) {
+  return IsComparisonOp(op) || op == BinaryOp::kAnd || op == BinaryOp::kOr;
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+const char* BinaryOpToken(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kAnd:
+      return "&&";
+    case BinaryOp::kOr:
+      return "||";
+    default:
+      return BinaryOpName(op);
+  }
+}
+
+ExprPtr Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->op = op;
+  copy->column = column;
+  copy->literal = literal;
+  copy->like_pattern = like_pattern;
+  copy->like_negated = like_negated;
+  copy->in_list = in_list;
+  copy->children.reserve(children.size());
+  for (const ExprPtr& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+bool Expr::IsBoolean() const {
+  switch (kind) {
+    case ExprKind::kBinary:
+      return IsBooleanOp(op);
+    case ExprKind::kNot:
+    case ExprKind::kLike:
+    case ExprKind::kInList:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return column;
+    case ExprKind::kLiteral:
+      return StringFormat("%lld", static_cast<long long>(literal));
+    case ExprKind::kBinary:
+      return StringFormat("(%s %s %s)", children[0]->ToString().c_str(),
+                          BinaryOpName(op), children[1]->ToString().c_str());
+    case ExprKind::kNot:
+      return StringFormat("(not %s)", children[0]->ToString().c_str());
+    case ExprKind::kLike:
+      return StringFormat("(%s %slike '%s')",
+                          children[0]->ToString().c_str(),
+                          like_negated ? "not " : "", like_pattern.c_str());
+    case ExprKind::kInList: {
+      std::vector<std::string> parts;
+      for (int64_t v : in_list) {
+        parts.push_back(StringFormat("%lld", static_cast<long long>(v)));
+      }
+      return StringFormat("(%s in (%s))", children[0]->ToString().c_str(),
+                          StrJoin(parts, ", ").c_str());
+    }
+    case ExprKind::kCase: {
+      std::string out = "(case";
+      for (size_t i = 0; i + 1 < children.size(); i += 2) {
+        out += StringFormat(" when %s then %s",
+                            children[i]->ToString().c_str(),
+                            children[i + 1]->ToString().c_str());
+      }
+      out += StringFormat(" else %s end)",
+                          children.back()->ToString().c_str());
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr Col(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Lit(int64_t value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = value;
+  return e;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  SWOLE_CHECK(lhs != nullptr && rhs != nullptr);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+}
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+}
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+}
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+}
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kLt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kLe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kGt, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kGe, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kEq, std::move(lhs), std::move(rhs));
+}
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kNe, std::move(lhs), std::move(rhs));
+}
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+}
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Not(ExprPtr operand) {
+  SWOLE_CHECK(operand != nullptr);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Between(ExprPtr e, int64_t lo, int64_t hi) {
+  ExprPtr copy = e->Clone();
+  return And(Ge(std::move(e), Lit(lo)), Le(std::move(copy), Lit(hi)));
+}
+
+ExprPtr Like(std::string column, std::string pattern) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLike;
+  e->like_pattern = std::move(pattern);
+  e->children.push_back(Col(std::move(column)));
+  return e;
+}
+
+ExprPtr NotLike(std::string column, std::string pattern) {
+  ExprPtr e = Like(std::move(column), std::move(pattern));
+  e->like_negated = true;
+  return e;
+}
+
+ExprPtr InList(ExprPtr e, std::vector<int64_t> values) {
+  SWOLE_CHECK(e != nullptr);
+  auto out = std::make_unique<Expr>();
+  out->kind = ExprKind::kInList;
+  out->in_list = std::move(values);
+  out->children.push_back(std::move(e));
+  return out;
+}
+
+ExprPtr Case(ExprPtr when, ExprPtr then, ExprPtr els) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCase;
+  e->children.push_back(std::move(when));
+  e->children.push_back(std::move(then));
+  e->children.push_back(std::move(els));
+  return e;
+}
+
+namespace {
+void CollectRefsInto(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    if (std::find(out->begin(), out->end(), expr.column) == out->end()) {
+      out->push_back(expr.column);
+    }
+    return;
+  }
+  for (const ExprPtr& child : expr.children) CollectRefsInto(*child, out);
+}
+
+void SplitConjunctsInto(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kBinary && expr.op == BinaryOp::kAnd) {
+    SplitConjunctsInto(*expr.children[0], out);
+    SplitConjunctsInto(*expr.children[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+}  // namespace
+
+std::vector<std::string> CollectColumnRefs(const Expr& expr) {
+  std::vector<std::string> out;
+  CollectRefsInto(expr, &out);
+  return out;
+}
+
+std::vector<const Expr*> SplitConjuncts(const Expr& expr) {
+  std::vector<const Expr*> out;
+  SplitConjunctsInto(expr, &out);
+  return out;
+}
+
+Status BindExpr(const Expr& expr, const Table& table) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      if (!table.HasColumn(expr.column)) {
+        return Status::NotFound(StringFormat("no column '%s' in table '%s'",
+                                             expr.column.c_str(),
+                                             table.name().c_str()));
+      }
+      return Status::OK();
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kBinary: {
+      SWOLE_RETURN_NOT_OK(BindExpr(*expr.children[0], table));
+      SWOLE_RETURN_NOT_OK(BindExpr(*expr.children[1], table));
+      if (expr.op == BinaryOp::kAnd || expr.op == BinaryOp::kOr) {
+        if (!expr.children[0]->IsBoolean() || !expr.children[1]->IsBoolean()) {
+          return Status::TypeError(
+              StringFormat("logical operator over non-boolean operands: %s",
+                           expr.ToString().c_str()));
+        }
+      }
+      return Status::OK();
+    }
+    case ExprKind::kNot:
+      SWOLE_RETURN_NOT_OK(BindExpr(*expr.children[0], table));
+      if (!expr.children[0]->IsBoolean()) {
+        return Status::TypeError(StringFormat(
+            "NOT over non-boolean operand: %s", expr.ToString().c_str()));
+      }
+      return Status::OK();
+    case ExprKind::kLike: {
+      const Expr& target = *expr.children[0];
+      if (target.kind != ExprKind::kColumnRef) {
+        return Status::TypeError("LIKE target must be a column");
+      }
+      SWOLE_RETURN_NOT_OK(BindExpr(target, table));
+      const Column& column = table.ColumnRef(target.column);
+      bool dict_ok = column.type().logical == LogicalType::kString &&
+                     column.dictionary() != nullptr;
+      bool text_ok = column.type().logical == LogicalType::kText &&
+                     column.text() != nullptr;
+      if (!dict_ok && !text_ok) {
+        return Status::TypeError(StringFormat(
+            "LIKE over non-string column '%s'", target.column.c_str()));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kInList:
+      if (expr.in_list.empty()) {
+        return Status::InvalidArgument("empty IN list");
+      }
+      return BindExpr(*expr.children[0], table);
+    case ExprKind::kCase: {
+      if (expr.children.size() < 3 || expr.children.size() % 2 == 0) {
+        return Status::InvalidArgument("malformed CASE expression");
+      }
+      for (size_t i = 0; i + 1 < expr.children.size(); i += 2) {
+        SWOLE_RETURN_NOT_OK(BindExpr(*expr.children[i], table));
+        if (!expr.children[i]->IsBoolean()) {
+          return Status::TypeError("CASE condition must be boolean");
+        }
+        SWOLE_RETURN_NOT_OK(BindExpr(*expr.children[i + 1], table));
+      }
+      return BindExpr(*expr.children.back(), table);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace swole

@@ -1,0 +1,126 @@
+#ifndef SWOLE_EXPR_EXPR_H_
+#define SWOLE_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Expression AST for the restricted OLAP algebra. All values are int64 at
+// evaluation time (the storage layer keeps narrow physical types; kernels
+// widen on load). Booleans are 0/1 int64 values, which is what makes the
+// paper's masking techniques (`sum += (a*b) * cmp`) expressible directly.
+//
+// Strings never appear at runtime: string predicates are resolved against
+// the column dictionary (LIKE -> per-code mask, equality -> code literal)
+// before execution, so generated code only touches integers.
+
+namespace swole {
+
+class Table;
+
+enum class ExprKind : uint8_t {
+  kColumnRef,  // named column
+  kLiteral,    // int64 constant
+  kBinary,     // arithmetic / comparison / logical
+  kNot,        // logical negation
+  kLike,       // dictionary-column LIKE pattern (child = column ref)
+  kInList,     // child value IN (literals)
+  kCase,       // CASE WHEN c THEN v [WHEN...] ELSE e END
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+/// True for comparison and logical operators (result is 0/1).
+bool IsBooleanOp(BinaryOp op);
+/// True for kLt..kNe.
+bool IsComparisonOp(BinaryOp op);
+const char* BinaryOpName(BinaryOp op);
+/// C source token for the operator ("<", "&&", ...), for the code generator.
+const char* BinaryOpToken(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  BinaryOp op = BinaryOp::kAdd;       // kBinary only
+  std::string column;                 // kColumnRef only
+  int64_t literal = 0;                // kLiteral only
+  std::string like_pattern;           // kLike only
+  bool like_negated = false;          // kLike: NOT LIKE
+  std::vector<int64_t> in_list;       // kInList only
+  std::vector<ExprPtr> children;
+  // kCase layout: [when1, then1, when2, then2, ..., else]
+
+  ExprPtr Clone() const;
+  std::string ToString() const;
+
+  /// True if this expression's result is boolean (0/1).
+  bool IsBoolean() const;
+};
+
+// ---- Factory functions (the public way to build expressions) ----
+
+ExprPtr Col(std::string name);
+ExprPtr Lit(int64_t value);
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Not(ExprPtr operand);
+
+/// lo <= e AND e <= hi (inclusive, as in SQL BETWEEN).
+ExprPtr Between(ExprPtr e, int64_t lo, int64_t hi);
+
+/// Dictionary LIKE. `column` must be a string column at bind time.
+ExprPtr Like(std::string column, std::string pattern);
+ExprPtr NotLike(std::string column, std::string pattern);
+
+ExprPtr InList(ExprPtr e, std::vector<int64_t> values);
+
+/// CASE WHEN when THEN then ELSE els END.
+ExprPtr Case(ExprPtr when, ExprPtr then, ExprPtr els);
+
+// ---- Analysis helpers ----
+
+/// All distinct column names referenced (in reference order, deduplicated).
+std::vector<std::string> CollectColumnRefs(const Expr& expr);
+
+/// Splits a conjunction tree into its conjuncts (top-level ANDs flattened).
+/// The returned pointers alias `expr`.
+std::vector<const Expr*> SplitConjuncts(const Expr& expr);
+
+/// Validates `expr` against a table: every column exists, LIKE targets a
+/// dictionary column, CASE arms are well-formed, operands of arithmetic are
+/// numeric.
+Status BindExpr(const Expr& expr, const Table& table);
+
+}  // namespace swole
+
+#endif  // SWOLE_EXPR_EXPR_H_

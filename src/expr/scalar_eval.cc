@@ -1,0 +1,108 @@
+#include "expr/scalar_eval.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+
+namespace swole {
+
+ScalarEvaluator::ScalarEvaluator(const Table& table) : table_(table) {}
+
+const std::vector<uint8_t>& ScalarEvaluator::LikeMaskFor(const Expr& like) {
+  auto it = like_masks_.find(&like);
+  if (it != like_masks_.end()) return it->second;
+  const Column& column = table_.ColumnRef(like.children[0]->column);
+  SWOLE_CHECK(column.dictionary() != nullptr);
+  std::vector<uint8_t> mask = column.dictionary()->LikeMask(like.like_pattern);
+  if (like.like_negated) {
+    for (auto& b : mask) b = 1 - b;
+  }
+  return like_masks_.emplace(&like, std::move(mask)).first->second;
+}
+
+int64_t ScalarEvaluator::Eval(const Expr& expr, int64_t row) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      return table_.ColumnRef(expr.column).ValueAt(row);
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kBinary: {
+      // Short-circuit the logical operators (also avoids evaluating
+      // division guarded by a condition).
+      if (expr.op == BinaryOp::kAnd) {
+        return Eval(*expr.children[0], row) != 0 &&
+                       Eval(*expr.children[1], row) != 0
+                   ? 1
+                   : 0;
+      }
+      if (expr.op == BinaryOp::kOr) {
+        return Eval(*expr.children[0], row) != 0 ||
+                       Eval(*expr.children[1], row) != 0
+                   ? 1
+                   : 0;
+      }
+      int64_t lhs = Eval(*expr.children[0], row);
+      int64_t rhs = Eval(*expr.children[1], row);
+      switch (expr.op) {
+        case BinaryOp::kAdd:
+          return lhs + rhs;
+        case BinaryOp::kSub:
+          return lhs - rhs;
+        case BinaryOp::kMul:
+          return lhs * rhs;
+        case BinaryOp::kDiv:
+          SWOLE_CHECK_NE(rhs, 0) << "division by zero";
+          return lhs / rhs;
+        case BinaryOp::kLt:
+          return lhs < rhs ? 1 : 0;
+        case BinaryOp::kLe:
+          return lhs <= rhs ? 1 : 0;
+        case BinaryOp::kGt:
+          return lhs > rhs ? 1 : 0;
+        case BinaryOp::kGe:
+          return lhs >= rhs ? 1 : 0;
+        case BinaryOp::kEq:
+          return lhs == rhs ? 1 : 0;
+        case BinaryOp::kNe:
+          return lhs != rhs ? 1 : 0;
+        default:
+          break;
+      }
+      SWOLE_CHECK(false) << "unreachable";
+      return 0;
+    }
+    case ExprKind::kNot:
+      return Eval(*expr.children[0], row) != 0 ? 0 : 1;
+    case ExprKind::kLike: {
+      const Column& column = table_.ColumnRef(expr.children[0]->column);
+      if (column.type().logical == LogicalType::kText) {
+        bool match = LikeMatch(column.TextAt(row), expr.like_pattern);
+        return (match != expr.like_negated) ? 1 : 0;
+      }
+      const std::vector<uint8_t>& mask = LikeMaskFor(expr);
+      int64_t code = Eval(*expr.children[0], row);
+      SWOLE_DCHECK_GE(code, 0);
+      SWOLE_DCHECK_LT(code, static_cast<int64_t>(mask.size()));
+      return mask[code];
+    }
+    case ExprKind::kInList: {
+      int64_t value = Eval(*expr.children[0], row);
+      for (int64_t candidate : expr.in_list) {
+        if (candidate == value) return 1;
+      }
+      return 0;
+    }
+    case ExprKind::kCase: {
+      for (size_t i = 0; i + 1 < expr.children.size(); i += 2) {
+        if (Eval(*expr.children[i], row) != 0) {
+          return Eval(*expr.children[i + 1], row);
+        }
+      }
+      return Eval(*expr.children.back(), row);
+    }
+  }
+  SWOLE_CHECK(false) << "unknown expression kind";
+  return 0;
+}
+
+}  // namespace swole

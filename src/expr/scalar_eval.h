@@ -1,0 +1,37 @@
+#ifndef SWOLE_EXPR_SCALAR_EVAL_H_
+#define SWOLE_EXPR_SCALAR_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "expr/expr.h"
+
+// Row-at-a-time expression evaluation. Used by the reference engine (the
+// correctness oracle) and by tests — never on a hot path of a strategy.
+
+namespace swole {
+
+class Table;
+
+class ScalarEvaluator {
+ public:
+  /// `table` must outlive the evaluator.
+  explicit ScalarEvaluator(const Table& table);
+
+  /// Evaluates `expr` at `row`. Booleans come back as 0/1.
+  /// Preconditions: BindExpr(expr, table).ok().
+  int64_t Eval(const Expr& expr, int64_t row);
+
+ private:
+  const std::vector<uint8_t>& LikeMaskFor(const Expr& like);
+
+  const Table& table_;
+  // LIKE masks are built once per pattern (evaluating LIKE per row per call
+  // would make the oracle quadratic in practice).
+  std::map<const Expr*, std::vector<uint8_t>> like_masks_;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_EXPR_SCALAR_EVAL_H_

@@ -1,0 +1,52 @@
+#include "plan/result.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace swole {
+
+void QueryResult::SortGroups() {
+  int64_t n = NumGroups();
+  if (n <= 1) return;
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int64_t a, int64_t b) {
+    return group_keys[a] < group_keys[b];
+  });
+  std::vector<int64_t> sorted_keys(n);
+  std::vector<int64_t> sorted_aggs(group_aggs.size());
+  for (int64_t i = 0; i < n; ++i) {
+    sorted_keys[i] = group_keys[order[i]];
+    for (int a = 0; a < num_aggs; ++a) {
+      sorted_aggs[i * num_aggs + a] = group_aggs[order[i] * num_aggs + a];
+    }
+  }
+  group_keys = std::move(sorted_keys);
+  group_aggs = std::move(sorted_aggs);
+}
+
+std::string QueryResult::ToString(int max_rows) const {
+  std::string out;
+  if (!grouped) {
+    for (size_t i = 0; i < scalar.size(); ++i) {
+      const char* name = i < agg_names.size() ? agg_names[i].c_str() : "agg";
+      out += StringFormat("%s = %lld\n", name,
+                          static_cast<long long>(scalar[i]));
+    }
+    return out;
+  }
+  out += StringFormat("%lld groups\n", static_cast<long long>(NumGroups()));
+  for (int64_t i = 0; i < NumGroups() && i < max_rows; ++i) {
+    out += StringFormat("key=%lld:", static_cast<long long>(group_keys[i]));
+    for (int a = 0; a < num_aggs; ++a) {
+      out += StringFormat(" %lld", static_cast<long long>(GroupAgg(i, a)));
+    }
+    out += "\n";
+  }
+  if (NumGroups() > max_rows) out += "...\n";
+  return out;
+}
+
+}  // namespace swole

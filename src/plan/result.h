@@ -1,0 +1,70 @@
+#ifndef SWOLE_PLAN_RESULT_H_
+#define SWOLE_PLAN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+// Normalized query results. Every engine (reference oracle, the four
+// strategy engines, JIT-generated kernels) produces this form so tests can
+// compare them bit-exactly: fixed-point arithmetic means there is no
+// floating-point tolerance anywhere.
+//
+// Grouped results use a flat struct-of-arrays layout (keys + row-major
+// aggregate matrix) so extracting a million groups costs two allocations,
+// not a million — result materialization must not drown the measured
+// aggregation work at reduced benchmark scale.
+
+namespace swole {
+
+struct QueryResult {
+  /// Aggregate identity values (what an aggregate holds before any input).
+  static constexpr int64_t kMinIdentity = INT64_MAX;
+  static constexpr int64_t kMaxIdentity = INT64_MIN;
+
+  bool grouped = false;
+
+  /// !grouped: one value per aggregate.
+  std::vector<int64_t> scalar;
+
+  /// grouped: parallel arrays; group_aggs is row-major with `num_aggs`
+  /// values per group.
+  int num_aggs = 0;
+  std::vector<int64_t> group_keys;
+  std::vector<int64_t> group_aggs;
+
+  std::vector<std::string> agg_names;
+
+  int64_t NumGroups() const {
+    return static_cast<int64_t>(group_keys.size());
+  }
+
+  int64_t GroupAgg(int64_t group, int agg) const {
+    SWOLE_DCHECK_LT(group, NumGroups());
+    SWOLE_DCHECK_LT(agg, num_aggs);
+    return group_aggs[group * num_aggs + agg];
+  }
+
+  void AddGroup(int64_t key, const int64_t* aggs) {
+    group_keys.push_back(key);
+    group_aggs.insert(group_aggs.end(), aggs, aggs + num_aggs);
+  }
+
+  bool operator==(const QueryResult& other) const {
+    // agg_names are labels, not payload.
+    return grouped == other.grouped && scalar == other.scalar &&
+           num_aggs == other.num_aggs && group_keys == other.group_keys &&
+           group_aggs == other.group_aggs;
+  }
+
+  /// Sorts groups by key ascending (engines emit hash order).
+  void SortGroups();
+
+  std::string ToString(int max_rows = 20) const;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_PLAN_RESULT_H_

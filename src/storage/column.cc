@@ -1,0 +1,99 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace swole {
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {
+  DispatchPhysical(type_.physical, [&]<typename T>() {
+    data_ = std::vector<T>();
+  });
+}
+
+int64_t Column::size() const {
+  if (type_.logical == LogicalType::kText) {
+    return text_ != nullptr ? text_->size() : 0;
+  }
+  return std::visit(
+      [](const auto& vec) { return static_cast<int64_t>(vec.size()); }, data_);
+}
+
+int64_t Column::ValueAt(int64_t row) const {
+  SWOLE_DCHECK_GE(row, 0);
+  SWOLE_DCHECK_LT(row, size());
+  return std::visit(
+      [row](const auto& vec) { return static_cast<int64_t>(vec[row]); },
+      data_);
+}
+
+const std::string& Column::StringAt(int64_t row) const {
+  SWOLE_CHECK(type_.logical == LogicalType::kString)
+      << "column " << name_ << " is not a string column";
+  SWOLE_CHECK(dictionary_ != nullptr);
+  return dictionary_->At(static_cast<int32_t>(ValueAt(row)));
+}
+
+void Column::Append(int64_t value) {
+  std::visit(
+      [&](auto& vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        SWOLE_DCHECK_GE(value, std::numeric_limits<T>::min());
+        SWOLE_DCHECK_LE(value, std::numeric_limits<T>::max());
+        vec.push_back(static_cast<T>(value));
+      },
+      data_);
+  stats_valid_ = false;
+}
+
+void Column::Reserve(int64_t rows) {
+  std::visit([rows](auto& vec) { vec.reserve(rows); }, data_);
+}
+
+void Column::AppendN(const int64_t* values, int64_t count) {
+  std::visit(
+      [&](auto& vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        vec.reserve(vec.size() + count);
+        for (int64_t i = 0; i < count; ++i) {
+          SWOLE_DCHECK_GE(values[i], std::numeric_limits<T>::min());
+          SWOLE_DCHECK_LE(values[i], std::numeric_limits<T>::max());
+          vec.push_back(static_cast<T>(values[i]));
+        }
+      },
+      data_);
+  stats_valid_ = false;
+}
+
+void Column::ComputeStatsIfNeeded() const {
+  if (stats_valid_) return;
+  SWOLE_CHECK_GT(size(), 0) << "stats on empty column " << name_;
+  std::visit(
+      [this](const auto& vec) {
+        auto [min_it, max_it] = std::minmax_element(vec.begin(), vec.end());
+        min_value_ = static_cast<int64_t>(*min_it);
+        max_value_ = static_cast<int64_t>(*max_it);
+      },
+      data_);
+  stats_valid_ = true;
+}
+
+int64_t Column::MinValue() const {
+  ComputeStatsIfNeeded();
+  return min_value_;
+}
+
+int64_t Column::MaxValue() const {
+  ComputeStatsIfNeeded();
+  return max_value_;
+}
+
+int64_t Column::ByteSize() const {
+  if (type_.logical == LogicalType::kText) {
+    return text_ != nullptr ? text_->ByteSize() : 0;
+  }
+  return size() * PhysicalTypeSize(type_.physical);
+}
+
+}  // namespace swole

@@ -1,0 +1,111 @@
+#ifndef SWOLE_STORAGE_COLUMN_H_
+#define SWOLE_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/text_data.h"
+#include "storage/types.h"
+
+// A typed, contiguous in-memory column. This is the unit every strategy's
+// generated/kernel code reads: raw `const T*` arrays, so tiled loops
+// auto-vectorize exactly like the paper's hand-written C.
+
+namespace swole {
+
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
+
+  const std::string& name() const { return name_; }
+  const ColumnType& type() const { return type_; }
+  int64_t size() const;
+
+  /// Raw data pointer. Preconditions: T matches the physical type.
+  template <typename T>
+  const T* Data() const {
+    const std::vector<T>* vec = std::get_if<std::vector<T>>(&data_);
+    SWOLE_CHECK(vec != nullptr)
+        << "column " << name_ << " is " << type_.ToString();
+    return vec->data();
+  }
+
+  template <typename T>
+  T* MutableData() {
+    std::vector<T>* vec = std::get_if<std::vector<T>>(&data_);
+    SWOLE_CHECK(vec != nullptr)
+        << "column " << name_ << " is " << type_.ToString();
+    return vec->data();
+  }
+
+  /// Width-generic element read, widened to int64. Slow path; used by the
+  /// reference engine and tests, never by the strategy kernels.
+  int64_t ValueAt(int64_t row) const;
+
+  /// String value via the dictionary. Preconditions: logical type kString.
+  const std::string& StringAt(int64_t row) const;
+
+  /// Appends one value, checking it fits the physical width.
+  void Append(int64_t value);
+
+  void Reserve(int64_t rows);
+
+  /// Bulk-append from a widened buffer (range-checked per element).
+  void AppendN(const int64_t* values, int64_t count);
+
+  const Dictionary* dictionary() const { return dictionary_.get(); }
+  void set_dictionary(std::shared_ptr<const Dictionary> dict) {
+    dictionary_ = std::move(dict);
+  }
+
+  /// Raw text payload (logical type kText); null otherwise. Text columns
+  /// carry no numeric data — only the blob.
+  const TextData* text() const { return text_.get(); }
+  void set_text(std::shared_ptr<const TextData> text) {
+    SWOLE_CHECK(type_.logical == LogicalType::kText);
+    text_ = std::move(text);
+  }
+
+  /// Text value at `row`. Preconditions: logical type kText.
+  std::string_view TextAt(int64_t row) const {
+    SWOLE_CHECK(text_ != nullptr) << "column " << name_ << " has no text";
+    return text_->Get(row);
+  }
+
+  /// Min/max over all values; recomputed on demand and cached.
+  /// Preconditions: size() > 0.
+  int64_t MinValue() const;
+  int64_t MaxValue() const;
+
+  /// Bytes of physical storage held.
+  int64_t ByteSize() const;
+
+ private:
+  void ComputeStatsIfNeeded() const;
+
+  std::string name_;
+  ColumnType type_;
+  std::variant<std::vector<int8_t>, std::vector<int16_t>,
+               std::vector<int32_t>, std::vector<int64_t>>
+      data_;
+  std::shared_ptr<const Dictionary> dictionary_;
+  std::shared_ptr<const TextData> text_;
+
+  mutable bool stats_valid_ = false;
+  mutable int64_t min_value_ = 0;
+  mutable int64_t max_value_ = 0;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_COLUMN_H_

@@ -1,0 +1,49 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace swole {
+
+Dictionary Dictionary::FromValues(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary dict;
+  dict.values_ = std::move(values);
+  dict.index_.reserve(dict.values_.size());
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    dict.index_.emplace(dict.values_[code], code);
+  }
+  return dict;
+}
+
+int32_t Dictionary::Lookup(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::At(int32_t code) const {
+  SWOLE_CHECK_GE(code, 0);
+  SWOLE_CHECK_LT(code, size());
+  return values_[code];
+}
+
+std::vector<int32_t> Dictionary::MatchLike(std::string_view pattern) const {
+  std::vector<int32_t> matches;
+  for (int32_t code = 0; code < size(); ++code) {
+    if (LikeMatch(values_[code], pattern)) matches.push_back(code);
+  }
+  return matches;
+}
+
+std::vector<uint8_t> Dictionary::LikeMask(std::string_view pattern) const {
+  std::vector<uint8_t> mask(values_.size(), 0);
+  for (int32_t code = 0; code < size(); ++code) {
+    mask[code] = LikeMatch(values_[code], pattern) ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace swole

@@ -1,0 +1,53 @@
+#ifndef SWOLE_STORAGE_DICTIONARY_H_
+#define SWOLE_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+// Per-column dictionary for low-cardinality string columns. Codes are dense
+// int32 starting at 0 and assigned in *sorted* order of the distinct values,
+// so range comparisons on strings (rare, but e.g. `p_type like 'PROMO%'`
+// prefix tests) can be answered on codes, and predicate evaluation reduces to
+// integer operations — the property the paper's compression setup relies on.
+
+namespace swole {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds a dictionary whose codes follow the sort order of `values`
+  /// (duplicates collapsed).
+  static Dictionary FromValues(std::vector<std::string> values);
+
+  /// Code for `value`, or -1 if absent.
+  int32_t Lookup(std::string_view value) const;
+
+  /// Preconditions: 0 <= code < size().
+  const std::string& At(int32_t code) const;
+
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+
+  /// Codes whose value matches a SQL LIKE pattern. Evaluating LIKE once per
+  /// dictionary entry (instead of once per row) is how all strategies handle
+  /// string predicates on dictionary columns.
+  std::vector<int32_t> MatchLike(std::string_view pattern) const;
+
+  /// Dense bitmask over codes: mask[code] == 1 iff value matches `pattern`.
+  std::vector<uint8_t> LikeMask(std::string_view pattern) const;
+
+  const std::vector<std::string>& values() const { return values_; }
+
+ private:
+  std::vector<std::string> values_;  // sorted, unique
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_DICTIONARY_H_

@@ -1,0 +1,78 @@
+#include "storage/fk_index.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "storage/column.h"
+
+namespace swole {
+
+Result<FkIndex> FkIndex::Build(const Column& fk, const Column& pk) {
+  const int64_t pk_rows = pk.size();
+  if (pk_rows == 0) {
+    return Status::InvalidArgument("FkIndex: empty primary-key column");
+  }
+  if (pk_rows > UINT32_MAX) {
+    return Status::OutOfRange("FkIndex: referenced table too large");
+  }
+
+  FkIndex index;
+  index.referenced_size_ = pk_rows;
+  index.offsets_.resize(fk.size());
+
+  // Fast path: dense primary keys pk[i] == base + i (true for all generated
+  // tables here, and the common case for surrogate keys). Falls back to a
+  // hash map otherwise.
+  const int64_t base = pk.ValueAt(0);
+  bool dense = (pk.MaxValue() - pk.MinValue() + 1 == pk_rows) &&
+               (pk.MinValue() == base);
+  if (dense) {
+    for (int64_t i = 0; i < pk_rows; ++i) {
+      if (pk.ValueAt(i) != base + i) {
+        dense = false;
+        break;
+      }
+    }
+  }
+
+  if (dense) {
+    for (int64_t i = 0; i < fk.size(); ++i) {
+      int64_t offset = fk.ValueAt(i) - base;
+      if (offset < 0 || offset >= pk_rows) {
+        return Status::InvalidArgument(StringFormat(
+            "FkIndex: referential integrity violation at row %lld "
+            "(fk=%lld not in [%lld, %lld])",
+            static_cast<long long>(i),
+            static_cast<long long>(fk.ValueAt(i)),
+            static_cast<long long>(base),
+            static_cast<long long>(base + pk_rows - 1)));
+      }
+      index.offsets_[i] = static_cast<uint32_t>(offset);
+    }
+    return index;
+  }
+
+  std::unordered_map<int64_t, uint32_t> pk_positions;
+  pk_positions.reserve(pk_rows);
+  for (int64_t i = 0; i < pk_rows; ++i) {
+    auto [it, inserted] =
+        pk_positions.emplace(pk.ValueAt(i), static_cast<uint32_t>(i));
+    if (!inserted) {
+      return Status::InvalidArgument(StringFormat(
+          "FkIndex: duplicate primary key %lld",
+          static_cast<long long>(pk.ValueAt(i))));
+    }
+  }
+  for (int64_t i = 0; i < fk.size(); ++i) {
+    auto it = pk_positions.find(fk.ValueAt(i));
+    if (it == pk_positions.end()) {
+      return Status::InvalidArgument(StringFormat(
+          "FkIndex: referential integrity violation, fk=%lld has no match",
+          static_cast<long long>(fk.ValueAt(i))));
+    }
+    index.offsets_[i] = it->second;
+  }
+  return index;
+}
+
+}  // namespace swole

@@ -1,0 +1,46 @@
+#ifndef SWOLE_STORAGE_FK_INDEX_H_
+#define SWOLE_STORAGE_FK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Foreign-key offset index (the referential-integrity structure of §III-D).
+//
+// For a foreign-key column R.fk referencing S.pk, the index stores, for every
+// row of R, the *row offset* in S of the matching primary key. Positional
+// bitmap probes then become `bitmap[offsets[i]]` — a positional lookup with
+// no hashing. The index is built once at load time, which doubles as the
+// referential-integrity check (every fk must resolve).
+
+namespace swole {
+
+class Column;
+
+class FkIndex {
+ public:
+  FkIndex() = default;
+
+  /// Builds the offset index for `fk` referencing `pk`. Fails with
+  /// InvalidArgument if any fk value has no matching pk (RI violation) or if
+  /// pk contains duplicates.
+  static Result<FkIndex> Build(const Column& fk, const Column& pk);
+
+  const uint32_t* offsets() const { return offsets_.data(); }
+  int64_t size() const { return static_cast<int64_t>(offsets_.size()); }
+
+  /// Number of rows in the referenced (primary-key) table.
+  int64_t referenced_size() const { return referenced_size_; }
+
+  uint32_t OffsetAt(int64_t row) const { return offsets_[row]; }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  int64_t referenced_size_ = 0;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_FK_INDEX_H_

@@ -1,0 +1,101 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace swole {
+
+Status Table::AddColumn(std::unique_ptr<Column> column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("Table::AddColumn: null column");
+  }
+  if (column_index_.count(column->name()) > 0) {
+    return Status::AlreadyExists(
+        StringFormat("column '%s' already exists in table '%s'",
+                     column->name().c_str(), name_.c_str()));
+  }
+  if (num_rows_ < 0) {
+    num_rows_ = column->size();
+  } else if (column->size() != num_rows_) {
+    return Status::InvalidArgument(StringFormat(
+        "column '%s' has %lld rows, table '%s' has %lld",
+        column->name().c_str(), static_cast<long long>(column->size()),
+        name_.c_str(), static_cast<long long>(num_rows_)));
+  }
+  column_index_.emplace(column->name(), static_cast<int>(columns_.size()));
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  auto it = column_index_.find(name);
+  if (it == column_index_.end()) {
+    return Status::NotFound(StringFormat("no column '%s' in table '%s'",
+                                         name.c_str(), name_.c_str()));
+  }
+  return static_cast<const Column*>(columns_[it->second].get());
+}
+
+const Column& Table::ColumnRef(const std::string& name) const {
+  Result<const Column*> result = GetColumn(name);
+  result.status().CheckOK();
+  return *result.value();
+}
+
+const Column& Table::ColumnAt(int index) const {
+  SWOLE_CHECK_GE(index, 0);
+  SWOLE_CHECK_LT(index, num_columns());
+  return *columns_[index];
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  return column_index_.count(name) > 0;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& column : columns_) names.push_back(column->name());
+  return names;
+}
+
+Status Table::AddFkIndex(const std::string& fk_column, FkIndex index) {
+  if (!HasColumn(fk_column)) {
+    return Status::NotFound(StringFormat("no column '%s' in table '%s'",
+                                         fk_column.c_str(), name_.c_str()));
+  }
+  if (index.size() != num_rows_) {
+    return Status::InvalidArgument(
+        StringFormat("fk index for '%s' has %lld entries, table has %lld",
+                     fk_column.c_str(), static_cast<long long>(index.size()),
+                     static_cast<long long>(num_rows_)));
+  }
+  fk_indexes_[fk_column] = std::move(index);
+  return Status::OK();
+}
+
+Result<const FkIndex*> Table::GetFkIndex(const std::string& fk_column) const {
+  auto it = fk_indexes_.find(fk_column);
+  if (it == fk_indexes_.end()) {
+    return Status::NotFound(StringFormat("no fk index on '%s.%s'",
+                                         name_.c_str(), fk_column.c_str()));
+  }
+  return static_cast<const FkIndex*>(&it->second);
+}
+
+int64_t Table::ByteSize() const {
+  int64_t total = 0;
+  for (const auto& column : columns_) total += column->ByteSize();
+  return total;
+}
+
+std::string Table::ToString() const {
+  std::string out = StringFormat("Table %s (%lld rows)\n", name_.c_str(),
+                                 static_cast<long long>(num_rows_));
+  for (const auto& column : columns_) {
+    out += StringFormat("  %-24s %s\n", column->name().c_str(),
+                        column->type().ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace swole

@@ -1,0 +1,71 @@
+#ifndef SWOLE_STORAGE_TABLE_H_
+#define SWOLE_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/fk_index.h"
+
+// A named collection of equal-length columns, plus the foreign-key offset
+// indexes the paper's positional-bitmap technique relies on (§III-D: these
+// indexes exist anyway to enforce referential integrity, so probing a bitmap
+// through them is free).
+
+namespace swole {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Adds a column. All columns must end up the same length; the row count
+  /// is fixed by the first column added.
+  Status AddColumn(std::unique_ptr<Column> column);
+
+  /// Column lookup by name. Returns NotFound for unknown names.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Aborting variant for call sites that already validated the plan.
+  const Column& ColumnRef(const std::string& name) const;
+
+  const Column& ColumnAt(int index) const;
+
+  bool HasColumn(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// Registers the referential-integrity index for `fk_column` (of this
+  /// table) pointing at rows of another table.
+  Status AddFkIndex(const std::string& fk_column, FkIndex index);
+
+  /// The FK index for a column, or NotFound if none was registered.
+  Result<const FkIndex*> GetFkIndex(const std::string& fk_column) const;
+
+  /// Total bytes of column storage (excludes dictionaries and indexes).
+  int64_t ByteSize() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  int64_t num_rows_ = -1;  // -1 until the first column is added
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::map<std::string, int> column_index_;
+  std::map<std::string, FkIndex> fk_indexes_;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_TABLE_H_

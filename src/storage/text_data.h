@@ -1,0 +1,51 @@
+#ifndef SWOLE_STORAGE_TEXT_DATA_H_
+#define SWOLE_STORAGE_TEXT_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+
+// Raw variable-length text storage (offsets + byte blob) for
+// high-cardinality string columns where dictionary encoding is infeasible
+// (TPC-H o_comment). Predicates on text columns cost a real string match
+// per row — for every strategy — which is what makes Q13's NOT LIKE the
+// dominant cost, as in the paper.
+
+namespace swole {
+
+class TextData {
+ public:
+  TextData() { offsets_.push_back(0); }
+
+  void Append(std::string_view value) {
+    bytes_.insert(bytes_.end(), value.begin(), value.end());
+    offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
+  }
+
+  int64_t size() const {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+
+  std::string_view Get(int64_t row) const {
+    SWOLE_DCHECK_GE(row, 0);
+    SWOLE_DCHECK_LT(row, size());
+    return std::string_view(bytes_.data() + offsets_[row],
+                            offsets_[row + 1] - offsets_[row]);
+  }
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(bytes_.size()) +
+           static_cast<int64_t>(offsets_.size()) * 4;
+  }
+
+ private:
+  std::vector<char> bytes_;
+  std::vector<uint32_t> offsets_;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_TEXT_DATA_H_

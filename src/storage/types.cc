@@ -1,0 +1,98 @@
+#include "storage/types.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace swole {
+
+int PhysicalTypeSize(PhysicalType type) {
+  switch (type) {
+    case PhysicalType::kInt8:
+      return 1;
+    case PhysicalType::kInt16:
+      return 2;
+    case PhysicalType::kInt32:
+      return 4;
+    case PhysicalType::kInt64:
+      return 8;
+  }
+  return 0;
+}
+
+const char* PhysicalTypeName(PhysicalType type) {
+  switch (type) {
+    case PhysicalType::kInt8:
+      return "int8";
+    case PhysicalType::kInt16:
+      return "int16";
+    case PhysicalType::kInt32:
+      return "int32";
+    case PhysicalType::kInt64:
+      return "int64";
+  }
+  return "?";
+}
+
+const char* PhysicalTypeCName(PhysicalType type) {
+  switch (type) {
+    case PhysicalType::kInt8:
+      return "int8_t";
+    case PhysicalType::kInt16:
+      return "int16_t";
+    case PhysicalType::kInt32:
+      return "int32_t";
+    case PhysicalType::kInt64:
+      return "int64_t";
+  }
+  return "?";
+}
+
+const char* LogicalTypeName(LogicalType type) {
+  switch (type) {
+    case LogicalType::kInt:
+      return "int";
+    case LogicalType::kDate:
+      return "date";
+    case LogicalType::kDecimal:
+      return "decimal";
+    case LogicalType::kString:
+      return "string";
+    case LogicalType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+PhysicalType NarrowestPhysicalType(int64_t min, int64_t max) {
+  SWOLE_CHECK_LE(min, max);
+  if (min >= INT8_MIN && max <= INT8_MAX) return PhysicalType::kInt8;
+  if (min >= INT16_MIN && max <= INT16_MAX) return PhysicalType::kInt16;
+  if (min >= INT32_MIN && max <= INT32_MAX) return PhysicalType::kInt32;
+  return PhysicalType::kInt64;
+}
+
+std::string ColumnType::ToString() const {
+  switch (logical) {
+    case LogicalType::kInt:
+      return StringFormat("int(%s)", PhysicalTypeName(physical));
+    case LogicalType::kDate:
+      return "date";
+    case LogicalType::kDecimal:
+      return StringFormat("decimal(%d)", decimal_scale);
+    case LogicalType::kString:
+      return "string(dict)";
+    case LogicalType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+int64_t DecimalScaleFactor(int scale) {
+  SWOLE_CHECK_GE(scale, 0);
+  SWOLE_CHECK_LE(scale, 18);
+  int64_t factor = 1;
+  for (int i = 0; i < scale; ++i) factor *= 10;
+  return factor;
+}
+
+}  // namespace swole

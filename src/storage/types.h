@@ -1,0 +1,101 @@
+#ifndef SWOLE_STORAGE_TYPES_H_
+#define SWOLE_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+// Physical and logical type system of the columnar store.
+//
+// The paper's storage conventions (§IV): dictionary encoding for
+// low-cardinality strings, null suppression (narrow integer storage) for
+// low-cardinality integers, fixed-point decimals stored as integers, and
+// 64-bit integer aggregates. We mirror that exactly:
+//
+//   logical type     physical representation
+//   ------------     -----------------------
+//   INT8/16/32/64    int8_t / int16_t / int32_t / int64_t arrays
+//   DATE             int32_t days since 1970-01-01
+//   DECIMAL(scale)   int64_t value * 10^scale
+//   STRING           int32_t dictionary codes + per-column dictionary
+
+namespace swole {
+
+enum class PhysicalType : uint8_t {
+  kInt8 = 0,
+  kInt16,
+  kInt32,
+  kInt64,
+};
+
+enum class LogicalType : uint8_t {
+  kInt = 0,   // plain integer (any physical width)
+  kDate,      // days since epoch; physical kInt32
+  kDecimal,   // fixed point; physical kInt64 (value * 10^scale)
+  kString,    // dictionary code; physical kInt32
+  kText,      // raw variable-length text (offsets + blob); no numeric data
+};
+
+/// Byte width of a physical type.
+int PhysicalTypeSize(PhysicalType type);
+
+const char* PhysicalTypeName(PhysicalType type);
+const char* LogicalTypeName(LogicalType type);
+
+/// C type name used by the source code generator ("int8_t", ...).
+const char* PhysicalTypeCName(PhysicalType type);
+
+/// Narrowest physical integer type that can hold all of [min, max].
+PhysicalType NarrowestPhysicalType(int64_t min, int64_t max);
+
+/// Full column type: logical type + physical width + decimal scale.
+struct ColumnType {
+  LogicalType logical = LogicalType::kInt;
+  PhysicalType physical = PhysicalType::kInt64;
+  int decimal_scale = 0;  // only for kDecimal
+
+  static ColumnType Int(PhysicalType physical = PhysicalType::kInt64) {
+    return {LogicalType::kInt, physical, 0};
+  }
+  static ColumnType Date() {
+    return {LogicalType::kDate, PhysicalType::kInt32, 0};
+  }
+  static ColumnType Decimal(int scale) {
+    return {LogicalType::kDecimal, PhysicalType::kInt64, scale};
+  }
+  static ColumnType String() {
+    return {LogicalType::kString, PhysicalType::kInt32, 0};
+  }
+  static ColumnType Text() {
+    return {LogicalType::kText, PhysicalType::kInt32, 0};
+  }
+
+  bool operator==(const ColumnType& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// 10^scale, for fixed-point conversions. Preconditions: 0 <= scale <= 18.
+int64_t DecimalScaleFactor(int scale);
+
+/// Dispatches on a physical type, binding the matching C++ type to a
+/// template callable:  DispatchPhysical(type, [&]<typename T>() { ... });
+template <typename Func>
+auto DispatchPhysical(PhysicalType type, Func&& func) {
+  switch (type) {
+    case PhysicalType::kInt8:
+      return func.template operator()<int8_t>();
+    case PhysicalType::kInt16:
+      return func.template operator()<int16_t>();
+    case PhysicalType::kInt32:
+      return func.template operator()<int32_t>();
+    case PhysicalType::kInt64:
+      return func.template operator()<int64_t>();
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_TYPES_H_

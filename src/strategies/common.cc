@@ -1,0 +1,848 @@
+#include "strategies/common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+#include "cost/estimates.h"
+
+namespace swole::pipeline {
+
+namespace {
+
+kernels::CmpOp ToCmpOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return kernels::CmpOp::kLt;
+    case BinaryOp::kLe:
+      return kernels::CmpOp::kLe;
+    case BinaryOp::kGt:
+      return kernels::CmpOp::kGt;
+    case BinaryOp::kGe:
+      return kernels::CmpOp::kGe;
+    case BinaryOp::kEq:
+      return kernels::CmpOp::kEq;
+    case BinaryOp::kNe:
+      return kernels::CmpOp::kNe;
+    default:
+      SWOLE_CHECK(false);
+      return kernels::CmpOp::kEq;
+  }
+}
+
+// True for `col OP lit` / `lit OP col` conjuncts; extracts the pieces.
+bool AsSimpleComparison(const Expr& expr, const Table& table,
+                        const Column** col, kernels::CmpOp* op,
+                        int64_t* lit) {
+  if (expr.kind != ExprKind::kBinary || !IsComparisonOp(expr.op)) {
+    return false;
+  }
+  const Expr& lhs = *expr.children[0];
+  const Expr& rhs = *expr.children[1];
+  if (lhs.kind == ExprKind::kColumnRef && rhs.kind == ExprKind::kLiteral) {
+    *col = &table.ColumnRef(lhs.column);
+    *op = ToCmpOp(expr.op);
+    *lit = rhs.literal;
+    return true;
+  }
+  if (lhs.kind == ExprKind::kLiteral && rhs.kind == ExprKind::kColumnRef) {
+    *col = &table.ColumnRef(rhs.column);
+    switch (ToCmpOp(expr.op)) {
+      case kernels::CmpOp::kLt:
+        *op = kernels::CmpOp::kGt;
+        break;
+      case kernels::CmpOp::kLe:
+        *op = kernels::CmpOp::kGe;
+        break;
+      case kernels::CmpOp::kGt:
+        *op = kernels::CmpOp::kLt;
+        break;
+      case kernels::CmpOp::kGe:
+        *op = kernels::CmpOp::kLe;
+        break;
+      default:
+        *op = ToCmpOp(expr.op);
+        break;
+    }
+    *lit = lhs.literal;
+    return true;
+  }
+  return false;
+}
+
+void IotaSel(int32_t* sel, int64_t len) {
+  for (int64_t j = 0; j < len; ++j) sel[j] = static_cast<int32_t>(j);
+}
+
+// Typed gather of a storage column through a selection vector.
+void GatherColumnSel(const Column& col, int64_t start, const int32_t* sel,
+                     int32_t n, int64_t* out) {
+  DispatchPhysical(col.type().physical, [&]<typename T>() {
+    kernels::Gather<T>(col.Data<T>() + start, sel, n, out);
+  });
+}
+
+void WidenColumn(const Column& col, int64_t start, int64_t len,
+                 int64_t* out) {
+  DispatchPhysical(col.type().physical, [&]<typename T>() {
+    kernels::Widen<T>(col.Data<T>() + start, len, out);
+  });
+}
+
+}  // namespace
+
+Scratch::Scratch(int64_t tile_size)
+    : tile(tile_size),
+      cmp(tile_size),
+      cmp2(tile_size),
+      sel(tile_size),
+      sel2(tile_size),
+      keys(tile_size),
+      vals(tile_size),
+      vals2(tile_size),
+      offs(tile_size),
+      gath(tile_size) {}
+
+void FilterToMask(VectorEvaluator* eval, const Expr* filter, int64_t start,
+                  int64_t len, uint8_t* cmp) {
+  if (filter == nullptr) {
+    std::memset(cmp, 1, len);
+    return;
+  }
+  eval->EvalBool(*filter, start, len, cmp);
+}
+
+int32_t CompactSel(StrategyKind kind, int32_t* sel, const uint8_t* flags,
+                   int32_t n) {
+  int32_t m = 0;
+  if (kind == StrategyKind::kDataCentric) {
+    for (int32_t k = 0; k < n; ++k) {
+      if (flags[k]) sel[m++] = sel[k];
+    }
+  } else {
+    for (int32_t k = 0; k < n; ++k) {
+      sel[m] = sel[k];
+      m += flags[k] != 0;
+    }
+  }
+  return m;
+}
+
+int32_t FilterToSelVec(StrategyKind kind, VectorEvaluator* eval,
+                       const Table& table, const Expr* filter, int64_t start,
+                       int64_t len, Scratch* scratch, int32_t* out_sel) {
+  if (filter == nullptr) {
+    IotaSel(out_sel, len);
+    return static_cast<int32_t>(len);
+  }
+
+  if (kind == StrategyKind::kDataCentric) {
+    // Branching, conjunct by conjunct (the fused if-chain of Fig. 1 top).
+    std::vector<const Expr*> conjuncts = SplitConjuncts(*filter);
+    int32_t n = 0;
+    bool first = true;
+    for (const Expr* conjunct : conjuncts) {
+      const Column* col = nullptr;
+      kernels::CmpOp op;
+      int64_t lit = 0;
+      if (AsSimpleComparison(*conjunct, table, &col, &op, &lit)) {
+        if (first) {
+          DispatchPhysical(col->type().physical, [&]<typename T>() {
+            n = kernels::SelectLitBranch<T>(op, col->Data<T>() + start, lit,
+                                            out_sel, len);
+          });
+        } else {
+          DispatchPhysical(col->type().physical, [&]<typename T>() {
+            n = kernels::RefineLitBranch<T>(op, col->Data<T>() + start, lit,
+                                            out_sel, n, scratch->sel2.data());
+          });
+          std::memcpy(out_sel, scratch->sel2.data(), n * sizeof(int32_t));
+        }
+      } else {
+        // Complex conjunct (LIKE, OR, ...): evaluate its mask, then take a
+        // per-tuple branch on it — the data-centric control dependency is
+        // preserved even though the mask itself is computed vectorized.
+        eval->EvalBool(*conjunct, start, len, scratch->cmp.data());
+        if (first) {
+          n = kernels::SelVecFromCmpBranch(scratch->cmp.data(), len, out_sel);
+        } else {
+          n = kernels::RefineMaskBranch(scratch->cmp.data(), out_sel, n,
+                                        scratch->sel2.data());
+          std::memcpy(out_sel, scratch->sel2.data(), n * sizeof(int32_t));
+        }
+      }
+      first = false;
+      if (n == 0) break;
+    }
+    return n;
+  }
+
+  // Hybrid / ROF / SWOLE-fallback: full prepass into cmp, then selection
+  // vector construction (no-branch for hybrid, lookup table for ROF).
+  eval->EvalBool(*filter, start, len, scratch->cmp.data());
+  if (kind == StrategyKind::kRof) {
+    return kernels::SelVecFromCmpLut(scratch->cmp.data(), len, out_sel);
+  }
+  return kernels::SelVecFromCmpNoBranch(scratch->cmp.data(), len, out_sel);
+}
+
+std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
+                                          const Catalog& catalog,
+                                          const DimJoin& dim,
+                                          int64_t tile_size) {
+  // Children first (bottom-up through the snowflake).
+  std::vector<std::unique_ptr<HashTable>> child_sets;
+  child_sets.reserve(dim.children.size());
+  for (const DimJoin& child : dim.children) {
+    child_sets.push_back(BuildDimKeySet(kind, catalog, child, tile_size));
+  }
+
+  const Table& table = catalog.TableRef(dim.hop.to_table);
+  const Column& pk = table.ColumnRef(dim.hop.to_pk_column);
+  VectorEvaluator eval(table, tile_size);
+  Scratch scratch(tile_size);
+
+  auto ht = std::make_unique<HashTable>(/*payload_width=*/0,
+                                        table.num_rows());
+
+  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+    int64_t len = std::min(tile_size, table.num_rows() - start);
+    int32_t n = FilterToSelVec(kind, &eval, table, dim.filter.get(), start,
+                               len, &scratch, scratch.sel.data());
+
+    for (size_t c = 0; c < dim.children.size(); ++c) {
+      if (n == 0) break;
+      const Column& fk = table.ColumnRef(dim.children[c].hop.fk_column);
+      GatherColumnSel(fk, start, scratch.sel.data(), n, scratch.keys.data());
+      HashTable& child = *child_sets[c];
+      if (kind == StrategyKind::kRof) {
+        for (int32_t k = 0; k < n; ++k) child.PrefetchSlot(scratch.keys[k]);
+      }
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = child.Contains(scratch.keys[k]) ? 1 : 0;
+      }
+      n = CompactSel(kind, scratch.sel.data(), scratch.cmp2.data(), n);
+    }
+
+    GatherColumnSel(pk, start, scratch.sel.data(), n, scratch.keys.data());
+    if (kind == StrategyKind::kRof) {
+      for (int32_t k = 0; k < n; ++k) ht->PrefetchSlot(scratch.keys[k]);
+    }
+    for (int32_t k = 0; k < n; ++k) ht->GetOrInsert(scratch.keys[k]);
+  }
+  return ht;
+}
+
+PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
+                                int64_t tile_size) {
+  std::vector<PositionalBitmap> child_bitmaps;
+  child_bitmaps.reserve(dim.children.size());
+  for (const DimJoin& child : dim.children) {
+    child_bitmaps.push_back(BuildDimBitmap(catalog, child, tile_size));
+  }
+
+  const Table& table = catalog.TableRef(dim.hop.to_table);
+  VectorEvaluator eval(table, tile_size);
+  Scratch scratch(tile_size);
+  PositionalBitmap bitmap(table.num_rows());
+
+  // Fk offset arrays for the children (sequential reads during the scan).
+  std::vector<const uint32_t*> child_offsets;
+  for (const DimJoin& child : dim.children) {
+    const FkIndex* index =
+        table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
+    SWOLE_CHECK(index != nullptr);
+    child_offsets.push_back(index->offsets());
+  }
+
+  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+    int64_t len = std::min(tile_size, table.num_rows() - start);
+    FilterToMask(&eval, dim.filter.get(), start, len, scratch.cmp.data());
+    for (size_t c = 0; c < child_bitmaps.size(); ++c) {
+      const uint32_t* offs = child_offsets[c] + start;
+      const PositionalBitmap& child = child_bitmaps[c];
+      for (int64_t j = 0; j < len; ++j) {
+        scratch.cmp[j] &= static_cast<uint8_t>(child.Test(offs[j]));
+      }
+    }
+    // Unconditional store of the predicate result (§III-D option 1).
+    bitmap.PackBytes(start, scratch.cmp.data(), len);
+  }
+  return bitmap;
+}
+
+std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
+                                              const Catalog& catalog,
+                                              const ReverseDim& rdim,
+                                              int64_t tile_size) {
+  const Table& table = catalog.TableRef(rdim.table);
+  const Column& fk = table.ColumnRef(rdim.fk_column);
+  VectorEvaluator eval(table, tile_size);
+  Scratch scratch(tile_size);
+
+  auto ht = std::make_unique<HashTable>(/*payload_width=*/0,
+                                        table.num_rows());
+  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+    int64_t len = std::min(tile_size, table.num_rows() - start);
+    int32_t n = FilterToSelVec(kind, &eval, table, rdim.filter.get(), start,
+                               len, &scratch, scratch.sel.data());
+    GatherColumnSel(fk, start, scratch.sel.data(), n, scratch.keys.data());
+    if (kind == StrategyKind::kRof) {
+      for (int32_t k = 0; k < n; ++k) ht->PrefetchSlot(scratch.keys[k]);
+    }
+    for (int32_t k = 0; k < n; ++k) ht->GetOrInsert(scratch.keys[k]);
+  }
+  return ht;
+}
+
+PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
+                                    const ReverseDim& rdim,
+                                    int64_t fact_rows, int64_t tile_size) {
+  const Table& table = catalog.TableRef(rdim.table);
+  const FkIndex* index = table.GetFkIndex(rdim.fk_column).ValueOr(nullptr);
+  SWOLE_CHECK(index != nullptr);
+  SWOLE_CHECK_EQ(index->referenced_size(), fact_rows);
+  const uint32_t* offsets = index->offsets();
+
+  VectorEvaluator eval(table, tile_size);
+  Scratch scratch(tile_size);
+  PositionalBitmap bitmap(fact_rows);
+
+  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+    int64_t len = std::min(tile_size, table.num_rows() - start);
+    FilterToMask(&eval, rdim.filter.get(), start, len, scratch.cmp.data());
+    const uint32_t* offs = offsets + start;
+    for (int64_t j = 0; j < len; ++j) {
+      // OR-store: several rdim rows can reference the same fact row.
+      bitmap.OrTo(offs[j], scratch.cmp[j] != 0);
+    }
+  }
+  return bitmap;
+}
+
+std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
+                                              const Catalog& catalog,
+                                              const DisjunctiveJoin& dj,
+                                              int64_t tile_size) {
+  (void)kind;  // the clause masks are prepass-evaluated for every strategy
+  const Table& table = catalog.TableRef(dj.hop.to_table);
+  const Column& pk = table.ColumnRef(dj.hop.to_pk_column);
+  VectorEvaluator eval(table, tile_size);
+  Scratch scratch(tile_size);
+
+  auto ht = std::make_unique<HashTable>(/*payload_width=*/1,
+                                        table.num_rows());
+  std::vector<uint8_t> clause_bits(tile_size);
+  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+    int64_t len = std::min(tile_size, table.num_rows() - start);
+    std::memset(clause_bits.data(), 0, len);
+    for (size_t c = 0; c < dj.clauses.size(); ++c) {
+      FilterToMask(&eval, dj.clauses[c].dim_filter.get(), start, len,
+                   scratch.cmp.data());
+      for (int64_t j = 0; j < len; ++j) {
+        clause_bits[j] |= static_cast<uint8_t>(scratch.cmp[j] << c);
+      }
+    }
+    WidenColumn(pk, start, len, scratch.keys.data());
+    for (int64_t j = 0; j < len; ++j) {
+      if (clause_bits[j] != 0) {
+        *ht->GetOrInsert(scratch.keys[j]) = clause_bits[j];
+      }
+    }
+  }
+  return ht;
+}
+
+std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
+    const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size) {
+  const Table& table = catalog.TableRef(dj.hop.to_table);
+  VectorEvaluator eval(table, tile_size);
+  Scratch scratch(tile_size);
+
+  std::vector<PositionalBitmap> bitmaps;
+  bitmaps.reserve(dj.clauses.size());
+  for (const DisjunctiveJoin::Clause& clause : dj.clauses) {
+    PositionalBitmap bitmap(table.num_rows());
+    for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+      int64_t len = std::min(tile_size, table.num_rows() - start);
+      FilterToMask(&eval, clause.dim_filter.get(), start, len,
+                   scratch.cmp.data());
+      bitmap.PackBytes(start, scratch.cmp.data(), len);
+    }
+    bitmaps.push_back(std::move(bitmap));
+  }
+  return bitmaps;
+}
+
+ResolvedPath ResolvePath(const Catalog& catalog, const Table& fact,
+                         const ColumnPath& path) {
+  ResolvedPath resolved;
+  const Table* current = &fact;
+  for (const Hop& hop : path.hops) {
+    const FkIndex* index =
+        current->GetFkIndex(hop.fk_column).ValueOr(nullptr);
+    SWOLE_CHECK(index != nullptr);
+    resolved.indexes.push_back(index);
+    current = &catalog.TableRef(hop.to_table);
+  }
+  resolved.column = &current->ColumnRef(path.column);
+  if (!path.like_pattern.empty()) {
+    SWOLE_CHECK(resolved.column->dictionary() != nullptr);
+    resolved.like_mask =
+        resolved.column->dictionary()->LikeMask(path.like_pattern);
+  }
+  return resolved;
+}
+
+void GatherPathSel(const ResolvedPath& path, int64_t start,
+                   const int32_t* sel, int32_t n, Scratch* scratch,
+                   int64_t* out) {
+  int64_t* offs = scratch->offs.data();
+  for (int32_t k = 0; k < n; ++k) offs[k] = start + sel[k];
+  for (const FkIndex* index : path.indexes) {
+    const uint32_t* table_offsets = index->offsets();
+    for (int32_t k = 0; k < n; ++k) offs[k] = table_offsets[offs[k]];
+  }
+  DispatchPhysical(path.column->type().physical, [&]<typename T>() {
+    const T* data = path.column->Data<T>();
+    for (int32_t k = 0; k < n; ++k) out[k] = static_cast<int64_t>(data[offs[k]]);
+  });
+  if (!path.like_mask.empty()) {
+    for (int32_t k = 0; k < n; ++k) out[k] = path.like_mask[out[k]];
+  }
+}
+
+void GatherPathAll(const ResolvedPath& path, int64_t start, int64_t len,
+                   Scratch* scratch, int64_t* out) {
+  int64_t* offs = scratch->offs.data();
+  // First hop reads its offset array sequentially (pullup advantage).
+  const uint32_t* first = path.indexes[0]->offsets() + start;
+  for (int64_t j = 0; j < len; ++j) offs[j] = first[j];
+  for (size_t h = 1; h < path.indexes.size(); ++h) {
+    const uint32_t* table_offsets = path.indexes[h]->offsets();
+    for (int64_t j = 0; j < len; ++j) offs[j] = table_offsets[offs[j]];
+  }
+  DispatchPhysical(path.column->type().physical, [&]<typename T>() {
+    const T* data = path.column->Data<T>();
+    for (int64_t j = 0; j < len; ++j) out[j] = static_cast<int64_t>(data[offs[j]]);
+  });
+  if (!path.like_mask.empty()) {
+    for (int64_t j = 0; j < len; ++j) out[j] = path.like_mask[out[j]];
+  }
+}
+
+AggShape DetectAggShape(const Table& fact, const AggSpec& agg) {
+  AggShape shape;
+  if (agg.kind == AggKind::kCount) {
+    shape.kind = AggShape::Kind::kCount;
+    return shape;
+  }
+  const Expr& e = *agg.expr;
+  if (e.kind == ExprKind::kColumnRef) {
+    shape.kind = AggShape::Kind::kCol;
+    shape.a = &fact.ColumnRef(e.column);
+    return shape;
+  }
+  if (e.kind == ExprKind::kBinary &&
+      (e.op == BinaryOp::kMul || e.op == BinaryOp::kDiv) &&
+      e.children[0]->kind == ExprKind::kColumnRef &&
+      e.children[1]->kind == ExprKind::kColumnRef) {
+    shape.kind = e.op == BinaryOp::kMul ? AggShape::Kind::kProduct
+                                        : AggShape::Kind::kQuotient;
+    shape.a = &fact.ColumnRef(e.children[0]->column);
+    shape.b = &fact.ColumnRef(e.children[1]->column);
+    return shape;
+  }
+  shape.kind = AggShape::Kind::kGeneral;
+  return shape;
+}
+
+namespace {
+
+// Generic (non-fused) per-lane value computation for selected lanes:
+// gathers every referenced column and evaluates the expression compacted.
+void GeneralValuesSel(const Table& fact, VectorEvaluator* eval,
+                      const Expr& expr, int64_t start, const int32_t* sel,
+                      int32_t n, int64_t* out) {
+  std::vector<std::string> refs = CollectColumnRefs(expr);
+  std::vector<std::vector<int64_t>> buffers(refs.size());
+  VectorEvaluator::Overrides overrides;
+  for (size_t r = 0; r < refs.size(); ++r) {
+    buffers[r].resize(n);
+    GatherColumnSel(fact.ColumnRef(refs[r]), start, sel, n,
+                    buffers[r].data());
+    overrides.emplace_back(refs[r], buffers[r].data());
+  }
+  eval->SetOverrides(&overrides);
+  eval->EvalNumeric(expr, 0, n, out);
+  eval->SetOverrides(nullptr);
+}
+
+}  // namespace
+
+void AggValuesSel(const Table& fact, VectorEvaluator* eval,
+                  const AggSpec& agg, const AggShape& shape, int64_t start,
+                  const int32_t* sel, int32_t n, Scratch* scratch,
+                  int64_t* out) {
+  switch (shape.kind) {
+    case AggShape::Kind::kCount:
+      for (int32_t k = 0; k < n; ++k) out[k] = 1;
+      return;
+    case AggShape::Kind::kCol:
+      GatherColumnSel(*shape.a, start, sel, n, out);
+      return;
+    case AggShape::Kind::kProduct:
+      GatherColumnSel(*shape.a, start, sel, n, out);
+      GatherColumnSel(*shape.b, start, sel, n, scratch->vals2.data());
+      for (int32_t k = 0; k < n; ++k) out[k] *= scratch->vals2[k];
+      return;
+    case AggShape::Kind::kQuotient:
+      GatherColumnSel(*shape.a, start, sel, n, out);
+      GatherColumnSel(*shape.b, start, sel, n, scratch->vals2.data());
+      for (int32_t k = 0; k < n; ++k) out[k] /= scratch->vals2[k];
+      return;
+    case AggShape::Kind::kGeneral:
+      GeneralValuesSel(fact, eval, *agg.expr, start, sel, n, out);
+      return;
+  }
+}
+
+void AggValuesAll(const Table& fact, VectorEvaluator* eval,
+                  const AggSpec& agg, const AggShape& shape, int64_t start,
+                  int64_t len, Scratch* scratch, int64_t* out) {
+  (void)fact;  // shapes carry the column pointers already
+  switch (shape.kind) {
+    case AggShape::Kind::kCount:
+      for (int64_t j = 0; j < len; ++j) out[j] = 1;
+      return;
+    case AggShape::Kind::kCol:
+      WidenColumn(*shape.a, start, len, out);
+      return;
+    case AggShape::Kind::kProduct:
+      WidenColumn(*shape.a, start, len, out);
+      WidenColumn(*shape.b, start, len, scratch->vals2.data());
+      for (int64_t j = 0; j < len; ++j) out[j] *= scratch->vals2[j];
+      return;
+    case AggShape::Kind::kQuotient:
+      WidenColumn(*shape.a, start, len, out);
+      WidenColumn(*shape.b, start, len, scratch->vals2.data());
+      for (int64_t j = 0; j < len; ++j) out[j] /= scratch->vals2[j];
+      return;
+    case AggShape::Kind::kGeneral:
+      eval->EvalNumeric(*agg.expr, start, len, out);
+      return;
+  }
+}
+
+namespace {
+
+int64_t SumProductSelDispatch(const Column& a, const Column& b, int64_t start,
+                              const int32_t* sel, int32_t n, bool quotient) {
+  return DispatchPhysical(a.type().physical, [&]<typename TA>() {
+    return DispatchPhysical(b.type().physical, [&]<typename TB>() {
+      if (quotient) {
+        return kernels::SumQuotientSel<TA, TB>(a.Data<TA>() + start,
+                                               b.Data<TB>() + start, sel, n);
+      }
+      return kernels::SumProductSel<TA, TB>(a.Data<TA>() + start,
+                                            b.Data<TB>() + start, sel, n);
+    });
+  });
+}
+
+int64_t SumProductMaskedDispatch(const Column& a, const Column& b,
+                                 int64_t start, const uint8_t* cmp,
+                                 int64_t len, bool quotient) {
+  return DispatchPhysical(a.type().physical, [&]<typename TA>() {
+    return DispatchPhysical(b.type().physical, [&]<typename TB>() {
+      if (quotient) {
+        return kernels::SumQuotientMasked<TA, TB>(
+            a.Data<TA>() + start, b.Data<TB>() + start, cmp, len);
+      }
+      return kernels::SumProductMasked<TA, TB>(a.Data<TA>() + start,
+                                               b.Data<TB>() + start, cmp,
+                                               len);
+    });
+  });
+}
+
+void AccumulateMinMax(AggKind kind, const int64_t* values, int32_t n,
+                      int64_t* acc) {
+  if (kind == AggKind::kMin) {
+    for (int32_t k = 0; k < n; ++k) {
+      if (values[k] < *acc) *acc = values[k];
+    }
+  } else {
+    for (int32_t k = 0; k < n; ++k) {
+      if (values[k] > *acc) *acc = values[k];
+    }
+  }
+}
+
+}  // namespace
+
+void AccumulateScalarSel(const Table& fact, VectorEvaluator* eval,
+                         const QueryPlan& plan,
+                         const std::vector<AggShape>& shapes,
+                         const std::vector<ResolvedPath>& factor_paths,
+                         int64_t start, const int32_t* sel, int32_t n,
+                         Scratch* scratch, int64_t* acc) {
+  if (n == 0) return;
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    const AggSpec& agg = plan.aggs[a];
+    const AggShape& shape = shapes[a];
+    bool has_factor = !agg.path_factor.empty();
+
+    if (!has_factor && agg.kind == AggKind::kSum) {
+      // Fused fast paths (the paper's hand-written aggregation loops).
+      switch (shape.kind) {
+        case AggShape::Kind::kCol:
+          acc[a] += DispatchPhysical(
+              shape.a->type().physical, [&]<typename T>() {
+                return kernels::SumSel<T>(shape.a->Data<T>() + start, sel, n);
+              });
+          continue;
+        case AggShape::Kind::kProduct:
+          acc[a] += SumProductSelDispatch(*shape.a, *shape.b, start, sel, n,
+                                          /*quotient=*/false);
+          continue;
+        case AggShape::Kind::kQuotient:
+          acc[a] += SumProductSelDispatch(*shape.a, *shape.b, start, sel, n,
+                                          /*quotient=*/true);
+          continue;
+        default:
+          break;
+      }
+    }
+    if (!has_factor && agg.kind == AggKind::kCount) {
+      acc[a] += n;
+      continue;
+    }
+
+    AggValuesSel(fact, eval, agg, shape, start, sel, n, scratch,
+                 scratch->vals.data());
+    if (has_factor) {
+      const ResolvedPath& path = factor_paths[a];
+      GatherPathSel(path, start, sel, n, scratch, scratch->vals2.data());
+      for (int32_t k = 0; k < n; ++k) {
+        scratch->vals[k] *= scratch->vals2[k];
+      }
+    }
+    switch (agg.kind) {
+      case AggKind::kSum:
+      case AggKind::kCount:
+        for (int32_t k = 0; k < n; ++k) acc[a] += scratch->vals[k];
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        AccumulateMinMax(agg.kind, scratch->vals.data(), n, &acc[a]);
+        break;
+    }
+  }
+}
+
+void AccumulateScalarMasked(const Table& fact, VectorEvaluator* eval,
+                            const QueryPlan& plan,
+                            const std::vector<AggShape>& shapes,
+                            const std::vector<ResolvedPath>& factor_paths,
+                            int64_t start, const uint8_t* cmp, int64_t len,
+                            Scratch* scratch, int64_t* acc,
+                            const std::vector<uint8_t>* skip) {
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    if (skip != nullptr && (*skip)[a]) continue;
+    const AggSpec& agg = plan.aggs[a];
+    const AggShape& shape = shapes[a];
+    bool has_factor = !agg.path_factor.empty();
+
+    if (!has_factor && agg.kind == AggKind::kSum) {
+      switch (shape.kind) {
+        case AggShape::Kind::kCol:
+          acc[a] += DispatchPhysical(
+              shape.a->type().physical, [&]<typename T>() {
+                return kernels::SumMasked<T>(shape.a->Data<T>() + start, cmp,
+                                             len);
+              });
+          continue;
+        case AggShape::Kind::kProduct:
+          acc[a] += SumProductMaskedDispatch(*shape.a, *shape.b, start, cmp,
+                                             len, /*quotient=*/false);
+          continue;
+        case AggShape::Kind::kQuotient:
+          acc[a] += SumProductMaskedDispatch(*shape.a, *shape.b, start, cmp,
+                                             len, /*quotient=*/true);
+          continue;
+        default:
+          break;
+      }
+    }
+    if (!has_factor && agg.kind == AggKind::kCount) {
+      acc[a] += kernels::CountBytes(cmp, len);
+      continue;
+    }
+
+    // General masked path: compute every lane (wasted work by design).
+    AggValuesAll(fact, eval, agg, shape, start, len, scratch,
+                 scratch->vals.data());
+    if (has_factor) {
+      GatherPathAll(factor_paths[a], start, len, scratch,
+                    scratch->vals2.data());
+      for (int64_t j = 0; j < len; ++j) {
+        scratch->vals[j] *= scratch->vals2[j];
+      }
+    }
+    switch (agg.kind) {
+      case AggKind::kSum:
+        for (int64_t j = 0; j < len; ++j) acc[a] += scratch->vals[j] * cmp[j];
+        break;
+      case AggKind::kCount:
+        for (int64_t j = 0; j < len; ++j) acc[a] += cmp[j];
+        break;
+      case AggKind::kMin:
+        // Masked lanes contribute the identity (branch-free select).
+        for (int64_t j = 0; j < len; ++j) {
+          int64_t m = -static_cast<int64_t>(cmp[j]);
+          int64_t v = (scratch->vals[j] & m) |
+                      (QueryResult::kMinIdentity & ~m);
+          if (v < acc[a]) acc[a] = v;
+        }
+        break;
+      case AggKind::kMax:
+        for (int64_t j = 0; j < len; ++j) {
+          int64_t m = -static_cast<int64_t>(cmp[j]);
+          int64_t v = (scratch->vals[j] & m) |
+                      (QueryResult::kMaxIdentity & ~m);
+          if (v > acc[a]) acc[a] = v;
+        }
+        break;
+    }
+  }
+}
+
+GroupTable::GroupTable(const QueryPlan& plan, int64_t expected_keys)
+    : plan_(plan),
+      num_aggs_(static_cast<int>(plan.aggs.size())),
+      table_(/*payload_width=*/1 + static_cast<int>(plan.aggs.size()),
+             std::max<int64_t>(expected_keys, 16)) {
+  // Always provision the throwaway entry for masked updates (§III-B).
+  table_.GetOrInsert(HashTable::kMaskKey);
+}
+
+void GroupTable::SeedKey(int64_t key) { table_.GetOrInsert(key); }
+
+void GroupTable::UpdateSel(const int64_t* keys,
+                           const std::vector<int64_t*>& values, int32_t n,
+                           bool prefetch) {
+  if (prefetch) {
+    for (int32_t k = 0; k < n; ++k) table_.PrefetchSlot(keys[k]);
+  }
+  for (int32_t k = 0; k < n; ++k) {
+    int64_t* p = table_.GetOrInsert(keys[k]);
+    p[0] += 1;
+    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][k];
+  }
+}
+
+void GroupTable::UpdateMaskedValues(const int64_t* keys,
+                                    const std::vector<int64_t*>& values,
+                                    const uint8_t* cmp, int64_t len) {
+  for (int64_t j = 0; j < len; ++j) {
+    int64_t* p = table_.GetOrInsert(keys[j]);
+    int64_t m = cmp[j];
+    p[0] += m;
+    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][j] * m;
+  }
+}
+
+void GroupTable::UpdateMaskedKeys(const int64_t* masked_keys,
+                                  const std::vector<int64_t*>& values,
+                                  int64_t len) {
+  for (int64_t j = 0; j < len; ++j) {
+    int64_t* p = table_.GetOrInsert(masked_keys[j]);
+    p[0] += 1;
+    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][j];
+  }
+}
+
+void GroupTable::UpdateJoinMasked(const int64_t* keys,
+                                  const std::vector<int64_t*>& values,
+                                  const uint8_t* extra_mask, int64_t len) {
+  int64_t* throwaway = table_.Find(HashTable::kMaskKey);
+  SWOLE_DCHECK(throwaway != nullptr);
+  for (int64_t j = 0; j < len; ++j) {
+    int64_t* p = table_.Find(keys[j]);
+    int64_t found = p != nullptr ? 1 : 0;
+    p = found ? p : throwaway;  // branch-free-ish select on the pointer
+    int64_t m = found & (extra_mask != nullptr ? extra_mask[j] : 1);
+    p[0] += m;
+    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][j] * m;
+  }
+}
+
+void GroupTable::UpdateJoinSel(const int64_t* keys,
+                               const std::vector<int64_t*>& values,
+                               int32_t n, bool prefetch) {
+  if (prefetch) {
+    for (int32_t k = 0; k < n; ++k) table_.PrefetchSlot(keys[k]);
+  }
+  for (int32_t k = 0; k < n; ++k) {
+    int64_t* p = table_.Find(keys[k]);
+    if (p == nullptr) continue;  // traditional probe miss: skip (branch)
+    p[0] += 1;
+    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][k];
+  }
+}
+
+QueryResult GroupTable::Extract(const QueryPlan& plan,
+                                bool keep_untouched) const {
+  QueryResult result;
+  result.grouped = true;
+  result.num_aggs = num_aggs_;
+  for (const AggSpec& agg : plan.aggs) result.agg_names.push_back(agg.name);
+  result.group_keys.reserve(table_.size());
+  result.group_aggs.reserve(table_.size() * num_aggs_);
+  table_.ForEach([&](int64_t key, const int64_t* payload) {
+    if (key == HashTable::kMaskKey) return;
+    if (!keep_untouched && payload[0] == 0) return;
+    result.AddGroup(key, payload + 1);
+  });
+  result.SortGroups();
+  if (plan.histogram_of_agg0) return HistogramOfAgg0(result);
+  return result;
+}
+
+QueryResult MakeScalarResult(const QueryPlan& plan, const int64_t* acc) {
+  QueryResult result;
+  result.grouped = false;
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    result.agg_names.push_back(plan.aggs[a].name);
+    result.scalar.push_back(acc[a]);
+  }
+  return result;
+}
+
+QueryResult HistogramOfAgg0(const QueryResult& grouped) {
+  std::map<int64_t, int64_t> histogram;
+  for (int64_t i = 0; i < grouped.NumGroups(); ++i) {
+    histogram[grouped.GroupAgg(i, 0)]++;
+  }
+  QueryResult result;
+  result.grouped = true;
+  result.num_aggs = 1;
+  result.agg_names = {"group_count"};
+  for (const auto& [value, count] : histogram) {
+    result.AddGroup(value, &count);
+  }
+  return result;
+}
+
+int64_t ExpectedGroups(const Catalog& catalog, const QueryPlan& plan) {
+  if (plan.group_cardinality_hint > 0) return plan.group_cardinality_hint;
+  if (plan.group_by != nullptr) {
+    return EstimateDistinctCount(catalog.TableRef(plan.fact_table),
+                                 *plan.group_by);
+  }
+  return 1024;
+}
+
+}  // namespace swole::pipeline

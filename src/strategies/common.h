@@ -1,0 +1,245 @@
+#ifndef SWOLE_STRATEGIES_COMMON_H_
+#define SWOLE_STRATEGIES_COMMON_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/hash_table.h"
+#include "exec/kernels.h"
+#include "expr/vector_eval.h"
+#include "plan/plan.h"
+#include "plan/result.h"
+#include "storage/bitmap.h"
+#include "storage/table.h"
+#include "strategies/strategy.h"
+
+// Shared pipeline machinery for the four strategy engines. Everything here
+// is strategy-parameterized only where the paper's strategies genuinely
+// differ (branching vs prepass filters, hash vs positional probes,
+// prefetching); the rest is the common "library code".
+
+namespace swole::pipeline {
+
+/// Per-engine scratch buffers, sized for one tile.
+struct Scratch {
+  explicit Scratch(int64_t tile_size);
+
+  int64_t tile;
+  std::vector<uint8_t> cmp;    // predicate bytes (0/1)
+  std::vector<uint8_t> cmp2;   // secondary mask
+  std::vector<int32_t> sel;    // selection vector (tile-local indices)
+  std::vector<int32_t> sel2;   // refined selection vector
+  std::vector<int64_t> keys;   // group/join keys per lane
+  std::vector<int64_t> vals;   // aggregate values per lane
+  std::vector<int64_t> vals2;  // second operand / path factors
+  std::vector<int64_t> offs;   // fk offset chain work buffer
+  std::vector<int64_t> gath;   // gathered column buffer (override eval)
+};
+
+// ---- Filter evaluation (the strategies' defining difference) ----
+
+/// Evaluates `filter` over tile [start, start+len) into `out_sel` as a
+/// selection vector; returns the count.
+///  * kDataCentric: branching, conjunct by conjunct (fused typed loops) —
+///    the if-statement control dependency of Fig. 1 top.
+///  * kHybrid: branch-free prepass into cmp, then no-branch construction.
+///  * kRof: prepass + lookup-table construction (Data Blocks style).
+/// A null filter selects every lane.
+int32_t FilterToSelVec(StrategyKind kind, VectorEvaluator* eval,
+                       const Table& table, const Expr* filter, int64_t start,
+                       int64_t len, Scratch* scratch, int32_t* out_sel);
+
+/// Evaluates `filter` into a byte mask (predicate pullup form). A null
+/// filter yields all ones.
+void FilterToMask(VectorEvaluator* eval, const Expr* filter, int64_t start,
+                  int64_t len, uint8_t* cmp);
+
+/// Compacts `sel` in place, keeping lanes whose flag is set. `flags[k]`
+/// corresponds to sel[k]. No-branch for hybrid/ROF, branching for DC.
+int32_t CompactSel(StrategyKind kind, int32_t* sel, const uint8_t* flags,
+                   int32_t n);
+
+// ---- Build-side structures ----
+
+/// Hash-based qualifying key set for a dimension subtree (width-0 table of
+/// dim pk values). Used by data-centric, hybrid, and ROF. Builds child key
+/// sets recursively; the dim scan uses the strategy's filter style and ROF
+/// prefetches its child probes.
+std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
+                                          const Catalog& catalog,
+                                          const DimJoin& dim,
+                                          int64_t tile_size);
+
+/// Positional qualification bitmap for a dimension subtree (SWOLE §III-D):
+/// bit i == 1 iff dim row i passes the filter and all child dims qualify.
+/// Purely sequential build; child probes go through fk offset indexes.
+PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
+                                int64_t tile_size);
+
+/// Hash set of fk *values* for a reverse dim (Q4's EXISTS): the keys are
+/// rdim.fk_column values of qualifying rdim rows; the fact probes with its
+/// pk value.
+std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
+                                              const Catalog& catalog,
+                                              const ReverseDim& rdim,
+                                              int64_t tile_size);
+
+/// Positional bitmap over *fact* offsets for a reverse dim: scanning the
+/// rdim table sequentially, OR the predicate result into the bit at the fk
+/// offset (multiple rdim rows may map to one fact row).
+PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
+                                    const ReverseDim& rdim,
+                                    int64_t fact_rows, int64_t tile_size);
+
+/// Hash table for a disjunctive join (Q19): keys are dim pk values of rows
+/// matching at least one clause; payload[0] is the bitmask of matching
+/// clauses.
+std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
+                                              const Catalog& catalog,
+                                              const DisjunctiveJoin& dj,
+                                              int64_t tile_size);
+
+/// One qualification bitmap per clause over the dim table (SWOLE, Q19:
+/// "builds a total of three bitmaps in a purely sequential scan").
+std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
+    const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size);
+
+// ---- Column paths (late materialization, §III-D) ----
+
+/// A path pre-resolved to fk index pointers + the target column. When the
+/// path carries a LIKE pattern, `like_mask` maps dictionary codes to 0/1
+/// flags (built once per execution — "computed on the fly").
+struct ResolvedPath {
+  std::vector<const FkIndex*> indexes;
+  const Column* column = nullptr;
+  std::vector<uint8_t> like_mask;
+};
+
+ResolvedPath ResolvePath(const Catalog& catalog, const Table& fact,
+                         const ColumnPath& path);
+
+/// Gathers path values for selected lanes: out[k] = value at fact row
+/// start + sel[k] through the fk chain.
+void GatherPathSel(const ResolvedPath& path, int64_t start,
+                   const int32_t* sel, int32_t n, Scratch* scratch,
+                   int64_t* out);
+
+/// Gathers path values for every lane of the tile (pullup form).
+void GatherPathAll(const ResolvedPath& path, int64_t start, int64_t len,
+                   Scratch* scratch, int64_t* out);
+
+// ---- Aggregate evaluation ----
+
+/// Recognized fused aggregate shapes (hot loops stay branch-free and typed).
+struct AggShape {
+  enum class Kind : uint8_t { kCount, kCol, kProduct, kQuotient, kGeneral };
+  Kind kind = Kind::kGeneral;
+  const Column* a = nullptr;
+  const Column* b = nullptr;
+};
+
+AggShape DetectAggShape(const Table& fact, const AggSpec& agg);
+
+/// Computes an aggregate's per-lane values for selected lanes into
+/// `out[0..n)`. (kCount produces 1s.)
+void AggValuesSel(const Table& fact, VectorEvaluator* eval,
+                  const AggSpec& agg, const AggShape& shape, int64_t start,
+                  const int32_t* sel, int32_t n, Scratch* scratch,
+                  int64_t* out);
+
+/// Computes per-lane values for the whole tile (pullup form — wasted work
+/// on masked lanes by design).
+void AggValuesAll(const Table& fact, VectorEvaluator* eval,
+                  const AggSpec& agg, const AggShape& shape, int64_t start,
+                  int64_t len, Scratch* scratch, int64_t* out);
+
+/// Accumulates scalar aggregates over a selection vector, using fused
+/// kernels where the shape allows.
+void AccumulateScalarSel(const Table& fact, VectorEvaluator* eval,
+                         const QueryPlan& plan,
+                         const std::vector<AggShape>& shapes,
+                         const std::vector<ResolvedPath>& factor_paths,
+                         int64_t start, const int32_t* sel, int32_t n,
+                         Scratch* scratch, int64_t* acc);
+
+/// Accumulates scalar aggregates with value masking (§III-A): every lane is
+/// computed, the mask multiplies the contribution. Aggregates with
+/// `skip[a] != 0` are left untouched (access merging handles them with
+/// fused kernels at the call site).
+void AccumulateScalarMasked(const Table& fact, VectorEvaluator* eval,
+                            const QueryPlan& plan,
+                            const std::vector<AggShape>& shapes,
+                            const std::vector<ResolvedPath>& factor_paths,
+                            int64_t start, const uint8_t* cmp, int64_t len,
+                            Scratch* scratch, int64_t* acc,
+                            const std::vector<uint8_t>* skip = nullptr);
+
+// ---- Grouped aggregation ----
+
+/// Wraps the group hash table. Payload layout: [touched, agg0, agg1, ...].
+/// `touched` counts contributing fact rows so extraction can drop groups
+/// that exist only structurally (groupjoin build keys, VM-masked inserts).
+class GroupTable {
+ public:
+  GroupTable(const QueryPlan& plan, int64_t expected_keys);
+
+  /// Inserts `key` with zeroed aggregates if absent (groupjoin build /
+  /// group seeding).
+  void SeedKey(int64_t key);
+
+  /// Insert-mode update for compacted lanes (plain group-by).
+  /// keys[k] / values[a][k] refer to the k-th selected lane.
+  void UpdateSel(const int64_t* keys, const std::vector<int64_t*>& values,
+                 int32_t n, bool prefetch);
+
+  /// Insert-mode masked update over all lanes: contribution multiplied by
+  /// cmp[j] (value masking: keys are real, values masked).
+  void UpdateMaskedValues(const int64_t* keys,
+                          const std::vector<int64_t*>& values,
+                          const uint8_t* cmp, int64_t len);
+
+  /// Insert-mode update over all lanes with pre-masked keys (key masking:
+  /// non-qualifying lanes carry HashTable::kMaskKey; values unmasked).
+  void UpdateMaskedKeys(const int64_t* masked_keys,
+                        const std::vector<int64_t*>& values, int64_t len);
+
+  /// Join-mode (groupjoin probe): lanes whose key is absent fall through to
+  /// the throwaway entry with a zero mask. `extra_mask` may be null.
+  void UpdateJoinMasked(const int64_t* keys,
+                        const std::vector<int64_t*>& values,
+                        const uint8_t* extra_mask, int64_t len);
+
+  /// Join-mode over compacted lanes (hash strategies): lanes with no match
+  /// are skipped by branching, matching the traditional probe loop.
+  void UpdateJoinSel(const int64_t* keys, const std::vector<int64_t*>& values,
+                     int32_t n, bool prefetch);
+
+  /// Deletes `key` (eager aggregation's non-qualifying key removal).
+  void EraseKey(int64_t key) { table_.Erase(key); }
+
+  HashTable& table() { return table_; }
+  const HashTable& table() const { return table_; }
+  int64_t ht_bytes() const { return table_.ByteSize(); }
+
+  /// Extracts the final result. Drops the throwaway entry; drops untouched
+  /// groups unless `keep_untouched` (Q13's left-outer zero counts).
+  QueryResult Extract(const QueryPlan& plan, bool keep_untouched) const;
+
+ private:
+  const QueryPlan& plan_;
+  int num_aggs_;
+  HashTable table_;
+};
+
+/// Builds the final result for a scalar aggregation.
+QueryResult MakeScalarResult(const QueryPlan& plan, const int64_t* acc);
+
+/// Applies Q13's histogram post-step to a grouped result.
+QueryResult HistogramOfAgg0(const QueryResult& grouped);
+
+/// Expected group count: plan hint, or a sampled estimate.
+int64_t ExpectedGroups(const Catalog& catalog, const QueryPlan& plan);
+
+}  // namespace swole::pipeline
+
+#endif  // SWOLE_STRATEGIES_COMMON_H_

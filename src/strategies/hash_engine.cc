@@ -1,0 +1,371 @@
+#include "strategies/hash_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace swole {
+
+using pipeline::AggShape;
+using pipeline::GroupTable;
+using pipeline::ResolvedPath;
+using pipeline::Scratch;
+
+namespace {
+
+// Index of the dimension whose join key doubles as the group-by key (the
+// groupjoin fusion of §III-E / TPC-H Q3, Q13), or -1.
+int FindGroupjoinDim(const QueryPlan& plan) {
+  if (plan.group_by == nullptr ||
+      plan.group_by->kind != ExprKind::kColumnRef) {
+    return -1;
+  }
+  for (size_t d = 0; d < plan.dims.size(); ++d) {
+    if (plan.dims[d].hop.fk_column == plan.group_by->column) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+HashStrategyEngine::HashStrategyEngine(StrategyKind kind,
+                                       const Catalog& catalog,
+                                       StrategyOptions options)
+    : kind_(kind), catalog_(catalog), options_(options) {
+  SWOLE_CHECK(kind != StrategyKind::kSwole);
+}
+
+Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
+  SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+
+  const int64_t tile = options_.tile_size;
+  const Table& fact = catalog_.TableRef(plan.fact_table);
+  VectorEvaluator eval(fact, tile);
+  Scratch scratch(tile);
+  const bool rof = kind_ == StrategyKind::kRof;
+
+  // ---- Build phase ----
+  const int groupjoin_dim = FindGroupjoinDim(plan);
+
+  std::vector<std::unique_ptr<HashTable>> dim_sets(plan.dims.size());
+  for (size_t d = 0; d < plan.dims.size(); ++d) {
+    if (static_cast<int>(d) == groupjoin_dim) continue;  // fused below
+    dim_sets[d] =
+        pipeline::BuildDimKeySet(kind_, catalog_, plan.dims[d], tile);
+  }
+
+  std::vector<std::unique_ptr<HashTable>> reverse_sets;
+  for (const ReverseDim& rdim : plan.reverse_dims) {
+    reverse_sets.push_back(
+        pipeline::BuildReverseKeySet(kind_, catalog_, rdim, tile));
+  }
+
+  std::unique_ptr<HashTable> disjunctive_ht;
+  if (plan.disjunctive.has_value()) {
+    disjunctive_ht = pipeline::BuildDisjunctiveHt(kind_, catalog_,
+                                                  *plan.disjunctive, tile);
+  }
+
+  // Group table. For the groupjoin fusion its keys ARE the qualifying
+  // dimension keys (build side); probing uses join mode (Find, no insert).
+  std::unique_ptr<GroupTable> groups;
+  if (plan.HasGroupBy()) {
+    groups = std::make_unique<GroupTable>(
+        plan, pipeline::ExpectedGroups(catalog_, plan));
+    if (plan.group_seed.has_value()) {
+      const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
+      const Column& key_col =
+          seed_table.ColumnRef(plan.group_seed->key_column);
+      for (int64_t start = 0; start < seed_table.num_rows(); start += tile) {
+        int64_t len = std::min(tile, seed_table.num_rows() - start);
+        DispatchPhysical(key_col.type().physical, [&]<typename T>() {
+          const T* data = key_col.Data<T>() + start;
+          for (int64_t j = 0; j < len; ++j) {
+            groups->SeedKey(static_cast<int64_t>(data[j]));
+          }
+        });
+      }
+    }
+    if (groupjoin_dim >= 0) {
+      // Build the groupjoin table from the fused dimension: every
+      // qualifying dim key is seeded (so probe misses mean "join filtered").
+      const DimJoin& dim = plan.dims[groupjoin_dim];
+      std::unique_ptr<HashTable> qualifying =
+          pipeline::BuildDimKeySet(kind_, catalog_, dim, tile);
+      qualifying->ForEach(
+          [&](int64_t key, const int64_t*) { groups->SeedKey(key); });
+    }
+  }
+
+  // ---- Probe-phase metadata ----
+  std::vector<AggShape> shapes;
+  std::vector<ResolvedPath> factor_paths(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    shapes.push_back(pipeline::DetectAggShape(fact, plan.aggs[a]));
+    if (!plan.aggs[a].path_factor.empty()) {
+      factor_paths[a] = pipeline::ResolvePath(
+          catalog_, fact, *plan.FindPath(plan.aggs[a].path_factor));
+    }
+  }
+
+  ResolvedPath group_path;
+  if (!plan.group_by_path.empty()) {
+    group_path = pipeline::ResolvePath(catalog_, fact,
+                                       *plan.FindPath(plan.group_by_path));
+  }
+
+  std::vector<std::pair<ResolvedPath, ResolvedPath>> equality_paths;
+  for (const PathEquality& eq : plan.path_equalities) {
+    equality_paths.emplace_back(
+        pipeline::ResolvePath(catalog_, fact, *plan.FindPath(eq.left_alias)),
+        pipeline::ResolvePath(catalog_, fact,
+                              *plan.FindPath(eq.right_alias)));
+  }
+
+  // Per-clause fact filters of the disjunctive join, prepass-evaluated
+  // per tile (outside the per-lane loop).
+  std::vector<std::vector<uint8_t>> clause_masks;
+  if (plan.disjunctive.has_value()) {
+    clause_masks.assign(plan.disjunctive->clauses.size(),
+                        std::vector<uint8_t>(tile));
+  }
+
+  // Per-aggregate value buffers for grouped updates.
+  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
+  std::vector<int64_t*> value_ptrs(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    value_storage[a].resize(tile);
+    value_ptrs[a] = value_storage[a].data();
+  }
+
+  std::vector<int64_t> scalar_acc(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    scalar_acc[a] = plan.aggs[a].kind == AggKind::kMin
+                        ? QueryResult::kMinIdentity
+                        : plan.aggs[a].kind == AggKind::kMax
+                              ? QueryResult::kMaxIdentity
+                              : 0;
+  }
+
+  // Processes one batch of selected lanes. For DC/hybrid the batch is the
+  // tile's local selection vector (base == tile start); for ROF it is the
+  // carried FULL selection vector of global indices (base == 0).
+  auto process_batch = [&](int64_t base, int32_t* sel, int32_t n,
+                           int64_t mask_tile_start) -> void {
+    // Join qualification: probe each dimension's key set by fk value.
+    for (size_t d = 0; d < plan.dims.size(); ++d) {
+      if (n == 0) return;
+      if (static_cast<int>(d) == groupjoin_dim) continue;  // at agg time
+      const Column& fk = fact.ColumnRef(plan.dims[d].hop.fk_column);
+      DispatchPhysical(fk.type().physical, [&]<typename T>() {
+        kernels::Gather<T>(fk.Data<T>() + base, sel, n, scratch.keys.data());
+      });
+      HashTable& set = *dim_sets[d];
+      if (rof) {
+        for (int32_t k = 0; k < n; ++k) set.PrefetchSlot(scratch.keys[k]);
+      }
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = set.Contains(scratch.keys[k]) ? 1 : 0;
+      }
+      n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
+    }
+
+    // Reverse dims: probe by the fact's own pk value.
+    for (size_t r = 0; r < plan.reverse_dims.size(); ++r) {
+      if (n == 0) return;
+      const Column& pk = fact.ColumnRef(plan.reverse_dims[r].fact_pk_column);
+      DispatchPhysical(pk.type().physical, [&]<typename T>() {
+        kernels::Gather<T>(pk.Data<T>() + base, sel, n, scratch.keys.data());
+      });
+      HashTable& set = *reverse_sets[r];
+      if (rof) {
+        for (int32_t k = 0; k < n; ++k) set.PrefetchSlot(scratch.keys[k]);
+      }
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = set.Contains(scratch.keys[k]) ? 1 : 0;
+      }
+      n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
+    }
+
+    // Disjunctive join (Q19): payload bit k set => dim row passes clause k;
+    // the lane qualifies if some clause also passes its fact-side filter.
+    if (plan.disjunctive.has_value() && n > 0) {
+      const Column& fk = fact.ColumnRef(plan.disjunctive->hop.fk_column);
+      DispatchPhysical(fk.type().physical, [&]<typename T>() {
+        kernels::Gather<T>(fk.Data<T>() + base, sel, n, scratch.keys.data());
+      });
+      if (rof) {
+        for (int32_t k = 0; k < n; ++k) {
+          disjunctive_ht->PrefetchSlot(scratch.keys[k]);
+        }
+      }
+      for (int32_t k = 0; k < n; ++k) {
+        const int64_t* payload = disjunctive_ht->Find(scratch.keys[k]);
+        uint8_t dim_bits =
+            payload != nullptr ? static_cast<uint8_t>(*payload) : 0;
+        uint8_t ok = 0;
+        for (size_t c = 0; c < plan.disjunctive->clauses.size(); ++c) {
+          // clause_masks are tile-relative; translate the lane back.
+          int64_t local = base + sel[k] - mask_tile_start;
+          ok |= static_cast<uint8_t>(((dim_bits >> c) & 1) &
+                                     clause_masks[c][local]);
+        }
+        scratch.cmp2[k] = ok;
+      }
+      n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
+    }
+
+    // Path equalities (Q5's s_nationkey = c_nationkey).
+    for (const auto& [left, right] : equality_paths) {
+      if (n == 0) return;
+      pipeline::GatherPathSel(left, base, sel, n, &scratch,
+                              scratch.vals.data());
+      pipeline::GatherPathSel(right, base, sel, n, &scratch,
+                              scratch.vals2.data());
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = scratch.vals[k] == scratch.vals2[k] ? 1 : 0;
+      }
+      n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
+    }
+
+    if (n == 0) return;
+
+    // Aggregation.
+    if (!plan.HasGroupBy()) {
+      pipeline::AccumulateScalarSel(fact, &eval, plan, shapes, factor_paths,
+                                    base, sel, n, &scratch,
+                                    scalar_acc.data());
+      return;
+    }
+
+    // Group keys per lane.
+    if (!plan.group_by_path.empty()) {
+      pipeline::GatherPathSel(group_path, base, sel, n, &scratch,
+                              scratch.keys.data());
+    } else if (plan.group_by->kind == ExprKind::kColumnRef) {
+      const Column& col = fact.ColumnRef(plan.group_by->column);
+      DispatchPhysical(col.type().physical, [&]<typename T>() {
+        kernels::Gather<T>(col.Data<T>() + base, sel, n,
+                           scratch.keys.data());
+      });
+    } else {
+      // General key expression: compacted evaluation over gathered refs.
+      AggSpec key_spec;
+      key_spec.kind = AggKind::kSum;
+      key_spec.expr = plan.group_by->Clone();
+      AggShape key_shape = pipeline::DetectAggShape(fact, key_spec);
+      pipeline::AggValuesSel(fact, &eval, key_spec, key_shape, base, sel, n,
+                             &scratch, scratch.keys.data());
+    }
+
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      pipeline::AggValuesSel(fact, &eval, plan.aggs[a], shapes[a], base, sel,
+                             n, &scratch, value_ptrs[a]);
+      if (!plan.aggs[a].path_factor.empty()) {
+        pipeline::GatherPathSel(factor_paths[a], base, sel, n, &scratch,
+                                scratch.vals2.data());
+        for (int32_t k = 0; k < n; ++k) {
+          value_ptrs[a][k] *= scratch.vals2[k];
+        }
+      }
+    }
+    if (groupjoin_dim >= 0) {
+      groups->UpdateJoinSel(scratch.keys.data(), value_ptrs, n, rof);
+    } else {
+      groups->UpdateSel(scratch.keys.data(), value_ptrs, n, rof);
+    }
+  };
+
+  // ---- Probe phase ----
+  // ROF carries a FULL selection vector of global indices across tiles
+  // ("always operating on full intermediate result selection vectors").
+  std::vector<int32_t> carry(tile);
+  int32_t carry_n = 0;
+  int64_t carry_mask_start = 0;  // tile start of the lanes in `carry`
+
+  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
+    int64_t len = std::min(tile, fact.num_rows() - start);
+
+    // Disjunctive per-clause fact filters: prepass once per tile.
+    if (plan.disjunctive.has_value()) {
+      // ROF's carry would mix lanes from tiles with different masks; flush
+      // first so clause masks always refer to the current tile.
+      if (rof && carry_n > 0) {
+        process_batch(0, carry.data(), carry_n, carry_mask_start);
+        carry_n = 0;
+      }
+      for (size_t c = 0; c < plan.disjunctive->clauses.size(); ++c) {
+        pipeline::FilterToMask(&eval,
+                               plan.disjunctive->clauses[c].fact_filter.get(),
+                               start, len, clause_masks[c].data());
+      }
+      carry_mask_start = start;
+    }
+
+    int32_t n = pipeline::FilterToSelVec(kind_, &eval, fact,
+                                         plan.fact_filter.get(), start, len,
+                                         &scratch, scratch.sel.data());
+
+    if (!rof) {
+      process_batch(start, scratch.sel.data(), n, start);
+      continue;
+    }
+
+    // ROF: append global indices until the vector is full, then process.
+    int32_t appended = 0;
+    while (appended < n) {
+      int32_t space = static_cast<int32_t>(tile) - carry_n;
+      int32_t take = std::min(space, n - appended);
+      for (int32_t k = 0; k < take; ++k) {
+        carry[carry_n + k] =
+            static_cast<int32_t>(start) + scratch.sel[appended + k];
+      }
+      carry_n += take;
+      appended += take;
+      if (carry_n == static_cast<int32_t>(tile)) {
+        process_batch(0, carry.data(), carry_n, carry_mask_start);
+        carry_n = 0;
+      }
+    }
+  }
+  if (rof && carry_n > 0) {
+    process_batch(0, carry.data(), carry_n, carry_mask_start);
+  }
+
+  // ---- Result extraction ----
+  if (!plan.HasGroupBy()) {
+    return pipeline::MakeScalarResult(plan, scalar_acc.data());
+  }
+  bool keep_untouched = plan.group_seed.has_value();
+  return groups->Extract(plan, keep_untouched);
+}
+
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind,
+                                       const Catalog& catalog,
+                                       StrategyOptions options) {
+  if (kind == StrategyKind::kSwole) {
+    extern std::unique_ptr<Strategy> MakeSwoleStrategyImpl(
+        const Catalog& catalog, StrategyOptions options);
+    return MakeSwoleStrategyImpl(catalog, options);
+  }
+  return std::make_unique<HashStrategyEngine>(kind, catalog, options);
+}
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kDataCentric:
+      return "data-centric";
+    case StrategyKind::kHybrid:
+      return "hybrid";
+    case StrategyKind::kRof:
+      return "rof";
+    case StrategyKind::kSwole:
+      return "swole";
+  }
+  return "?";
+}
+
+}  // namespace swole

@@ -1,0 +1,41 @@
+#ifndef SWOLE_STRATEGIES_HASH_ENGINE_H_
+#define SWOLE_STRATEGIES_HASH_ENGINE_H_
+
+#include <memory>
+
+#include "strategies/common.h"
+#include "strategies/strategy.h"
+
+// The three traditional (predicate-pushdown) strategies share one engine:
+// they execute the same plan shape — filter early, probe join hash tables
+// by key value, aggregate only surviving tuples (the s_trav_cr pattern of
+// §II-B) — and differ exactly where the paper says they differ:
+//
+//   data-centric: branching filters fused conjunct-by-conjunct; branching
+//                 selection refinement on probes.
+//   hybrid:       branch-free prepass + no-branch partial selection vectors
+//                 (flushed every tile).
+//   ROF:          prepass + lookup-table selection, FULL selection vectors
+//                 carried across tiles, software prefetching before hash
+//                 probes.
+
+namespace swole {
+
+class HashStrategyEngine : public Strategy {
+ public:
+  HashStrategyEngine(StrategyKind kind, const Catalog& catalog,
+                     StrategyOptions options);
+
+  StrategyKind kind() const override { return kind_; }
+
+  Result<QueryResult> Execute(const QueryPlan& plan) override;
+
+ private:
+  StrategyKind kind_;
+  const Catalog& catalog_;
+  StrategyOptions options_;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_STRATEGIES_HASH_ENGINE_H_

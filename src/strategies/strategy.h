@@ -1,0 +1,98 @@
+#ifndef SWOLE_STRATEGIES_STRATEGY_H_
+#define SWOLE_STRATEGIES_STRATEGY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "exec/kernels.h"
+#include "plan/plan.h"
+#include "plan/result.h"
+
+// The four code-generation strategies as execution engines over the plan
+// algebra. All engines share the primitive kernels (exec/kernels.h) and the
+// hash table (exec/hash_table.h) — the paper's "same library code" setup —
+// so a runtime difference between two engines on the same plan reflects the
+// strategy (its data access patterns), not incidental implementation
+// differences.
+
+namespace swole {
+
+enum class StrategyKind : uint8_t {
+  kDataCentric,  // HyPer-style tuple-at-a-time with branching [3]
+  kHybrid,       // Tupleware-style prepass + partial selection vectors [4]
+  kRof,          // Peloton's relaxed operator fusion: full selection
+                 // vectors, LUT selection, software prefetching [5]
+  kSwole,        // access-aware: predicate pullups, masking, positional
+                 // bitmaps, eager aggregation (this paper)
+};
+
+const char* StrategyKindName(StrategyKind kind);
+
+struct StrategyOptions {
+  int64_t tile_size = kernels::kDefaultTileSize;
+
+  // Cost-model inputs for SWOLE's technique decisions (null = default
+  // deterministic profile).
+  const CostProfile* cost_profile = nullptr;
+
+  // Ablation switches (SWOLE only): force-disable individual techniques so
+  // benchmarks can measure each one's contribution.
+  bool enable_value_masking = true;
+  bool enable_key_masking = true;
+  bool enable_access_merging = true;
+  bool enable_positional_bitmaps = true;
+  bool enable_eager_aggregation = true;
+
+  // Overrides the cost model (for microbenchmarks that pin a technique):
+  // when set, SWOLE uses exactly this aggregation technique.
+  enum class ForceAgg { kAuto, kValueMasking, kKeyMasking, kHybridFallback };
+  ForceAgg force_agg = ForceAgg::kAuto;
+
+  // Forces the eager-aggregation rewrite whenever the plan shape is
+  // eligible, regardless of the cost model (Fig. 12's EA series).
+  bool force_eager_aggregation = false;
+
+  // Probes dimension qualification through block-compressed bitmaps
+  // instead of plain ones (§III-D: "we can always compress the bitmap ...
+  // but the benefits in size reduction would need to be weighed against
+  // the increased access overhead"). Exposed for the bitmap benchmark.
+  bool use_compressed_bitmaps = false;
+};
+
+/// Explanation of what SWOLE decided for a plan (for tests, examples, and
+/// EXPERIMENTS.md narration).
+struct SwoleDecisions {
+  std::string aggregation;       // "value-masking" / "key-masking" / "hybrid"
+  bool used_access_merging = false;
+  bool used_positional_bitmaps = false;
+  bool used_eager_aggregation = false;
+  std::string rationale;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual StrategyKind kind() const = 0;
+  const char* name() const { return StrategyKindName(kind()); }
+
+  /// Executes `plan` against the engine's catalog. Results are normalized
+  /// (groups sorted by key) and bit-exact across engines.
+  virtual Result<QueryResult> Execute(const QueryPlan& plan) = 0;
+};
+
+/// Creates an engine. `catalog` must outlive it.
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind,
+                                       const Catalog& catalog,
+                                       StrategyOptions options = {});
+
+/// SWOLE-specific factory giving access to the decision trace.
+class SwoleStrategy;
+std::unique_ptr<SwoleStrategy> MakeSwoleStrategy(const Catalog& catalog,
+                                                 StrategyOptions options = {});
+
+}  // namespace swole
+
+#endif  // SWOLE_STRATEGIES_STRATEGY_H_

@@ -1,0 +1,1022 @@
+#include "strategies/swole.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "cost/estimates.h"
+
+namespace swole {
+
+using pipeline::AggShape;
+using pipeline::GroupTable;
+using pipeline::ResolvedPath;
+using pipeline::Scratch;
+
+namespace {
+
+kernels::CmpOp ToCmpOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return kernels::CmpOp::kLt;
+    case BinaryOp::kLe:
+      return kernels::CmpOp::kLe;
+    case BinaryOp::kGt:
+      return kernels::CmpOp::kGt;
+    case BinaryOp::kGe:
+      return kernels::CmpOp::kGe;
+    case BinaryOp::kEq:
+      return kernels::CmpOp::kEq;
+    default:
+      return kernels::CmpOp::kNe;
+  }
+}
+
+// Estimated byte size of a group hash table with `keys` entries.
+int64_t EstimateGroupHtBytes(int64_t keys, int num_aggs) {
+  int64_t capacity = static_cast<int64_t>(bit_util::NextPowerOfTwo(
+      static_cast<uint64_t>(std::max<int64_t>(16, keys * 10 / 7 + 1))));
+  return capacity * 8 + capacity * 8 * (1 + num_aggs);
+}
+
+// Qualification selectivity of a dim subtree: product of the filter
+// selectivities down the snowflake.
+double EstimateDimTreeSelectivity(const Catalog& catalog,
+                                  const DimJoin& dim) {
+  double sel = 1.0;
+  if (dim.filter != nullptr) {
+    sel *= EstimateSelectivity(catalog.TableRef(dim.hop.to_table),
+                               *dim.filter);
+  }
+  for (const DimJoin& child : dim.children) {
+    sel *= EstimateDimTreeSelectivity(catalog, child);
+  }
+  return sel;
+}
+
+int FindGroupjoinDim(const QueryPlan& plan) {
+  if (plan.group_by == nullptr ||
+      plan.group_by->kind != ExprKind::kColumnRef) {
+    return -1;
+  }
+  for (size_t d = 0; d < plan.dims.size(); ++d) {
+    if (plan.dims[d].hop.fk_column == plan.group_by->column) {
+      return static_cast<int>(d);
+    }
+  }
+  return -1;
+}
+
+// An access-merging opportunity (§III-C): aggregate `agg_index` references
+// `column`, which also appears in the simple fact-filter conjunct
+// `conjunct_index` as `column OP literal`. The conjunct is folded into the
+// first read of the column (tmp = col * (col OP lit)).
+struct MergeCandidate {
+  size_t agg_index;
+  const Column* column = nullptr;
+  kernels::CmpOp op;
+  int64_t literal = 0;
+  size_t conjunct_index = 0;
+  bool column_is_lhs = false;  // position of the merged column in a product
+};
+
+// Masked key production over an int64 key buffer (key masking over keys
+// produced by paths or key expressions).
+void MaskKeysInPlace(int64_t* keys, const uint8_t* cmp, int64_t len) {
+  for (int64_t j = 0; j < len; ++j) {
+    int64_t m = -static_cast<int64_t>(cmp[j]);
+    keys[j] = (keys[j] & m) | (HashTable::kMaskKey & ~m);
+  }
+}
+
+}  // namespace
+
+// Everything the cost model decided up front about how to run the plan.
+struct SwoleStrategy::PlanAnalysis {
+  double sigma_fact = 1.0;
+  double sigma_total = 1.0;
+  double comp_ns = 0;
+  int64_t expected_groups = 0;
+  int64_t group_ht_bytes = 0;
+  AggChoice agg_choice = AggChoice::kValueMasking;
+  bool use_ea = false;
+  int groupjoin_dim = -1;
+  int num_read_columns = 1;
+  std::vector<MergeCandidate> merges;
+  std::vector<uint8_t> merged_aggs;  // per agg: handled by merging?
+  ExprPtr residual_filter;           // fact filter minus merged conjuncts
+};
+
+// Memoized analysis + the decision trace it produced.
+struct SwoleStrategy::CachedAnalysis {
+  PlanAnalysis analysis;
+  SwoleDecisions decisions;
+};
+
+SwoleStrategy::SwoleStrategy(const Catalog& catalog, StrategyOptions options)
+    : catalog_(catalog),
+      options_(options),
+      profile_(options.cost_profile != nullptr ? *options.cost_profile
+                                               : CostProfile::Default()) {}
+
+SwoleStrategy::~SwoleStrategy() = default;
+
+Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
+  SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  const PlanAnalysis& analysis = Analyze(plan);
+  if (analysis.use_ea) return ExecuteEagerAggregation(plan, analysis);
+  if (analysis.groupjoin_dim >= 0) return ExecuteGroupjoin(plan, analysis);
+  return ExecuteGeneral(plan, analysis);
+}
+
+const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
+    const QueryPlan& plan) {
+  auto cache_it = analysis_cache_.find(&plan);
+  if (cache_it != analysis_cache_.end()) {
+    decisions_ = cache_it->second->decisions;
+    return cache_it->second->analysis;
+  }
+
+  const Table& fact = catalog_.TableRef(plan.fact_table);
+  PlanAnalysis analysis;
+  decisions_ = SwoleDecisions{};
+
+  // ---- Estimates ----
+  if (plan.fact_filter != nullptr) {
+    analysis.sigma_fact = EstimateSelectivity(fact, *plan.fact_filter);
+  }
+  analysis.sigma_total = analysis.sigma_fact;
+  for (const DimJoin& dim : plan.dims) {
+    analysis.sigma_total *= EstimateDimTreeSelectivity(catalog_, dim);
+  }
+  for (const ReverseDim& rdim : plan.reverse_dims) {
+    if (rdim.filter != nullptr) {
+      analysis.sigma_total *= std::min(
+          1.0, EstimateSelectivity(catalog_.TableRef(rdim.table),
+                                   *rdim.filter) *
+                   static_cast<double>(
+                       catalog_.TableRef(rdim.table).num_rows()) /
+                   std::max<double>(1.0, fact.num_rows()));
+    }
+  }
+
+  std::set<std::string> agg_columns;
+  for (const AggSpec& agg : plan.aggs) {
+    if (agg.expr != nullptr) {
+      analysis.comp_ns += EstimateComputeNs(profile_, *agg.expr);
+      for (const std::string& ref : CollectColumnRefs(*agg.expr)) {
+        agg_columns.insert(ref);
+      }
+    }
+  }
+  if (plan.group_by != nullptr) {
+    for (const std::string& ref : CollectColumnRefs(*plan.group_by)) {
+      agg_columns.insert(ref);
+    }
+  }
+  analysis.num_read_columns =
+      std::max<int>(1, static_cast<int>(agg_columns.size()));
+
+  if (plan.HasGroupBy()) {
+    analysis.expected_groups = pipeline::ExpectedGroups(catalog_, plan);
+    analysis.group_ht_bytes = EstimateGroupHtBytes(
+        analysis.expected_groups, static_cast<int>(plan.aggs.size()));
+  }
+
+  analysis.groupjoin_dim = FindGroupjoinDim(plan);
+
+  // ---- Eager aggregation decision (§III-E) ----
+  bool ea_eligible = options_.enable_eager_aggregation &&
+                     analysis.groupjoin_dim == 0 && plan.dims.size() == 1 &&
+                     plan.reverse_dims.empty() &&
+                     !plan.disjunctive.has_value() && plan.paths.empty() &&
+                     !plan.group_seed.has_value();
+  if (ea_eligible) {
+    const DimJoin& dim = plan.dims[0];
+    const Table& dim_table = catalog_.TableRef(dim.hop.to_table);
+    double sigma_s = EstimateDimTreeSelectivity(catalog_, dim);
+    GroupjoinWorkload w;
+    w.r_rows = static_cast<double>(fact.num_rows());
+    w.s_rows = static_cast<double>(dim_table.num_rows());
+    w.sigma_r = analysis.sigma_fact;
+    w.sigma_s = sigma_s;
+    w.match_prob = sigma_s * analysis.sigma_fact;
+    w.comp_ns = analysis.comp_ns;
+    // Groupjoin table: qualifying dim keys only. EA table: every dim key.
+    w.ht_bytes = EstimateGroupHtBytes(
+        std::max<int64_t>(16, static_cast<int64_t>(
+                                  sigma_s * dim_table.num_rows())),
+        static_cast<int>(plan.aggs.size()));
+    w.ea_ht_bytes = EstimateGroupHtBytes(
+        dim_table.num_rows(), static_cast<int>(plan.aggs.size()));
+    w.num_read_columns = analysis.num_read_columns;
+    analysis.use_ea = options_.force_eager_aggregation ||
+                      ChooseEagerAggregation(profile_, w);
+    decisions_.rationale += StringFormat(
+        "EA=%.0fms vs groupjoin=%.0fms; ",
+        EagerAggregationCost(profile_, w) / 1e6,
+        GroupjoinCost(profile_, w) / 1e6);
+  }
+
+  // ---- Aggregation technique decision (§III-A/B) ----
+  AggWorkload w;
+  w.rows = static_cast<double>(fact.num_rows());
+  w.selectivity = analysis.sigma_total;
+  w.comp_ns = analysis.comp_ns;
+  w.group_ht_bytes = analysis.group_ht_bytes;
+  w.num_read_columns = analysis.num_read_columns;
+  switch (options_.force_agg) {
+    case StrategyOptions::ForceAgg::kValueMasking:
+      analysis.agg_choice = AggChoice::kValueMasking;
+      break;
+    case StrategyOptions::ForceAgg::kKeyMasking:
+      analysis.agg_choice = AggChoice::kKeyMasking;
+      break;
+    case StrategyOptions::ForceAgg::kHybridFallback:
+      analysis.agg_choice = AggChoice::kHybridFallback;
+      break;
+    case StrategyOptions::ForceAgg::kAuto: {
+      analysis.agg_choice = ChooseAggregation(profile_, w);
+      if (analysis.agg_choice == AggChoice::kValueMasking &&
+          !options_.enable_value_masking) {
+        analysis.agg_choice = AggChoice::kHybridFallback;
+      }
+      if (analysis.agg_choice == AggChoice::kKeyMasking &&
+          !options_.enable_key_masking) {
+        analysis.agg_choice = options_.enable_value_masking
+                                  ? AggChoice::kValueMasking
+                                  : AggChoice::kHybridFallback;
+      }
+      break;
+    }
+  }
+  decisions_.aggregation = AggChoiceName(analysis.agg_choice);
+  decisions_.used_eager_aggregation = analysis.use_ea;
+  decisions_.used_positional_bitmaps =
+      options_.enable_positional_bitmaps &&
+      (!plan.dims.empty() || !plan.reverse_dims.empty() ||
+       plan.disjunctive.has_value());
+  decisions_.rationale += StringFormat(
+      "sigma=%.3f comp=%.1fns groups=%lld ht=%lldB", analysis.sigma_total,
+      analysis.comp_ns, static_cast<long long>(analysis.expected_groups),
+      static_cast<long long>(analysis.group_ht_bytes));
+
+  // ---- Access merging analysis (§III-C) ----
+  // Folding a conjunct into an aggregate's first read removes it from the
+  // shared mask, so it is only sound when every aggregate absorbs it —
+  // i.e. single-aggregate plans (the paper's Fig. 5 / Q6 shape).
+  analysis.merged_aggs.assign(plan.aggs.size(), 0);
+  if (options_.enable_access_merging && plan.fact_filter != nullptr &&
+      !plan.HasGroupBy() && plan.aggs.size() == 1 &&
+      analysis.agg_choice == AggChoice::kValueMasking) {
+    std::vector<const Expr*> conjuncts = SplitConjuncts(*plan.fact_filter);
+    std::vector<uint8_t> conjunct_used(conjuncts.size(), 0);
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      const AggSpec& agg = plan.aggs[a];
+      if (agg.kind != AggKind::kSum || !agg.path_factor.empty()) continue;
+      AggShape shape = pipeline::DetectAggShape(fact, agg);
+      if (shape.kind != AggShape::Kind::kCol &&
+          shape.kind != AggShape::Kind::kProduct) {
+        continue;
+      }
+      for (size_t c = 0; c < conjuncts.size(); ++c) {
+        if (conjunct_used[c]) continue;
+        const Expr& e = *conjuncts[c];
+        if (e.kind != ExprKind::kBinary || !IsComparisonOp(e.op)) continue;
+        const Expr& lhs = *e.children[0];
+        const Expr& rhs = *e.children[1];
+        if (lhs.kind != ExprKind::kColumnRef ||
+            rhs.kind != ExprKind::kLiteral) {
+          continue;
+        }
+        const Column* col = &fact.ColumnRef(lhs.column);
+        MergeCandidate merge;
+        merge.agg_index = a;
+        merge.column = col;
+        merge.op = ToCmpOp(e.op);
+        merge.literal = rhs.literal;
+        merge.conjunct_index = c;
+        if (shape.kind == AggShape::Kind::kCol && shape.a == col) {
+          merge.column_is_lhs = true;
+        } else if (shape.kind == AggShape::Kind::kProduct &&
+                   shape.a == col) {
+          merge.column_is_lhs = true;
+        } else if (shape.kind == AggShape::Kind::kProduct &&
+                   shape.b == col) {
+          merge.column_is_lhs = false;
+        } else {
+          continue;
+        }
+        // A product may merge both factors (Fig. 10b "reuses both"): at
+        // most one merge per factor position.
+        bool duplicate = false;
+        for (const MergeCandidate& existing : analysis.merges) {
+          if (existing.agg_index == a &&
+              existing.column_is_lhs == merge.column_is_lhs) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        analysis.merges.push_back(merge);
+        analysis.merged_aggs[a] = 1;
+        conjunct_used[c] = 1;
+        if (shape.kind == AggShape::Kind::kCol) break;
+      }
+    }
+    if (!analysis.merges.empty()) {
+      decisions_.used_access_merging = true;
+      // Residual filter: conjuncts not folded into a merge.
+      ExprPtr residual;
+      for (size_t c = 0; c < conjuncts.size(); ++c) {
+        if (conjunct_used[c]) continue;
+        residual = residual == nullptr
+                       ? conjuncts[c]->Clone()
+                       : And(std::move(residual), conjuncts[c]->Clone());
+      }
+      analysis.residual_filter = std::move(residual);
+    }
+  }
+
+  auto cached = std::make_unique<CachedAnalysis>();
+  cached->analysis = std::move(analysis);
+  cached->decisions = decisions_;
+  cache_it = analysis_cache_.emplace(&plan, std::move(cached)).first;
+  return cache_it->second->analysis;
+}
+
+// ---------------------------------------------------------------------------
+// General path: masked (VM/KM) or selection-vector (fallback) probe pipeline
+// with positional bitmaps for every join.
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> SwoleStrategy::ExecuteGeneral(
+    const QueryPlan& plan, const PlanAnalysis& analysis) {
+  const int64_t tile = options_.tile_size;
+  const Table& fact = catalog_.TableRef(plan.fact_table);
+  VectorEvaluator eval(fact, tile);
+  Scratch scratch(tile);
+  const bool use_bitmaps = options_.enable_positional_bitmaps;
+
+  // ---- Build phase ----
+  std::vector<PositionalBitmap> dim_bitmaps;
+  std::vector<CompressedBitmap> dim_compressed;
+  std::vector<std::unique_ptr<HashTable>> dim_sets;
+  std::vector<const uint32_t*> dim_offsets;  // fact's fk offsets per dim
+  const bool compressed = options_.use_compressed_bitmaps;
+  for (const DimJoin& dim : plan.dims) {
+    if (use_bitmaps) {
+      dim_bitmaps.push_back(pipeline::BuildDimBitmap(catalog_, dim, tile));
+      if (compressed) {
+        dim_compressed.push_back(
+            CompressedBitmap::Compress(dim_bitmaps.back()));
+      }
+      dim_sets.push_back(nullptr);
+    } else {
+      dim_bitmaps.emplace_back();
+      dim_sets.push_back(pipeline::BuildDimKeySet(StrategyKind::kSwole,
+                                                  catalog_, dim, tile));
+    }
+    const FkIndex* index =
+        fact.GetFkIndex(dim.hop.fk_column).ValueOr(nullptr);
+    SWOLE_CHECK(index != nullptr);
+    dim_offsets.push_back(index->offsets());
+  }
+
+  std::vector<PositionalBitmap> reverse_bitmaps;
+  for (const ReverseDim& rdim : plan.reverse_dims) {
+    reverse_bitmaps.push_back(pipeline::BuildReverseBitmap(
+        catalog_, rdim, fact.num_rows(), tile));
+  }
+
+  std::vector<PositionalBitmap> clause_bitmaps;
+  const uint32_t* disjunctive_offsets = nullptr;
+  if (plan.disjunctive.has_value()) {
+    clause_bitmaps = pipeline::BuildDisjunctiveBitmaps(
+        catalog_, *plan.disjunctive, tile);
+    const FkIndex* index =
+        fact.GetFkIndex(plan.disjunctive->hop.fk_column).ValueOr(nullptr);
+    SWOLE_CHECK(index != nullptr);
+    disjunctive_offsets = index->offsets();
+  }
+
+  std::vector<AggShape> shapes;
+  std::vector<ResolvedPath> factor_paths(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    shapes.push_back(pipeline::DetectAggShape(fact, plan.aggs[a]));
+    if (!plan.aggs[a].path_factor.empty()) {
+      factor_paths[a] = pipeline::ResolvePath(
+          catalog_, fact, *plan.FindPath(plan.aggs[a].path_factor));
+    }
+  }
+  ResolvedPath group_path;
+  if (!plan.group_by_path.empty()) {
+    group_path = pipeline::ResolvePath(catalog_, fact,
+                                       *plan.FindPath(plan.group_by_path));
+  }
+  std::vector<std::pair<ResolvedPath, ResolvedPath>> equality_paths;
+  for (const PathEquality& eq : plan.path_equalities) {
+    equality_paths.emplace_back(
+        pipeline::ResolvePath(catalog_, fact, *plan.FindPath(eq.left_alias)),
+        pipeline::ResolvePath(catalog_, fact,
+                              *plan.FindPath(eq.right_alias)));
+  }
+
+  std::unique_ptr<GroupTable> groups;
+  if (plan.HasGroupBy()) {
+    groups = std::make_unique<GroupTable>(plan, analysis.expected_groups);
+    if (plan.group_seed.has_value()) {
+      const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
+      const Column& key_col =
+          seed_table.ColumnRef(plan.group_seed->key_column);
+      for (int64_t row = 0; row < seed_table.num_rows(); ++row) {
+        groups->SeedKey(key_col.ValueAt(row));
+      }
+    }
+  }
+
+  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
+  std::vector<int64_t*> value_ptrs(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    value_storage[a].resize(tile);
+    value_ptrs[a] = value_storage[a].data();
+  }
+  std::vector<int64_t> scalar_acc(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    scalar_acc[a] = plan.aggs[a].kind == AggKind::kMin
+                        ? QueryResult::kMinIdentity
+                        : plan.aggs[a].kind == AggKind::kMax
+                              ? QueryResult::kMaxIdentity
+                              : 0;
+  }
+
+  // Per-merge tmp buffers (access merging).
+  std::vector<std::vector<int64_t>> merge_tmp(analysis.merges.size());
+  for (auto& buffer : merge_tmp) buffer.resize(tile);
+
+  const Expr* mask_filter = decisions_.used_access_merging
+                                ? analysis.residual_filter.get()
+                                : plan.fact_filter.get();
+
+  const bool mask_mode =
+      analysis.agg_choice != AggChoice::kHybridFallback;
+
+  std::vector<uint8_t> disjunctive_mask(tile);
+  std::vector<uint8_t> clause_fact_mask(tile);
+
+  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
+    int64_t len = std::min(tile, fact.num_rows() - start);
+
+    if (mask_mode) {
+      // ---- Predicate-pullup pipeline: everything stays a byte mask ----
+      uint8_t* cmp = scratch.cmp.data();
+      pipeline::FilterToMask(&eval, mask_filter, start, len, cmp);
+
+      for (size_t d = 0; d < plan.dims.size(); ++d) {
+        if (use_bitmaps && compressed) {
+          const uint32_t* offs = dim_offsets[d] + start;
+          const CompressedBitmap& bm = dim_compressed[d];
+          for (int64_t j = 0; j < len; ++j) {
+            cmp[j] &= static_cast<uint8_t>(bm.Test(offs[j]));
+          }
+        } else if (use_bitmaps) {
+          const uint32_t* offs = dim_offsets[d] + start;
+          const PositionalBitmap& bm = dim_bitmaps[d];
+          for (int64_t j = 0; j < len; ++j) {
+            cmp[j] &= static_cast<uint8_t>(bm.Test(offs[j]));
+          }
+        } else {
+          const Column& fk = fact.ColumnRef(plan.dims[d].hop.fk_column);
+          DispatchPhysical(fk.type().physical, [&]<typename T>() {
+            const T* data = fk.Data<T>() + start;
+            HashTable& set = *dim_sets[d];
+            for (int64_t j = 0; j < len; ++j) {
+              cmp[j] &= static_cast<uint8_t>(
+                  set.Contains(static_cast<int64_t>(data[j])));
+            }
+          });
+        }
+      }
+
+      for (size_t r = 0; r < reverse_bitmaps.size(); ++r) {
+        const PositionalBitmap& bm = reverse_bitmaps[r];
+        for (int64_t j = 0; j < len; ++j) {
+          cmp[j] &= static_cast<uint8_t>(bm.Test(start + j));
+        }
+      }
+
+      if (plan.disjunctive.has_value()) {
+        std::memset(disjunctive_mask.data(), 0, len);
+        const uint32_t* offs = disjunctive_offsets + start;
+        for (size_t c = 0; c < clause_bitmaps.size(); ++c) {
+          pipeline::FilterToMask(
+              &eval, plan.disjunctive->clauses[c].fact_filter.get(), start,
+              len, clause_fact_mask.data());
+          const PositionalBitmap& bm = clause_bitmaps[c];
+          for (int64_t j = 0; j < len; ++j) {
+            disjunctive_mask[j] |= static_cast<uint8_t>(
+                clause_fact_mask[j] & bm.Test(offs[j]));
+          }
+        }
+        kernels::AndBytes(cmp, disjunctive_mask.data(), len);
+      }
+
+      for (const auto& [left, right] : equality_paths) {
+        pipeline::GatherPathAll(left, start, len, &scratch,
+                                scratch.vals.data());
+        pipeline::GatherPathAll(right, start, len, &scratch,
+                                scratch.vals2.data());
+        for (int64_t j = 0; j < len; ++j) {
+          cmp[j] &= static_cast<uint8_t>(scratch.vals[j] ==
+                                         scratch.vals2[j]);
+        }
+      }
+
+      if (!plan.HasGroupBy()) {
+        // Access-merged aggregates: tmp = col * (col OP lit), one read of
+        // the shared attribute (Fig. 5 bottom). A product can merge one or
+        // both factors (Fig. 10a/10b).
+        for (size_t m = 0; m < analysis.merges.size(); ++m) {
+          const MergeCandidate& merge = analysis.merges[m];
+          DispatchPhysical(
+              merge.column->type().physical, [&]<typename T>() {
+                kernels::CompareLitMaskIntoTmp<T>(
+                    merge.op, merge.column->Data<T>() + start, merge.literal,
+                    len, merge_tmp[m].data());
+              });
+        }
+        for (size_t a = 0; a < plan.aggs.size(); ++a) {
+          if (!analysis.merged_aggs[a]) continue;
+          const MergeCandidate* lhs_merge = nullptr;
+          const MergeCandidate* rhs_merge = nullptr;
+          const int64_t* lhs_tmp = nullptr;
+          const int64_t* rhs_tmp = nullptr;
+          for (size_t m = 0; m < analysis.merges.size(); ++m) {
+            if (analysis.merges[m].agg_index != a) continue;
+            if (analysis.merges[m].column_is_lhs) {
+              lhs_merge = &analysis.merges[m];
+              lhs_tmp = merge_tmp[m].data();
+            } else {
+              rhs_merge = &analysis.merges[m];
+              rhs_tmp = merge_tmp[m].data();
+            }
+          }
+          const AggShape& shape = shapes[a];
+          int64_t partial = 0;
+          if (shape.kind == AggShape::Kind::kCol) {
+            partial =
+                kernels::SumMasked<int64_t>(lhs_tmp, cmp, len);
+          } else if (lhs_merge != nullptr && rhs_merge != nullptr) {
+            partial = kernels::SumProductMasked<int64_t, int64_t>(
+                lhs_tmp, rhs_tmp, cmp, len);
+          } else {
+            const int64_t* tmp = lhs_merge != nullptr ? lhs_tmp : rhs_tmp;
+            const Column* other =
+                lhs_merge != nullptr ? shape.b : shape.a;
+            partial = DispatchPhysical(
+                other->type().physical, [&]<typename T>() {
+                  return kernels::SumProductMasked<T, int64_t>(
+                      other->Data<T>() + start, tmp, cmp, len);
+                });
+          }
+          scalar_acc[a] += partial;
+        }
+        pipeline::AccumulateScalarMasked(
+            fact, &eval, plan, shapes, factor_paths, start, cmp, len,
+            &scratch, scalar_acc.data(),
+            decisions_.used_access_merging ? &analysis.merged_aggs
+                                           : nullptr);
+        continue;
+      }
+
+      // Grouped: keys for every lane (pullup), masked update.
+      int64_t* keys = scratch.keys.data();
+      if (!plan.group_by_path.empty()) {
+        pipeline::GatherPathAll(group_path, start, len, &scratch, keys);
+      } else if (plan.group_by->kind == ExprKind::kColumnRef) {
+        const Column& col = fact.ColumnRef(plan.group_by->column);
+        DispatchPhysical(col.type().physical, [&]<typename T>() {
+          kernels::Widen<T>(col.Data<T>() + start, len, keys);
+        });
+      } else {
+        eval.EvalNumeric(*plan.group_by, start, len, keys);
+      }
+      for (size_t a = 0; a < plan.aggs.size(); ++a) {
+        pipeline::AggValuesAll(fact, &eval, plan.aggs[a], shapes[a], start,
+                               len, &scratch, value_ptrs[a]);
+        if (!plan.aggs[a].path_factor.empty()) {
+          pipeline::GatherPathAll(factor_paths[a], start, len, &scratch,
+                                  scratch.vals2.data());
+          for (int64_t j = 0; j < len; ++j) {
+            value_ptrs[a][j] *= scratch.vals2[j];
+          }
+        }
+      }
+      if (analysis.agg_choice == AggChoice::kKeyMasking) {
+        MaskKeysInPlace(keys, cmp, len);
+        groups->UpdateMaskedKeys(keys, value_ptrs, len);
+      } else {
+        groups->UpdateMaskedValues(keys, value_ptrs, cmp, len);
+      }
+      continue;
+    }
+
+    // ---- Hybrid-fallback pipeline (selection vectors + bitmap probes) ----
+    int32_t n = pipeline::FilterToSelVec(StrategyKind::kSwole, &eval, fact,
+                                         plan.fact_filter.get(), start, len,
+                                         &scratch, scratch.sel.data());
+    for (size_t d = 0; d < plan.dims.size() && n > 0; ++d) {
+      if (use_bitmaps && compressed) {
+        const uint32_t* offs = dim_offsets[d] + start;
+        const CompressedBitmap& bm = dim_compressed[d];
+        for (int32_t k = 0; k < n; ++k) {
+          scratch.cmp2[k] =
+              static_cast<uint8_t>(bm.Test(offs[scratch.sel[k]]));
+        }
+      } else if (use_bitmaps) {
+        const uint32_t* offs = dim_offsets[d] + start;
+        const PositionalBitmap& bm = dim_bitmaps[d];
+        for (int32_t k = 0; k < n; ++k) {
+          scratch.cmp2[k] =
+              static_cast<uint8_t>(bm.Test(offs[scratch.sel[k]]));
+        }
+      } else {
+        const Column& fk = fact.ColumnRef(plan.dims[d].hop.fk_column);
+        DispatchPhysical(fk.type().physical, [&]<typename T>() {
+          kernels::Gather<T>(fk.Data<T>() + start, scratch.sel.data(), n,
+                             scratch.keys.data());
+        });
+        for (int32_t k = 0; k < n; ++k) {
+          scratch.cmp2[k] = dim_sets[d]->Contains(scratch.keys[k]) ? 1 : 0;
+        }
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    for (size_t r = 0; r < reverse_bitmaps.size() && n > 0; ++r) {
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = static_cast<uint8_t>(
+            reverse_bitmaps[r].Test(start + scratch.sel[k]));
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    if (plan.disjunctive.has_value() && n > 0) {
+      const uint32_t* offs = disjunctive_offsets + start;
+      // Clause fact filters prepass over the tile (branch-free, cheap);
+      // bitmap probes only for the lanes that survived the fact filter.
+      std::memset(scratch.cmp2.data(), 0, n);
+      for (size_t c = 0; c < clause_bitmaps.size(); ++c) {
+        pipeline::FilterToMask(
+            &eval, plan.disjunctive->clauses[c].fact_filter.get(), start,
+            len, clause_fact_mask.data());
+        const PositionalBitmap& bm = clause_bitmaps[c];
+        for (int32_t k = 0; k < n; ++k) {
+          scratch.cmp2[k] |= static_cast<uint8_t>(
+              clause_fact_mask[scratch.sel[k]] &
+              bm.Test(offs[scratch.sel[k]]));
+        }
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    for (const auto& [left, right] : equality_paths) {
+      if (n == 0) break;
+      pipeline::GatherPathSel(left, start, scratch.sel.data(), n, &scratch,
+                              scratch.vals.data());
+      pipeline::GatherPathSel(right, start, scratch.sel.data(), n, &scratch,
+                              scratch.vals2.data());
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = scratch.vals[k] == scratch.vals2[k] ? 1 : 0;
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    if (n == 0) continue;
+
+    if (!plan.HasGroupBy()) {
+      pipeline::AccumulateScalarSel(fact, &eval, plan, shapes, factor_paths,
+                                    start, scratch.sel.data(), n, &scratch,
+                                    scalar_acc.data());
+      continue;
+    }
+    if (!plan.group_by_path.empty()) {
+      pipeline::GatherPathSel(group_path, start, scratch.sel.data(), n,
+                              &scratch, scratch.keys.data());
+    } else if (plan.group_by->kind == ExprKind::kColumnRef) {
+      const Column& col = fact.ColumnRef(plan.group_by->column);
+      DispatchPhysical(col.type().physical, [&]<typename T>() {
+        kernels::Gather<T>(col.Data<T>() + start, scratch.sel.data(), n,
+                           scratch.keys.data());
+      });
+    } else {
+      AggSpec key_spec;
+      key_spec.kind = AggKind::kSum;
+      key_spec.expr = plan.group_by->Clone();
+      AggShape key_shape = pipeline::DetectAggShape(fact, key_spec);
+      pipeline::AggValuesSel(fact, &eval, key_spec, key_shape, start,
+                             scratch.sel.data(), n, &scratch,
+                             scratch.keys.data());
+    }
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      pipeline::AggValuesSel(fact, &eval, plan.aggs[a], shapes[a], start,
+                             scratch.sel.data(), n, &scratch, value_ptrs[a]);
+      if (!plan.aggs[a].path_factor.empty()) {
+        pipeline::GatherPathSel(factor_paths[a], start, scratch.sel.data(),
+                                n, &scratch, scratch.vals2.data());
+        for (int32_t k = 0; k < n; ++k) value_ptrs[a][k] *= scratch.vals2[k];
+      }
+    }
+    groups->UpdateSel(scratch.keys.data(), value_ptrs, n, false);
+  }
+
+  if (!plan.HasGroupBy()) {
+    return pipeline::MakeScalarResult(plan, scalar_acc.data());
+  }
+  return groups->Extract(plan, plan.group_seed.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Groupjoin path (group key == join key): probe in join mode with VM/KM.
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
+    const QueryPlan& plan, const PlanAnalysis& analysis) {
+  const int64_t tile = options_.tile_size;
+  const Table& fact = catalog_.TableRef(plan.fact_table);
+  VectorEvaluator eval(fact, tile);
+  Scratch scratch(tile);
+
+  const DimJoin& gdim = plan.dims[analysis.groupjoin_dim];
+  const Table& dim_table = catalog_.TableRef(gdim.hop.to_table);
+
+  // Seed the groupjoin table with qualifying dim keys: local filter plus
+  // child qualification through positional bitmaps.
+  GroupTable groups(plan, dim_table.num_rows());
+  if (plan.group_seed.has_value()) {
+    const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
+    const Column& key_col = seed_table.ColumnRef(plan.group_seed->key_column);
+    for (int64_t row = 0; row < seed_table.num_rows(); ++row) {
+      groups.SeedKey(key_col.ValueAt(row));
+    }
+  }
+  {
+    std::vector<PositionalBitmap> child_bitmaps;
+    std::vector<const uint32_t*> child_offsets;
+    for (const DimJoin& child : gdim.children) {
+      child_bitmaps.push_back(
+          pipeline::BuildDimBitmap(catalog_, child, tile));
+      const FkIndex* index =
+          dim_table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
+      SWOLE_CHECK(index != nullptr);
+      child_offsets.push_back(index->offsets());
+    }
+    VectorEvaluator dim_eval(dim_table, tile);
+    const Column& pk = dim_table.ColumnRef(gdim.hop.to_pk_column);
+    for (int64_t start = 0; start < dim_table.num_rows(); start += tile) {
+      int64_t len = std::min(tile, dim_table.num_rows() - start);
+      pipeline::FilterToMask(&dim_eval, gdim.filter.get(), start, len,
+                             scratch.cmp.data());
+      for (size_t c = 0; c < child_bitmaps.size(); ++c) {
+        const uint32_t* offs = child_offsets[c] + start;
+        for (int64_t j = 0; j < len; ++j) {
+          scratch.cmp[j] &=
+              static_cast<uint8_t>(child_bitmaps[c].Test(offs[j]));
+        }
+      }
+      DispatchPhysical(pk.type().physical, [&]<typename T>() {
+        const T* data = pk.Data<T>() + start;
+        for (int64_t j = 0; j < len; ++j) {
+          if (scratch.cmp[j]) groups.SeedKey(static_cast<int64_t>(data[j]));
+        }
+      });
+    }
+  }
+
+  // Other dims qualify the fact through bitmaps.
+  std::vector<PositionalBitmap> other_bitmaps;
+  std::vector<const uint32_t*> other_offsets;
+  for (size_t d = 0; d < plan.dims.size(); ++d) {
+    if (static_cast<int>(d) == analysis.groupjoin_dim) continue;
+    other_bitmaps.push_back(
+        pipeline::BuildDimBitmap(catalog_, plan.dims[d], tile));
+    const FkIndex* index =
+        fact.GetFkIndex(plan.dims[d].hop.fk_column).ValueOr(nullptr);
+    SWOLE_CHECK(index != nullptr);
+    other_offsets.push_back(index->offsets());
+  }
+
+  std::vector<AggShape> shapes;
+  for (const AggSpec& agg : plan.aggs) {
+    shapes.push_back(pipeline::DetectAggShape(fact, agg));
+  }
+  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
+  std::vector<int64_t*> value_ptrs(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    value_storage[a].resize(tile);
+    value_ptrs[a] = value_storage[a].data();
+  }
+
+  const Column& fk = fact.ColumnRef(gdim.hop.fk_column);
+  const bool hybrid_fallback =
+      analysis.agg_choice == AggChoice::kHybridFallback;
+
+  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
+    int64_t len = std::min(tile, fact.num_rows() - start);
+
+    if (!hybrid_fallback) {
+      uint8_t* cmp = scratch.cmp.data();
+      pipeline::FilterToMask(&eval, plan.fact_filter.get(), start, len, cmp);
+      for (size_t d = 0; d < other_bitmaps.size(); ++d) {
+        const uint32_t* offs = other_offsets[d] + start;
+        for (int64_t j = 0; j < len; ++j) {
+          cmp[j] &= static_cast<uint8_t>(other_bitmaps[d].Test(offs[j]));
+        }
+      }
+      int64_t* keys = scratch.keys.data();
+      DispatchPhysical(fk.type().physical, [&]<typename T>() {
+        kernels::Widen<T>(fk.Data<T>() + start, len, keys);
+      });
+      for (size_t a = 0; a < plan.aggs.size(); ++a) {
+        pipeline::AggValuesAll(fact, &eval, plan.aggs[a], shapes[a], start,
+                               len, &scratch, value_ptrs[a]);
+      }
+      if (analysis.agg_choice == AggChoice::kKeyMasking) {
+        MaskKeysInPlace(keys, cmp, len);
+        groups.UpdateJoinMasked(keys, value_ptrs, nullptr, len);
+      } else {
+        groups.UpdateJoinMasked(keys, value_ptrs, cmp, len);
+      }
+      continue;
+    }
+
+    int32_t n = pipeline::FilterToSelVec(StrategyKind::kSwole, &eval, fact,
+                                         plan.fact_filter.get(), start, len,
+                                         &scratch, scratch.sel.data());
+    for (size_t d = 0; d < other_bitmaps.size() && n > 0; ++d) {
+      const uint32_t* offs = other_offsets[d] + start;
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] =
+            static_cast<uint8_t>(other_bitmaps[d].Test(offs[scratch.sel[k]]));
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    if (n == 0) continue;
+    DispatchPhysical(fk.type().physical, [&]<typename T>() {
+      kernels::Gather<T>(fk.Data<T>() + start, scratch.sel.data(), n,
+                         scratch.keys.data());
+    });
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      pipeline::AggValuesSel(fact, &eval, plan.aggs[a], shapes[a], start,
+                             scratch.sel.data(), n, &scratch, value_ptrs[a]);
+    }
+    groups.UpdateJoinSel(scratch.keys.data(), value_ptrs, n, false);
+  }
+
+  return groups.Extract(plan, plan.group_seed.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Eager aggregation (§III-E): aggregate the fact unconditionally by the join
+// key, then delete the keys whose dim row does NOT qualify (inverted
+// predicate).
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
+    const QueryPlan& plan, const PlanAnalysis& analysis) {
+  const int64_t tile = options_.tile_size;
+  const Table& fact = catalog_.TableRef(plan.fact_table);
+  VectorEvaluator eval(fact, tile);
+  Scratch scratch(tile);
+
+  const DimJoin& dim = plan.dims[0];
+  const Table& dim_table = catalog_.TableRef(dim.hop.to_table);
+  const Column& fk = fact.ColumnRef(dim.hop.fk_column);
+
+  std::vector<AggShape> shapes;
+  for (const AggSpec& agg : plan.aggs) {
+    shapes.push_back(pipeline::DetectAggShape(fact, agg));
+  }
+  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
+  std::vector<int64_t*> value_ptrs(plan.aggs.size());
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    value_storage[a].resize(tile);
+    value_ptrs[a] = value_storage[a].data();
+  }
+
+  GroupTable groups(plan, dim_table.num_rows());
+
+  // Sub-choice for handling the fact's own filter during the unconditional
+  // aggregation ("min(Hybrid, VM, KM)" in the EA formula).
+  AggChoice sub_choice = AggChoice::kValueMasking;
+  if (plan.fact_filter != nullptr) {
+    AggWorkload w;
+    w.rows = static_cast<double>(fact.num_rows());
+    w.selectivity = analysis.sigma_fact;
+    w.comp_ns = analysis.comp_ns;
+    w.group_ht_bytes = EstimateGroupHtBytes(
+        dim_table.num_rows(), static_cast<int>(plan.aggs.size()));
+    w.num_read_columns = analysis.num_read_columns;
+    sub_choice = ChooseAggregation(profile_, w);
+  }
+
+  // Phase 1: unconditional aggregation of the fact by the join key.
+  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
+    int64_t len = std::min(tile, fact.num_rows() - start);
+
+    if (plan.fact_filter != nullptr &&
+        sub_choice == AggChoice::kHybridFallback) {
+      int32_t n = pipeline::FilterToSelVec(StrategyKind::kSwole, &eval, fact,
+                                           plan.fact_filter.get(), start,
+                                           len, &scratch,
+                                           scratch.sel.data());
+      if (n == 0) continue;
+      DispatchPhysical(fk.type().physical, [&]<typename T>() {
+        kernels::Gather<T>(fk.Data<T>() + start, scratch.sel.data(), n,
+                           scratch.keys.data());
+      });
+      for (size_t a = 0; a < plan.aggs.size(); ++a) {
+        pipeline::AggValuesSel(fact, &eval, plan.aggs[a], shapes[a], start,
+                               scratch.sel.data(), n, &scratch,
+                               value_ptrs[a]);
+      }
+      groups.UpdateSel(scratch.keys.data(), value_ptrs, n, false);
+      continue;
+    }
+
+    int64_t* keys = scratch.keys.data();
+    DispatchPhysical(fk.type().physical, [&]<typename T>() {
+      kernels::Widen<T>(fk.Data<T>() + start, len, keys);
+    });
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      pipeline::AggValuesAll(fact, &eval, plan.aggs[a], shapes[a], start,
+                             len, &scratch, value_ptrs[a]);
+    }
+    if (plan.fact_filter == nullptr) {
+      groups.UpdateMaskedKeys(keys, value_ptrs, len);  // unmasked keys
+    } else {
+      pipeline::FilterToMask(&eval, plan.fact_filter.get(), start, len,
+                             scratch.cmp.data());
+      if (sub_choice == AggChoice::kKeyMasking) {
+        MaskKeysInPlace(keys, scratch.cmp.data(), len);
+        groups.UpdateMaskedKeys(keys, value_ptrs, len);
+      } else {
+        groups.UpdateMaskedValues(keys, value_ptrs, scratch.cmp.data(), len);
+      }
+    }
+  }
+
+  // Phase 2: scan the dim with the predicate inverted; delete keys of
+  // non-qualifying dim rows from the aggregate table.
+  {
+    std::vector<PositionalBitmap> child_bitmaps;
+    std::vector<const uint32_t*> child_offsets;
+    for (const DimJoin& child : dim.children) {
+      child_bitmaps.push_back(pipeline::BuildDimBitmap(catalog_, child, tile));
+      const FkIndex* index =
+          dim_table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
+      SWOLE_CHECK(index != nullptr);
+      child_offsets.push_back(index->offsets());
+    }
+    VectorEvaluator dim_eval(dim_table, tile);
+    const Column& pk = dim_table.ColumnRef(dim.hop.to_pk_column);
+    for (int64_t start = 0; start < dim_table.num_rows(); start += tile) {
+      int64_t len = std::min(tile, dim_table.num_rows() - start);
+      pipeline::FilterToMask(&dim_eval, dim.filter.get(), start, len,
+                             scratch.cmp.data());
+      for (size_t c = 0; c < child_bitmaps.size(); ++c) {
+        const uint32_t* offs = child_offsets[c] + start;
+        for (int64_t j = 0; j < len; ++j) {
+          scratch.cmp[j] &=
+              static_cast<uint8_t>(child_bitmaps[c].Test(offs[j]));
+        }
+      }
+      DispatchPhysical(pk.type().physical, [&]<typename T>() {
+        const T* data = pk.Data<T>() + start;
+        for (int64_t j = 0; j < len; ++j) {
+          if (!scratch.cmp[j]) {
+            groups.EraseKey(static_cast<int64_t>(data[j]));
+          }
+        }
+      });
+    }
+  }
+
+  return groups.Extract(plan, /*keep_untouched=*/false);
+}
+
+std::unique_ptr<SwoleStrategy> MakeSwoleStrategy(const Catalog& catalog,
+                                                 StrategyOptions options) {
+  return std::make_unique<SwoleStrategy>(catalog, options);
+}
+
+std::unique_ptr<Strategy> MakeSwoleStrategyImpl(const Catalog& catalog,
+                                                StrategyOptions options) {
+  return std::make_unique<SwoleStrategy>(catalog, options);
+}
+
+}  // namespace swole

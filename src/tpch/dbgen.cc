@@ -1,0 +1,441 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+
+namespace swole::tpch {
+
+namespace {
+
+// ---- Vocabularies (TPC-H spec §4.2.2/4.2.3) ----
+
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+
+struct NationSpec {
+  const char* name;
+  int region;
+};
+constexpr NationSpec kNations[] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+
+constexpr const char* kTypeSyllable1[] = {"STANDARD", "SMALL",  "MEDIUM",
+                                          "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                          "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                          "COPPER"};
+
+constexpr const char* kContainer1[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+constexpr const char* kContainer2[] = {"CASE", "BOX", "BAG", "JAR",
+                                       "PKG",  "PACK", "CAN", "DRUM"};
+
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kShipInstructions[] = {"DELIVER IN PERSON",
+                                             "COLLECT COD", "NONE",
+                                             "TAKE BACK RETURN"};
+
+// Comment vocabulary for o_comment (neutral words; "special" and
+// "requests" are injected explicitly so Q13's selectivity is controlled).
+constexpr const char* kCommentWords[] = {
+    "furiously", "quickly", "carefully", "blithely",  "slyly",   "even",
+    "final",     "regular", "express",   "pending",   "bold",    "ironic",
+    "silent",    "daring",  "accounts",  "deposits",  "packages", "pinto",
+    "beans",     "foxes",   "theodolites", "instructions", "platelets",
+    "asymptotes", "dependencies", "ideas", "excuses", "sauternes", "waters",
+    "sheaves",   "courts",  "dolphins",  "multipliers", "attainments"};
+
+// ---- Builders ----
+
+std::shared_ptr<Dictionary> MakeDict(const std::vector<std::string>& values) {
+  return std::make_shared<Dictionary>(Dictionary::FromValues(values));
+}
+
+std::unique_ptr<Column> DictColumn(const std::string& name,
+                                   std::shared_ptr<const Dictionary> dict) {
+  auto col = std::make_unique<Column>(name, ColumnType::String());
+  col->set_dictionary(std::move(dict));
+  return col;
+}
+
+// dbgen's retail price formula, in cents.
+int64_t RetailPriceCents(int64_t partkey) {
+  return 90000 + ((partkey / 10) % 20001) + 100 * (partkey % 1000);
+}
+
+std::string MakeComment(Rng* rng, bool inject_pattern, bool inject_decoy) {
+  constexpr int kWords = sizeof(kCommentWords) / sizeof(kCommentWords[0]);
+  int total = static_cast<int>(rng->UniformInt(4, 9));
+  std::vector<std::string> words;
+  words.reserve(total + 2);
+  for (int w = 0; w < total; ++w) {
+    words.push_back(kCommentWords[rng->NextBounded(kWords)]);
+  }
+  if (inject_pattern) {
+    // "special" before "requests", possibly with words in between —
+    // exactly what '%special%requests%' matches.
+    size_t pos1 = rng->NextBounded(words.size());
+    words.insert(words.begin() + pos1, "special");
+    size_t pos2 = pos1 + 1 + rng->NextBounded(words.size() - pos1);
+    words.insert(words.begin() + pos2, "requests");
+  } else if (inject_decoy) {
+    // One of the two words alone (or in the wrong order) must NOT match.
+    if (rng->Bernoulli(0.5)) {
+      words.insert(words.begin() + rng->NextBounded(words.size()),
+                   rng->Bernoulli(0.5) ? "special" : "requests");
+    } else {
+      size_t pos1 = rng->NextBounded(words.size());
+      words.insert(words.begin() + pos1, "requests");
+      size_t pos2 = pos1 + 1 + rng->NextBounded(words.size() - pos1);
+      words.insert(words.begin() + pos2, "special");
+    }
+  }
+  std::string out;
+  for (size_t w = 0; w < words.size(); ++w) {
+    if (w > 0) out += ' ';
+    out += words[w];
+  }
+  return out;
+}
+
+void RegisterFk(Table* from, const std::string& fk_column, const Table& to,
+                const std::string& pk_column) {
+  Result<FkIndex> index =
+      FkIndex::Build(from->ColumnRef(fk_column), to.ColumnRef(pk_column));
+  index.status().CheckOK();
+  from->AddFkIndex(fk_column, std::move(index).value()).CheckOK();
+}
+
+}  // namespace
+
+int32_t StartDate() { return DateToDays(1992, 1, 1); }
+int32_t EndDate() { return DateToDays(1998, 12, 31); }
+int32_t CurrentDate() { return DateToDays(1995, 6, 17); }
+
+TpchConfig TpchConfig::FromEnv() {
+  TpchConfig config;
+  config.scale_factor = GetEnvDouble("SWOLE_SF", config.scale_factor);
+  config.seed = static_cast<uint64_t>(
+      GetEnvInt64("SWOLE_TPCH_SEED", static_cast<int64_t>(config.seed)));
+  return config;
+}
+
+std::unique_ptr<TpchData> TpchData::Generate(const TpchConfig& config) {
+  SWOLE_CHECK_GT(config.scale_factor, 0.0);
+  auto data = std::make_unique<TpchData>();
+  data->config = config;
+  Rng rng(config.seed);
+
+  const double sf = config.scale_factor;
+  const int64_t num_suppliers = std::max<int64_t>(10, 10'000 * sf);
+  const int64_t num_customers = std::max<int64_t>(30, 150'000 * sf);
+  const int64_t num_parts = std::max<int64_t>(50, 200'000 * sf);
+  const int64_t num_orders = std::max<int64_t>(100, 1'500'000 * sf);
+
+  data->num_suppliers = num_suppliers;
+  data->num_customers = num_customers;
+  data->num_parts = num_parts;
+  data->num_orders = num_orders;
+
+  // ---- region ----
+  auto region = std::make_shared<Table>("region");
+  {
+    std::vector<std::string> names(std::begin(kRegions), std::end(kRegions));
+    auto dict = MakeDict(names);
+    auto key = std::make_unique<Column>("r_regionkey",
+                                        ColumnType::Int(PhysicalType::kInt8));
+    auto name = DictColumn("r_name", dict);
+    for (int i = 0; i < 5; ++i) {
+      key->Append(i);
+      name->Append(dict->Lookup(kRegions[i]));
+    }
+    region->AddColumn(std::move(key)).CheckOK();
+    region->AddColumn(std::move(name)).CheckOK();
+  }
+
+  // ---- nation ----
+  auto nation = std::make_shared<Table>("nation");
+  {
+    std::vector<std::string> names;
+    for (const NationSpec& spec : kNations) names.push_back(spec.name);
+    auto dict = MakeDict(names);
+    auto key = std::make_unique<Column>("n_nationkey",
+                                        ColumnType::Int(PhysicalType::kInt8));
+    auto name = DictColumn("n_name", dict);
+    auto regionkey = std::make_unique<Column>(
+        "n_regionkey", ColumnType::Int(PhysicalType::kInt8));
+    for (int i = 0; i < 25; ++i) {
+      key->Append(i);
+      name->Append(dict->Lookup(kNations[i].name));
+      regionkey->Append(kNations[i].region);
+    }
+    nation->AddColumn(std::move(key)).CheckOK();
+    nation->AddColumn(std::move(name)).CheckOK();
+    nation->AddColumn(std::move(regionkey)).CheckOK();
+  }
+  RegisterFk(nation.get(), "n_regionkey", *region, "r_regionkey");
+
+  // ---- supplier ----
+  auto supplier = std::make_shared<Table>("supplier");
+  {
+    auto key = std::make_unique<Column>(
+        "s_suppkey", ColumnType::Int(NarrowestPhysicalType(0, num_suppliers)));
+    auto nationkey = std::make_unique<Column>(
+        "s_nationkey", ColumnType::Int(PhysicalType::kInt8));
+    for (int64_t i = 0; i < num_suppliers; ++i) {
+      key->Append(i);
+      nationkey->Append(rng.UniformInt(0, 24));
+    }
+    supplier->AddColumn(std::move(key)).CheckOK();
+    supplier->AddColumn(std::move(nationkey)).CheckOK();
+  }
+  RegisterFk(supplier.get(), "s_nationkey", *nation, "n_nationkey");
+
+  // ---- customer ----
+  auto customer = std::make_shared<Table>("customer");
+  {
+    std::vector<std::string> segments(std::begin(kSegments),
+                                      std::end(kSegments));
+    auto dict = MakeDict(segments);
+    auto key = std::make_unique<Column>(
+        "c_custkey", ColumnType::Int(NarrowestPhysicalType(0, num_customers)));
+    auto nationkey = std::make_unique<Column>(
+        "c_nationkey", ColumnType::Int(PhysicalType::kInt8));
+    auto segment = DictColumn("c_mktsegment", dict);
+    for (int64_t i = 0; i < num_customers; ++i) {
+      key->Append(i);
+      nationkey->Append(rng.UniformInt(0, 24));
+      segment->Append(dict->Lookup(kSegments[rng.NextBounded(5)]));
+    }
+    customer->AddColumn(std::move(key)).CheckOK();
+    customer->AddColumn(std::move(nationkey)).CheckOK();
+    customer->AddColumn(std::move(segment)).CheckOK();
+  }
+  RegisterFk(customer.get(), "c_nationkey", *nation, "n_nationkey");
+
+  // ---- part ----
+  auto part = std::make_shared<Table>("part");
+  {
+    std::vector<std::string> brands;
+    for (int m = 1; m <= 5; ++m) {
+      for (int n = 1; n <= 5; ++n) {
+        brands.push_back(StringFormat("Brand#%d%d", m, n));
+      }
+    }
+    std::vector<std::string> types;
+    for (const char* s1 : kTypeSyllable1) {
+      for (const char* s2 : kTypeSyllable2) {
+        for (const char* s3 : kTypeSyllable3) {
+          types.push_back(StringFormat("%s %s %s", s1, s2, s3));
+        }
+      }
+    }
+    std::vector<std::string> containers;
+    for (const char* c1 : kContainer1) {
+      for (const char* c2 : kContainer2) {
+        containers.push_back(StringFormat("%s %s", c1, c2));
+      }
+    }
+    auto brand_dict = MakeDict(brands);
+    auto type_dict = MakeDict(types);
+    auto container_dict = MakeDict(containers);
+
+    auto key = std::make_unique<Column>(
+        "p_partkey", ColumnType::Int(NarrowestPhysicalType(0, num_parts)));
+    auto brand = DictColumn("p_brand", brand_dict);
+    auto type = DictColumn("p_type", type_dict);
+    auto container = DictColumn("p_container", container_dict);
+    auto size = std::make_unique<Column>(
+        "p_size", ColumnType::Int(PhysicalType::kInt8));
+    auto retail = std::make_unique<Column>("p_retailprice",
+                                           ColumnType::Decimal(2));
+    for (int64_t i = 0; i < num_parts; ++i) {
+      key->Append(i);
+      brand->Append(
+          brand_dict->Lookup(brands[rng.NextBounded(brands.size())]));
+      type->Append(type_dict->Lookup(types[rng.NextBounded(types.size())]));
+      container->Append(container_dict->Lookup(
+          containers[rng.NextBounded(containers.size())]));
+      size->Append(rng.UniformInt(1, 50));
+      retail->Append(RetailPriceCents(i));
+    }
+    part->AddColumn(std::move(key)).CheckOK();
+    part->AddColumn(std::move(brand)).CheckOK();
+    part->AddColumn(std::move(type)).CheckOK();
+    part->AddColumn(std::move(container)).CheckOK();
+    part->AddColumn(std::move(size)).CheckOK();
+    part->AddColumn(std::move(retail)).CheckOK();
+  }
+
+  // ---- orders ----
+  auto orders = std::make_shared<Table>("orders");
+  std::vector<int32_t> order_dates(num_orders);
+  {
+    std::vector<std::string> priorities(std::begin(kPriorities),
+                                        std::end(kPriorities));
+    auto prio_dict = MakeDict(priorities);
+    auto key = std::make_unique<Column>(
+        "o_orderkey", ColumnType::Int(NarrowestPhysicalType(0, num_orders)));
+    auto custkey = std::make_unique<Column>(
+        "o_custkey", ColumnType::Int(NarrowestPhysicalType(0, num_customers)));
+    auto orderdate = std::make_unique<Column>("o_orderdate",
+                                              ColumnType::Date());
+    auto priority = DictColumn("o_orderpriority", prio_dict);
+    auto text = std::make_shared<TextData>();
+
+    const int32_t last_order_date = EndDate() - 151;
+    for (int64_t i = 0; i < num_orders; ++i) {
+      key->Append(i);
+      // dbgen: customers whose key is divisible by 3 place no orders
+      // (drives Q13's zero-order bucket).
+      int64_t cust = rng.UniformInt(0, num_customers - 1);
+      while (cust % 3 == 0) cust = rng.UniformInt(0, num_customers - 1);
+      custkey->Append(cust);
+      int32_t date = static_cast<int32_t>(
+          rng.UniformInt(StartDate(), last_order_date));
+      order_dates[i] = date;
+      orderdate->Append(date);
+      priority->Append(rng.NextBounded(5));
+      // ~1.9% of comments match '%special%requests%' (dbgen: ~(1/55)^... a
+      // small fixed fraction), plus decoys that almost match.
+      bool inject = rng.Bernoulli(0.019);
+      bool decoy = !inject && rng.Bernoulli(0.05);
+      text->Append(MakeComment(&rng, inject, decoy));
+    }
+    auto comment = std::make_unique<Column>("o_comment", ColumnType::Text());
+    comment->set_text(text);
+    orders->AddColumn(std::move(key)).CheckOK();
+    orders->AddColumn(std::move(custkey)).CheckOK();
+    orders->AddColumn(std::move(orderdate)).CheckOK();
+    orders->AddColumn(std::move(priority)).CheckOK();
+    orders->AddColumn(std::move(comment)).CheckOK();
+  }
+  RegisterFk(orders.get(), "o_custkey", *customer, "c_custkey");
+
+  // ---- lineitem ----
+  auto lineitem = std::make_shared<Table>("lineitem");
+  {
+    std::vector<std::string> modes(std::begin(kShipModes),
+                                   std::end(kShipModes));
+    std::vector<std::string> instructions(std::begin(kShipInstructions),
+                                          std::end(kShipInstructions));
+    std::vector<std::string> flags = {"A", "N", "R"};
+    std::vector<std::string> statuses = {"F", "O"};
+    auto mode_dict = MakeDict(modes);
+    auto instr_dict = MakeDict(instructions);
+    auto flag_dict = MakeDict(flags);
+    auto status_dict = MakeDict(statuses);
+
+    auto orderkey = std::make_unique<Column>(
+        "l_orderkey", ColumnType::Int(NarrowestPhysicalType(0, num_orders)));
+    auto partkey = std::make_unique<Column>(
+        "l_partkey", ColumnType::Int(NarrowestPhysicalType(0, num_parts)));
+    auto suppkey = std::make_unique<Column>(
+        "l_suppkey", ColumnType::Int(NarrowestPhysicalType(0, num_suppliers)));
+    auto quantity = std::make_unique<Column>(
+        "l_quantity", ColumnType::Int(PhysicalType::kInt8));
+    auto extendedprice =
+        std::make_unique<Column>("l_extendedprice", ColumnType::Decimal(2));
+    auto discount = std::make_unique<Column>(
+        "l_discount", ColumnType::Int(PhysicalType::kInt8));
+    auto tax = std::make_unique<Column>("l_tax",
+                                        ColumnType::Int(PhysicalType::kInt8));
+    auto returnflag = DictColumn("l_returnflag", flag_dict);
+    auto linestatus = DictColumn("l_linestatus", status_dict);
+    auto shipdate = std::make_unique<Column>("l_shipdate",
+                                             ColumnType::Date());
+    auto commitdate =
+        std::make_unique<Column>("l_commitdate", ColumnType::Date());
+    auto receiptdate =
+        std::make_unique<Column>("l_receiptdate", ColumnType::Date());
+    auto shipinstruct = DictColumn("l_shipinstruct", instr_dict);
+    auto shipmode = DictColumn("l_shipmode", mode_dict);
+
+    for (int64_t order = 0; order < num_orders; ++order) {
+      int64_t lines = rng.UniformInt(1, 7);
+      for (int64_t line = 0; line < lines; ++line) {
+        orderkey->Append(order);
+        int64_t pk = rng.UniformInt(0, num_parts - 1);
+        partkey->Append(pk);
+        suppkey->Append(rng.UniformInt(0, num_suppliers - 1));
+        int64_t qty = rng.UniformInt(1, 50);
+        quantity->Append(qty);
+        extendedprice->Append(qty * RetailPriceCents(pk) / 100);
+        discount->Append(rng.UniformInt(0, 10));
+        tax->Append(rng.UniformInt(0, 8));
+        int32_t ship = order_dates[order] +
+                       static_cast<int32_t>(rng.UniformInt(1, 121));
+        int32_t commit = order_dates[order] +
+                         static_cast<int32_t>(rng.UniformInt(30, 90));
+        int32_t receipt =
+            ship + static_cast<int32_t>(rng.UniformInt(1, 30));
+        shipdate->Append(ship);
+        commitdate->Append(commit);
+        receiptdate->Append(receipt);
+        if (receipt <= CurrentDate()) {
+          returnflag->Append(
+              flag_dict->Lookup(rng.Bernoulli(0.5) ? "R" : "A"));
+        } else {
+          returnflag->Append(flag_dict->Lookup("N"));
+        }
+        linestatus->Append(
+            status_dict->Lookup(ship > CurrentDate() ? "O" : "F"));
+        shipinstruct->Append(rng.NextBounded(instructions.size()));
+        shipmode->Append(rng.NextBounded(modes.size()));
+      }
+    }
+    data->num_lineitems = orderkey->size();
+    lineitem->AddColumn(std::move(orderkey)).CheckOK();
+    lineitem->AddColumn(std::move(partkey)).CheckOK();
+    lineitem->AddColumn(std::move(suppkey)).CheckOK();
+    lineitem->AddColumn(std::move(quantity)).CheckOK();
+    lineitem->AddColumn(std::move(extendedprice)).CheckOK();
+    lineitem->AddColumn(std::move(discount)).CheckOK();
+    lineitem->AddColumn(std::move(tax)).CheckOK();
+    lineitem->AddColumn(std::move(returnflag)).CheckOK();
+    lineitem->AddColumn(std::move(linestatus)).CheckOK();
+    lineitem->AddColumn(std::move(shipdate)).CheckOK();
+    lineitem->AddColumn(std::move(commitdate)).CheckOK();
+    lineitem->AddColumn(std::move(receiptdate)).CheckOK();
+    lineitem->AddColumn(std::move(shipinstruct)).CheckOK();
+    lineitem->AddColumn(std::move(shipmode)).CheckOK();
+  }
+  RegisterFk(lineitem.get(), "l_orderkey", *orders, "o_orderkey");
+  RegisterFk(lineitem.get(), "l_partkey", *part, "p_partkey");
+  RegisterFk(lineitem.get(), "l_suppkey", *supplier, "s_suppkey");
+
+  data->catalog.AddTable(std::move(region)).CheckOK();
+  data->catalog.AddTable(std::move(nation)).CheckOK();
+  data->catalog.AddTable(std::move(supplier)).CheckOK();
+  data->catalog.AddTable(std::move(customer)).CheckOK();
+  data->catalog.AddTable(std::move(part)).CheckOK();
+  data->catalog.AddTable(std::move(orders)).CheckOK();
+  data->catalog.AddTable(std::move(lineitem)).CheckOK();
+  return data;
+}
+
+}  // namespace swole::tpch

@@ -1,0 +1,52 @@
+#ifndef SWOLE_TPCH_DBGEN_H_
+#define SWOLE_TPCH_DBGEN_H_
+
+#include <memory>
+
+#include "plan/plan.h"
+
+// Deterministic TPC-H data generator (dbgen equivalent) for the seven
+// tables the evaluated queries touch: region, nation, supplier, customer,
+// part, orders, lineitem. Row counts per scale factor match the TPC-H
+// specification; value domains and the distributions the evaluated
+// predicates depend on (ship/commit/receipt date arithmetic, discount and
+// quantity ranges, priorities, market segments, part type/brand/container
+// vocabularies, o_comment text with the Q13 "special...requests"
+// injection) follow dbgen's rules. Storage follows the paper's compression
+// conventions: dictionary-encoded low-cardinality strings, null-suppressed
+// narrow integers, fixed-point decimals (cents) in int64.
+
+namespace swole::tpch {
+
+struct TpchConfig {
+  double scale_factor = 0.1;
+  uint64_t seed = 19920101;
+
+  /// Reads SWOLE_SF / SWOLE_TPCH_SEED over the defaults.
+  static TpchConfig FromEnv();
+};
+
+struct TpchData {
+  /// Generates all tables and registers every referential-integrity fk
+  /// index (lineitem->orders/part/supplier, orders->customer,
+  /// customer->nation, supplier->nation, nation->region).
+  static std::unique_ptr<TpchData> Generate(const TpchConfig& config);
+
+  TpchConfig config;
+  Catalog catalog;
+
+  int64_t num_orders = 0;
+  int64_t num_lineitems = 0;
+  int64_t num_customers = 0;
+  int64_t num_parts = 0;
+  int64_t num_suppliers = 0;
+};
+
+// Fixed calendar anchors (TPC-H spec).
+int32_t StartDate();    // 1992-01-01
+int32_t EndDate();      // 1998-12-31
+int32_t CurrentDate();  // 1995-06-17
+
+}  // namespace swole::tpch
+
+#endif  // SWOLE_TPCH_DBGEN_H_

@@ -1,0 +1,293 @@
+#include "tpch/queries.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/table.h"
+#include "tpch/dbgen.h"
+
+namespace swole::tpch {
+
+int64_t DictCode(const Catalog& catalog, const std::string& table,
+                 const std::string& column, const std::string& value) {
+  const Column& col = catalog.TableRef(table).ColumnRef(column);
+  SWOLE_CHECK(col.dictionary() != nullptr)
+      << table << "." << column << " is not dictionary-encoded";
+  return col.dictionary()->Lookup(value);
+}
+
+namespace {
+
+// Revenue expression shared by Q3/Q5/Q14/Q19:
+// l_extendedprice * (1 - l_discount), in fixed point:
+// extendedprice_cents * (100 - discount_percent).
+ExprPtr Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(Lit(100), Col("l_discount")));
+}
+
+std::vector<int64_t> DictCodes(const Catalog& catalog,
+                               const std::string& table,
+                               const std::string& column,
+                               const std::vector<std::string>& values) {
+  std::vector<int64_t> codes;
+  for (const std::string& value : values) {
+    codes.push_back(DictCode(catalog, table, column, value));
+  }
+  return codes;
+}
+
+}  // namespace
+
+// Q1: single-table scan of lineitem; simple predicate selecting ~98% of
+// tuples; the most compute-intensive aggregation in TPC-H.
+QueryPlan Q1(const Catalog& catalog) {
+  (void)catalog;
+  QueryPlan plan;
+  plan.name = "tpch_q1";
+  plan.fact_table = "lineitem";
+  plan.fact_filter =
+      Le(Col("l_shipdate"), Lit(ParseDate("1998-12-01") - 90));
+  // group by l_returnflag, l_linestatus — encoded as one key.
+  plan.group_by = Add(Mul(Col("l_returnflag"), Lit(2)), Col("l_linestatus"));
+  plan.group_cardinality_hint = 6;
+  plan.aggs.emplace_back(AggKind::kSum, Col("l_quantity"), "sum_qty");
+  plan.aggs.emplace_back(AggKind::kSum, Col("l_extendedprice"),
+                         "sum_base_price");
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "sum_disc_price");
+  plan.aggs.emplace_back(
+      AggKind::kSum,
+      Mul(Mul(Col("l_extendedprice"), Sub(Lit(100), Col("l_discount"))),
+          Add(Lit(100), Col("l_tax"))),
+      "sum_charge");
+  plan.aggs.emplace_back(AggKind::kSum, Col("l_discount"), "sum_disc");
+  plan.aggs.emplace_back(AggKind::kCount, nullptr, "count_order");
+  return plan;
+}
+
+// Q3: customer ⋈ orders ⋈ lineitem with a groupjoin on l_orderkey; every
+// table filtered by a single comparison.
+QueryPlan Q3(const Catalog& catalog) {
+  QueryPlan plan;
+  plan.name = "tpch_q3";
+  plan.fact_table = "lineitem";
+  plan.fact_filter = Gt(Col("l_shipdate"), Lit(ParseDate("1995-03-15")));
+
+  DimJoin orders;
+  orders.hop = {"l_orderkey", "orders", "o_orderkey"};
+  orders.filter = Lt(Col("o_orderdate"), Lit(ParseDate("1995-03-15")));
+  DimJoin cust;
+  cust.hop = {"o_custkey", "customer", "c_custkey"};
+  cust.filter = Eq(Col("c_mktsegment"),
+                   Lit(DictCode(catalog, "customer", "c_mktsegment",
+                                "BUILDING")));
+  orders.children.push_back(std::move(cust));
+  plan.dims.push_back(std::move(orders));
+
+  plan.group_by = Col("l_orderkey");
+  plan.group_cardinality_hint =
+      catalog.TableRef("orders").num_rows() / 10;
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "revenue");
+  return plan;
+}
+
+// Q4: orders with an EXISTS over lineitem (reverse semijoin); the
+// lineitem-side build dominates the runtime.
+QueryPlan Q4(const Catalog& catalog) {
+  (void)catalog;
+  QueryPlan plan;
+  plan.name = "tpch_q4";
+  plan.fact_table = "orders";
+  int32_t from = ParseDate("1993-07-01");
+  plan.fact_filter = And(Ge(Col("o_orderdate"), Lit(from)),
+                         Lt(Col("o_orderdate"), Lit(from + 92)));
+
+  ReverseDim exists;
+  exists.table = "lineitem";
+  exists.fk_column = "l_orderkey";
+  exists.filter = Lt(Col("l_commitdate"), Col("l_receiptdate"));
+  exists.fact_pk_column = "o_orderkey";
+  plan.reverse_dims.push_back(std::move(exists));
+
+  plan.group_by = Col("o_orderpriority");
+  plan.group_cardinality_hint = 5;
+  plan.aggs.emplace_back(AggKind::kCount, nullptr, "order_count");
+  return plan;
+}
+
+// Q5: six tables; lineitem (unfiltered) joins orders -> customer ->
+// nation -> region plus supplier, with c_nationkey = s_nationkey across
+// the two chains; grouped by the supplier's nation.
+QueryPlan Q5(const Catalog& catalog) {
+  QueryPlan plan;
+  plan.name = "tpch_q5";
+  plan.fact_table = "lineitem";
+
+  DimJoin orders;
+  orders.hop = {"l_orderkey", "orders", "o_orderkey"};
+  int32_t from = ParseDate("1994-01-01");
+  orders.filter = And(Ge(Col("o_orderdate"), Lit(from)),
+                      Lt(Col("o_orderdate"), Lit(from + 365)));
+  DimJoin cust;
+  cust.hop = {"o_custkey", "customer", "c_custkey"};
+  DimJoin nat;
+  nat.hop = {"c_nationkey", "nation", "n_nationkey"};
+  DimJoin reg;
+  reg.hop = {"n_regionkey", "region", "r_regionkey"};
+  reg.filter =
+      Eq(Col("r_name"), Lit(DictCode(catalog, "region", "r_name", "ASIA")));
+  nat.children.push_back(std::move(reg));
+  cust.children.push_back(std::move(nat));
+  orders.children.push_back(std::move(cust));
+  plan.dims.push_back(std::move(orders));
+
+  ColumnPath c_nation;
+  c_nation.alias = "c_nation";
+  c_nation.hops = {{"l_orderkey", "orders", "o_orderkey"},
+                   {"o_custkey", "customer", "c_custkey"}};
+  c_nation.column = "c_nationkey";
+  plan.paths.push_back(std::move(c_nation));
+
+  ColumnPath s_nation;
+  s_nation.alias = "s_nation";
+  s_nation.hops = {{"l_suppkey", "supplier", "s_suppkey"}};
+  s_nation.column = "s_nationkey";
+  plan.paths.push_back(std::move(s_nation));
+
+  plan.path_equalities.push_back({"s_nation", "c_nation"});
+  plan.group_by_path = "s_nation";
+  plan.group_cardinality_hint = 25;
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "revenue");
+  return plan;
+}
+
+// Q6: single-table scan; five comparisons over three attributes selecting
+// ~2% of lineitem; l_discount appears in both the predicate and the
+// aggregate (the access-merging showcase).
+QueryPlan Q6(const Catalog& catalog) {
+  (void)catalog;
+  QueryPlan plan;
+  plan.name = "tpch_q6";
+  plan.fact_table = "lineitem";
+  int32_t from = ParseDate("1994-01-01");
+  plan.fact_filter =
+      And(And(And(Ge(Col("l_shipdate"), Lit(from)),
+                  Lt(Col("l_shipdate"), Lit(from + 365))),
+              And(Ge(Col("l_discount"), Lit(5)),
+                  Le(Col("l_discount"), Lit(7)))),
+          Lt(Col("l_quantity"), Lit(24)));
+  plan.aggs.emplace_back(AggKind::kSum,
+                         Mul(Col("l_extendedprice"), Col("l_discount")),
+                         "revenue");
+  return plan;
+}
+
+// Q13: groupjoin customer ⋈ orders with a complex NOT LIKE on o_comment
+// (~98% pass), then a histogram over the per-customer counts — including
+// customers with zero orders.
+QueryPlan Q13(const Catalog& catalog) {
+  QueryPlan plan;
+  plan.name = "tpch_q13";
+  plan.fact_table = "orders";
+  plan.fact_filter = NotLike("o_comment", "%special%requests%");
+
+  DimJoin cust;
+  cust.hop = {"o_custkey", "customer", "c_custkey"};
+  plan.dims.push_back(std::move(cust));
+
+  plan.group_by = Col("o_custkey");
+  plan.group_cardinality_hint = catalog.TableRef("customer").num_rows();
+  plan.group_seed = GroupSeed{"customer", "c_custkey"};
+  plan.histogram_of_agg0 = true;
+  plan.aggs.emplace_back(AggKind::kCount, nullptr, "c_count");
+  return plan;
+}
+
+// Q14: index join lineitem ⋈ part; the p_type LIKE 'PROMO%' becomes a
+// dictionary-mask lookup computed on the fly; ~1% of lineitem selected.
+QueryPlan Q14(const Catalog& catalog) {
+  (void)catalog;
+  QueryPlan plan;
+  plan.name = "tpch_q14";
+  plan.fact_table = "lineitem";
+  int32_t from = ParseDate("1995-09-01");
+  plan.fact_filter = And(Ge(Col("l_shipdate"), Lit(from)),
+                         Lt(Col("l_shipdate"), Lit(from + 30)));
+
+  DimJoin part;
+  part.hop = {"l_partkey", "part", "p_partkey"};
+  plan.dims.push_back(std::move(part));
+
+  ColumnPath promo;
+  promo.alias = "promo_flag";
+  promo.hops = {{"l_partkey", "part", "p_partkey"}};
+  promo.column = "p_type";
+  promo.like_pattern = "PROMO%";
+  plan.paths.push_back(std::move(promo));
+
+  AggSpec promo_rev(AggKind::kSum, Revenue(), "promo_revenue");
+  promo_rev.path_factor = "promo_flag";
+  plan.aggs.push_back(std::move(promo_rev));
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "total_revenue");
+  return plan;
+}
+
+// Q19: lineitem ⋈ part under a three-clause disjunctive join condition;
+// the shipmode/shipinstruct conjuncts are common to all clauses.
+QueryPlan Q19(const Catalog& catalog) {
+  QueryPlan plan;
+  plan.name = "tpch_q19";
+  plan.fact_table = "lineitem";
+  plan.fact_filter =
+      And(InList(Col("l_shipmode"),
+                 DictCodes(catalog, "lineitem", "l_shipmode",
+                           {"AIR", "REG AIR"})),
+          Eq(Col("l_shipinstruct"),
+             Lit(DictCode(catalog, "lineitem", "l_shipinstruct",
+                          "DELIVER IN PERSON"))));
+
+  DisjunctiveJoin dj;
+  dj.hop = {"l_partkey", "part", "p_partkey"};
+
+  struct ClauseSpec {
+    const char* brand;
+    std::vector<std::string> containers;
+    int64_t size_hi;
+    int64_t qty_lo;
+    int64_t qty_hi;
+  };
+  std::vector<ClauseSpec> specs = {
+      {"Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 5, 1, 11},
+      {"Brand#23", {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 10, 20},
+      {"Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 15, 20, 30},
+  };
+  for (const ClauseSpec& spec : specs) {
+    DisjunctiveJoin::Clause clause;
+    clause.dim_filter =
+        And(And(Eq(Col("p_brand"),
+                   Lit(DictCode(catalog, "part", "p_brand", spec.brand))),
+                InList(Col("p_container"),
+                       DictCodes(catalog, "part", "p_container",
+                                 spec.containers))),
+            Between(Col("p_size"), 1, spec.size_hi));
+    clause.fact_filter = Between(Col("l_quantity"), spec.qty_lo, spec.qty_hi);
+    dj.clauses.push_back(std::move(clause));
+  }
+  plan.disjunctive = std::move(dj);
+
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "revenue");
+  return plan;
+}
+
+std::vector<QueryPlan> AllQueries(const Catalog& catalog) {
+  std::vector<QueryPlan> plans;
+  plans.push_back(Q1(catalog));
+  plans.push_back(Q3(catalog));
+  plans.push_back(Q4(catalog));
+  plans.push_back(Q5(catalog));
+  plans.push_back(Q6(catalog));
+  plans.push_back(Q13(catalog));
+  plans.push_back(Q14(catalog));
+  plans.push_back(Q19(catalog));
+  return plans;
+}
+
+}  // namespace swole::tpch

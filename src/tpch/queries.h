@@ -1,0 +1,39 @@
+#ifndef SWOLE_TPCH_QUERIES_H_
+#define SWOLE_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+// The eight TPC-H queries of the paper's evaluation (§IV-A) — the same
+// representative subset used by the ROF paper [5] — expressed in the plan
+// algebra. String constants are resolved to dictionary codes against the
+// given catalog at plan-construction time (the standard dictionary-encoding
+// rewrite every strategy shares). Dates are day literals; decimals are
+// fixed-point, so e.g. Q6's `l_discount between 0.05 and 0.07` is
+// `l_discount between 5 and 7` on the stored percent values.
+
+namespace swole::tpch {
+
+QueryPlan Q1(const Catalog& catalog);
+QueryPlan Q3(const Catalog& catalog);
+QueryPlan Q4(const Catalog& catalog);
+QueryPlan Q5(const Catalog& catalog);
+QueryPlan Q6(const Catalog& catalog);
+QueryPlan Q13(const Catalog& catalog);
+QueryPlan Q14(const Catalog& catalog);
+QueryPlan Q19(const Catalog& catalog);
+
+/// All eight plans in paper order (Q1, Q3, Q4, Q5, Q6, Q13, Q14, Q19).
+std::vector<QueryPlan> AllQueries(const Catalog& catalog);
+
+/// Dictionary code of `value` in `table.column`. Aborts if the column is
+/// not dictionary-encoded; returns -1 if the value does not occur (the
+/// predicate is then unsatisfiable, matching SQL semantics).
+int64_t DictCode(const Catalog& catalog, const std::string& table,
+                 const std::string& column, const std::string& value);
+
+}  // namespace swole::tpch
+
+#endif  // SWOLE_TPCH_QUERIES_H_

@@ -1,0 +1,64 @@
+// Calibration smoke tests: the probes return sane, ordered values on any
+// machine (kept tiny so they run in noise-tolerant CI).
+
+#include <gtest/gtest.h>
+
+#include "cost/calibration.h"
+#include "storage/text_data.h"
+
+namespace swole {
+namespace {
+
+CalibrationOptions TinyOptions() {
+  CalibrationOptions options;
+  options.probe_bytes = 1 << 20;
+  options.ht_probes = 1 << 14;
+  return options;
+}
+
+TEST(CalibrationTest, ReadProbesArePositiveAndOrdered) {
+  CalibrationOptions options = TinyOptions();
+  double seq = MeasureReadSeqNs(options);
+  double cond = MeasureReadCondNs(options);
+  EXPECT_GT(seq, 0.0);
+  EXPECT_LT(seq, 100.0);  // a sequential int32 read is never 100ns
+  EXPECT_GT(cond, 0.0);
+}
+
+TEST(CalibrationTest, HtLookupGrowsWithTableSize) {
+  CalibrationOptions options = TinyOptions();
+  double small = MeasureHtLookupNs(1 << 8, options);
+  double large = MeasureHtLookupNs(1 << 18, options);
+  EXPECT_GT(small, 0.0);
+  // Larger tables are never (much) cheaper to probe.
+  EXPECT_GT(large, small * 0.5);
+}
+
+TEST(CalibrationTest, NullEntryProbeIsCheap) {
+  CalibrationOptions options = TinyOptions();
+  double null_probe = MeasureHtNullNs(options);
+  EXPECT_GT(null_probe, 0.0);
+  EXPECT_LT(null_probe, 200.0);
+}
+
+TEST(CalibrationTest, NsPerCycleIsPlausible) {
+  double ns = MeasureNsPerCycle();
+  EXPECT_GT(ns, 0.05);  // no 20GHz machines
+  EXPECT_LT(ns, 5.0);   // no 200MHz machines
+}
+
+TEST(TextDataTest, AppendAndGet) {
+  TextData text;
+  EXPECT_EQ(text.size(), 0);
+  text.Append("hello");
+  text.Append("");
+  text.Append("worlds end");
+  EXPECT_EQ(text.size(), 3);
+  EXPECT_EQ(text.Get(0), "hello");
+  EXPECT_EQ(text.Get(1), "");
+  EXPECT_EQ(text.Get(2), "worlds end");
+  EXPECT_GE(text.ByteSize(), 15);
+}
+
+}  // namespace
+}  // namespace swole

@@ -1,0 +1,264 @@
+// Unit tests for the shared primitive kernels (exec/kernels.h): prepass
+// comparisons, selection-vector construction variants, gathers, masked
+// aggregation, access-merging fusions. Each kernel is checked against a
+// scalar reimplementation on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "exec/kernels.h"
+
+namespace swole {
+namespace {
+
+using kernels::CmpOp;
+
+class KernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(31);
+    col8_.resize(kLen);
+    col32_.resize(kLen);
+    col64_.resize(kLen);
+    other8_.resize(kLen);
+    cmp_.resize(kLen);
+    for (int64_t j = 0; j < kLen; ++j) {
+      col8_[j] = static_cast<int8_t>(rng.UniformInt(-100, 100));
+      col32_[j] = static_cast<int32_t>(rng.UniformInt(-100000, 100000));
+      col64_[j] = rng.UniformInt(-1000000, 1000000);
+      other8_[j] = static_cast<int8_t>(rng.UniformInt(-100, 100));
+      cmp_[j] = rng.Bernoulli(0.4) ? 1 : 0;
+    }
+  }
+
+  static constexpr int64_t kLen = 1000;  // deliberately not 8-aligned
+  std::vector<int8_t> col8_;
+  std::vector<int32_t> col32_;
+  std::vector<int64_t> col64_;
+  std::vector<int8_t> other8_;
+  std::vector<uint8_t> cmp_;
+};
+
+bool ScalarCmp(CmpOp op, int64_t lhs, int64_t rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+TEST_F(KernelsTest, CompareLitAllOpsAllTypes) {
+  std::vector<uint8_t> out(kLen);
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe,
+                   CmpOp::kEq, CmpOp::kNe}) {
+    kernels::CompareLit<int8_t>(op, col8_.data(), 13, out.data(), kLen);
+    for (int64_t j = 0; j < kLen; ++j) {
+      ASSERT_EQ(out[j], ScalarCmp(op, col8_[j], 13) ? 1 : 0);
+    }
+    kernels::CompareLit<int32_t>(op, col32_.data(), -500, out.data(), kLen);
+    for (int64_t j = 0; j < kLen; ++j) {
+      ASSERT_EQ(out[j], ScalarCmp(op, col32_[j], -500) ? 1 : 0);
+    }
+  }
+}
+
+TEST_F(KernelsTest, CompareLitOutOfRangeLiteral) {
+  std::vector<uint8_t> out(kLen);
+  // int8 column, literal beyond int8 range: widened comparison must hold.
+  kernels::CompareLit<int8_t>(CmpOp::kLt, col8_.data(), 1000, out.data(),
+                              kLen);
+  for (int64_t j = 0; j < kLen; ++j) ASSERT_EQ(out[j], 1);
+  kernels::CompareLit<int8_t>(CmpOp::kGt, col8_.data(), 1000, out.data(),
+                              kLen);
+  for (int64_t j = 0; j < kLen; ++j) ASSERT_EQ(out[j], 0);
+}
+
+TEST_F(KernelsTest, CompareColAllOps) {
+  std::vector<uint8_t> out(kLen);
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kEq, CmpOp::kGe}) {
+    kernels::CompareCol<int8_t>(op, col8_.data(), other8_.data(), out.data(),
+                                kLen);
+    for (int64_t j = 0; j < kLen; ++j) {
+      ASSERT_EQ(out[j], ScalarCmp(op, col8_[j], other8_[j]) ? 1 : 0);
+    }
+  }
+}
+
+TEST_F(KernelsTest, ByteLogicOps) {
+  std::vector<uint8_t> a = cmp_;
+  std::vector<uint8_t> b(kLen);
+  for (int64_t j = 0; j < kLen; ++j) b[j] = (j % 3 == 0) ? 1 : 0;
+  std::vector<uint8_t> expect_and(kLen);
+  std::vector<uint8_t> expect_or(kLen);
+  for (int64_t j = 0; j < kLen; ++j) {
+    expect_and[j] = cmp_[j] & b[j];
+    expect_or[j] = cmp_[j] | b[j];
+  }
+  kernels::AndBytes(a.data(), b.data(), kLen);
+  EXPECT_EQ(a, expect_and);
+  a = cmp_;
+  kernels::OrBytes(a.data(), b.data(), kLen);
+  EXPECT_EQ(a, expect_or);
+  a = cmp_;
+  kernels::NotBytes(a.data(), kLen);
+  for (int64_t j = 0; j < kLen; ++j) ASSERT_EQ(a[j], 1 - cmp_[j]);
+}
+
+TEST_F(KernelsTest, SelVecVariantsAgree) {
+  std::vector<int32_t> branch(kLen);
+  std::vector<int32_t> nobranch(kLen);
+  std::vector<int32_t> lut(kLen);
+  int32_t n1 = kernels::SelVecFromCmpBranch(cmp_.data(), kLen, branch.data());
+  int32_t n2 =
+      kernels::SelVecFromCmpNoBranch(cmp_.data(), kLen, nobranch.data());
+  int32_t n3 = kernels::SelVecFromCmpLut(cmp_.data(), kLen, lut.data());
+  ASSERT_EQ(n1, n2);
+  ASSERT_EQ(n1, n3);
+  for (int32_t k = 0; k < n1; ++k) {
+    ASSERT_EQ(branch[k], nobranch[k]);
+    ASSERT_EQ(branch[k], lut[k]);
+    ASSERT_EQ(cmp_[branch[k]], 1);
+  }
+}
+
+TEST_F(KernelsTest, SelVecEdgeCases) {
+  std::vector<uint8_t> none(kLen, 0);
+  std::vector<uint8_t> all(kLen, 1);
+  std::vector<int32_t> idx(kLen);
+  EXPECT_EQ(kernels::SelVecFromCmpLut(none.data(), kLen, idx.data()), 0);
+  EXPECT_EQ(kernels::SelVecFromCmpLut(all.data(), kLen, idx.data()),
+            static_cast<int32_t>(kLen));
+  EXPECT_EQ(kernels::SelVecFromCmpBranch(none.data(), 0, idx.data()), 0);
+}
+
+TEST_F(KernelsTest, SelectAndRefineBranch) {
+  std::vector<int32_t> sel(kLen);
+  int32_t n = kernels::SelectLitBranch<int8_t>(CmpOp::kGt, col8_.data(), 0,
+                                               sel.data(), kLen);
+  for (int32_t k = 0; k < n; ++k) ASSERT_GT(col8_[sel[k]], 0);
+  std::vector<int32_t> refined(kLen);
+  int32_t m = kernels::RefineLitBranch<int8_t>(CmpOp::kLt, col8_.data(), 50,
+                                               sel.data(), n, refined.data());
+  for (int32_t k = 0; k < m; ++k) {
+    ASSERT_GT(col8_[refined[k]], 0);
+    ASSERT_LT(col8_[refined[k]], 50);
+  }
+  // Count must equal a direct scan.
+  int32_t expected = 0;
+  for (int64_t j = 0; j < kLen; ++j) {
+    if (col8_[j] > 0 && col8_[j] < 50) ++expected;
+  }
+  EXPECT_EQ(m, expected);
+}
+
+TEST_F(KernelsTest, GatherAndWiden) {
+  std::vector<int32_t> sel = {0, 5, 5, 999, 42};
+  std::vector<int64_t> out(sel.size());
+  kernels::Gather<int8_t>(col8_.data(), sel.data(),
+                          static_cast<int32_t>(sel.size()), out.data());
+  for (size_t k = 0; k < sel.size(); ++k) {
+    ASSERT_EQ(out[k], col8_[sel[k]]);
+  }
+  std::vector<int64_t> widened(kLen);
+  kernels::Widen<int32_t>(col32_.data(), kLen, widened.data());
+  for (int64_t j = 0; j < kLen; ++j) ASSERT_EQ(widened[j], col32_[j]);
+}
+
+TEST_F(KernelsTest, MaskedAggregationMatchesScalar) {
+  int64_t expect_sum = 0;
+  int64_t expect_prod = 0;
+  for (int64_t j = 0; j < kLen; ++j) {
+    if (cmp_[j]) {
+      expect_sum += col8_[j];
+      expect_prod += static_cast<int64_t>(col8_[j]) * other8_[j];
+    }
+  }
+  EXPECT_EQ(kernels::SumMasked<int8_t>(col8_.data(), cmp_.data(), kLen),
+            expect_sum);
+  int64_t prod = kernels::SumProductMasked<int8_t, int8_t>(
+      col8_.data(), other8_.data(), cmp_.data(), kLen);
+  EXPECT_EQ(prod, expect_prod);
+}
+
+TEST_F(KernelsTest, QuotientKernels) {
+  // Build a strictly positive divisor column.
+  std::vector<int8_t> divisor(kLen);
+  Rng rng(7);
+  for (auto& v : divisor) v = static_cast<int8_t>(rng.UniformInt(1, 100));
+  int64_t expect = 0;
+  for (int64_t j = 0; j < kLen; ++j) {
+    if (cmp_[j]) expect += static_cast<int64_t>(col32_[j]) / divisor[j];
+  }
+  int64_t quotient = kernels::SumQuotientMasked<int32_t, int8_t>(
+      col32_.data(), divisor.data(), cmp_.data(), kLen);
+  EXPECT_EQ(quotient, expect);
+}
+
+TEST_F(KernelsTest, SelAggregationMatchesMasked) {
+  std::vector<int32_t> sel(kLen);
+  int32_t n = kernels::SelVecFromCmpNoBranch(cmp_.data(), kLen, sel.data());
+  EXPECT_EQ(kernels::SumSel<int8_t>(col8_.data(), sel.data(), n),
+            kernels::SumMasked<int8_t>(col8_.data(), cmp_.data(), kLen));
+  int64_t via_sel = kernels::SumProductSel<int8_t, int8_t>(
+      col8_.data(), other8_.data(), sel.data(), n);
+  int64_t via_mask = kernels::SumProductMasked<int8_t, int8_t>(
+      col8_.data(), other8_.data(), cmp_.data(), kLen);
+  EXPECT_EQ(via_sel, via_mask);
+  EXPECT_EQ(kernels::CountBytes(cmp_.data(), kLen), n);
+}
+
+TEST_F(KernelsTest, AccessMergingFusion) {
+  std::vector<int64_t> tmp(kLen);
+  kernels::CompareLitMaskIntoTmp<int8_t>(CmpOp::kLt, col8_.data(), 13, kLen,
+                                         tmp.data());
+  for (int64_t j = 0; j < kLen; ++j) {
+    int64_t expect = col8_[j] < 13 ? col8_[j] : 0;
+    ASSERT_EQ(tmp[j], expect);
+  }
+  // Fused tmp * other masked by a residual cmp equals the three-step form.
+  int64_t merged = kernels::SumProductMasked<int8_t, int64_t>(
+      other8_.data(), tmp.data(), cmp_.data(), kLen);
+  int64_t expect = 0;
+  for (int64_t j = 0; j < kLen; ++j) {
+    if (cmp_[j] && col8_[j] < 13) {
+      expect += static_cast<int64_t>(other8_[j]) * col8_[j];
+    }
+  }
+  EXPECT_EQ(merged, expect);
+}
+
+TEST_F(KernelsTest, MaskKeys) {
+  std::vector<int64_t> keys(kLen);
+  kernels::MaskKeys<int32_t>(col32_.data(), cmp_.data(), INT64_MIN + 2, kLen,
+                             keys.data());
+  for (int64_t j = 0; j < kLen; ++j) {
+    ASSERT_EQ(keys[j], cmp_[j] ? col32_[j] : INT64_MIN + 2);
+  }
+}
+
+TEST_F(KernelsTest, LookupMask) {
+  std::vector<int8_t> codes(kLen);
+  Rng rng(5);
+  for (auto& c : codes) c = static_cast<int8_t>(rng.UniformInt(0, 9));
+  uint8_t mask[10] = {1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+  std::vector<uint8_t> out(kLen);
+  kernels::LookupMask<int8_t>(codes.data(), mask, out.data(), kLen);
+  for (int64_t j = 0; j < kLen; ++j) {
+    ASSERT_EQ(out[j], mask[codes[j]]);
+  }
+}
+
+}  // namespace
+}  // namespace swole

@@ -1,0 +1,178 @@
+// Microbenchmark substrate tests: schema/type conventions of Fig. 7a,
+// uniform distributions, fk integrity, cardinality capping, and
+// selectivity semantics of the [SEL] parameter.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cost/estimates.h"
+#include "engine/reference_engine.h"
+#include "micro/micro.h"
+#include "storage/table.h"
+#include "strategies/strategy.h"
+
+namespace swole {
+namespace {
+
+class MicroDataTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MicroConfig config;
+    config.r_rows = 40'000;
+    config.s_small_rows = 100;
+    config.s_large_rows = 2'000;
+    config.c_cardinalities = {10, 1'000, 1'000'000};  // last one capped
+    config.seed = 11;
+    data_ = MicroData::Generate(config).release();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static MicroData* data_;
+};
+
+MicroData* MicroDataTest::data_ = nullptr;
+
+TEST_F(MicroDataTest, SchemaAndNarrowTypes) {
+  const Table& r = data_->catalog.TableRef("r");
+  EXPECT_EQ(r.num_rows(), 40'000);
+  // Cardinality-100 attributes use int8 (null suppression).
+  EXPECT_EQ(r.ColumnRef("r_a").type().physical, PhysicalType::kInt8);
+  EXPECT_EQ(r.ColumnRef("r_x").type().physical, PhysicalType::kInt8);
+  // Fk columns sized to the referenced table.
+  EXPECT_EQ(r.ColumnRef("r_fk_small").type().physical, PhysicalType::kInt8);
+  EXPECT_EQ(r.ColumnRef("r_fk_large").type().physical,
+            PhysicalType::kInt16);
+}
+
+TEST_F(MicroDataTest, DomainsMatchFig7a) {
+  const Table& r = data_->catalog.TableRef("r");
+  EXPECT_GE(r.ColumnRef("r_a").MinValue(), 0);
+  EXPECT_LE(r.ColumnRef("r_a").MaxValue(), 99);
+  EXPECT_GE(r.ColumnRef("r_b").MinValue(), 1);  // safe divisor
+  EXPECT_LE(r.ColumnRef("r_b").MaxValue(), 100);
+  EXPECT_EQ(r.ColumnRef("r_y").MinValue(), 1);
+  EXPECT_EQ(r.ColumnRef("r_y").MaxValue(), 1);
+}
+
+TEST_F(MicroDataTest, CardinalityCapping) {
+  ASSERT_EQ(data_->c_columns.size(), 3u);
+  EXPECT_EQ(data_->c_actual[0], 10);
+  EXPECT_EQ(data_->c_actual[1], 1'000);
+  EXPECT_EQ(data_->c_actual[2], 10'000);  // capped at rows/4
+  const Table& r = data_->catalog.TableRef("r");
+  for (size_t c = 0; c < data_->c_columns.size(); ++c) {
+    EXPECT_LT(r.ColumnRef(data_->c_columns[c]).MaxValue(),
+              data_->c_actual[c]);
+  }
+}
+
+TEST_F(MicroDataTest, FkIndexesRegisteredAndDense) {
+  const Table& r = data_->catalog.TableRef("r");
+  Result<const FkIndex*> small = r.GetFkIndex("r_fk_small");
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ((*small)->referenced_size(), 100);
+  Result<const FkIndex*> large = r.GetFkIndex("r_fk_large");
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ((*large)->referenced_size(), 2'000);
+  // Dense pk => offset equals the fk value.
+  for (int64_t row = 0; row < 200; ++row) {
+    EXPECT_EQ((*small)->OffsetAt(row),
+              static_cast<uint32_t>(r.ColumnRef("r_fk_small").ValueAt(row)));
+  }
+}
+
+TEST_F(MicroDataTest, SelParameterIsSelectivityPercent) {
+  const Table& r = data_->catalog.TableRef("r");
+  for (int64_t sel : {0, 25, 50, 75, 100}) {
+    QueryPlan plan = MicroQ1(false, sel);
+    double measured =
+        EstimateSelectivity(r, *plan.fact_filter, r.num_rows());
+    EXPECT_NEAR(measured, sel / 100.0, 0.02) << "sel " << sel;
+  }
+}
+
+TEST_F(MicroDataTest, GenerationIsDeterministic) {
+  MicroConfig config = data_->config;
+  auto again = MicroData::Generate(config);
+  const Table& a = data_->catalog.TableRef("r");
+  const Table& b = again->catalog.TableRef("r");
+  for (int64_t row = 0; row < 100; ++row) {
+    EXPECT_EQ(a.ColumnRef("r_a").ValueAt(row),
+              b.ColumnRef("r_a").ValueAt(row));
+    EXPECT_EQ(a.ColumnRef("r_fk_large").ValueAt(row),
+              b.ColumnRef("r_fk_large").ValueAt(row));
+  }
+}
+
+TEST_F(MicroDataTest, DifferentSeedsDiffer) {
+  MicroConfig config = data_->config;
+  config.seed = 999;
+  config.r_rows = 1'000;
+  auto other = MicroData::Generate(config);
+  const Table& a = data_->catalog.TableRef("r");
+  const Table& b = other->catalog.TableRef("r");
+  int differing = 0;
+  for (int64_t row = 0; row < 1'000; ++row) {
+    if (a.ColumnRef("r_a").ValueAt(row) != b.ColumnRef("r_a").ValueAt(row)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 900);
+}
+
+TEST_F(MicroDataTest, ZipfSkewConcentratesKeys) {
+  MicroConfig config = data_->config;
+  config.r_rows = 20'000;
+  config.zipf_theta = 0.9;
+  auto skewed = MicroData::Generate(config);
+  const Column& fk = skewed->catalog.TableRef("r").ColumnRef("r_fk_large");
+  // Count occurrences; under theta=0.9 the hottest key draws far more
+  // than the uniform expectation (rows / card = 10).
+  std::map<int64_t, int64_t> counts;
+  for (int64_t row = 0; row < fk.size(); ++row) counts[fk.ValueAt(row)]++;
+  int64_t hottest = 0;
+  for (const auto& [key, count] : counts) hottest = std::max(hottest, count);
+  EXPECT_GT(hottest, 100);
+  // Every key still resolves through the fk index (values in range).
+  EXPECT_TRUE(
+      skewed->catalog.TableRef("r").GetFkIndex("r_fk_large").ok());
+}
+
+TEST_F(MicroDataTest, SkewedDataStillAgreesAcrossStrategies) {
+  MicroConfig config = data_->config;
+  config.r_rows = 10'000;
+  config.zipf_theta = 0.8;
+  auto skewed = MicroData::Generate(config);
+  QueryPlan plan = MicroQ2(skewed->c_columns[1], skewed->c_actual[1], 60);
+  ReferenceEngine oracle(skewed->catalog);
+  QueryResult expected = oracle.Execute(plan).value();
+  for (StrategyKind kind :
+       {StrategyKind::kDataCentric, StrategyKind::kHybrid,
+        StrategyKind::kRof, StrategyKind::kSwole}) {
+    QueryResult actual =
+        MakeStrategy(kind, skewed->catalog)->Execute(plan).value();
+    EXPECT_EQ(actual, expected) << StrategyKindName(kind);
+  }
+}
+
+TEST_F(MicroDataTest, QueryBuildersValidate) {
+  for (int64_t sel : {0, 50, 100}) {
+    EXPECT_TRUE(
+        ValidatePlan(MicroQ1(false, sel), data_->catalog).ok());
+    EXPECT_TRUE(ValidatePlan(MicroQ1(true, sel), data_->catalog).ok());
+    EXPECT_TRUE(ValidatePlan(MicroQ3(true, sel), data_->catalog).ok());
+    EXPECT_TRUE(
+        ValidatePlan(MicroQ4(false, sel, 100 - sel), data_->catalog).ok());
+    EXPECT_TRUE(ValidatePlan(MicroQ5(true, sel, 2'000), data_->catalog).ok());
+  }
+  EXPECT_TRUE(ValidatePlan(MicroQ2(data_->c_columns[1], data_->c_actual[1],
+                                   40),
+                           data_->catalog)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace swole

@@ -1,0 +1,296 @@
+// Unit tests for src/storage: types, columns, dictionary, table, fk index,
+// positional bitmaps (plain + compressed).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "storage/bitmap.h"
+#include "storage/column.h"
+#include "storage/dictionary.h"
+#include "storage/fk_index.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace swole {
+namespace {
+
+TEST(TypesTest, PhysicalSizes) {
+  EXPECT_EQ(PhysicalTypeSize(PhysicalType::kInt8), 1);
+  EXPECT_EQ(PhysicalTypeSize(PhysicalType::kInt16), 2);
+  EXPECT_EQ(PhysicalTypeSize(PhysicalType::kInt32), 4);
+  EXPECT_EQ(PhysicalTypeSize(PhysicalType::kInt64), 8);
+}
+
+TEST(TypesTest, NarrowestPhysicalType) {
+  EXPECT_EQ(NarrowestPhysicalType(0, 100), PhysicalType::kInt8);
+  EXPECT_EQ(NarrowestPhysicalType(-128, 127), PhysicalType::kInt8);
+  EXPECT_EQ(NarrowestPhysicalType(0, 128), PhysicalType::kInt16);
+  EXPECT_EQ(NarrowestPhysicalType(0, 40000), PhysicalType::kInt32);
+  EXPECT_EQ(NarrowestPhysicalType(0, int64_t{1} << 40),
+            PhysicalType::kInt64);
+}
+
+TEST(TypesTest, DecimalScaleFactor) {
+  EXPECT_EQ(DecimalScaleFactor(0), 1);
+  EXPECT_EQ(DecimalScaleFactor(2), 100);
+  EXPECT_EQ(DecimalScaleFactor(6), 1000000);
+}
+
+TEST(TypesTest, DispatchBindsMatchingType) {
+  int width = DispatchPhysical(PhysicalType::kInt16, []<typename T>() {
+    return static_cast<int>(sizeof(T));
+  });
+  EXPECT_EQ(width, 2);
+}
+
+TEST(ColumnTest, AppendAndRead) {
+  Column col("x", ColumnType::Int(PhysicalType::kInt8));
+  for (int i = 0; i < 10; ++i) col.Append(i * 3);
+  EXPECT_EQ(col.size(), 10);
+  EXPECT_EQ(col.ValueAt(4), 12);
+  const int8_t* raw = col.Data<int8_t>();
+  EXPECT_EQ(raw[9], 27);
+  EXPECT_EQ(col.MinValue(), 0);
+  EXPECT_EQ(col.MaxValue(), 27);
+  EXPECT_EQ(col.ByteSize(), 10);
+}
+
+TEST(ColumnTest, AppendN) {
+  Column col("x", ColumnType::Int(PhysicalType::kInt32));
+  int64_t values[] = {5, -7, 1000000};
+  col.AppendN(values, 3);
+  EXPECT_EQ(col.size(), 3);
+  EXPECT_EQ(col.ValueAt(1), -7);
+  EXPECT_EQ(col.ValueAt(2), 1000000);
+}
+
+TEST(ColumnTest, StatsInvalidateOnAppend) {
+  Column col("x", ColumnType::Int(PhysicalType::kInt64));
+  col.Append(5);
+  EXPECT_EQ(col.MaxValue(), 5);
+  col.Append(99);
+  EXPECT_EQ(col.MaxValue(), 99);
+}
+
+TEST(DictionaryTest, SortedDenseCodes) {
+  Dictionary dict =
+      Dictionary::FromValues({"banana", "apple", "cherry", "apple"});
+  EXPECT_EQ(dict.size(), 3);
+  EXPECT_EQ(dict.Lookup("apple"), 0);
+  EXPECT_EQ(dict.Lookup("banana"), 1);
+  EXPECT_EQ(dict.Lookup("cherry"), 2);
+  EXPECT_EQ(dict.Lookup("durian"), -1);
+  EXPECT_EQ(dict.At(1), "banana");
+}
+
+TEST(DictionaryTest, LikeMaskAndMatches) {
+  Dictionary dict = Dictionary::FromValues(
+      {"PROMO ANODIZED", "STANDARD BRUSHED", "PROMO PLATED", "ECONOMY"});
+  std::vector<int32_t> matches = dict.MatchLike("PROMO%");
+  ASSERT_EQ(matches.size(), 2u);
+  std::vector<uint8_t> mask = dict.LikeMask("PROMO%");
+  int set = 0;
+  for (int32_t code = 0; code < dict.size(); ++code) {
+    if (mask[code]) {
+      ++set;
+      EXPECT_TRUE(dict.At(code).starts_with("PROMO"));
+    }
+  }
+  EXPECT_EQ(set, 2);
+}
+
+TEST(ColumnTest, StringViaDictionary) {
+  auto dict = std::make_shared<Dictionary>(
+      Dictionary::FromValues({"LOW", "HIGH", "MEDIUM"}));
+  Column col("prio", ColumnType::String());
+  col.set_dictionary(dict);
+  col.Append(dict->Lookup("HIGH"));
+  col.Append(dict->Lookup("LOW"));
+  EXPECT_EQ(col.StringAt(0), "HIGH");
+  EXPECT_EQ(col.StringAt(1), "LOW");
+}
+
+std::unique_ptr<Column> MakeIntColumn(const std::string& name,
+                                      std::vector<int64_t> values) {
+  auto col =
+      std::make_unique<Column>(name, ColumnType::Int(PhysicalType::kInt64));
+  for (int64_t v : values) col->Append(v);
+  return col;
+}
+
+TEST(TableTest, AddAndLookup) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1, 2, 3})).ok());
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("b", {4, 5, 6})).ok());
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("z"));
+  EXPECT_EQ(t.ColumnRef("b").ValueAt(2), 6);
+  EXPECT_FALSE(t.GetColumn("z").ok());
+  EXPECT_EQ(t.ColumnNames().size(), 2u);
+  EXPECT_EQ(t.ByteSize(), 48);
+}
+
+TEST(TableTest, RejectsMismatchedLength) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1, 2, 3})).ok());
+  Status st = t.AddColumn(MakeIntColumn("b", {4, 5}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsDuplicateName) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn(MakeIntColumn("a", {1})).ok());
+  EXPECT_EQ(t.AddColumn(MakeIntColumn("a", {2})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(FkIndexTest, DensePrimaryKeys) {
+  auto pk = MakeIntColumn("pk", {100, 101, 102, 103});
+  auto fk = MakeIntColumn("fk", {103, 100, 100, 102, 101});
+  Result<FkIndex> index = FkIndex::Build(*fk, *pk);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->size(), 5);
+  EXPECT_EQ(index->referenced_size(), 4);
+  EXPECT_EQ(index->OffsetAt(0), 3u);
+  EXPECT_EQ(index->OffsetAt(1), 0u);
+  EXPECT_EQ(index->OffsetAt(3), 2u);
+}
+
+TEST(FkIndexTest, SparsePrimaryKeys) {
+  auto pk = MakeIntColumn("pk", {7, 99, 23});
+  auto fk = MakeIntColumn("fk", {23, 7, 99, 99});
+  Result<FkIndex> index = FkIndex::Build(*fk, *pk);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->OffsetAt(0), 2u);
+  EXPECT_EQ(index->OffsetAt(1), 0u);
+  EXPECT_EQ(index->OffsetAt(2), 1u);
+  EXPECT_EQ(index->OffsetAt(3), 1u);
+}
+
+TEST(FkIndexTest, DetectsIntegrityViolation) {
+  auto pk = MakeIntColumn("pk", {0, 1, 2});
+  auto fk = MakeIntColumn("fk", {0, 5});
+  EXPECT_FALSE(FkIndex::Build(*fk, *pk).ok());
+}
+
+TEST(FkIndexTest, DetectsDuplicatePk) {
+  auto pk = MakeIntColumn("pk", {3, 9, 3});
+  auto fk = MakeIntColumn("fk", {9});
+  EXPECT_FALSE(FkIndex::Build(*fk, *pk).ok());
+}
+
+TEST(TableTest, FkIndexRegistration) {
+  Table s("s");
+  ASSERT_TRUE(s.AddColumn(MakeIntColumn("pk", {0, 1, 2})).ok());
+  Table r("r");
+  ASSERT_TRUE(r.AddColumn(MakeIntColumn("fk", {2, 0, 1, 1})).ok());
+  Result<FkIndex> index =
+      FkIndex::Build(r.ColumnRef("fk"), s.ColumnRef("pk"));
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(r.AddFkIndex("fk", std::move(index).value()).ok());
+  Result<const FkIndex*> fetched = r.GetFkIndex("fk");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->OffsetAt(0), 2u);
+  EXPECT_FALSE(r.GetFkIndex("nope").ok());
+}
+
+TEST(BitmapTest, SetTestClear) {
+  PositionalBitmap bm(200);
+  EXPECT_EQ(bm.num_bits(), 200);
+  EXPECT_FALSE(bm.Test(63));
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(199);
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(199));
+  EXPECT_FALSE(bm.Test(65));
+  EXPECT_EQ(bm.CountSetBits(), 3);
+  bm.Clear(64);
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_EQ(bm.CountSetBits(), 2);
+}
+
+TEST(BitmapTest, SetToIsUnconditionalStore) {
+  PositionalBitmap bm(10);
+  bm.SetTo(5, true);
+  EXPECT_TRUE(bm.Test(5));
+  bm.SetTo(5, false);
+  EXPECT_FALSE(bm.Test(5));
+}
+
+TEST(BitmapTest, PackBytesMatchesScalar) {
+  Rng rng(11);
+  constexpr int64_t kBits = 1000;
+  std::vector<uint8_t> cmp(kBits);
+  for (auto& b : cmp) b = rng.Bernoulli(0.3) ? 1 : 0;
+
+  PositionalBitmap packed(kBits);
+  // Pack in tile-sized chunks with a 64-aligned fast path + scalar tail.
+  constexpr int64_t kTile = 256;
+  for (int64_t start = 0; start < kBits; start += kTile) {
+    int64_t len = std::min(kTile, kBits - start);
+    packed.PackBytes(start, cmp.data() + start, len);
+  }
+  for (int64_t i = 0; i < kBits; ++i) {
+    EXPECT_EQ(packed.Test(i), cmp[i] != 0) << "bit " << i;
+  }
+}
+
+TEST(BitmapTest, AndOr) {
+  PositionalBitmap a(128);
+  PositionalBitmap b(128);
+  a.Set(1);
+  a.Set(100);
+  b.Set(100);
+  b.Set(101);
+  PositionalBitmap a_and = a;
+  // PositionalBitmap is copyable via default copy (vector member).
+  a_and.And(b);
+  EXPECT_EQ(a_and.CountSetBits(), 1);
+  EXPECT_TRUE(a_and.Test(100));
+  a.Or(b);
+  EXPECT_EQ(a.CountSetBits(), 3);
+}
+
+TEST(CompressedBitmapTest, RoundTripMixed) {
+  Rng rng(3);
+  PositionalBitmap bm(5000);
+  for (int64_t i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.5)) bm.Set(i);
+  }
+  CompressedBitmap cb = CompressedBitmap::Compress(bm);
+  EXPECT_EQ(cb.num_bits(), 5000);
+  for (int64_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(cb.Test(i), bm.Test(i)) << "bit " << i;
+  }
+}
+
+TEST(CompressedBitmapTest, ElidesUniformBlocks) {
+  // 512-bit blocks: [all ones][all zeros][mixed]
+  PositionalBitmap bm(3 * 512);
+  for (int64_t i = 0; i < 512; ++i) bm.Set(i);
+  bm.Set(1024 + 7);
+  CompressedBitmap cb = CompressedBitmap::Compress(bm);
+  EXPECT_EQ(cb.num_mixed_blocks(), 1);
+  EXPECT_LT(cb.ByteSize(), bm.ByteSize());
+  EXPECT_TRUE(cb.Test(0));
+  EXPECT_TRUE(cb.Test(511));
+  EXPECT_FALSE(cb.Test(512));
+  EXPECT_TRUE(cb.Test(1024 + 7));
+  EXPECT_FALSE(cb.Test(1024 + 8));
+}
+
+TEST(CompressedBitmapTest, PartialFinalBlock) {
+  PositionalBitmap bm(100);
+  for (int64_t i = 0; i < 100; ++i) bm.Set(i);
+  CompressedBitmap cb = CompressedBitmap::Compress(bm);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_TRUE(cb.Test(i));
+}
+
+}  // namespace
+}  // namespace swole

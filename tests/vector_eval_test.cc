@@ -1,0 +1,98 @@
+// Direct tests of VectorEvaluator's override frames (compacted
+// evaluation over gathered buffers) — the mechanism behind hybrid/ROF's
+// post-gather expression evaluation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "expr/expr.h"
+#include "expr/vector_eval.h"
+#include "storage/table.h"
+
+namespace swole {
+namespace {
+
+class VectorEvalOverrideTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>("t");
+    auto a = std::make_unique<Column>("a", ColumnType::Int(PhysicalType::kInt8));
+    auto b = std::make_unique<Column>("b", ColumnType::Int(PhysicalType::kInt8));
+    for (int i = 0; i < 100; ++i) {
+      a->Append(i % 50);
+      b->Append(1 + i % 7);
+    }
+    table_->AddColumn(std::move(a)).CheckOK();
+    table_->AddColumn(std::move(b)).CheckOK();
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(VectorEvalOverrideTest, NumericUsesOverrideBuffers) {
+  VectorEvaluator eval(*table_, 16);
+  // Pretend lanes were gathered: 4 compacted values per column.
+  int64_t a_vals[4] = {10, 20, 30, 40};
+  int64_t b_vals[4] = {1, 2, 3, 4};
+  VectorEvaluator::Overrides overrides = {{"a", a_vals}, {"b", b_vals}};
+  eval.SetOverrides(&overrides);
+  ExprPtr expr = Add(Mul(Col("a"), Col("b")), Lit(5));
+  int64_t out[4];
+  eval.EvalNumeric(*expr, 0, 4, out);
+  eval.SetOverrides(nullptr);
+  EXPECT_EQ(out[0], 15);
+  EXPECT_EQ(out[1], 45);
+  EXPECT_EQ(out[2], 95);
+  EXPECT_EQ(out[3], 165);
+}
+
+TEST_F(VectorEvalOverrideTest, BooleanFastPathsUseOverrides) {
+  VectorEvaluator eval(*table_, 16);
+  int64_t a_vals[4] = {5, 15, 25, 35};
+  VectorEvaluator::Overrides overrides = {{"a", a_vals}};
+  eval.SetOverrides(&overrides);
+  uint8_t cmp[4];
+  ExprPtr lt = Lt(Col("a"), Lit(20));
+  eval.EvalBool(*lt, 0, 4, cmp);
+  EXPECT_EQ(cmp[0], 1);
+  EXPECT_EQ(cmp[1], 1);
+  EXPECT_EQ(cmp[2], 0);
+  EXPECT_EQ(cmp[3], 0);
+  ExprPtr in = InList(Col("a"), {15, 35});
+  eval.EvalBool(*in, 0, 4, cmp);
+  eval.SetOverrides(nullptr);
+  EXPECT_EQ(cmp[0], 0);
+  EXPECT_EQ(cmp[1], 1);
+  EXPECT_EQ(cmp[2], 0);
+  EXPECT_EQ(cmp[3], 1);
+}
+
+TEST_F(VectorEvalOverrideTest, ClearingOverridesRestoresTableAccess) {
+  VectorEvaluator eval(*table_, 16);
+  int64_t a_vals[2] = {1000, 2000};
+  VectorEvaluator::Overrides overrides = {{"a", a_vals}};
+  eval.SetOverrides(&overrides);
+  int64_t out[2];
+  eval.EvalNumeric(*Col("a"), 0, 2, out);
+  EXPECT_EQ(out[0], 1000);
+  eval.SetOverrides(nullptr);
+  eval.EvalNumeric(*Col("a"), 0, 2, out);
+  EXPECT_EQ(out[0], 0);  // table row 0: 0 % 50
+  EXPECT_EQ(out[1], 1);
+}
+
+TEST_F(VectorEvalOverrideTest, StartOffsetsApplyToOverrides) {
+  VectorEvaluator eval(*table_, 16);
+  int64_t a_vals[6] = {0, 1, 2, 3, 4, 5};
+  VectorEvaluator::Overrides overrides = {{"a", a_vals}};
+  eval.SetOverrides(&overrides);
+  int64_t out[3];
+  eval.EvalNumeric(*Col("a"), /*start=*/2, /*len=*/3, out);
+  eval.SetOverrides(nullptr);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[2], 4);
+}
+
+}  // namespace
+}  // namespace swole
