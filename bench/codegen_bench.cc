@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bench_util.h"
 #include "codegen/jit.h"
+#include "common/logging.h"
 #include "micro/micro.h"
 
 namespace swole {
@@ -23,7 +26,14 @@ void RegisterJit(const std::string& name, const MicroData& data,
                  QueryPlan plan, const codegen::GeneratorOptions& options) {
   Result<std::unique_ptr<codegen::CompiledKernel>> compiled =
       codegen::GenerateAndCompile(plan, data.catalog, options);
-  compiled.status().CheckOK();
+  if (!compiled.ok()) {
+    // Compiles can be made to fail on purpose (SWOLE_FAULT, SWOLE_CXX);
+    // skip the pure-JIT row then — jit-resilient/ rows still run and show
+    // the fallback cost.
+    SWOLE_LOG(WARNING) << "skipping " << name
+                       << ": " << compiled.status().ToString();
+    return;
+  }
   KernelPool().push_back(std::move(compiled).value());
   codegen::CompiledKernel* kernel = KernelPool().back().get();
   const Catalog* catalog = &data.catalog;
@@ -37,6 +47,34 @@ void RegisterJit(const std::string& name, const MicroData& data,
                                        result->scalar[0]);
                                  }
                                })
+      ->Unit(benchmark::kMillisecond);
+}
+
+// End-to-end resilient path: generate + compile (kernel-cache hit after the
+// first iteration) + run, through ExecuteWithFallback. The gap between this
+// row and the matching jit/ row is the cache-lookup + generation overhead;
+// under SWOLE_FAULT=jit_compile:1.0 it becomes the interpreted-fallback
+// cost instead.
+void RegisterResilient(const std::string& name, const MicroData& data,
+                       QueryPlan plan,
+                       const codegen::GeneratorOptions& options) {
+  auto* shared_plan = new QueryPlan(std::move(plan));
+  const Catalog* catalog = &data.catalog;
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [shared_plan, catalog, options](benchmark::State& state) {
+        for (auto _ : state) {
+          Result<QueryResult> result = codegen::ExecuteWithFallback(
+              *shared_plan, *catalog, options);
+          result.status().CheckOK();
+          benchmark::DoNotOptimize(result->scalar[0]);
+        }
+        codegen::JitStats::Snapshot stats =
+            codegen::GlobalJitStats().snapshot();
+        state.counters["cache_hits"] = static_cast<double>(
+            stats.cache_hits_memory + stats.cache_hits_disk);
+        state.counters["fallbacks"] = static_cast<double>(stats.fallbacks);
+      })
       ->Unit(benchmark::kMillisecond);
 }
 
@@ -74,6 +112,9 @@ void RegisterAll(const MicroData& data) {
     RegisterJit(StringFormat("jit/value-masking/sel:%lld",
                              static_cast<long long>(sel)),
                 data, MicroQ1(false, sel), sw);
+    RegisterResilient(StringFormat("jit-resilient/value-masking/sel:%lld",
+                                   static_cast<long long>(sel)),
+                      data, MicroQ1(false, sel), sw);
   }
 }
 
@@ -85,5 +126,7 @@ int main(int argc, char** argv) {
   auto data = swole::MicroData::Generate(swole::MicroConfig::FromEnv());
   swole::RegisterAll(*data);
   benchmark::RunSpecifiedBenchmarks();
+  std::fprintf(stderr, "JIT pipeline stats: %s\n",
+               swole::codegen::GlobalJitStats().snapshot().ToString().c_str());
   return 0;
 }

@@ -42,13 +42,18 @@ int main() {
     kernel.status().CheckOK();
     std::printf("%s\n", kernel->source.c_str());
 
+    // ExecuteWithFallback survives a broken toolchain: try e.g.
+    //   SWOLE_FAULT=jit_compile:1.0 ./build/examples/codegen_inspect
+    // and the interpreted engine serves the same answer.
     QueryPlan run_plan = MicroQ1(false, 13);
-    Result<std::unique_ptr<codegen::CompiledKernel>> compiled =
-        codegen::GenerateAndCompile(run_plan, data->catalog,
-                                    variant.options);
-    compiled.status().CheckOK();
-    QueryResult result = (*compiled)->Run(data->catalog).value();
-    std::printf("--> compiled & executed: sum = %lld\n\n",
+    codegen::ExecutionReport report;
+    QueryResult result =
+        codegen::ExecuteWithFallback(run_plan, data->catalog,
+                                     variant.options, {}, &report)
+            .value();
+    std::printf("--> %s: sum = %lld\n\n",
+                report.used_jit ? "compiled & executed"
+                                : "compile failed, executed interpreted",
                 static_cast<long long>(result.scalar[0]));
   }
   return 0;

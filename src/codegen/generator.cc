@@ -66,7 +66,10 @@ class SlotTable {
   }
 
   // Variable name of a dim's fk offset array (positional joins).
-  std::string FkOffsets(const std::string& table, const std::string& fk) {
+  // `ref_table` is the referenced primary-key table, recorded so Run can
+  // bounds-check the index against the bound catalog.
+  std::string FkOffsets(const std::string& table, const std::string& fk,
+                        const std::string& ref_table) {
     for (size_t s = 0; s < fk_tables_.size(); ++s) {
       if (fk_tables_[s] == table && fk_columns_[s] == fk) {
         return StringFormat("offs%d", static_cast<int>(s));
@@ -74,6 +77,7 @@ class SlotTable {
     }
     fk_tables_.push_back(table);
     fk_columns_.push_back(fk);
+    fk_ref_tables_.push_back(ref_table);
     return StringFormat("offs%d", static_cast<int>(fk_tables_.size() - 1));
   }
 
@@ -100,6 +104,7 @@ class SlotTable {
   std::vector<std::string> tables_;
   std::vector<std::string> fk_tables_;
   std::vector<std::string> fk_columns_;
+  std::vector<std::string> fk_ref_tables_;
 
  private:
   const Catalog& catalog_;
@@ -279,7 +284,7 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       body.Line(StringFormat("bm%d.SetTo(i, (%s) != 0);",
                              static_cast<int>(d), pred.c_str()));
       body.Close();
-      slots.FkOffsets(fact, dim.hop.fk_column);
+      slots.FkOffsets(fact, dim.hop.fk_column, dim.hop.to_table);
     } else {
       // Hash set of qualifying primary keys, probed by value.
       body.Line(StringFormat("swole::HashTable dim%d(0, %s);",
@@ -384,7 +389,8 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       // Positional bitmap probes fold into the mask (predicate pullup).
       for (size_t d = 0; d < plan.dims.size(); ++d) {
         std::string offs =
-            slots.FkOffsets(fact, plan.dims[d].hop.fk_column);
+            slots.FkOffsets(fact, plan.dims[d].hop.fk_column,
+                            plan.dims[d].hop.to_table);
         body.Open("for (int64_t j = 0; j < len; ++j) {");
         body.Line(StringFormat("cmp[j] &= (uint8_t)bm%d.Test(%s[i + j]);",
                                static_cast<int>(d), offs.c_str()));
@@ -546,6 +552,7 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   kernel.table_slots = slots.tables_;
   kernel.fk_slots_table = slots.fk_tables_;
   kernel.fk_slots_column = slots.fk_columns_;
+  kernel.fk_slots_ref_table = slots.fk_ref_tables_;
   kernel.num_aggs = naggs;
   kernel.grouped = grouped;
   return kernel;

@@ -59,6 +59,10 @@ struct GeneratedKernel {
   std::vector<std::string> table_slots;     // tables, slot order
   std::vector<std::string> fk_slots_table;  // fk owner table per dim slot
   std::vector<std::string> fk_slots_column; // fk column per dim slot
+  // Referenced (primary-key) table per dim slot; Run validates that the
+  // bound fk index is sized for the owner and referenced tables it is given,
+  // so stale indexes can't send generated code out of bounds.
+  std::vector<std::string> fk_slots_ref_table;
   int num_aggs = 0;
   bool grouped = false;
 };

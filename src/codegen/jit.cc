@@ -1,17 +1,19 @@
 #include "codegen/jit.h"
 
-#include <dlfcn.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/subprocess.h"
+#include "engine/reference_engine.h"
 #include "storage/table.h"
+#include "strategies/strategy.h"
 
 // The include root for the header-only runtime the generated code uses,
 // injected by the build (src/CMakeLists.txt).
@@ -25,31 +27,226 @@ namespace {
 
 std::atomic<int64_t> g_kernel_counter{0};
 
-Result<std::string> MakeWorkDir(const JitOptions& options) {
-  if (!options.work_dir.empty()) return options.work_dir;
+struct WorkDir {
+  std::string path;
+  bool auto_created = false;
+};
+
+Result<WorkDir> MakeWorkDir(const JitOptions& options) {
+  SWOLE_FAULT_POINT("jit_workdir",
+                    Status::IOError("injected fault: jit_workdir"));
+  if (!options.work_dir.empty()) return WorkDir{options.work_dir, false};
   std::string tmpl = "/tmp/swole_jit_XXXXXX";
   if (::mkdtemp(tmpl.data()) == nullptr) {
     return Status::IOError("mkdtemp failed for JIT work dir");
   }
-  return tmpl;
+  return WorkDir{tmpl, true};
+}
+
+// Removes the artifacts of one compile (and the work dir itself, when it was
+// auto-created) unless disarmed. Runs on every exit path — error paths must
+// not leak /tmp/swole_jit_* directories any more than success paths.
+class ArtifactGuard {
+ public:
+  ~ArtifactGuard() {
+    if (!armed_) return;
+    for (const std::string& file : files_) std::remove(file.c_str());
+    if (remove_dir_) ::rmdir(dir_.c_str());
+  }
+
+  void Track(std::string file) { files_.push_back(std::move(file)); }
+  void TrackDir(std::string dir, bool auto_created) {
+    dir_ = std::move(dir);
+    remove_dir_ = auto_created;
+  }
+  void Disarm() { armed_ = false; }
+
+ private:
+  std::vector<std::string> files_;
+  std::string dir_;
+  bool remove_dir_ = false;
+  bool armed_ = true;
+};
+
+std::string ResolvedCompiler(const JitOptions& options) {
+  return GetEnvString("SWOLE_CXX", options.compiler);
+}
+
+// The flag configuration identifying a compile, independent of which ladder
+// rung ends up succeeding — so a query whose first compile degraded to -O2
+// still hits the cache the next time around.
+std::string FlagConfig(const JitOptions& options) {
+  std::vector<std::string> rungs = {options.extra_flags};
+  rungs.insert(rungs.end(), options.degrade_flags.begin(),
+               options.degrade_flags.end());
+  return StrJoin(rungs, "|");
+}
+
+std::vector<std::string> SplitFlags(const std::string& flags) {
+  std::vector<std::string> tokens;
+  for (std::string& token : StrSplit(flags, ' ')) {
+    if (!token.empty()) tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Status ValidateExecToken(const char* what, const std::string& value) {
+  if (!IsExecSafe(value)) {
+    return Status::InvalidArgument(StringFormat(
+        "JitOptions: %s \"%s\" contains characters unsafe for exec "
+        "(whitespace/quotes/shell metacharacters)",
+        what, value.c_str()));
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
-CompiledKernel::~CompiledKernel() {
-  if (handle_ != nullptr) ::dlclose(handle_);
+Status JitOptions::Validate() const {
+  SWOLE_RETURN_NOT_OK(ValidateExecToken("compiler", compiler));
+  for (const std::string& token : SplitFlags(extra_flags)) {
+    SWOLE_RETURN_NOT_OK(ValidateExecToken("flag", token));
+  }
+  for (const std::string& rung : degrade_flags) {
+    for (const std::string& token : SplitFlags(rung)) {
+      SWOLE_RETURN_NOT_OK(ValidateExecToken("flag", token));
+    }
+  }
+  if (!work_dir.empty()) {
+    SWOLE_RETURN_NOT_OK(ValidateExecToken("work_dir", work_dir));
+  }
+  if (!disk_cache_dir.empty()) {
+    SWOLE_RETURN_NOT_OK(ValidateExecToken("disk_cache_dir", disk_cache_dir));
+  }
+  if (compile_timeout_ms < 0) {
+    return Status::InvalidArgument("JitOptions: negative compile_timeout_ms");
+  }
+  return Status::OK();
+}
+
+JitStats::Snapshot JitStats::snapshot() const {
+  Snapshot s;
+  s.compiles = compiles.load();
+  s.compile_failures = compile_failures.load();
+  s.retries = retries.load();
+  s.timeouts = timeouts.load();
+  s.cache_hits_memory = cache_hits_memory.load();
+  s.cache_hits_disk = cache_hits_disk.load();
+  s.fallbacks = fallbacks.load();
+  s.compile_ms = compile_ms.load();
+  return s;
+}
+
+void JitStats::Reset() {
+  compiles.store(0);
+  compile_failures.store(0);
+  retries.store(0);
+  timeouts.store(0);
+  cache_hits_memory.store(0);
+  cache_hits_disk.store(0);
+  fallbacks.store(0);
+  compile_ms.store(0);
+}
+
+std::string JitStats::Snapshot::ToString() const {
+  return StringFormat(
+      "compiles=%lld failures=%lld retries=%lld timeouts=%lld "
+      "cache_hits=%lld(mem)/%lld(disk) fallbacks=%lld compile_ms=%lld",
+      static_cast<long long>(compiles),
+      static_cast<long long>(compile_failures),
+      static_cast<long long>(retries), static_cast<long long>(timeouts),
+      static_cast<long long>(cache_hits_memory),
+      static_cast<long long>(cache_hits_disk),
+      static_cast<long long>(fallbacks),
+      static_cast<long long>(compile_ms));
+}
+
+JitStats& GlobalJitStats() {
+  static JitStats* stats = [] {
+    auto* s = new JitStats();
+    std::atexit([] {
+      JitStats::Snapshot snap = GlobalJitStats().snapshot();
+      if (snap.compiles + snap.cache_hits_memory + snap.cache_hits_disk +
+              snap.fallbacks ==
+          0) {
+        return;
+      }
+      SWOLE_LOG(INFO) << "JIT shutdown stats: " << snap.ToString();
+    });
+    return s;
+  }();
+  return *stats;
 }
 
 Result<std::unique_ptr<CompiledKernel>> CompileKernel(
     GeneratedKernel kernel, const QueryPlan& plan,
     const JitOptions& options) {
-  SWOLE_ASSIGN_OR_RETURN(std::string dir, MakeWorkDir(options));
+  SWOLE_RETURN_NOT_OK(options.Validate());
+  JitStats& stats = GlobalJitStats();
+  std::string compiler = ResolvedCompiler(options);
+  SWOLE_RETURN_NOT_OK(ValidateExecToken("compiler (SWOLE_CXX)", compiler));
+  std::string disk_cache_dir =
+      GetEnvString("SWOLE_KERNEL_CACHE_DIR", options.disk_cache_dir);
+  if (!disk_cache_dir.empty()) {
+    SWOLE_RETURN_NOT_OK(
+        ValidateExecToken("disk_cache_dir (SWOLE_KERNEL_CACHE_DIR)",
+                          disk_cache_dir));
+  }
+
+  std::string cache_key =
+      KernelCacheKey(kernel.source, compiler, FlagConfig(options));
+
+  auto make_compiled = [&](std::shared_ptr<KernelLibrary> library,
+                           std::string source_path, bool from_cache) {
+    auto compiled = std::unique_ptr<CompiledKernel>(new CompiledKernel());
+    compiled->kernel_ = std::move(kernel);
+    compiled->library_ = std::move(library);
+    compiled->source_path_ = std::move(source_path);
+    compiled->from_cache_ = from_cache;
+    for (const AggSpec& agg : plan.aggs) {
+      compiled->agg_names_.push_back(agg.name);
+    }
+    return compiled;
+  };
+
+  // Cache layers first: identical (source, compiler, flags) means the
+  // compile below would produce an identical object. keep_artifacts asks
+  // for an inspectable source tree, which only a fresh compile produces.
+  if (options.use_cache && !options.keep_artifacts) {
+    if (std::shared_ptr<KernelLibrary> library =
+            KernelCache::Global().Lookup(cache_key)) {
+      stats.cache_hits_memory.fetch_add(1);
+      return make_compiled(std::move(library), "", /*from_cache=*/true);
+    }
+    if (!disk_cache_dir.empty()) {
+      Result<std::shared_ptr<KernelLibrary>> from_disk =
+          KernelCache::Global().LookupDisk(disk_cache_dir, cache_key);
+      if (from_disk.ok() && *from_disk != nullptr) {
+        stats.cache_hits_disk.fetch_add(1);
+        KernelCache::Global().Insert(cache_key, *from_disk);
+        return make_compiled(std::move(*from_disk), "", /*from_cache=*/true);
+      }
+      if (!from_disk.ok()) {
+        SWOLE_LOG(WARNING) << "kernel disk cache entry unusable, "
+                              "recompiling: "
+                           << from_disk.status().ToString();
+      }
+    }
+  }
+
+  SWOLE_ASSIGN_OR_RETURN(WorkDir dir, MakeWorkDir(options));
+  ArtifactGuard guard;
+  guard.TrackDir(dir.path, dir.auto_created);
   int64_t id = g_kernel_counter.fetch_add(1);
-  std::string base = StringFormat("%s/kernel_%lld", dir.c_str(),
+  std::string base = StringFormat("%s/kernel_%lld", dir.path.c_str(),
                                   static_cast<long long>(id));
   std::string source_path = base + ".cc";
   std::string library_path = base + ".so";
+  guard.Track(source_path);
+  guard.Track(library_path);
 
+  SWOLE_FAULT_POINT("jit_source_write",
+                    Status::IOError("injected fault: jit_source_write"));
   {
     std::ofstream out(source_path);
     if (!out) {
@@ -61,54 +258,91 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
 
   // The generated unit needs the logging runtime (CHECK failures in the
   // shared hash table); compile it in rather than exporting host symbols.
-  std::string compiler = GetEnvString("SWOLE_CXX", options.compiler);
-  std::string command = StringFormat(
-      "%s -std=c++20 %s -shared -fPIC -DNDEBUG -I%s %s %s/common/logging.cc "
-      "-o %s 2> %s.log",
-      compiler.c_str(), options.extra_flags.c_str(), SWOLE_SOURCE_DIR,
-      source_path.c_str(), SWOLE_SOURCE_DIR, library_path.c_str(),
-      base.c_str());
-  int rc = std::system(command.c_str());
-  if (rc != 0) {
-    std::string log;
-    std::ifstream log_in(base + ".log");
-    if (log_in) {
-      log.assign(std::istreambuf_iterator<char>(log_in),
-                 std::istreambuf_iterator<char>());
+  int64_t timeout_ms =
+      GetEnvInt64("SWOLE_JIT_TIMEOUT_MS", options.compile_timeout_ms);
+
+  std::vector<std::string> rungs = {options.extra_flags};
+  rungs.insert(rungs.end(), options.degrade_flags.begin(),
+               options.degrade_flags.end());
+
+  Status last_failure;
+  bool compiled_ok = false;
+  for (size_t attempt = 0; attempt < rungs.size(); ++attempt) {
+    if (attempt > 0) {
+      stats.retries.fetch_add(1);
+      SWOLE_LOG(WARNING) << "JIT retry " << attempt << " for plan "
+                         << plan.name << " with flags \"" << rungs[attempt]
+                         << "\": " << last_failure.ToString();
     }
+    if (FaultInjector::Global().ShouldFail("jit_compile")) {
+      last_failure = Status::Internal("injected fault: jit_compile");
+      stats.compile_failures.fetch_add(1);
+      continue;
+    }
+    std::vector<std::string> argv = {compiler, "-std=c++20"};
+    for (std::string& flag : SplitFlags(rungs[attempt])) {
+      argv.push_back(std::move(flag));
+    }
+    argv.insert(argv.end(),
+                {"-shared", "-fPIC", "-DNDEBUG", "-I" SWOLE_SOURCE_DIR,
+                 source_path, SWOLE_SOURCE_DIR "/common/logging.cc", "-o",
+                 library_path});
+    SubprocessOptions sub_options;
+    sub_options.timeout_ms = timeout_ms;
+    stats.compiles.fetch_add(1);
+    SWOLE_ASSIGN_OR_RETURN(SubprocessResult run,
+                           RunSubprocess(argv, sub_options));
+    stats.compile_ms.fetch_add(run.elapsed_ms);
+    if (run.Succeeded()) {
+      compiled_ok = true;
+      break;
+    }
+    stats.compile_failures.fetch_add(1);
+    if (run.timed_out) {
+      stats.timeouts.fetch_add(1);
+      last_failure = Status::Internal(StringFormat(
+          "JIT compile timed out after %lld ms (flags \"%s\"); compiler "
+          "killed",
+          static_cast<long long>(run.elapsed_ms), rungs[attempt].c_str()));
+    } else {
+      last_failure = Status::Internal(StringFormat(
+          "JIT compile failed (%s, flags \"%s\"):\n%s",
+          run.exit_code >= 0
+              ? StringFormat("rc=%d", run.exit_code).c_str()
+              : StringFormat("signal=%d", run.term_signal).c_str(),
+          rungs[attempt].c_str(),
+          run.captured_output.substr(0, 2000).c_str()));
+    }
+  }
+  if (!compiled_ok) {
     return Status::Internal(StringFormat(
-        "JIT compile failed (rc=%d): %s\n%s", rc, command.c_str(),
-        log.substr(0, 2000).c_str()));
+        "JIT compile failed after %d attempt(s); last error: %s",
+        static_cast<int>(rungs.size()), last_failure.message().c_str()));
   }
 
-  void* handle = ::dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (handle == nullptr) {
-    return Status::Internal(
-        StringFormat("dlopen failed: %s", ::dlerror()));
-  }
-  void* entry = ::dlsym(handle, kEntryPoint);
-  if (entry == nullptr) {
-    ::dlclose(handle);
-    return Status::Internal(
-        StringFormat("dlsym(%s) failed: %s", kEntryPoint, ::dlerror()));
+  SWOLE_ASSIGN_OR_RETURN(std::shared_ptr<KernelLibrary> library,
+                         KernelLibrary::Load(library_path));
+
+  if (options.use_cache) {
+    KernelCache::Global().Insert(cache_key, library);
+    if (!disk_cache_dir.empty()) {
+      Status stored = KernelCache::Global().StoreDisk(disk_cache_dir,
+                                                      cache_key,
+                                                      library_path);
+      if (!stored.ok()) {
+        SWOLE_LOG(WARNING) << "kernel disk cache store failed: "
+                           << stored.ToString();
+      }
+    }
   }
 
-  auto compiled = std::unique_ptr<CompiledKernel>(new CompiledKernel());
-  compiled->kernel_ = std::move(kernel);
-  compiled->library_path_ = library_path;
-  compiled->source_path_ = source_path;
-  compiled->handle_ = handle;
-  compiled->entry_ = entry;
-  for (const AggSpec& agg : plan.aggs) {
-    compiled->agg_names_.push_back(agg.name);
+  if (options.keep_artifacts) {
+    guard.Disarm();
   }
-  if (!options.keep_artifacts) {
-    // The .so stays mapped after unlink; sources removed.
-    std::remove(source_path.c_str());
-    std::remove((base + ".log").c_str());
-    std::remove(library_path.c_str());
-  }
-  return compiled;
+  // Otherwise the guard unlinks source + .so (the mapped object survives
+  // the unlink) and removes the auto-created work dir itself.
+  return make_compiled(std::move(library), source_path,
+                       /*from_cache=*/false);
 }
 
 Result<QueryResult> CompiledKernel::Run(const Catalog& catalog) const {
@@ -135,12 +369,38 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog) const {
     table_rows.push_back(table->num_rows());
   }
 
+  // Bind fk-index slots, checking the index is sized for the tables it is
+  // bound against — the generated loops index offsets[] by owner row and
+  // bitmaps by referenced row, so a stale or foreign index would read out
+  // of bounds instead of returning an error.
   std::vector<const uint32_t*> fk_offsets;
   for (size_t s = 0; s < kernel_.fk_slots_table.size(); ++s) {
-    SWOLE_ASSIGN_OR_RETURN(const Table* table,
+    SWOLE_ASSIGN_OR_RETURN(const Table* owner,
                            catalog.GetTable(kernel_.fk_slots_table[s]));
     SWOLE_ASSIGN_OR_RETURN(const FkIndex* index,
-                           table->GetFkIndex(kernel_.fk_slots_column[s]));
+                           owner->GetFkIndex(kernel_.fk_slots_column[s]));
+    if (index->size() != owner->num_rows()) {
+      return Status::InvalidArgument(StringFormat(
+          "fk index %s.%s covers %lld rows but the table has %lld",
+          kernel_.fk_slots_table[s].c_str(),
+          kernel_.fk_slots_column[s].c_str(),
+          static_cast<long long>(index->size()),
+          static_cast<long long>(owner->num_rows())));
+    }
+    if (s < kernel_.fk_slots_ref_table.size()) {
+      SWOLE_ASSIGN_OR_RETURN(
+          const Table* referenced,
+          catalog.GetTable(kernel_.fk_slots_ref_table[s]));
+      if (index->referenced_size() != referenced->num_rows()) {
+        return Status::InvalidArgument(StringFormat(
+            "fk index %s.%s references %lld rows but %s has %lld",
+            kernel_.fk_slots_table[s].c_str(),
+            kernel_.fk_slots_column[s].c_str(),
+            static_cast<long long>(index->referenced_size()),
+            kernel_.fk_slots_ref_table[s].c_str(),
+            static_cast<long long>(referenced->num_rows())));
+      }
+    }
     fk_offsets.push_back(index->offsets());
   }
 
@@ -169,7 +429,7 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog) const {
   }
 
   using EntryFn = void (*)(const KernelIO*);
-  reinterpret_cast<EntryFn>(entry_)(&io);
+  reinterpret_cast<EntryFn>(library_->entry())(&io);
 
   if (kernel_.grouped) {
     if (sort_groups_) result.SortGroups();
@@ -186,6 +446,54 @@ Result<std::unique_ptr<CompiledKernel>> GenerateAndCompile(
   SWOLE_ASSIGN_OR_RETURN(GeneratedKernel kernel,
                          GenerateKernel(plan, catalog, gen_options));
   return CompileKernel(std::move(kernel), plan, jit_options);
+}
+
+Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
+                                        const Catalog& catalog,
+                                        const GeneratorOptions& gen_options,
+                                        const JitOptions& jit_options,
+                                        ExecutionReport* report) {
+  ExecutionReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = ExecutionReport();
+
+  Status jit_failure;
+  Result<std::unique_ptr<CompiledKernel>> compiled =
+      GenerateAndCompile(plan, catalog, gen_options, jit_options);
+  if (compiled.ok()) {
+    report->cache_hit = (*compiled)->from_cache();
+    Result<QueryResult> run = (*compiled)->Run(catalog);
+    if (run.ok()) {
+      report->used_jit = true;
+      return std::move(run).value();
+    }
+    jit_failure = run.status();
+  } else {
+    jit_failure = compiled.status();
+  }
+
+  GlobalJitStats().fallbacks.fetch_add(1);
+  report->used_fallback = true;
+  report->fallback_reason = jit_failure.ToString();
+  SWOLE_LOG(WARNING) << "JIT unavailable for plan \"" << plan.name
+                     << "\", executing interpreted: "
+                     << jit_failure.ToString();
+
+  // First choice: the interpreted engine for the same strategy, so the
+  // fallback keeps the strategy's access patterns (and its performance
+  // envelope). The reference oracle is the engine of last resort.
+  std::unique_ptr<Strategy> engine =
+      MakeStrategy(gen_options.strategy, catalog);
+  Result<QueryResult> interpreted = engine->Execute(plan);
+  if (interpreted.ok()) {
+    report->fallback_engine = engine->name();
+    return std::move(interpreted).value();
+  }
+  ReferenceEngine reference(catalog);
+  Result<QueryResult> oracle = reference.Execute(plan);
+  if (!oracle.ok()) return oracle.status();
+  report->fallback_engine = "reference";
+  return std::move(oracle).value();
 }
 
 }  // namespace swole::codegen

@@ -1,45 +1,121 @@
 #ifndef SWOLE_CODEGEN_JIT_H_
 #define SWOLE_CODEGEN_JIT_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "codegen/generator.h"
+#include "codegen/kernel_cache.h"
 #include "plan/result.h"
 
 // JIT driver: writes a generated translation unit to a temp directory,
-// compiles it with the system C++ compiler (-O3 -shared -fPIC), dlopens the
-// result, and runs it against a catalog. This is the Daytona/HIQUE-style
-// compile-to-shared-object pipeline; the generated code is real, inspectable
-// C++ (keep the .cc around with keep_artifacts).
+// compiles it with the system C++ compiler, dlopens the result, and runs it
+// against a catalog. This is the Daytona/HIQUE-style compile-to-shared-object
+// pipeline; the generated code is real, inspectable C++ (keep the .cc around
+// with keep_artifacts).
+//
+// The pipeline is built to degrade, never to take a query down with it:
+//
+//   kernel cache ──hit──────────────────────────────▶ run compiled kernel
+//        │miss
+//   compile -O3 -march=native ──fail/timeout──▶ -O2 ──▶ -O0   (retry ladder)
+//        │all fail
+//   ExecuteWithFallback ──▶ interpreted strategy engine ──▶ reference engine
+//
+// Compiles run in a fork/exec subprocess (common/subprocess.h) with a
+// timeout — no shell, no hung compiler wedging the server. Every stage
+// (workdir, source write, compile, dlopen, dlsym) is a fault-injection site
+// (common/fault_injection.h, SWOLE_FAULT=jit_compile:1.0) so the failure
+// paths are deterministically testable. Counters for all of it live in
+// JitStats.
 
 namespace swole::codegen {
 
 struct JitOptions {
-  // Compiler binary; SWOLE_CXX overrides.
+  // Compiler binary; the SWOLE_CXX env var overrides. A single executable
+  // path — flags go in extra_flags / degrade_flags.
   std::string compiler = "c++";
+  // First rung of the flag ladder.
   std::string extra_flags = "-O3 -march=native";
-  // Directory for generated sources/objects; empty => a fresh temp dir.
+  // Successive rungs tried when a compile fails or times out (the
+  // HeteroDB-style "default variant" degradation). Empty = no retries.
+  std::vector<std::string> degrade_flags = {"-O2", "-O0"};
+  // Directory for generated sources/objects; empty => a fresh temp dir,
+  // removed again unless keep_artifacts is set.
   std::string work_dir;
   bool keep_artifacts = false;
+  // Per-compile-attempt wall-clock budget; expired compilers are killed.
+  // SWOLE_JIT_TIMEOUT_MS overrides; 0 disables the timeout.
+  int64_t compile_timeout_ms = 60'000;
+  // Consult/populate the in-memory kernel cache.
+  bool use_cache = true;
+  // On-disk cache directory shared across processes; empty disables the
+  // disk layer. SWOLE_KERNEL_CACHE_DIR overrides.
+  std::string disk_cache_dir;
+
+  /// Rejects option values that could not survive an exec boundary: paths
+  /// or flags containing whitespace (outside flag lists), quotes, or shell
+  /// metacharacters. The compile pipeline never invokes a shell, so this is
+  /// defense in depth, not an escaping layer.
+  Status Validate() const;
 };
 
-/// A compiled query kernel bound to the dlopened shared object.
+/// Pipeline counters, process-wide. Logged at shutdown when non-empty;
+/// benches and tests read snapshots.
+struct JitStats {
+  std::atomic<int64_t> compiles{0};        // compiler subprocess invocations
+  std::atomic<int64_t> compile_failures{0};  // attempts that failed
+  std::atomic<int64_t> retries{0};         // ladder rungs after the first
+  std::atomic<int64_t> timeouts{0};        // attempts killed on timeout
+  std::atomic<int64_t> cache_hits_memory{0};
+  std::atomic<int64_t> cache_hits_disk{0};
+  std::atomic<int64_t> fallbacks{0};       // queries served interpreted
+  std::atomic<int64_t> compile_ms{0};      // total wall time in the compiler
+
+  struct Snapshot {
+    int64_t compiles = 0;
+    int64_t compile_failures = 0;
+    int64_t retries = 0;
+    int64_t timeouts = 0;
+    int64_t cache_hits_memory = 0;
+    int64_t cache_hits_disk = 0;
+    int64_t fallbacks = 0;
+    int64_t compile_ms = 0;
+
+    std::string ToString() const;
+  };
+
+  Snapshot snapshot() const;
+  void Reset();
+};
+
+/// The process-wide stats instance used by the pipeline. First use arranges
+/// for a summary log line at shutdown (if anything was counted).
+JitStats& GlobalJitStats();
+
+/// A compiled query kernel bound to the dlopened shared object. The shared
+/// object itself (KernelLibrary) may be shared with the kernel cache and
+/// other CompiledKernel instances.
 class CompiledKernel {
  public:
-  ~CompiledKernel();
+  ~CompiledKernel() = default;
 
   CompiledKernel(const CompiledKernel&) = delete;
   CompiledKernel& operator=(const CompiledKernel&) = delete;
 
   /// Executes the kernel against `catalog`, binding column/table/fk-index
   /// slots by name. The catalog must contain the same tables the kernel
-  /// was generated against.
+  /// was generated against; slot types and fk-index row counts are
+  /// validated (InvalidArgument) before any generated code runs.
   Result<QueryResult> Run(const Catalog& catalog) const;
 
   const GeneratedKernel& kernel() const { return kernel_; }
-  const std::string& library_path() const { return library_path_; }
+  const std::string& library_path() const { return library_->library_path(); }
   const std::string& source_path() const { return source_path_; }
+  /// True if this kernel came out of the cache instead of a fresh compile.
+  bool from_cache() const { return from_cache_; }
 
  private:
   friend Result<std::unique_ptr<CompiledKernel>> CompileKernel(
@@ -49,16 +125,16 @@ class CompiledKernel {
   CompiledKernel() = default;
 
   GeneratedKernel kernel_;
-  std::string library_path_;
+  std::shared_ptr<KernelLibrary> library_;
   std::string source_path_;
-  void* handle_ = nullptr;
-  void* entry_ = nullptr;
+  bool from_cache_ = false;
   // Result post-processing metadata captured from the plan.
   std::vector<std::string> agg_names_;
   bool sort_groups_ = true;
 };
 
-/// Compiles a generated kernel into a shared object and loads it.
+/// Compiles a generated kernel into a shared object and loads it, going
+/// through the cache and the flag-degradation retry ladder.
 Result<std::unique_ptr<CompiledKernel>> CompileKernel(
     GeneratedKernel kernel, const QueryPlan& plan,
     const JitOptions& options = {});
@@ -67,6 +143,28 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
 Result<std::unique_ptr<CompiledKernel>> GenerateAndCompile(
     const QueryPlan& plan, const Catalog& catalog,
     const GeneratorOptions& gen_options, const JitOptions& jit_options = {});
+
+/// How ExecuteWithFallback actually served a query.
+struct ExecutionReport {
+  bool used_jit = false;        // ran the compiled kernel
+  bool used_fallback = false;   // ran an interpreted engine instead
+  bool cache_hit = false;       // compiled kernel came from the cache
+  // Which engine served the fallback: "strategy" or "reference".
+  std::string fallback_engine;
+  // Status string of the JIT failure that triggered the fallback.
+  std::string fallback_reason;
+};
+
+/// Fault-tolerant execution: JIT the plan and run it; if generation,
+/// compilation, loading, or kernel binding fails for any reason (including
+/// Unimplemented plan shapes), transparently execute the plan on the
+/// interpreted engine for gen_options.strategy — and on the reference
+/// engine if even that refuses. A query only returns an error Status when
+/// every layer has failed. Fallbacks are counted in GlobalJitStats().
+Result<QueryResult> ExecuteWithFallback(
+    const QueryPlan& plan, const Catalog& catalog,
+    const GeneratorOptions& gen_options = {},
+    const JitOptions& jit_options = {}, ExecutionReport* report = nullptr);
 
 }  // namespace swole::codegen
 

@@ -1,0 +1,137 @@
+#include "codegen/kernel_cache.h"
+
+#include <dlfcn.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "codegen/generator.h"
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace swole::codegen {
+
+KernelLibrary::~KernelLibrary() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+Result<std::shared_ptr<KernelLibrary>> KernelLibrary::Load(
+    const std::string& library_path) {
+  SWOLE_FAULT_POINT("jit_dlopen",
+                    Status::Internal("injected fault: jit_dlopen"));
+  void* handle = ::dlopen(library_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    return Status::Internal(StringFormat("dlopen failed: %s", ::dlerror()));
+  }
+  auto fail_dlsym = [&]() -> Status {
+    ::dlclose(handle);
+    return Status::Internal("injected fault: jit_dlsym");
+  };
+  if (FaultInjector::Global().ShouldFail("jit_dlsym")) return fail_dlsym();
+  void* entry = ::dlsym(handle, kEntryPoint);
+  if (entry == nullptr) {
+    std::string error = ::dlerror();
+    ::dlclose(handle);
+    return Status::Internal(
+        StringFormat("dlsym(%s) failed: %s", kEntryPoint, error.c_str()));
+  }
+  auto library = std::shared_ptr<KernelLibrary>(new KernelLibrary());
+  library->handle_ = handle;
+  library->entry_ = entry;
+  library->library_path_ = library_path;
+  return library;
+}
+
+std::string KernelCacheKey(const std::string& source,
+                           const std::string& compiler,
+                           const std::string& flags) {
+  // Chain FNV-1a over the three components with distinct separators so
+  // (source="a", flags="bc") and (source="ab", flags="c") cannot collide.
+  uint64_t h = Fnv1aHash64(source);
+  h = Fnv1aHash64("\x1f", h);
+  h = Fnv1aHash64(compiler, h);
+  h = Fnv1aHash64("\x1f", h);
+  h = Fnv1aHash64(flags, h);
+  return StringFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+KernelCache& KernelCache::Global() {
+  static KernelCache* cache = new KernelCache();
+  return *cache;
+}
+
+std::shared_ptr<KernelLibrary> KernelCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void KernelCache::Insert(const std::string& key,
+                         std::shared_ptr<KernelLibrary> library) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = std::move(library);
+}
+
+Result<std::shared_ptr<KernelLibrary>> KernelCache::LookupDisk(
+    const std::string& dir, const std::string& key) {
+  std::string path = StringFormat("%s/swole_kernel_%s.so", dir.c_str(),
+                                  key.c_str());
+  if (::access(path.c_str(), R_OK) != 0) {
+    return std::shared_ptr<KernelLibrary>(nullptr);  // miss, not an error
+  }
+  return KernelLibrary::Load(path);
+}
+
+Status KernelCache::StoreDisk(const std::string& dir, const std::string& key,
+                              const std::string& library_path) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError(StringFormat("cannot create cache dir %s: %s",
+                                        dir.c_str(), std::strerror(errno)));
+  }
+  std::string final_path = StringFormat("%s/swole_kernel_%s.so", dir.c_str(),
+                                        key.c_str());
+  std::string temp_path =
+      StringFormat("%s.tmp.%d", final_path.c_str(), ::getpid());
+  {
+    std::ifstream in(library_path, std::ios::binary);
+    if (!in) {
+      return Status::IOError(
+          StringFormat("cannot read %s", library_path.c_str()));
+    }
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError(
+          StringFormat("cannot write %s", temp_path.c_str()));
+    }
+    out << in.rdbuf();
+    if (!out.good()) {
+      out.close();
+      ::unlink(temp_path.c_str());
+      return Status::IOError(
+          StringFormat("short write to %s", temp_path.c_str()));
+    }
+  }
+  ::chmod(temp_path.c_str(), 0755);
+  if (::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(temp_path.c_str());
+    return Status::IOError(StringFormat("cannot rename into cache: %s",
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+int64_t KernelCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+void KernelCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace swole::codegen

@@ -1,0 +1,91 @@
+#ifndef SWOLE_CODEGEN_KERNEL_CACHE_H_
+#define SWOLE_CODEGEN_KERNEL_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+// Content-addressed cache of compiled query kernels. The key is a hash of
+// (generated source, compiler, flag configuration), so two plans that lower
+// to the same translation unit under the same toolchain share one shared
+// object — repeated queries skip the ~1s compile entirely. Two layers:
+//
+//   memory:  key -> dlopened KernelLibrary (shared_ptr; never dlclosed
+//            while a CompiledKernel still runs it)
+//   disk:    <dir>/swole_kernel_<key>.so, reused across processes; written
+//            atomically (temp file + rename) so concurrent benches can't
+//            observe a half-copied object
+//
+// The disk layer is opt-in via JitOptions::disk_cache_dir or
+// SWOLE_KERNEL_CACHE_DIR (see codegen/jit.h).
+
+namespace swole::codegen {
+
+/// A dlopened kernel shared object with its resolved entry point. Shared
+/// between the cache and every CompiledKernel bound to it; the handle is
+/// dlclosed when the last reference drops.
+class KernelLibrary {
+ public:
+  ~KernelLibrary();
+
+  KernelLibrary(const KernelLibrary&) = delete;
+  KernelLibrary& operator=(const KernelLibrary&) = delete;
+
+  /// dlopens `library_path` and resolves the generated entry point
+  /// (kEntryPoint). Honors the jit_dlopen / jit_dlsym fault sites.
+  static Result<std::shared_ptr<KernelLibrary>> Load(
+      const std::string& library_path);
+
+  void* entry() const { return entry_; }
+  const std::string& library_path() const { return library_path_; }
+
+ private:
+  KernelLibrary() = default;
+
+  void* handle_ = nullptr;
+  void* entry_ = nullptr;
+  std::string library_path_;
+};
+
+/// Content hash of (source, compiler, flags), as 16 hex chars.
+std::string KernelCacheKey(const std::string& source,
+                           const std::string& compiler,
+                           const std::string& flags);
+
+class KernelCache {
+ public:
+  /// Process-wide cache used by CompileKernel.
+  static KernelCache& Global();
+
+  /// Memory layer. Lookup returns nullptr on miss.
+  std::shared_ptr<KernelLibrary> Lookup(const std::string& key);
+  void Insert(const std::string& key, std::shared_ptr<KernelLibrary> library);
+
+  /// Disk layer: loads <dir>/swole_kernel_<key>.so if present. Returns
+  /// nullptr (OK status) when the file does not exist; an error Status only
+  /// when it exists but cannot be loaded.
+  Result<std::shared_ptr<KernelLibrary>> LookupDisk(const std::string& dir,
+                                                    const std::string& key);
+
+  /// Copies a freshly compiled `library_path` into the disk layer under
+  /// `key` (atomic temp-file + rename; creates `dir` if needed).
+  Status StoreDisk(const std::string& dir, const std::string& key,
+                   const std::string& library_path);
+
+  int64_t size() const;
+  void Clear();
+
+ private:
+  KernelCache() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<KernelLibrary>> entries_;
+};
+
+}  // namespace swole::codegen
+
+#endif  // SWOLE_CODEGEN_KERNEL_CACHE_H_

@@ -1,0 +1,161 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace swole {
+
+namespace {
+
+// splitmix64: full-period 64-bit mixer; the standard seeding/streaming
+// primitive (same one Rng::Reseed uses).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashSiteName(const std::string& site) {
+  // FNV-1a.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kDefaultSeed = 42;
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    inj->LoadFromEnv();
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::LoadFromEnv() {
+  std::string spec = GetEnvString("SWOLE_FAULT", "");
+  uint64_t seed = static_cast<uint64_t>(
+      GetEnvInt64("SWOLE_FAULT_SEED", static_cast<int64_t>(kDefaultSeed)));
+  Status st = Configure(spec, seed);
+  if (!st.ok()) {
+    SWOLE_LOG(WARNING) << "ignoring malformed SWOLE_FAULT=\"" << spec
+                       << "\": " << st.ToString();
+  }
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  std::map<std::string, Site> parsed;
+  for (const std::string& entry : StrSplit(spec, ',')) {
+    if (entry.empty()) continue;
+    std::vector<std::string> parts = StrSplit(entry, ':');
+    double probability = 1.0;
+    if (parts.size() == 2) {
+      char* end = nullptr;
+      probability = std::strtod(parts[1].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument(
+            StringFormat("bad fault probability in \"%s\"", entry.c_str()));
+      }
+    } else if (parts.size() != 1) {
+      return Status::InvalidArgument(
+          StringFormat("bad fault entry \"%s\" (want site:prob)",
+                       entry.c_str()));
+    }
+    if (probability < 0.0 || probability > 1.0) {
+      return Status::InvalidArgument(StringFormat(
+          "fault probability out of [0,1] in \"%s\"", entry.c_str()));
+    }
+    Site site;
+    site.probability = probability;
+    site.rng_state = HashSiteName(parts[0]) ^ seed;
+    parsed[parts[0]] = site;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  sites_ = std::move(parsed);
+  armed_.store(!sites_.empty(), std::memory_order_release);
+  for (const auto& [name, site] : sites_) {
+    SWOLE_LOG(INFO) << "fault injection armed: " << name << " p="
+                    << site.probability;
+  }
+  return Status::OK();
+}
+
+void FaultInjector::SetFault(const std::string& site, double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site s;
+  s.probability = probability;
+  s.rng_state = HashSiteName(site) ^ seed_;
+  sites_[site] = s;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.erase(site);
+  armed_.store(!sites_.empty(), std::memory_order_release);
+}
+
+void FaultInjector::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFail(const char* site) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  ++s.evaluated;
+  bool fail;
+  if (s.probability >= 1.0) {
+    fail = true;
+  } else if (s.probability <= 0.0) {
+    fail = false;
+  } else {
+    // 53-bit uniform draw from the site's deterministic stream.
+    double draw = static_cast<double>(SplitMix64(&s.rng_state) >> 11) *
+                  (1.0 / 9007199254740992.0);
+    fail = draw < s.probability;
+  }
+  if (fail) {
+    ++s.injected;
+    SWOLE_LOG(DEBUG) << "fault injected at " << site << " (call "
+                     << s.evaluated << ")";
+  }
+  return fail;
+}
+
+int64_t FaultInjector::EvaluatedCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.evaluated;
+}
+
+int64_t FaultInjector::InjectedCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+int64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site.injected;
+  return total;
+}
+
+}  // namespace swole

@@ -1,0 +1,90 @@
+#ifndef SWOLE_COMMON_FAULT_INJECTION_H_
+#define SWOLE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+// Deterministic fault injection for the JIT pipeline (and any other fallible
+// subsystem that wants testable failure paths). A fault site is a named
+// point in the code; each site carries an injection probability. Sites are
+// configured either programmatically (tests) or from the environment:
+//
+//   SWOLE_FAULT=jit_compile:0.5           one site, 50% of calls fail
+//   SWOLE_FAULT=jit_dlopen:1.0,jit_workdir:0.25
+//   SWOLE_FAULT_SEED=7                    reseed the per-site PRNG streams
+//
+// Probabilities use a per-site xorshift-style stream seeded from
+// hash(site) ^ SWOLE_FAULT_SEED, so a given configuration injects the same
+// faults at the same call indices on every run — failures are reproducible,
+// not flaky. `ShouldFail` costs one relaxed atomic load when no faults are
+// configured, so instrumented hot paths stay free in production.
+
+namespace swole {
+
+class FaultInjector {
+ public:
+  /// Process-wide injector; parses SWOLE_FAULT once on first access.
+  static FaultInjector& Global();
+
+  /// Re-reads SWOLE_FAULT / SWOLE_FAULT_SEED, replacing all current sites.
+  void LoadFromEnv();
+
+  /// Arms `site` with the given probability in [0, 1]. Replaces any
+  /// existing configuration for the site and resets its counters.
+  void SetFault(const std::string& site, double probability);
+
+  /// Disarms one site / every site.
+  void Clear(const std::string& site);
+  void ClearAll();
+
+  /// True if this call at `site` should fail. Unarmed sites never fail.
+  bool ShouldFail(const char* site);
+
+  /// How many times `site` was evaluated / actually injected.
+  int64_t EvaluatedCount(const std::string& site) const;
+  int64_t InjectedCount(const std::string& site) const;
+
+  /// Total injections across all sites.
+  int64_t TotalInjected() const;
+
+  /// Parses a SWOLE_FAULT-style spec ("site:prob[,site:prob...]") into this
+  /// injector. Empty spec clears everything.
+  Status Configure(const std::string& spec, uint64_t seed);
+
+ private:
+  FaultInjector() = default;
+
+  struct Site {
+    double probability = 0.0;
+    uint64_t rng_state = 0;
+    int64_t evaluated = 0;
+    int64_t injected = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  uint64_t seed_ = 0;
+  // Fast-path flag: true iff sites_ is non-empty. Written under mu_.
+  std::atomic<bool> armed_{false};
+};
+
+// Returns the given error Status from the enclosing function when the fault
+// site fires. The zero-cost (one atomic load) guard for JIT pipeline stages.
+#define SWOLE_FAULT_POINT(site, error_status)                             \
+  do {                                                                    \
+    if (SWOLE_UNLIKELY(                                                   \
+            ::swole::FaultInjector::Global().ShouldFail(site))) {         \
+      return (error_status);                                              \
+    }                                                                     \
+  } while (false)
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_FAULT_INJECTION_H_

@@ -55,6 +55,27 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
+bool IsExecSafe(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '/' ||
+              c == '+' || c == '-' || c == '=' || c == ',' || c == ':' ||
+              c == '@' || c == '%';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+uint64_t Fnv1aHash64(std::string_view s, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 bool LikeMatch(std::string_view value, std::string_view pattern) {
   // Two-pointer matching with backtracking to the last '%'.
   size_t v = 0;

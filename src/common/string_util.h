@@ -25,6 +25,16 @@ std::string StrJoin(const std::vector<std::string>& parts,
 bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
 
+/// True if `s` is safe to use as a single exec argv token naming a path,
+/// binary, or compiler flag: non-empty, only alphanumerics and `_./+-=,:@%`.
+/// Whitespace, quotes, and shell metacharacters are rejected — the JIT never
+/// passes user-controlled strings through a shell, but option validation
+/// still refuses values that only make sense as injection attempts.
+bool IsExecSafe(std::string_view s);
+
+/// FNV-1a 64-bit hash; used for content-addressing (kernel cache keys).
+uint64_t Fnv1aHash64(std::string_view s, uint64_t seed = 0xCBF29CE484222325ULL);
+
 /// SQL LIKE with '%' (any run) and '_' (any single char) wildcards.
 /// Case-sensitive, as in TPC-H. Iterative two-pointer algorithm, O(n*m) worst
 /// case but linear on the patterns TPC-H uses.

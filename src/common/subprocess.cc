@@ -1,0 +1,140 @@
+#include "common/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace swole {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Drains whatever is ready on `fd` into `out`, respecting the capture cap.
+// Returns false once the pipe reaches EOF.
+bool DrainPipe(int fd, std::string* out, int64_t cap) {
+  char buffer[4096];
+  while (true) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      int64_t room = cap - static_cast<int64_t>(out->size());
+      if (room > 0) out->append(buffer, static_cast<size_t>(std::min<int64_t>(n, room)));
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;  // read error; treat as EOF
+  }
+}
+
+}  // namespace
+
+Result<SubprocessResult> RunSubprocess(const std::vector<std::string>& argv,
+                                       const SubprocessOptions& options) {
+  if (argv.empty()) {
+    return Status::InvalidArgument("RunSubprocess: empty argv");
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError(
+        StringFormat("RunSubprocess: pipe failed: %s", std::strerror(errno)));
+  }
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    c_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  c_argv.push_back(nullptr);
+
+  int64_t start_ms = NowMs();
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::IOError(
+        StringFormat("RunSubprocess: fork failed: %s", std::strerror(errno)));
+  }
+
+  if (pid == 0) {
+    // Child: own process group (so a timeout can kill compiler + any cc1
+    // grandchildren), stdout/stderr into the capture pipe, stdin closed.
+    ::setpgid(0, 0);
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::dup2(pipe_fds[1], STDERR_FILENO);
+    ::close(pipe_fds[1]);
+    int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::close(devnull);
+    }
+    ::execvp(c_argv[0], c_argv.data());
+    // Only reached when exec fails; 127 matches the shell convention.
+    ::dprintf(STDERR_FILENO, "exec %s failed: %s\n", c_argv[0],
+              std::strerror(errno));
+    ::_exit(127);
+  }
+
+  // Parent.
+  ::close(pipe_fds[1]);
+  int read_fd = pipe_fds[0];
+  int fd_flags = ::fcntl(read_fd, F_GETFL, 0);
+  ::fcntl(read_fd, F_SETFL, fd_flags | O_NONBLOCK);
+
+  SubprocessResult result;
+  bool pipe_open = true;
+  while (pipe_open) {
+    int poll_timeout = -1;
+    if (options.timeout_ms > 0) {
+      int64_t left = options.timeout_ms - (NowMs() - start_ms);
+      if (left <= 0) {
+        // Deadline passed: kill the whole process group and stop waiting
+        // for output (the pipe drains below after the kill).
+        ::kill(-pid, SIGKILL);
+        result.timed_out = true;
+        break;
+      }
+      poll_timeout = static_cast<int>(std::min<int64_t>(left, 200));
+    }
+    struct pollfd pfd = {read_fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, poll_timeout);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc > 0) {
+      pipe_open = DrainPipe(read_fd, &result.captured_output,
+                            options.max_capture_bytes);
+    }
+  }
+  // Final drain: after EOF or a kill, collect anything still buffered.
+  DrainPipe(read_fd, &result.captured_output, options.max_capture_bytes);
+  ::close(read_fd);
+
+  int wait_status = 0;
+  while (::waitpid(pid, &wait_status, 0) < 0 && errno == EINTR) {
+  }
+  result.elapsed_ms = NowMs() - start_ms;
+  if (WIFEXITED(wait_status)) {
+    result.exit_code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    result.term_signal = WTERMSIG(wait_status);
+  }
+  return result;
+}
+
+}  // namespace swole

@@ -1,0 +1,52 @@
+#ifndef SWOLE_COMMON_SUBPROCESS_H_
+#define SWOLE_COMMON_SUBPROCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// fork/exec subprocess runner used by the JIT compile pipeline. Unlike
+// std::system there is no shell in between: argv goes to execvp verbatim, so
+// paths never need quoting and cannot be hijacked by metacharacters. The
+// runner captures the child's stderr (and stdout, merged into it) through a
+// pipe and can kill a hung child after a configurable timeout — a compiler
+// that wedges must not wedge the query engine.
+
+namespace swole {
+
+struct SubprocessOptions {
+  // Wall-clock budget for the child; 0 = no timeout. On expiry the child's
+  // process group receives SIGKILL and the result has timed_out = true.
+  int64_t timeout_ms = 0;
+
+  // Captured-output cap; output beyond this is discarded (compilers can
+  // emit megabytes of template backtraces).
+  int64_t max_capture_bytes = 1 << 16;
+};
+
+struct SubprocessResult {
+  // Exit code if the child exited normally, -1 otherwise.
+  int exit_code = -1;
+  // Signal that terminated the child, 0 if it exited normally.
+  int term_signal = 0;
+  // True if the runner killed the child because the timeout expired.
+  bool timed_out = false;
+  // Child stderr + stdout, interleaved, capped at max_capture_bytes.
+  std::string captured_output;
+  int64_t elapsed_ms = 0;
+
+  bool Succeeded() const { return !timed_out && exit_code == 0; }
+};
+
+/// Runs `argv[0]` (resolved via PATH) with the given arguments and waits for
+/// it. A non-zero exit or a timeout is reported in the result, not as an
+/// error Status; Status is only non-OK when the child could not be spawned
+/// at all (fork/pipe failure, empty argv).
+Result<SubprocessResult> RunSubprocess(const std::vector<std::string>& argv,
+                                       const SubprocessOptions& options = {});
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_SUBPROCESS_H_
