@@ -24,17 +24,17 @@
 
 namespace swole::bench {
 
-// Keeps registered plans alive for the benchmark lambdas.
+// Keeps registered plans alive for the benchmark lambdas. Function-local
+// static values (not leaked pointers) so the pools destruct at exit and
+// the bench binaries come up clean under LeakSanitizer.
 inline std::vector<std::unique_ptr<QueryPlan>>& PlanPool() {
-  static std::vector<std::unique_ptr<QueryPlan>>* pool =
-      new std::vector<std::unique_ptr<QueryPlan>>();
-  return *pool;
+  static std::vector<std::unique_ptr<QueryPlan>> pool;
+  return pool;
 }
 
 inline std::vector<std::unique_ptr<Strategy>>& EnginePool() {
-  static std::vector<std::unique_ptr<Strategy>>* pool =
-      new std::vector<std::unique_ptr<Strategy>>();
-  return *pool;
+  static std::vector<std::unique_ptr<Strategy>> pool;
+  return pool;
 }
 
 /// Registers one benchmark running `plan` on a fresh engine of `kind`.

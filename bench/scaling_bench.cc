@@ -1,0 +1,52 @@
+// Morsel-driven scaling: speedup vs thread count for all four strategy
+// engines on TPC-H (default SF 0.1, override with SWOLE_SF). One row per
+// (strategy, thread count) — `scaling/<query>/<strategy>/threads:N` — so
+// dividing the threads:1 row by the threads:N row gives the speedup curve.
+// Q1 (grouped scan-heavy) and Q5 (join-heavy) bracket the two probe-side
+// shapes; results are bit-exact across thread counts, so every row computes
+// the same answer.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace swole {
+namespace {
+
+void RegisterAll(const tpch::TpchData& data) {
+  static constexpr int kThreadCounts[] = {1, 2, 4, 8};
+  struct NamedPlan {
+    const char* name;
+    QueryPlan (*make)(const Catalog&);
+  };
+  static constexpr NamedPlan kPlans[] = {{"Q1", tpch::Q1},
+                                         {"Q5", tpch::Q5}};
+  for (const NamedPlan& named : kPlans) {
+    for (StrategyKind kind :
+         {StrategyKind::kDataCentric, StrategyKind::kHybrid,
+          StrategyKind::kRof, StrategyKind::kSwole}) {
+      for (int threads : kThreadCounts) {
+        StrategyOptions options;
+        options.num_threads = threads;
+        bench::RegisterPlanBenchmark(
+            StringFormat("scaling/%s/%s/threads:%d", named.name,
+                         StrategyKindName(kind), threads),
+            data.catalog, kind, named.make(data.catalog), options);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::tpch::TpchData::Generate(
+      swole::tpch::TpchConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

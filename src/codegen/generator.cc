@@ -260,63 +260,94 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       masked && grouped && options.agg_choice == AggChoice::kKeyMasking;
 
   SlotTable slots(catalog);
-  CodeWriter body;  // emitted into the entry point after declarations
+  // Bodies of the build and morsel entry points; thread-state creation,
+  // merge, and finish are assembled directly in the unit below.
+  CodeWriter build;
+  CodeWriter body;
 
-  std::string fact_rows = slots.Rows(fact);
+  // Register the fact row-count slot first (the host binds table_rows in
+  // slot order and reads the fact count for morsel dispatch).
+  slots.Rows(fact);
+
+  // Shared (build-phase) state: one field per dimension structure,
+  // constructed with the dim row counts, read-only during the probe.
+  std::vector<std::string> shared_fields;
+  std::vector<std::string> shared_params;
+  std::vector<std::string> shared_inits;
+  std::vector<std::string> shared_args;  // row-count vars at the new-site
 
   // ---- Build phase ----
   for (size_t d = 0; d < plan.dims.size(); ++d) {
     const DimJoin& dim = plan.dims[d];
     const std::string& dt = dim.hop.to_table;
     std::string dim_rows = slots.Rows(dt);
+    shared_params.push_back(StringFormat("int64_t r%d", static_cast<int>(d)));
+    shared_args.push_back(dim_rows);
     if (swole) {
       // Positional bitmap, built sequentially with an unconditional store
       // of the predicate result (§III-D).
-      body.Line(StringFormat("swole::PositionalBitmap bm%d(%s);",
-                             static_cast<int>(d), dim_rows.c_str()));
-      body.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
-                             dim_rows.c_str()));
+      shared_fields.push_back(StringFormat("swole::PositionalBitmap bm%d;",
+                                           static_cast<int>(d)));
+      shared_inits.push_back(
+          StringFormat("bm%d(r%d)", static_cast<int>(d),
+                       static_cast<int>(d)));
+      build.Line(StringFormat(
+          "swole::PositionalBitmap& bm%d = shared->bm%d;",
+          static_cast<int>(d), static_cast<int>(d)));
+      build.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
+                              dim_rows.c_str()));
       std::string pred =
           dim.filter != nullptr
               ? EmitExpr(*dim.filter, dt, "i", &slots,
                          BoolStyle::kBranchFree)
               : std::string("INT64_C(1)");
-      body.Line(StringFormat("bm%d.SetTo(i, (%s) != 0);",
-                             static_cast<int>(d), pred.c_str()));
-      body.Close();
+      build.Line(StringFormat("bm%d.SetTo(i, (%s) != 0);",
+                              static_cast<int>(d), pred.c_str()));
+      build.Close();
       slots.FkOffsets(fact, dim.hop.fk_column, dim.hop.to_table);
     } else {
       // Hash set of qualifying primary keys, probed by value.
-      body.Line(StringFormat("swole::HashTable dim%d(0, %s);",
-                             static_cast<int>(d), dim_rows.c_str()));
-      body.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
-                             dim_rows.c_str()));
+      shared_fields.push_back(
+          StringFormat("swole::HashTable dim%d;", static_cast<int>(d)));
+      shared_inits.push_back(StringFormat("dim%d(0, r%d)",
+                                          static_cast<int>(d),
+                                          static_cast<int>(d)));
+      build.Line(StringFormat("swole::HashTable& dim%d = shared->dim%d;",
+                              static_cast<int>(d), static_cast<int>(d)));
+      build.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
+                              dim_rows.c_str()));
       if (dim.filter != nullptr) {
-        body.Line(StringFormat(
+        build.Line(StringFormat(
             "if (!(%s)) continue;",
             EmitExpr(*dim.filter, dt, "i", &slots,
                      dc ? BoolStyle::kShortCircuit : BoolStyle::kBranchFree)
                 .c_str()));
       }
-      body.Line(StringFormat(
+      build.Line(StringFormat(
           "dim%d.GetOrInsert(%s);", static_cast<int>(d),
           EmitExpr(*Col(dim.hop.to_pk_column), dt, "i", &slots,
                    BoolStyle::kShortCircuit)
               .c_str()));
-      body.Close();
+      build.Close();
     }
   }
 
-  // ---- Accumulator / group table ----
-  if (grouped) {
-    body.Line(StringFormat("swole::HashTable groups(%d, INT64_C(%lld));",
-                           1 + naggs,
-                           static_cast<long long>(
-                               options.group_capacity_hint)));
-    if (key_masked) {
-      body.Line("groups.GetOrInsert(swole::HashTable::kMaskKey);");
+  // ---- Per-thread probe state (aliases at the top of the morsel body) ----
+  for (size_t d = 0; d < plan.dims.size(); ++d) {
+    if (swole) {
+      body.Line(StringFormat(
+          "const swole::PositionalBitmap& bm%d = shared->bm%d;",
+          static_cast<int>(d), static_cast<int>(d)));
+    } else {
+      body.Line(StringFormat(
+          "const swole::HashTable& dim%d = shared->dim%d;",
+          static_cast<int>(d), static_cast<int>(d)));
     }
+  }
+  if (grouped) {
+    body.Line("swole::HashTable& groups = state->groups;");
   } else {
+    // Local accumulators, folded into the thread state after the loop.
     for (int a = 0; a < naggs; ++a) {
       body.Line(StringFormat("int64_t agg%d = 0;", a));
     }
@@ -325,8 +356,7 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   // ---- Probe loop ----
   if (dc) {
     // Fig. 1 (top): one fused tuple-at-a-time loop with branching.
-    body.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
-                           fact_rows.c_str()));
+    body.Open("for (int64_t i = morsel_begin; i < morsel_end; ++i) {");
     if (plan.fact_filter != nullptr) {
       body.Line(StringFormat(
           "if (!(%s)) continue;",
@@ -369,11 +399,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
                            static_cast<long long>(options.tile_size)));
     body.Line("uint8_t cmp[kTile];");
     if (!masked) body.Line("int32_t idx[kTile];");
-    body.Open(StringFormat(
-        "for (int64_t i = 0; i < %s; i += kTile) {", fact_rows.c_str()));
-    body.Line(StringFormat(
-        "const int64_t len = %s - i < kTile ? %s - i : kTile;",
-        fact_rows.c_str(), fact_rows.c_str()));
+    body.Open("for (int64_t i = morsel_begin; i < morsel_end; i += kTile) {");
+    body.Line(
+        "const int64_t len = "
+        "morsel_end - i < kTile ? morsel_end - i : kTile;");
 
     // Prepass: branch-free predicate evaluation into cmp (Fig. 1 middle).
     body.Open("for (int64_t j = 0; j < len; ++j) {");
@@ -504,16 +533,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     body.Close();  // tile loop
   }
 
-  // ---- Output ----
-  if (grouped) {
-    body.Open("groups.ForEach([&](int64_t key, const int64_t* p) {");
-    body.Line("if (key == swole::HashTable::kMaskKey) return;");
-    body.Line("if (p[0] == 0) return;");
-    body.Line("io->emit_group(io->group_ctx, key, p + 1);");
-    body.Close("});");
-  } else {
+  // Fold the local scalar accumulators into the thread state.
+  if (!grouped) {
     for (int a = 0; a < naggs; ++a) {
-      body.Line(StringFormat("io->scalar_out[%d] = agg%d;", a, a));
+      body.Line(StringFormat("state->agg%d += agg%d;", a, a));
     }
   }
 
@@ -537,13 +560,116 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("void (*emit_group)(void* ctx, int64_t key, const int64_t*);");
   unit.Close("};");
   unit.Line("");
-  unit.Open(StringFormat(
-      "extern \"C\" void %s(const SwoleKernelIO* io) {", kEntryPoint));
-  slots.EmitDeclarations(&unit);
-  // Splice the body with an extra level of indentation.
-  for (const std::string& line : StrSplit(body.Take(), '\n')) {
-    unit.Line(line);
+  unit.Line("// Build-phase output: dimension structures, read-only while");
+  unit.Line("// morsels run.");
+  unit.Open("struct SwoleSharedState {");
+  for (const std::string& field : shared_fields) unit.Line(field);
+  if (!shared_params.empty()) {
+    unit.Line(StringFormat("explicit SwoleSharedState(%s) : %s {}",
+                           StrJoin(shared_params, ", ").c_str(),
+                           StrJoin(shared_inits, ", ").c_str()));
   }
+  unit.Close("};");
+  unit.Line("");
+  unit.Line("// Per-worker probe state, merged pairwise after the scan.");
+  unit.Open("struct SwoleThreadState {");
+  if (grouped) {
+    unit.Line("swole::HashTable groups;");
+    unit.Line(StringFormat(
+        "explicit SwoleThreadState(int64_t hint) : groups(%d, hint) {}",
+        1 + naggs));
+  } else {
+    for (int a = 0; a < naggs; ++a) {
+      unit.Line(StringFormat("int64_t agg%d = 0;", a));
+    }
+  }
+  unit.Close("};");
+  unit.Line("");
+
+  auto splice = [&unit](CodeWriter&& writer) {
+    for (const std::string& line : StrSplit(writer.Take(), '\n')) {
+      unit.Line(line);
+    }
+  };
+
+  unit.Open(StringFormat("extern \"C\" void* %s(const SwoleKernelIO* io) {",
+                         kBuildEntryPoint));
+  slots.EmitDeclarations(&unit);
+  if (shared_args.empty()) {
+    unit.Line("auto* shared = new SwoleSharedState();");
+  } else {
+    unit.Line(StringFormat("auto* shared = new SwoleSharedState(%s);",
+                           StrJoin(shared_args, ", ").c_str()));
+  }
+  splice(std::move(build));
+  unit.Line("return shared;");
+  unit.Close();
+  unit.Line("");
+
+  unit.Open(StringFormat("extern \"C\" void* %s(const SwoleKernelIO* io) {",
+                         kThreadStateEntryPoint));
+  unit.Line("(void)io;");
+  if (grouped) {
+    unit.Line(StringFormat("auto* state = new SwoleThreadState(INT64_C(%lld));",
+                           static_cast<long long>(
+                               options.group_capacity_hint)));
+    if (key_masked) {
+      unit.Line("state->groups.GetOrInsert(swole::HashTable::kMaskKey);");
+    }
+  } else {
+    unit.Line("auto* state = new SwoleThreadState();");
+  }
+  unit.Line("return state;");
+  unit.Close();
+  unit.Line("");
+
+  unit.Open(StringFormat(
+      "extern \"C\" void %s(const SwoleKernelIO* io, void* shared_v, "
+      "void* state_v, int64_t morsel_begin, int64_t morsel_end) {",
+      kMorselEntryPoint));
+  slots.EmitDeclarations(&unit);
+  unit.Line("auto* shared = static_cast<SwoleSharedState*>(shared_v);");
+  unit.Line("auto* state = static_cast<SwoleThreadState*>(state_v);");
+  unit.Line("(void)shared;");
+  unit.Line("(void)state;");
+  splice(std::move(body));
+  unit.Close();
+  unit.Line("");
+
+  unit.Open(StringFormat("extern \"C\" void %s(void* into_v, void* from_v) {",
+                         kMergeEntryPoint));
+  unit.Line("auto* into = static_cast<SwoleThreadState*>(into_v);");
+  unit.Line("auto* from = static_cast<SwoleThreadState*>(from_v);");
+  if (grouped) {
+    unit.Line("into->groups.MergeAdd(from->groups);");
+  } else {
+    for (int a = 0; a < naggs; ++a) {
+      unit.Line(StringFormat("into->agg%d += from->agg%d;", a, a));
+    }
+  }
+  unit.Line("delete from;");
+  unit.Close();
+  unit.Line("");
+
+  unit.Open(StringFormat(
+      "extern \"C\" void %s(const SwoleKernelIO* io, void* shared_v, "
+      "void* state_v) {",
+      kFinishEntryPoint));
+  unit.Line("auto* shared = static_cast<SwoleSharedState*>(shared_v);");
+  unit.Line("auto* state = static_cast<SwoleThreadState*>(state_v);");
+  if (grouped) {
+    unit.Open("state->groups.ForEach([&](int64_t key, const int64_t* p) {");
+    unit.Line("if (key == swole::HashTable::kMaskKey) return;");
+    unit.Line("if (p[0] == 0) return;");
+    unit.Line("io->emit_group(io->group_ctx, key, p + 1);");
+    unit.Close("});");
+  } else {
+    for (int a = 0; a < naggs; ++a) {
+      unit.Line(StringFormat("io->scalar_out[%d] = state->agg%d;", a, a));
+    }
+  }
+  unit.Line("delete state;");
+  unit.Line("delete shared;");
   unit.Close();
 
   GeneratedKernel kernel;
@@ -555,6 +681,8 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   kernel.fk_slots_ref_table = slots.fk_ref_tables_;
   kernel.num_aggs = naggs;
   kernel.grouped = grouped;
+  kernel.fact_table = fact;
+  kernel.tile_size = options.tile_size;
   return kernel;
 }
 

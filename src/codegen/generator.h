@@ -21,8 +21,12 @@
 //
 // The generated unit includes only the header-only runtime
 // (exec/kernels.h, exec/hash_table.h, storage/bitmap.h) — the same
-// "library code" the engines use — and exports one extern "C" entry point.
-// codegen/jit.h compiles it with the system compiler and dlopens it.
+// "library code" the engines use — and exports five extern "C" entry
+// points forming a morsel-driven ABI (build shared state, create
+// per-thread state, process one morsel, merge states, emit output).
+// codegen/jit.h compiles it with the system compiler, dlopens it, and
+// drives the morsel entry under exec/scheduler.h's work-stealing
+// scheduler.
 //
 // Supported plan subset: fact scan + filter (comparisons, AND/OR/NOT,
 // BETWEEN, IN over integer columns), existence dimension joins (single
@@ -43,9 +47,22 @@ struct KernelIO {
   void (*emit_group)(void* ctx, int64_t key, const int64_t* aggs) = nullptr;
 };
 
-/// Name of the entry point exported by every generated unit:
-/// extern "C" void swole_kernel_run(const swole::codegen::KernelIO* io);
-inline constexpr char kEntryPoint[] = "swole_kernel_run";
+/// Names of the five entry points exported by every generated unit.
+/// The host drives them as:
+///
+///   void* shared = swole_kernel_build(io);             // dim structures
+///   void* state[w] = swole_kernel_thread_state(io);    // one per worker
+///   swole_kernel_morsel(io, shared, state[w], b, e);   // [b, e) fact rows
+///   swole_kernel_merge(state[0], state[w]);            // w = 1.. in order
+///   swole_kernel_finish(io, shared, state[0]);         // emit + free
+///
+/// Morsel boundaries must be tile-aligned (GeneratedKernel::tile_size);
+/// merge deletes its `from` argument, finish deletes `state` and `shared`.
+inline constexpr char kBuildEntryPoint[] = "swole_kernel_build";
+inline constexpr char kThreadStateEntryPoint[] = "swole_kernel_thread_state";
+inline constexpr char kMorselEntryPoint[] = "swole_kernel_morsel";
+inline constexpr char kMergeEntryPoint[] = "swole_kernel_merge";
+inline constexpr char kFinishEntryPoint[] = "swole_kernel_finish";
 
 struct ColumnSlot {
   std::string table;
@@ -65,6 +82,11 @@ struct GeneratedKernel {
   std::vector<std::string> fk_slots_ref_table;
   int num_aggs = 0;
   bool grouped = false;
+  // The fact table driving the morsel loop, and the tile size the emitted
+  // loops assume: morsel boundaries handed to swole_kernel_morsel must be
+  // multiples of it (exec::DefaultMorselSize guarantees this).
+  std::string fact_table;
+  int64_t tile_size = 1024;
 };
 
 struct GeneratorOptions {
@@ -74,6 +96,11 @@ struct GeneratorOptions {
   // explicit so generated code is deterministic and inspectable).
   AggChoice agg_choice = AggChoice::kValueMasking;
   int64_t group_capacity_hint = 1024;
+  // Worker threads for CompiledKernel::Run / ExecuteWithFallback. Does NOT
+  // affect the emitted source (the morsel ABI is thread-count agnostic, so
+  // kernel-cache keys stay stable across thread counts); 0 defers to
+  // SWOLE_THREADS.
+  int num_threads = 0;
 };
 
 /// Emits the translation unit for `plan`, or Unimplemented if the plan

@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/subprocess.h"
 #include "engine/reference_engine.h"
+#include "exec/scheduler.h"
 #include "storage/table.h"
 #include "strategies/strategy.h"
 
@@ -345,7 +346,8 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
                        /*from_cache=*/false);
 }
 
-Result<QueryResult> CompiledKernel::Run(const Catalog& catalog) const {
+Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
+                                        int num_threads) const {
   // Bind column slots.
   std::vector<const void*> columns;
   for (const ColumnSlot& slot : kernel_.column_slots) {
@@ -428,8 +430,38 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog) const {
     result.num_aggs = kernel_.num_aggs;
   }
 
-  using EntryFn = void (*)(const KernelIO*);
-  reinterpret_cast<EntryFn>(library_->entry())(&io);
+  // Drive the five-entry morsel ABI: build the shared dim structures once,
+  // then scan the fact in tile-aligned morsels under the work-stealing
+  // scheduler with one generated state per worker, merged in worker order
+  // (bit-exact at every thread count), and emit from worker 0's state.
+  SWOLE_ASSIGN_OR_RETURN(const Table* fact,
+                         catalog.GetTable(kernel_.fact_table));
+  const int resolved_threads = exec::ResolveNumThreads(num_threads);
+
+  using BuildFn = void* (*)(const KernelIO*);
+  using ThreadStateFn = void* (*)(const KernelIO*);
+  using MorselFn = void (*)(const KernelIO*, void*, void*, int64_t, int64_t);
+  using MergeFn = void (*)(void*, void*);
+  using FinishFn = void (*)(const KernelIO*, void*, void*);
+  auto build = reinterpret_cast<BuildFn>(library_->build_entry());
+  auto thread_state =
+      reinterpret_cast<ThreadStateFn>(library_->thread_state_entry());
+  auto morsel = reinterpret_cast<MorselFn>(library_->morsel_entry());
+  auto merge = reinterpret_cast<MergeFn>(library_->merge_entry());
+  auto finish = reinterpret_cast<FinishFn>(library_->finish_entry());
+
+  void* shared = build(&io);
+  std::vector<void*> states(resolved_threads);
+  for (int w = 0; w < resolved_threads; ++w) states[w] = thread_state(&io);
+
+  exec::ParallelMorsels(resolved_threads, fact->num_rows(),
+                        exec::DefaultMorselSize(kernel_.tile_size),
+                        [&](int worker, int64_t begin, int64_t end) {
+                          morsel(&io, shared, states[worker], begin, end);
+                        });
+
+  for (int w = 1; w < resolved_threads; ++w) merge(states[0], states[w]);
+  finish(&io, shared, states[0]);
 
   if (kernel_.grouped) {
     if (sort_groups_) result.SortGroups();
@@ -462,7 +494,8 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
       GenerateAndCompile(plan, catalog, gen_options, jit_options);
   if (compiled.ok()) {
     report->cache_hit = (*compiled)->from_cache();
-    Result<QueryResult> run = (*compiled)->Run(catalog);
+    Result<QueryResult> run =
+        (*compiled)->Run(catalog, gen_options.num_threads);
     if (run.ok()) {
       report->used_jit = true;
       return std::move(run).value();
@@ -481,15 +514,19 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
 
   // First choice: the interpreted engine for the same strategy, so the
   // fallback keeps the strategy's access patterns (and its performance
-  // envelope). The reference oracle is the engine of last resort.
+  // envelope) — and the caller's tile size and thread count. The reference
+  // oracle is the engine of last resort.
+  StrategyOptions fallback_options;
+  fallback_options.tile_size = gen_options.tile_size;
+  fallback_options.num_threads = gen_options.num_threads;
   std::unique_ptr<Strategy> engine =
-      MakeStrategy(gen_options.strategy, catalog);
+      MakeStrategy(gen_options.strategy, catalog, fallback_options);
   Result<QueryResult> interpreted = engine->Execute(plan);
   if (interpreted.ok()) {
     report->fallback_engine = engine->name();
     return std::move(interpreted).value();
   }
-  ReferenceEngine reference(catalog);
+  ReferenceEngine reference(catalog, gen_options.num_threads);
   Result<QueryResult> oracle = reference.Execute(plan);
   if (!oracle.ok()) return oracle.status();
   report->fallback_engine = "reference";

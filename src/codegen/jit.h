@@ -109,7 +109,11 @@ class CompiledKernel {
   /// slots by name. The catalog must contain the same tables the kernel
   /// was generated against; slot types and fk-index row counts are
   /// validated (InvalidArgument) before any generated code runs.
-  Result<QueryResult> Run(const Catalog& catalog) const;
+  /// `num_threads` == 0 defers to SWOLE_THREADS (default 1); the fact scan
+  /// is dispatched as tile-aligned morsels with per-worker generated
+  /// states merged in worker order, so results are bit-exact at every
+  /// thread count.
+  Result<QueryResult> Run(const Catalog& catalog, int num_threads = 0) const;
 
   const GeneratedKernel& kernel() const { return kernel_; }
   const std::string& library_path() const { return library_->library_path(); }

@@ -27,21 +27,32 @@ Result<std::shared_ptr<KernelLibrary>> KernelLibrary::Load(
   if (handle == nullptr) {
     return Status::Internal(StringFormat("dlopen failed: %s", ::dlerror()));
   }
-  auto fail_dlsym = [&]() -> Status {
+  if (FaultInjector::Global().ShouldFail("jit_dlsym")) {
     ::dlclose(handle);
     return Status::Internal("injected fault: jit_dlsym");
-  };
-  if (FaultInjector::Global().ShouldFail("jit_dlsym")) return fail_dlsym();
-  void* entry = ::dlsym(handle, kEntryPoint);
-  if (entry == nullptr) {
-    std::string error = ::dlerror();
-    ::dlclose(handle);
-    return Status::Internal(
-        StringFormat("dlsym(%s) failed: %s", kEntryPoint, error.c_str()));
   }
   auto library = std::shared_ptr<KernelLibrary>(new KernelLibrary());
+  const struct {
+    const char* name;
+    void** slot;
+  } symbols[] = {
+      {kBuildEntryPoint, &library->build_},
+      {kThreadStateEntryPoint, &library->thread_state_},
+      {kMorselEntryPoint, &library->morsel_},
+      {kMergeEntryPoint, &library->merge_},
+      {kFinishEntryPoint, &library->finish_},
+  };
+  for (const auto& symbol : symbols) {
+    void* entry = ::dlsym(handle, symbol.name);
+    if (entry == nullptr) {
+      std::string error = ::dlerror();
+      ::dlclose(handle);
+      return Status::Internal(StringFormat("dlsym(%s) failed: %s",
+                                           symbol.name, error.c_str()));
+    }
+    *symbol.slot = entry;
+  }
   library->handle_ = handle;
-  library->entry_ = entry;
   library->library_path_ = library_path;
   return library;
 }

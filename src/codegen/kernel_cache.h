@@ -25,9 +25,10 @@
 
 namespace swole::codegen {
 
-/// A dlopened kernel shared object with its resolved entry point. Shared
-/// between the cache and every CompiledKernel bound to it; the handle is
-/// dlclosed when the last reference drops.
+/// A dlopened kernel shared object with its resolved entry points (the
+/// five-symbol morsel ABI of codegen/generator.h). Shared between the
+/// cache and every CompiledKernel bound to it; the handle is dlclosed when
+/// the last reference drops.
 class KernelLibrary {
  public:
   ~KernelLibrary();
@@ -35,19 +36,29 @@ class KernelLibrary {
   KernelLibrary(const KernelLibrary&) = delete;
   KernelLibrary& operator=(const KernelLibrary&) = delete;
 
-  /// dlopens `library_path` and resolves the generated entry point
-  /// (kEntryPoint). Honors the jit_dlopen / jit_dlsym fault sites.
+  /// dlopens `library_path` and resolves all five generated entry points.
+  /// A shared object missing any of them (e.g. a disk-cached kernel built
+  /// by an older ABI) fails here, which callers treat as "recompile", not
+  /// as a fatal error. Honors the jit_dlopen / jit_dlsym fault sites.
   static Result<std::shared_ptr<KernelLibrary>> Load(
       const std::string& library_path);
 
-  void* entry() const { return entry_; }
+  void* build_entry() const { return build_; }
+  void* thread_state_entry() const { return thread_state_; }
+  void* morsel_entry() const { return morsel_; }
+  void* merge_entry() const { return merge_; }
+  void* finish_entry() const { return finish_; }
   const std::string& library_path() const { return library_path_; }
 
  private:
   KernelLibrary() = default;
 
   void* handle_ = nullptr;
-  void* entry_ = nullptr;
+  void* build_ = nullptr;
+  void* thread_state_ = nullptr;
+  void* morsel_ = nullptr;
+  void* merge_ = nullptr;
+  void* finish_ = nullptr;
   std::string library_path_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/scheduler.h"
 #include "expr/scalar_eval.h"
 #include "storage/table.h"
 
@@ -114,24 +115,27 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
 
   const Table& fact = catalog_.TableRef(plan.fact_table);
-  EvaluatorPool pool(catalog_);
-  ScalarEvaluator& fact_eval = pool.For(plan.fact_table);
+  const int num_threads = exec::ResolveNumThreads(num_threads_);
 
-  // Reverse dims: precompute the set of qualifying fact offsets.
+  // Reverse dims: precompute the set of qualifying fact offsets (on the
+  // caller thread, before the parallel fact scan — shards read them).
   std::vector<std::vector<bool>> reverse_marks;
-  for (const ReverseDim& rdim : plan.reverse_dims) {
-    const Table& rtable = catalog_.TableRef(rdim.table);
-    const FkIndex* index =
-        rtable.GetFkIndex(rdim.fk_column).ValueOr(nullptr);
-    SWOLE_CHECK(index != nullptr);
-    std::vector<bool> marks(fact.num_rows(), false);
-    ScalarEvaluator& reval = pool.For(rdim.table);
-    for (int64_t row = 0; row < rtable.num_rows(); ++row) {
-      if (rdim.filter == nullptr || reval.Eval(*rdim.filter, row) != 0) {
-        marks[index->OffsetAt(row)] = true;
+  {
+    EvaluatorPool build_pool(catalog_);
+    for (const ReverseDim& rdim : plan.reverse_dims) {
+      const Table& rtable = catalog_.TableRef(rdim.table);
+      const FkIndex* index =
+          rtable.GetFkIndex(rdim.fk_column).ValueOr(nullptr);
+      SWOLE_CHECK(index != nullptr);
+      std::vector<bool> marks(fact.num_rows(), false);
+      ScalarEvaluator& reval = build_pool.For(rdim.table);
+      for (int64_t row = 0; row < rtable.num_rows(); ++row) {
+        if (rdim.filter == nullptr || reval.Eval(*rdim.filter, row) != 0) {
+          marks[index->OffsetAt(row)] = true;
+        }
       }
+      reverse_marks.push_back(std::move(marks));
     }
-    reverse_marks.push_back(std::move(marks));
   }
 
   const int num_aggs = static_cast<int>(plan.aggs.size());
@@ -140,21 +144,37 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
     identities[a] = AggIdentity(plan.aggs[a].kind);
   }
 
-  std::map<int64_t, std::vector<int64_t>> groups;
-  std::vector<int64_t> scalar = identities;
+  // One shard per worker: private evaluator pool (LIKE caches are not
+  // shared), private group map and scalar slots. Shards are merged in
+  // worker order below; all merges are order-insensitive on int64, so the
+  // result is bit-exact with the single-threaded scan.
+  struct Shard {
+    EvaluatorPool pool;
+    std::map<int64_t, std::vector<int64_t>> groups;
+    std::vector<int64_t> scalar;
+    explicit Shard(const Catalog& catalog) : pool(catalog) {}
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  for (int w = 0; w < num_threads; ++w) {
+    shards.push_back(std::make_unique<Shard>(catalog_));
+    shards.back()->scalar = identities;
+  }
 
   if (plan.group_seed.has_value()) {
     const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
     const Column& key_col = seed_table.ColumnRef(plan.group_seed->key_column);
     for (int64_t row = 0; row < seed_table.num_rows(); ++row) {
-      groups.emplace(key_col.ValueAt(row), identities);
+      shards[0]->groups.emplace(key_col.ValueAt(row), identities);
     }
   }
 
-  for (int64_t row = 0; row < fact.num_rows(); ++row) {
+  auto process_row = [&](Shard& shard, int64_t row) {
+    EvaluatorPool& pool = shard.pool;
+    ScalarEvaluator& fact_eval = pool.For(plan.fact_table);
+
     if (plan.fact_filter != nullptr &&
         fact_eval.Eval(*plan.fact_filter, row) == 0) {
-      continue;
+      return;
     }
 
     bool qualified = true;
@@ -167,7 +187,7 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
         break;
       }
     }
-    if (!qualified) continue;
+    if (!qualified) return;
 
     for (const std::vector<bool>& marks : reverse_marks) {
       if (!marks[row]) {
@@ -175,7 +195,7 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
         break;
       }
     }
-    if (!qualified) continue;
+    if (!qualified) return;
 
     if (plan.disjunctive.has_value()) {
       const DisjunctiveJoin& dj = *plan.disjunctive;
@@ -195,7 +215,7 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
           break;
         }
       }
-      if (!any) continue;
+      if (!any) return;
     }
 
     bool equalities_hold = true;
@@ -209,17 +229,17 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
         break;
       }
     }
-    if (!equalities_hold) continue;
+    if (!equalities_hold) return;
 
     // Locate the aggregation slots for this row.
-    std::vector<int64_t>* slots = &scalar;
+    std::vector<int64_t>* slots = &shard.scalar;
     if (plan.HasGroupBy()) {
       int64_t key =
           plan.group_by != nullptr
               ? fact_eval.Eval(*plan.group_by, row)
               : ResolvePath(*plan.FindPath(plan.group_by_path), catalog_,
                             plan.fact_table, row);
-      auto [it, inserted] = groups.try_emplace(key, identities);
+      auto [it, inserted] = shard.groups.try_emplace(key, identities);
       slots = &it->second;
     }
 
@@ -232,6 +252,28 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
                              plan.fact_table, row);
       }
       UpdateAgg(agg.kind, &(*slots)[a], value);
+    }
+  };
+
+  exec::ParallelMorsels(num_threads, fact.num_rows(), /*morsel_size=*/4096,
+                        [&](int worker, int64_t begin, int64_t end) {
+                          Shard& shard = *shards[worker];
+                          for (int64_t row = begin; row < end; ++row) {
+                            process_row(shard, row);
+                          }
+                        });
+
+  std::map<int64_t, std::vector<int64_t>>& groups = shards[0]->groups;
+  std::vector<int64_t>& scalar = shards[0]->scalar;
+  for (int w = 1; w < num_threads; ++w) {
+    for (int a = 0; a < num_aggs; ++a) {
+      UpdateAgg(plan.aggs[a].kind, &scalar[a], shards[w]->scalar[a]);
+    }
+    for (const auto& [key, partial] : shards[w]->groups) {
+      auto [it, inserted] = groups.try_emplace(key, identities);
+      for (int a = 0; a < num_aggs; ++a) {
+        UpdateAgg(plan.aggs[a].kind, &it->second[a], partial[a]);
+      }
     }
   }
 

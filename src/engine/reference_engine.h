@@ -15,7 +15,11 @@ namespace swole {
 
 class ReferenceEngine {
  public:
-  explicit ReferenceEngine(const Catalog& catalog) : catalog_(catalog) {}
+  /// `num_threads` == 0 defers to SWOLE_THREADS (default 1). The fact scan
+  /// is sharded across workers with per-shard group maps merged in worker
+  /// order, so results stay bit-exact at every thread count.
+  explicit ReferenceEngine(const Catalog& catalog, int num_threads = 0)
+      : catalog_(catalog), num_threads_(num_threads) {}
 
   /// Executes `plan`. Validates first; returns the normalized result with
   /// groups sorted by key.
@@ -23,6 +27,7 @@ class ReferenceEngine {
 
  private:
   const Catalog& catalog_;
+  int num_threads_;
 };
 
 }  // namespace swole

@@ -129,6 +129,20 @@ class HashTable {
     }
   }
 
+  /// Adds every entry of `other` into this table element-wise: absent keys
+  /// are inserted, payload slots are summed. This is the merge step of the
+  /// parallel partitioned build and of per-thread group states — additive
+  /// because every aggregation payload in this codebase is a plain int64
+  /// running sum/count (min/max live in scalar accumulators, merged by
+  /// kind). Width-0 tables merge as a set union.
+  void MergeAdd(const HashTable& other) {
+    SWOLE_CHECK_EQ(payload_width_, other.payload_width_);
+    other.ForEach([&](int64_t key, const int64_t* src) {
+      int64_t* dst = GetOrInsert(key);
+      for (int w = 0; w < payload_width_; ++w) dst[w] += src[w];
+    });
+  }
+
   /// Visits every live entry: fn(key, payload pointer).
   template <typename Fn>
   void ForEach(Fn&& fn) const {

@@ -1,0 +1,205 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace swole::exec {
+
+namespace {
+
+// True while the current thread is executing morsels for some job. Nested
+// ParallelMorsels calls detect this and run inline so a pool worker never
+// blocks waiting on tasks that need the pool.
+thread_local bool t_in_parallel_region = false;
+
+struct Job {
+  const MorselFn* fn = nullptr;
+  int64_t morsel_size = 0;
+  int64_t total = 0;
+  int participants = 0;
+  // Participant w owns the contiguous morsel run
+  // [queue_begin[w], queue_end[w]) and pops via fetch_add on cursor[w];
+  // a steal is the identical fetch_add on another participant's cursor, so
+  // each morsel index is claimed exactly once.
+  std::vector<int64_t> queue_begin;
+  std::vector<int64_t> queue_end;
+  std::unique_ptr<std::atomic<int64_t>[]> cursor;
+  std::atomic<int64_t> remaining{0};
+  std::atomic<int64_t> steals{0};
+  std::mutex mu;
+  std::condition_variable done;
+};
+
+void RunMorsel(Job& job, int worker, int64_t morsel) {
+  const int64_t begin = morsel * job.morsel_size;
+  const int64_t end = std::min(job.total, begin + job.morsel_size);
+  (*job.fn)(worker, begin, end);
+  // The release half of acq_rel publishes this worker's state writes to the
+  // caller, whose completion wait loads `remaining` with acquire.
+  if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.done.notify_all();
+  }
+}
+
+void RunParticipant(const std::shared_ptr<Job>& job, int worker) {
+  const bool was_in_region = t_in_parallel_region;
+  t_in_parallel_region = true;
+  // Drain the own run first: contiguous morsels keep the scan sequential.
+  while (true) {
+    int64_t m = job->cursor[worker].fetch_add(1, std::memory_order_relaxed);
+    if (m >= job->queue_end[worker]) break;
+    RunMorsel(*job, worker, m);
+  }
+  // Then steal, sweeping the other participants until one full sweep finds
+  // no work anywhere.
+  bool found = true;
+  while (found) {
+    found = false;
+    for (int v = 1; v < job->participants; ++v) {
+      int victim = (worker + v) % job->participants;
+      int64_t m = job->cursor[victim].fetch_add(1, std::memory_order_relaxed);
+      if (m < job->queue_end[victim]) {
+        job->steals.fetch_add(1, std::memory_order_relaxed);
+        RunMorsel(*job, worker, m);
+        found = true;
+      }
+    }
+  }
+  t_in_parallel_region = was_in_region;
+}
+
+// Lazily grown, process-lifetime worker pool. A function-local static value
+// (not a leaked pointer) so the destructor joins all workers at exit and
+// leak/thread sanitizers see a clean shutdown.
+class Pool {
+ public:
+  static Pool& Global() {
+    static Pool pool;
+    return pool;
+  }
+
+  void Submit(std::function<void()> task, int needed_workers) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (static_cast<int>(threads_.size()) < needed_workers) {
+        threads_.emplace_back([this] { WorkerLoop(); });
+      }
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // only reachable on shutdown
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int ResolveNumThreads(int requested) {
+  int64_t n = requested > 0 ? requested : GetEnvInt64("SWOLE_THREADS", 1);
+  return static_cast<int>(std::clamp<int64_t>(n, 1, 256));
+}
+
+int64_t DefaultMorselSize(int64_t tile_size) {
+  const int64_t tile = std::max<int64_t>(1, tile_size);
+  const int64_t tiles = std::max<int64_t>(1, GetEnvInt64("SWOLE_MORSEL_TILES", 64));
+  int64_t morsel = tiles * tile;
+  // Round up by whole tiles until 64-row aligned; terminates within 64
+  // steps because tile*k mod 64 cycles with period 64/gcd(tile, 64).
+  while (morsel % 64 != 0) morsel += tile;
+  return morsel;
+}
+
+MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
+                            int64_t morsel_size, const MorselFn& fn) {
+  MorselStats stats;
+  if (total_rows <= 0) return stats;
+  SWOLE_CHECK(morsel_size > 0);
+  const int64_t num_morsels = (total_rows + morsel_size - 1) / morsel_size;
+  const int participants = static_cast<int>(
+      std::min<int64_t>(std::max(1, num_threads), num_morsels));
+  stats.morsels = num_morsels;
+  stats.workers = participants;
+
+  if (participants == 1 || t_in_parallel_region) {
+    for (int64_t m = 0; m < num_morsels; ++m) {
+      const int64_t begin = m * morsel_size;
+      fn(0, begin, std::min(total_rows, begin + morsel_size));
+    }
+    return stats;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->morsel_size = morsel_size;
+  job->total = total_rows;
+  job->participants = participants;
+  job->queue_begin.resize(participants);
+  job->queue_end.resize(participants);
+  job->cursor = std::make_unique<std::atomic<int64_t>[]>(participants);
+  job->remaining.store(num_morsels, std::memory_order_relaxed);
+  const int64_t base = num_morsels / participants;
+  const int64_t extra = num_morsels % participants;
+  int64_t next = 0;
+  for (int w = 0; w < participants; ++w) {
+    job->queue_begin[w] = next;
+    next += base + (w < extra ? 1 : 0);
+    job->queue_end[w] = next;
+    job->cursor[w].store(job->queue_begin[w], std::memory_order_relaxed);
+  }
+  for (int w = 1; w < participants; ++w) {
+    Pool::Global().Submit([job, w] { RunParticipant(job, w); },
+                          participants - 1);
+  }
+  RunParticipant(job, 0);
+  {
+    // `remaining == 0` means every morsel's fn call has returned, so `fn`
+    // (a caller-owned reference) is never touched after we return; late
+    // pool tasks only probe the cursors, which the shared_ptr keeps alive.
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done.wait(lock, [&] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  stats.steals = job->steals.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace swole::exec

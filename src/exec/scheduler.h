@@ -1,0 +1,61 @@
+#ifndef SWOLE_EXEC_SCHEDULER_H_
+#define SWOLE_EXEC_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+
+// Morsel-driven parallel execution.
+//
+// A query's probe/scan side is split into fixed-size "morsels" (a whole
+// number of tiles, see DefaultMorselSize); morsels are dealt to a small
+// set of participants in contiguous runs, and idle participants steal from
+// the tail of other participants' runs. Every participant owns a
+// thread-local aggregation state that the engines merge in worker order
+// after the scan, which keeps results bit-exact with single-thread runs
+// (see DESIGN.md §7).
+//
+// The worker pool behind ParallelMorsels is a process-global lazy
+// singleton: threads are spawned on first use, reused across queries, and
+// joined at process exit. Nested ParallelMorsels calls (a worker's morsel
+// function starting another parallel region) run inline on the calling
+// participant, so the pool can never deadlock on itself.
+
+namespace swole::exec {
+
+/// Resolves an engine's thread count: `requested` > 0 wins, otherwise the
+/// SWOLE_THREADS environment variable, otherwise 1 (single-threaded — the
+/// default matches the pre-parallel engines). Clamped to [1, 256].
+int ResolveNumThreads(int requested);
+
+/// Morsel size for a given tile size: SWOLE_MORSEL_TILES tiles (default
+/// 64), rounded up by whole tiles until the size is also a multiple of 64
+/// rows. Tile alignment keeps a worker's inner loops full-width; 64-row
+/// alignment makes morsel boundaries fall on bitmap word boundaries so
+/// parallel bitmap builds (PackBytes) write disjoint words.
+int64_t DefaultMorselSize(int64_t tile_size);
+
+struct MorselStats {
+  int64_t morsels = 0;
+  int64_t steals = 0;
+  int workers = 1;  // participants actually used (<= requested threads)
+};
+
+/// Morsel body: process fact rows [begin, end). `worker` indexes the
+/// participant's thread-local state, 0 <= worker < num_threads; worker 0
+/// is always the calling thread. The same worker id may process many
+/// non-adjacent morsels, so per-worker carry state (e.g. ROF selection
+/// carries) must hold global row indices.
+using MorselFn = std::function<void(int worker, int64_t begin, int64_t end)>;
+
+/// Splits [0, total_rows) into morsel_size-row morsels and runs `fn` over
+/// all of them using at most `num_threads` participants (the caller plus
+/// pool workers), with work stealing. Blocks until every morsel has
+/// completed. With num_threads <= 1, a single morsel, or when called from
+/// inside another parallel region, all morsels run inline on the caller in
+/// ascending order. total_rows == 0 returns without invoking `fn`.
+MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
+                            int64_t morsel_size, const MorselFn& fn);
+
+}  // namespace swole::exec
+
+#endif  // SWOLE_EXEC_SCHEDULER_H_

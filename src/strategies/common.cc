@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "cost/estimates.h"
+#include "exec/scheduler.h"
 
 namespace swole::pipeline {
 
@@ -190,61 +191,89 @@ int32_t FilterToSelVec(StrategyKind kind, VectorEvaluator* eval,
 std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
                                           const Catalog& catalog,
                                           const DimJoin& dim,
-                                          int64_t tile_size) {
+                                          int64_t tile_size,
+                                          int num_threads) {
   // Children first (bottom-up through the snowflake).
   std::vector<std::unique_ptr<HashTable>> child_sets;
   child_sets.reserve(dim.children.size());
   for (const DimJoin& child : dim.children) {
-    child_sets.push_back(BuildDimKeySet(kind, catalog, child, tile_size));
+    child_sets.push_back(
+        BuildDimKeySet(kind, catalog, child, tile_size, num_threads));
   }
 
   const Table& table = catalog.TableRef(dim.hop.to_table);
   const Column& pk = table.ColumnRef(dim.hop.to_pk_column);
-  VectorEvaluator eval(table, tile_size);
-  Scratch scratch(tile_size);
 
-  auto ht = std::make_unique<HashTable>(/*payload_width=*/0,
-                                        table.num_rows());
-
-  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
-    int64_t len = std::min(tile_size, table.num_rows() - start);
-    int32_t n = FilterToSelVec(kind, &eval, table, dim.filter.get(), start,
-                               len, &scratch, scratch.sel.data());
-
-    for (size_t c = 0; c < dim.children.size(); ++c) {
-      if (n == 0) break;
-      const Column& fk = table.ColumnRef(dim.children[c].hop.fk_column);
-      GatherColumnSel(fk, start, scratch.sel.data(), n, scratch.keys.data());
-      HashTable& child = *child_sets[c];
-      if (kind == StrategyKind::kRof) {
-        for (int32_t k = 0; k < n; ++k) child.PrefetchSlot(scratch.keys[k]);
-      }
-      for (int32_t k = 0; k < n; ++k) {
-        scratch.cmp2[k] = child.Contains(scratch.keys[k]) ? 1 : 0;
-      }
-      n = CompactSel(kind, scratch.sel.data(), scratch.cmp2.data(), n);
-    }
-
-    GatherColumnSel(pk, start, scratch.sel.data(), n, scratch.keys.data());
-    if (kind == StrategyKind::kRof) {
-      for (int32_t k = 0; k < n; ++k) ht->PrefetchSlot(scratch.keys[k]);
-    }
-    for (int32_t k = 0; k < n; ++k) ht->GetOrInsert(scratch.keys[k]);
+  // Partitioned build: each worker scans its morsels into a private partial
+  // table; partials merge in worker order (pk keys are unique across
+  // morsels, so the merge is a disjoint union).
+  std::vector<std::unique_ptr<HashTable>> partials(num_threads);
+  std::vector<std::unique_ptr<VectorEvaluator>> evals(num_threads);
+  std::vector<std::unique_ptr<Scratch>> scratches(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    partials[w] = std::make_unique<HashTable>(
+        /*payload_width=*/0,
+        w == 0 ? table.num_rows() : table.num_rows() / num_threads + 16);
+    evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
+    scratches[w] = std::make_unique<Scratch>(tile_size);
   }
-  return ht;
+
+  exec::ParallelMorsels(
+      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+      [&](int worker, int64_t range_begin, int64_t range_end) {
+        VectorEvaluator& eval = *evals[worker];
+        Scratch& scratch = *scratches[worker];
+        HashTable& ht = *partials[worker];
+        for (int64_t start = range_begin; start < range_end;
+             start += tile_size) {
+          int64_t len = std::min(tile_size, range_end - start);
+          int32_t n = FilterToSelVec(kind, &eval, table, dim.filter.get(),
+                                     start, len, &scratch,
+                                     scratch.sel.data());
+
+          for (size_t c = 0; c < dim.children.size(); ++c) {
+            if (n == 0) break;
+            const Column& fk =
+                table.ColumnRef(dim.children[c].hop.fk_column);
+            GatherColumnSel(fk, start, scratch.sel.data(), n,
+                            scratch.keys.data());
+            HashTable& child = *child_sets[c];
+            if (kind == StrategyKind::kRof) {
+              for (int32_t k = 0; k < n; ++k) {
+                child.PrefetchSlot(scratch.keys[k]);
+              }
+            }
+            for (int32_t k = 0; k < n; ++k) {
+              scratch.cmp2[k] = child.Contains(scratch.keys[k]) ? 1 : 0;
+            }
+            n = CompactSel(kind, scratch.sel.data(), scratch.cmp2.data(), n);
+          }
+
+          GatherColumnSel(pk, start, scratch.sel.data(), n,
+                          scratch.keys.data());
+          if (kind == StrategyKind::kRof) {
+            for (int32_t k = 0; k < n; ++k) {
+              ht.PrefetchSlot(scratch.keys[k]);
+            }
+          }
+          for (int32_t k = 0; k < n; ++k) ht.GetOrInsert(scratch.keys[k]);
+        }
+      });
+
+  for (int w = 1; w < num_threads; ++w) partials[0]->MergeAdd(*partials[w]);
+  return std::move(partials[0]);
 }
 
 PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
-                                int64_t tile_size) {
+                                int64_t tile_size, int num_threads) {
   std::vector<PositionalBitmap> child_bitmaps;
   child_bitmaps.reserve(dim.children.size());
   for (const DimJoin& child : dim.children) {
-    child_bitmaps.push_back(BuildDimBitmap(catalog, child, tile_size));
+    child_bitmaps.push_back(
+        BuildDimBitmap(catalog, child, tile_size, num_threads));
   }
 
   const Table& table = catalog.TableRef(dim.hop.to_table);
-  VectorEvaluator eval(table, tile_size);
-  Scratch scratch(tile_size);
   PositionalBitmap bitmap(table.num_rows());
 
   // Fk offset arrays for the children (sequential reads during the scan).
@@ -256,44 +285,86 @@ PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
     child_offsets.push_back(index->offsets());
   }
 
-  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
-    int64_t len = std::min(tile_size, table.num_rows() - start);
-    FilterToMask(&eval, dim.filter.get(), start, len, scratch.cmp.data());
-    for (size_t c = 0; c < child_bitmaps.size(); ++c) {
-      const uint32_t* offs = child_offsets[c] + start;
-      const PositionalBitmap& child = child_bitmaps[c];
-      for (int64_t j = 0; j < len; ++j) {
-        scratch.cmp[j] &= static_cast<uint8_t>(child.Test(offs[j]));
-      }
-    }
-    // Unconditional store of the predicate result (§III-D option 1).
-    bitmap.PackBytes(start, scratch.cmp.data(), len);
+  // Workers fill disjoint row ranges of the shared bitmap. Morsels are
+  // 64-row aligned (DefaultMorselSize), so PackBytes never touches a word
+  // another worker writes.
+  std::vector<std::unique_ptr<VectorEvaluator>> evals(num_threads);
+  std::vector<std::unique_ptr<Scratch>> scratches(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
+    scratches[w] = std::make_unique<Scratch>(tile_size);
   }
+
+  exec::ParallelMorsels(
+      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+      [&](int worker, int64_t range_begin, int64_t range_end) {
+        VectorEvaluator& eval = *evals[worker];
+        Scratch& scratch = *scratches[worker];
+        for (int64_t start = range_begin; start < range_end;
+             start += tile_size) {
+          int64_t len = std::min(tile_size, range_end - start);
+          FilterToMask(&eval, dim.filter.get(), start, len,
+                       scratch.cmp.data());
+          for (size_t c = 0; c < child_bitmaps.size(); ++c) {
+            const uint32_t* offs = child_offsets[c] + start;
+            const PositionalBitmap& child = child_bitmaps[c];
+            for (int64_t j = 0; j < len; ++j) {
+              scratch.cmp[j] &= static_cast<uint8_t>(child.Test(offs[j]));
+            }
+          }
+          // Unconditional store of the predicate result (§III-D option 1).
+          bitmap.PackBytes(start, scratch.cmp.data(), len);
+        }
+      });
   return bitmap;
 }
 
 std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
                                               const Catalog& catalog,
                                               const ReverseDim& rdim,
-                                              int64_t tile_size) {
+                                              int64_t tile_size,
+                                              int num_threads) {
   const Table& table = catalog.TableRef(rdim.table);
   const Column& fk = table.ColumnRef(rdim.fk_column);
-  VectorEvaluator eval(table, tile_size);
-  Scratch scratch(tile_size);
 
-  auto ht = std::make_unique<HashTable>(/*payload_width=*/0,
-                                        table.num_rows());
-  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
-    int64_t len = std::min(tile_size, table.num_rows() - start);
-    int32_t n = FilterToSelVec(kind, &eval, table, rdim.filter.get(), start,
-                               len, &scratch, scratch.sel.data());
-    GatherColumnSel(fk, start, scratch.sel.data(), n, scratch.keys.data());
-    if (kind == StrategyKind::kRof) {
-      for (int32_t k = 0; k < n; ++k) ht->PrefetchSlot(scratch.keys[k]);
-    }
-    for (int32_t k = 0; k < n; ++k) ht->GetOrInsert(scratch.keys[k]);
+  // Partitioned build; fk values repeat across morsels, but width-0
+  // partials merge as a set union, so the result is order-independent.
+  std::vector<std::unique_ptr<HashTable>> partials(num_threads);
+  std::vector<std::unique_ptr<VectorEvaluator>> evals(num_threads);
+  std::vector<std::unique_ptr<Scratch>> scratches(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    partials[w] = std::make_unique<HashTable>(
+        /*payload_width=*/0,
+        w == 0 ? table.num_rows() : table.num_rows() / num_threads + 16);
+    evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
+    scratches[w] = std::make_unique<Scratch>(tile_size);
   }
-  return ht;
+
+  exec::ParallelMorsels(
+      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+      [&](int worker, int64_t range_begin, int64_t range_end) {
+        VectorEvaluator& eval = *evals[worker];
+        Scratch& scratch = *scratches[worker];
+        HashTable& ht = *partials[worker];
+        for (int64_t start = range_begin; start < range_end;
+             start += tile_size) {
+          int64_t len = std::min(tile_size, range_end - start);
+          int32_t n = FilterToSelVec(kind, &eval, table, rdim.filter.get(),
+                                     start, len, &scratch,
+                                     scratch.sel.data());
+          GatherColumnSel(fk, start, scratch.sel.data(), n,
+                          scratch.keys.data());
+          if (kind == StrategyKind::kRof) {
+            for (int32_t k = 0; k < n; ++k) {
+              ht.PrefetchSlot(scratch.keys[k]);
+            }
+          }
+          for (int32_t k = 0; k < n; ++k) ht.GetOrInsert(scratch.keys[k]);
+        }
+      });
+
+  for (int w = 1; w < num_threads; ++w) partials[0]->MergeAdd(*partials[w]);
+  return std::move(partials[0]);
 }
 
 PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
@@ -324,52 +395,87 @@ PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
 std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
                                               const Catalog& catalog,
                                               const DisjunctiveJoin& dj,
-                                              int64_t tile_size) {
+                                              int64_t tile_size,
+                                              int num_threads) {
   (void)kind;  // the clause masks are prepass-evaluated for every strategy
   const Table& table = catalog.TableRef(dj.hop.to_table);
   const Column& pk = table.ColumnRef(dj.hop.to_pk_column);
-  VectorEvaluator eval(table, tile_size);
-  Scratch scratch(tile_size);
 
-  auto ht = std::make_unique<HashTable>(/*payload_width=*/1,
-                                        table.num_rows());
-  std::vector<uint8_t> clause_bits(tile_size);
-  for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
-    int64_t len = std::min(tile_size, table.num_rows() - start);
-    std::memset(clause_bits.data(), 0, len);
-    for (size_t c = 0; c < dj.clauses.size(); ++c) {
-      FilterToMask(&eval, dj.clauses[c].dim_filter.get(), start, len,
-                   scratch.cmp.data());
-      for (int64_t j = 0; j < len; ++j) {
-        clause_bits[j] |= static_cast<uint8_t>(scratch.cmp[j] << c);
-      }
-    }
-    WidenColumn(pk, start, len, scratch.keys.data());
-    for (int64_t j = 0; j < len; ++j) {
-      if (clause_bits[j] != 0) {
-        *ht->GetOrInsert(scratch.keys[j]) = clause_bits[j];
-      }
-    }
+  // Partitioned build: pk keys are unique, so each key (and its clause
+  // bitmask payload) lands in exactly one partial and MergeAdd unions them.
+  std::vector<std::unique_ptr<HashTable>> partials(num_threads);
+  std::vector<std::unique_ptr<VectorEvaluator>> evals(num_threads);
+  std::vector<std::unique_ptr<Scratch>> scratches(num_threads);
+  std::vector<std::vector<uint8_t>> clause_bits(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    partials[w] = std::make_unique<HashTable>(
+        /*payload_width=*/1,
+        w == 0 ? table.num_rows() : table.num_rows() / num_threads + 16);
+    evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
+    scratches[w] = std::make_unique<Scratch>(tile_size);
+    clause_bits[w].resize(tile_size);
   }
-  return ht;
+
+  exec::ParallelMorsels(
+      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+      [&](int worker, int64_t range_begin, int64_t range_end) {
+        VectorEvaluator& eval = *evals[worker];
+        Scratch& scratch = *scratches[worker];
+        HashTable& ht = *partials[worker];
+        uint8_t* bits = clause_bits[worker].data();
+        for (int64_t start = range_begin; start < range_end;
+             start += tile_size) {
+          int64_t len = std::min(tile_size, range_end - start);
+          std::memset(bits, 0, len);
+          for (size_t c = 0; c < dj.clauses.size(); ++c) {
+            FilterToMask(&eval, dj.clauses[c].dim_filter.get(), start, len,
+                         scratch.cmp.data());
+            for (int64_t j = 0; j < len; ++j) {
+              bits[j] |= static_cast<uint8_t>(scratch.cmp[j] << c);
+            }
+          }
+          WidenColumn(pk, start, len, scratch.keys.data());
+          for (int64_t j = 0; j < len; ++j) {
+            if (bits[j] != 0) {
+              *ht.GetOrInsert(scratch.keys[j]) = bits[j];
+            }
+          }
+        }
+      });
+
+  for (int w = 1; w < num_threads; ++w) partials[0]->MergeAdd(*partials[w]);
+  return std::move(partials[0]);
 }
 
 std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
-    const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size) {
+    const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size,
+    int num_threads) {
   const Table& table = catalog.TableRef(dj.hop.to_table);
-  VectorEvaluator eval(table, tile_size);
-  Scratch scratch(tile_size);
+
+  std::vector<std::unique_ptr<VectorEvaluator>> evals(num_threads);
+  std::vector<std::unique_ptr<Scratch>> scratches(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
+    scratches[w] = std::make_unique<Scratch>(tile_size);
+  }
 
   std::vector<PositionalBitmap> bitmaps;
   bitmaps.reserve(dj.clauses.size());
   for (const DisjunctiveJoin::Clause& clause : dj.clauses) {
     PositionalBitmap bitmap(table.num_rows());
-    for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
-      int64_t len = std::min(tile_size, table.num_rows() - start);
-      FilterToMask(&eval, clause.dim_filter.get(), start, len,
-                   scratch.cmp.data());
-      bitmap.PackBytes(start, scratch.cmp.data(), len);
-    }
+    exec::ParallelMorsels(
+        num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+        [&](int worker, int64_t range_begin, int64_t range_end) {
+          VectorEvaluator& eval = *evals[worker];
+          Scratch& scratch = *scratches[worker];
+          for (int64_t start = range_begin; start < range_end;
+               start += tile_size) {
+            int64_t len = std::min(tile_size, range_end - start);
+            FilterToMask(&eval, clause.dim_filter.get(), start, len,
+                         scratch.cmp.data());
+            bitmap.PackBytes(start, scratch.cmp.data(), len);
+          }
+        });
     bitmaps.push_back(std::move(bitmap));
   }
   return bitmaps;
@@ -793,6 +899,14 @@ void GroupTable::UpdateJoinSel(const int64_t* keys,
   }
 }
 
+std::unique_ptr<GroupTable> GroupTable::CloneKeysOnly() const {
+  auto clone = std::make_unique<GroupTable>(plan_, table_.size());
+  table_.ForEach([&](int64_t key, const int64_t*) {
+    clone->table_.GetOrInsert(key);
+  });
+  return clone;
+}
+
 QueryResult GroupTable::Extract(const QueryPlan& plan,
                                 bool keep_untouched) const {
   QueryResult result;
@@ -809,6 +923,40 @@ QueryResult GroupTable::Extract(const QueryPlan& plan,
   result.SortGroups();
   if (plan.histogram_of_agg0) return HistogramOfAgg0(result);
   return result;
+}
+
+void InitScalarAcc(const QueryPlan& plan, int64_t* acc) {
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    switch (plan.aggs[a].kind) {
+      case AggKind::kMin:
+        acc[a] = QueryResult::kMinIdentity;
+        break;
+      case AggKind::kMax:
+        acc[a] = QueryResult::kMaxIdentity;
+        break;
+      default:
+        acc[a] = 0;
+        break;
+    }
+  }
+}
+
+void MergeScalarAcc(const QueryPlan& plan, int64_t* into,
+                    const int64_t* from) {
+  for (size_t a = 0; a < plan.aggs.size(); ++a) {
+    switch (plan.aggs[a].kind) {
+      case AggKind::kSum:
+      case AggKind::kCount:
+        into[a] += from[a];
+        break;
+      case AggKind::kMin:
+        if (from[a] < into[a]) into[a] = from[a];
+        break;
+      case AggKind::kMax:
+        if (from[a] > into[a]) into[a] = from[a];
+        break;
+    }
+  }
 }
 
 QueryResult MakeScalarResult(const QueryPlan& plan, const int64_t* acc) {

@@ -65,16 +65,21 @@ int32_t CompactSel(StrategyKind kind, int32_t* sel, const uint8_t* flags,
 /// dim pk values). Used by data-centric, hybrid, and ROF. Builds child key
 /// sets recursively; the dim scan uses the strategy's filter style and ROF
 /// prefetches its child probes.
+/// With num_threads > 1 the dim scan is partitioned into morsels: each
+/// worker fills a private partial table, merged via HashTable::MergeAdd
+/// in worker order (pk keys are unique, so the merge is a disjoint union).
 std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
                                           const Catalog& catalog,
                                           const DimJoin& dim,
-                                          int64_t tile_size);
+                                          int64_t tile_size,
+                                          int num_threads = 1);
 
 /// Positional qualification bitmap for a dimension subtree (SWOLE §III-D):
 /// bit i == 1 iff dim row i passes the filter and all child dims qualify.
-/// Purely sequential build; child probes go through fk offset indexes.
+/// Sequential scan per worker; with num_threads > 1 workers fill disjoint
+/// 64-bit-aligned row ranges of the same bitmap (no merge needed).
 PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
-                                int64_t tile_size);
+                                int64_t tile_size, int num_threads = 1);
 
 /// Hash set of fk *values* for a reverse dim (Q4's EXISTS): the keys are
 /// rdim.fk_column values of qualifying rdim rows; the fact probes with its
@@ -82,11 +87,14 @@ PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
 std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
                                               const Catalog& catalog,
                                               const ReverseDim& rdim,
-                                              int64_t tile_size);
+                                              int64_t tile_size,
+                                              int num_threads = 1);
 
 /// Positional bitmap over *fact* offsets for a reverse dim: scanning the
 /// rdim table sequentially, OR the predicate result into the bit at the fk
-/// offset (multiple rdim rows may map to one fact row).
+/// offset (multiple rdim rows may map to one fact row). Always sequential:
+/// fk offsets land at arbitrary fact positions, so partitioned workers
+/// would race on bitmap words.
 PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
                                     const ReverseDim& rdim,
                                     int64_t fact_rows, int64_t tile_size);
@@ -97,12 +105,14 @@ PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
 std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
                                               const Catalog& catalog,
                                               const DisjunctiveJoin& dj,
-                                              int64_t tile_size);
+                                              int64_t tile_size,
+                                              int num_threads = 1);
 
 /// One qualification bitmap per clause over the dim table (SWOLE, Q19:
 /// "builds a total of three bitmaps in a purely sequential scan").
 std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
-    const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size);
+    const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size,
+    int num_threads = 1);
 
 // ---- Column paths (late materialization, §III-D) ----
 
@@ -217,6 +227,17 @@ class GroupTable {
   /// Deletes `key` (eager aggregation's non-qualifying key removal).
   void EraseKey(int64_t key) { table_.Erase(key); }
 
+  /// Merges a worker-local partial state: payloads added element-wise
+  /// ([touched, sums/counts] — all additive). Called in worker order (the
+  /// ordered merge); Extract sorts by key, so results are bit-exact with
+  /// single-thread runs regardless of steal order.
+  void MergeFrom(const GroupTable& other) { table_.MergeAdd(other.table_); }
+
+  /// A worker-local copy with the same key set and zeroed payloads.
+  /// Join-mode probes (UpdateJoinMasked/UpdateJoinSel) only Find keys, so
+  /// every worker's table must be pre-populated with the seeded build keys.
+  std::unique_ptr<GroupTable> CloneKeysOnly() const;
+
   HashTable& table() { return table_; }
   const HashTable& table() const { return table_; }
   int64_t ht_bytes() const { return table_.ByteSize(); }
@@ -230,6 +251,16 @@ class GroupTable {
   int num_aggs_;
   HashTable table_;
 };
+
+/// Initializes a scalar accumulator to each aggregate's identity (0 for
+/// sum/count, +inf/-inf sentinels for min/max).
+void InitScalarAcc(const QueryPlan& plan, int64_t* acc);
+
+/// Ordered merge of a worker's scalar partial into `into`: sum/count add,
+/// min/max compare. Workers start at identities, so merging in worker
+/// order reproduces the single-thread accumulator bit-exactly.
+void MergeScalarAcc(const QueryPlan& plan, int64_t* into,
+                    const int64_t* from);
 
 /// Builds the final result for a scalar aggregation.
 QueryResult MakeScalarResult(const QueryPlan& plan, const int64_t* acc);

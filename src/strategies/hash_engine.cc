@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "exec/scheduler.h"
 
 namespace swole {
 
@@ -42,9 +43,8 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
 
   const int64_t tile = options_.tile_size;
+  const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
-  VectorEvaluator eval(fact, tile);
-  Scratch scratch(tile);
   const bool rof = kind_ == StrategyKind::kRof;
 
   // ---- Build phase ----
@@ -53,20 +53,21 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   std::vector<std::unique_ptr<HashTable>> dim_sets(plan.dims.size());
   for (size_t d = 0; d < plan.dims.size(); ++d) {
     if (static_cast<int>(d) == groupjoin_dim) continue;  // fused below
-    dim_sets[d] =
-        pipeline::BuildDimKeySet(kind_, catalog_, plan.dims[d], tile);
+    dim_sets[d] = pipeline::BuildDimKeySet(kind_, catalog_, plan.dims[d],
+                                           tile, num_threads);
   }
 
   std::vector<std::unique_ptr<HashTable>> reverse_sets;
   for (const ReverseDim& rdim : plan.reverse_dims) {
     reverse_sets.push_back(
-        pipeline::BuildReverseKeySet(kind_, catalog_, rdim, tile));
+        pipeline::BuildReverseKeySet(kind_, catalog_, rdim, tile,
+                                     num_threads));
   }
 
   std::unique_ptr<HashTable> disjunctive_ht;
   if (plan.disjunctive.has_value()) {
-    disjunctive_ht = pipeline::BuildDisjunctiveHt(kind_, catalog_,
-                                                  *plan.disjunctive, tile);
+    disjunctive_ht = pipeline::BuildDisjunctiveHt(
+        kind_, catalog_, *plan.disjunctive, tile, num_threads);
   }
 
   // Group table. For the groupjoin fusion its keys ARE the qualifying
@@ -94,7 +95,7 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
       // qualifying dim key is seeded (so probe misses mean "join filtered").
       const DimJoin& dim = plan.dims[groupjoin_dim];
       std::unique_ptr<HashTable> qualifying =
-          pipeline::BuildDimKeySet(kind_, catalog_, dim, tile);
+          pipeline::BuildDimKeySet(kind_, catalog_, dim, tile, num_threads);
       qualifying->ForEach(
           [&](int64_t key, const int64_t*) { groups->SeedKey(key); });
     }
@@ -125,36 +126,72 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
                               *plan.FindPath(eq.right_alias)));
   }
 
-  // Per-clause fact filters of the disjunctive join, prepass-evaluated
-  // per tile (outside the per-lane loop).
-  std::vector<std::vector<uint8_t>> clause_masks;
-  if (plan.disjunctive.has_value()) {
-    clause_masks.assign(plan.disjunctive->clauses.size(),
-                        std::vector<uint8_t>(tile));
-  }
+  // ---- Per-worker probe context ----
+  // Each scheduler participant owns one: scratch buffers, a private
+  // aggregation state, and (for ROF) the carried selection vector. Worker 0
+  // aggregates into the primary `groups`/accumulator; the others merge into
+  // it in worker order after the scan.
+  struct ProbeCtx {
+    VectorEvaluator eval;
+    Scratch scratch;
+    std::vector<std::vector<uint8_t>> clause_masks;
+    std::vector<std::vector<int64_t>> value_storage;
+    std::vector<int64_t*> value_ptrs;
+    std::vector<int64_t> scalar_acc;
+    std::unique_ptr<GroupTable> owned_groups;
+    GroupTable* groups = nullptr;
+    // ROF's carried FULL selection vector of GLOBAL fact indices — global
+    // because one worker's morsels are not contiguous.
+    std::vector<int32_t> carry;
+    int32_t carry_n = 0;
+    int64_t carry_mask_start = 0;  // tile start of the lanes in `carry`
 
-  // Per-aggregate value buffers for grouped updates.
-  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
-  std::vector<int64_t*> value_ptrs(plan.aggs.size());
-  for (size_t a = 0; a < plan.aggs.size(); ++a) {
-    value_storage[a].resize(tile);
-    value_ptrs[a] = value_storage[a].data();
-  }
+    ProbeCtx(const Table& fact_table, int64_t tile_size)
+        : eval(fact_table, tile_size),
+          scratch(tile_size),
+          carry(tile_size) {}
+  };
 
-  std::vector<int64_t> scalar_acc(plan.aggs.size());
-  for (size_t a = 0; a < plan.aggs.size(); ++a) {
-    scalar_acc[a] = plan.aggs[a].kind == AggKind::kMin
-                        ? QueryResult::kMinIdentity
-                        : plan.aggs[a].kind == AggKind::kMax
-                              ? QueryResult::kMaxIdentity
-                              : 0;
+  const bool join_mode = groupjoin_dim >= 0;
+  std::vector<std::unique_ptr<ProbeCtx>> ctxs(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    auto ctx = std::make_unique<ProbeCtx>(fact, tile);
+    if (plan.disjunctive.has_value()) {
+      ctx->clause_masks.assign(plan.disjunctive->clauses.size(),
+                               std::vector<uint8_t>(tile));
+    }
+    ctx->value_storage.resize(plan.aggs.size());
+    ctx->value_ptrs.resize(plan.aggs.size());
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      ctx->value_storage[a].resize(tile);
+      ctx->value_ptrs[a] = ctx->value_storage[a].data();
+    }
+    ctx->scalar_acc.resize(plan.aggs.size());
+    pipeline::InitScalarAcc(plan, ctx->scalar_acc.data());
+    if (plan.HasGroupBy()) {
+      if (w == 0) {
+        ctx->groups = groups.get();
+      } else if (join_mode) {
+        // Join-mode probes only Find keys, so every worker needs the
+        // seeded key set; payloads start at zero and merge additively.
+        ctx->owned_groups = groups->CloneKeysOnly();
+        ctx->groups = ctx->owned_groups.get();
+      } else {
+        ctx->owned_groups = std::make_unique<GroupTable>(
+            plan, pipeline::ExpectedGroups(catalog_, plan));
+        ctx->groups = ctx->owned_groups.get();
+      }
+    }
+    ctxs[w] = std::move(ctx);
   }
 
   // Processes one batch of selected lanes. For DC/hybrid the batch is the
   // tile's local selection vector (base == tile start); for ROF it is the
   // carried FULL selection vector of global indices (base == 0).
-  auto process_batch = [&](int64_t base, int32_t* sel, int32_t n,
-                           int64_t mask_tile_start) -> void {
+  auto process_batch = [&](ProbeCtx& ctx, int64_t base, int32_t* sel,
+                           int32_t n, int64_t mask_tile_start) -> void {
+    VectorEvaluator& eval = ctx.eval;
+    Scratch& scratch = ctx.scratch;
     // Join qualification: probe each dimension's key set by fk value.
     for (size_t d = 0; d < plan.dims.size(); ++d) {
       if (n == 0) return;
@@ -211,7 +248,7 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
           // clause_masks are tile-relative; translate the lane back.
           int64_t local = base + sel[k] - mask_tile_start;
           ok |= static_cast<uint8_t>(((dim_bits >> c) & 1) &
-                                     clause_masks[c][local]);
+                                     ctx.clause_masks[c][local]);
         }
         scratch.cmp2[k] = ok;
       }
@@ -237,7 +274,7 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
     if (!plan.HasGroupBy()) {
       pipeline::AccumulateScalarSel(fact, &eval, plan, shapes, factor_paths,
                                     base, sel, n, &scratch,
-                                    scalar_acc.data());
+                                    ctx.scalar_acc.data());
       return;
     }
 
@@ -263,81 +300,104 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
 
     for (size_t a = 0; a < plan.aggs.size(); ++a) {
       pipeline::AggValuesSel(fact, &eval, plan.aggs[a], shapes[a], base, sel,
-                             n, &scratch, value_ptrs[a]);
+                             n, &scratch, ctx.value_ptrs[a]);
       if (!plan.aggs[a].path_factor.empty()) {
         pipeline::GatherPathSel(factor_paths[a], base, sel, n, &scratch,
                                 scratch.vals2.data());
         for (int32_t k = 0; k < n; ++k) {
-          value_ptrs[a][k] *= scratch.vals2[k];
+          ctx.value_ptrs[a][k] *= scratch.vals2[k];
         }
       }
     }
-    if (groupjoin_dim >= 0) {
-      groups->UpdateJoinSel(scratch.keys.data(), value_ptrs, n, rof);
+    if (join_mode) {
+      ctx.groups->UpdateJoinSel(scratch.keys.data(), ctx.value_ptrs, n, rof);
     } else {
-      groups->UpdateSel(scratch.keys.data(), value_ptrs, n, rof);
+      ctx.groups->UpdateSel(scratch.keys.data(), ctx.value_ptrs, n, rof);
     }
   };
 
-  // ---- Probe phase ----
-  // ROF carries a FULL selection vector of global indices across tiles
-  // ("always operating on full intermediate result selection vectors").
-  std::vector<int32_t> carry(tile);
-  int32_t carry_n = 0;
-  int64_t carry_mask_start = 0;  // tile start of the lanes in `carry`
+  // ---- Probe phase (morsel-driven) ----
+  // ROF carries a FULL selection vector of global indices across the tiles
+  // of a worker's morsels ("always operating on full intermediate result
+  // selection vectors"); it persists in the worker's ctx and flushes after
+  // the scan.
+  auto process_range = [&](ProbeCtx& ctx, int64_t range_begin,
+                           int64_t range_end) -> void {
+    for (int64_t start = range_begin; start < range_end; start += tile) {
+      int64_t len = std::min(tile, range_end - start);
 
-  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
-    int64_t len = std::min(tile, fact.num_rows() - start);
+      // Disjunctive per-clause fact filters: prepass once per tile.
+      if (plan.disjunctive.has_value()) {
+        // ROF's carry would mix lanes from tiles with different masks;
+        // flush first so clause masks always refer to the current tile.
+        if (rof && ctx.carry_n > 0) {
+          process_batch(ctx, 0, ctx.carry.data(), ctx.carry_n,
+                        ctx.carry_mask_start);
+          ctx.carry_n = 0;
+        }
+        for (size_t c = 0; c < plan.disjunctive->clauses.size(); ++c) {
+          pipeline::FilterToMask(
+              &ctx.eval, plan.disjunctive->clauses[c].fact_filter.get(),
+              start, len, ctx.clause_masks[c].data());
+        }
+        ctx.carry_mask_start = start;
+      }
 
-    // Disjunctive per-clause fact filters: prepass once per tile.
-    if (plan.disjunctive.has_value()) {
-      // ROF's carry would mix lanes from tiles with different masks; flush
-      // first so clause masks always refer to the current tile.
-      if (rof && carry_n > 0) {
-        process_batch(0, carry.data(), carry_n, carry_mask_start);
-        carry_n = 0;
+      int32_t n = pipeline::FilterToSelVec(kind_, &ctx.eval, fact,
+                                           plan.fact_filter.get(), start,
+                                           len, &ctx.scratch,
+                                           ctx.scratch.sel.data());
+
+      if (!rof) {
+        process_batch(ctx, start, ctx.scratch.sel.data(), n, start);
+        continue;
       }
-      for (size_t c = 0; c < plan.disjunctive->clauses.size(); ++c) {
-        pipeline::FilterToMask(&eval,
-                               plan.disjunctive->clauses[c].fact_filter.get(),
-                               start, len, clause_masks[c].data());
+
+      // ROF: append global indices until the vector is full, then process.
+      int32_t appended = 0;
+      while (appended < n) {
+        int32_t space = static_cast<int32_t>(tile) - ctx.carry_n;
+        int32_t take = std::min(space, n - appended);
+        for (int32_t k = 0; k < take; ++k) {
+          ctx.carry[ctx.carry_n + k] =
+              static_cast<int32_t>(start) + ctx.scratch.sel[appended + k];
+        }
+        ctx.carry_n += take;
+        appended += take;
+        if (ctx.carry_n == static_cast<int32_t>(tile)) {
+          process_batch(ctx, 0, ctx.carry.data(), ctx.carry_n,
+                        ctx.carry_mask_start);
+          ctx.carry_n = 0;
+        }
       }
-      carry_mask_start = start;
     }
+  };
 
-    int32_t n = pipeline::FilterToSelVec(kind_, &eval, fact,
-                                         plan.fact_filter.get(), start, len,
-                                         &scratch, scratch.sel.data());
+  exec::ParallelMorsels(num_threads, fact.num_rows(),
+                        exec::DefaultMorselSize(tile),
+                        [&](int worker, int64_t begin, int64_t end) {
+                          process_range(*ctxs[worker], begin, end);
+                        });
 
-    if (!rof) {
-      process_batch(start, scratch.sel.data(), n, start);
-      continue;
-    }
-
-    // ROF: append global indices until the vector is full, then process.
-    int32_t appended = 0;
-    while (appended < n) {
-      int32_t space = static_cast<int32_t>(tile) - carry_n;
-      int32_t take = std::min(space, n - appended);
-      for (int32_t k = 0; k < take; ++k) {
-        carry[carry_n + k] =
-            static_cast<int32_t>(start) + scratch.sel[appended + k];
-      }
-      carry_n += take;
-      appended += take;
-      if (carry_n == static_cast<int32_t>(tile)) {
-        process_batch(0, carry.data(), carry_n, carry_mask_start);
-        carry_n = 0;
-      }
+  // Flush leftover ROF carries, then merge worker states — both in worker
+  // order, the deterministic ordered merge (DESIGN.md §7).
+  for (int w = 0; w < num_threads; ++w) {
+    ProbeCtx& ctx = *ctxs[w];
+    if (rof && ctx.carry_n > 0) {
+      process_batch(ctx, 0, ctx.carry.data(), ctx.carry_n,
+                    ctx.carry_mask_start);
+      ctx.carry_n = 0;
     }
   }
-  if (rof && carry_n > 0) {
-    process_batch(0, carry.data(), carry_n, carry_mask_start);
+  for (int w = 1; w < num_threads; ++w) {
+    pipeline::MergeScalarAcc(plan, ctxs[0]->scalar_acc.data(),
+                             ctxs[w]->scalar_acc.data());
+    if (plan.HasGroupBy()) groups->MergeFrom(*ctxs[w]->groups);
   }
 
   // ---- Result extraction ----
   if (!plan.HasGroupBy()) {
-    return pipeline::MakeScalarResult(plan, scalar_acc.data());
+    return pipeline::MakeScalarResult(plan, ctxs[0]->scalar_acc.data());
   }
   bool keep_untouched = plan.group_seed.has_value();
   return groups->Extract(plan, keep_untouched);

@@ -33,6 +33,12 @@ const char* StrategyKindName(StrategyKind kind);
 struct StrategyOptions {
   int64_t tile_size = kernels::kDefaultTileSize;
 
+  // Morsel-driven parallelism (exec/scheduler.h): number of worker threads
+  // for the build and probe phases. 0 defers to the SWOLE_THREADS
+  // environment variable (default 1). Results are bit-exact at every
+  // thread count: per-worker states are merged in worker order.
+  int num_threads = 0;
+
   // Cost-model inputs for SWOLE's technique decisions (null = default
   // deterministic profile).
   const CostProfile* cost_profile = nullptr;

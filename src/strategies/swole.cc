@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "cost/estimates.h"
+#include "exec/scheduler.h"
 
 namespace swole {
 
@@ -356,9 +357,8 @@ const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
 Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     const QueryPlan& plan, const PlanAnalysis& analysis) {
   const int64_t tile = options_.tile_size;
+  const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
-  VectorEvaluator eval(fact, tile);
-  Scratch scratch(tile);
   const bool use_bitmaps = options_.enable_positional_bitmaps;
 
   // ---- Build phase ----
@@ -369,7 +369,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   const bool compressed = options_.use_compressed_bitmaps;
   for (const DimJoin& dim : plan.dims) {
     if (use_bitmaps) {
-      dim_bitmaps.push_back(pipeline::BuildDimBitmap(catalog_, dim, tile));
+      dim_bitmaps.push_back(
+          pipeline::BuildDimBitmap(catalog_, dim, tile, num_threads));
       if (compressed) {
         dim_compressed.push_back(
             CompressedBitmap::Compress(dim_bitmaps.back()));
@@ -377,8 +378,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
       dim_sets.push_back(nullptr);
     } else {
       dim_bitmaps.emplace_back();
-      dim_sets.push_back(pipeline::BuildDimKeySet(StrategyKind::kSwole,
-                                                  catalog_, dim, tile));
+      dim_sets.push_back(pipeline::BuildDimKeySet(
+          StrategyKind::kSwole, catalog_, dim, tile, num_threads));
     }
     const FkIndex* index =
         fact.GetFkIndex(dim.hop.fk_column).ValueOr(nullptr);
@@ -396,7 +397,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   const uint32_t* disjunctive_offsets = nullptr;
   if (plan.disjunctive.has_value()) {
     clause_bitmaps = pipeline::BuildDisjunctiveBitmaps(
-        catalog_, *plan.disjunctive, tile);
+        catalog_, *plan.disjunctive, tile, num_threads);
     const FkIndex* index =
         fact.GetFkIndex(plan.disjunctive->hop.fk_column).ValueOr(nullptr);
     SWOLE_CHECK(index != nullptr);
@@ -438,25 +439,6 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     }
   }
 
-  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
-  std::vector<int64_t*> value_ptrs(plan.aggs.size());
-  for (size_t a = 0; a < plan.aggs.size(); ++a) {
-    value_storage[a].resize(tile);
-    value_ptrs[a] = value_storage[a].data();
-  }
-  std::vector<int64_t> scalar_acc(plan.aggs.size());
-  for (size_t a = 0; a < plan.aggs.size(); ++a) {
-    scalar_acc[a] = plan.aggs[a].kind == AggKind::kMin
-                        ? QueryResult::kMinIdentity
-                        : plan.aggs[a].kind == AggKind::kMax
-                              ? QueryResult::kMaxIdentity
-                              : 0;
-  }
-
-  // Per-merge tmp buffers (access merging).
-  std::vector<std::vector<int64_t>> merge_tmp(analysis.merges.size());
-  for (auto& buffer : merge_tmp) buffer.resize(tile);
-
   const Expr* mask_filter = decisions_.used_access_merging
                                 ? analysis.residual_filter.get()
                                 : plan.fact_filter.get();
@@ -464,11 +446,64 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   const bool mask_mode =
       analysis.agg_choice != AggChoice::kHybridFallback;
 
-  std::vector<uint8_t> disjunctive_mask(tile);
-  std::vector<uint8_t> clause_fact_mask(tile);
+  // Per-worker probe context: every scheduler participant aggregates into
+  // a private state; worker 0 owns the primary (seeded) group table and
+  // the others merge into it in worker order after the scan.
+  struct ProbeCtx {
+    VectorEvaluator eval;
+    Scratch scratch;
+    std::vector<std::vector<int64_t>> value_storage;
+    std::vector<int64_t*> value_ptrs;
+    std::vector<int64_t> scalar_acc;
+    std::vector<std::vector<int64_t>> merge_tmp;
+    std::vector<uint8_t> disjunctive_mask;
+    std::vector<uint8_t> clause_fact_mask;
+    std::unique_ptr<GroupTable> owned_groups;
+    GroupTable* groups = nullptr;
 
-  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
-    int64_t len = std::min(tile, fact.num_rows() - start);
+    ProbeCtx(const Table& fact_table, int64_t tile_size)
+        : eval(fact_table, tile_size),
+          scratch(tile_size),
+          disjunctive_mask(tile_size),
+          clause_fact_mask(tile_size) {}
+  };
+
+  std::vector<std::unique_ptr<ProbeCtx>> ctxs(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    auto ctx = std::make_unique<ProbeCtx>(fact, tile);
+    ctx->value_storage.resize(plan.aggs.size());
+    ctx->value_ptrs.resize(plan.aggs.size());
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      ctx->value_storage[a].resize(tile);
+      ctx->value_ptrs[a] = ctx->value_storage[a].data();
+    }
+    ctx->scalar_acc.resize(plan.aggs.size());
+    pipeline::InitScalarAcc(plan, ctx->scalar_acc.data());
+    ctx->merge_tmp.resize(analysis.merges.size());
+    for (auto& buffer : ctx->merge_tmp) buffer.resize(tile);
+    if (plan.HasGroupBy()) {
+      if (w == 0) {
+        ctx->groups = groups.get();
+      } else {
+        // Insert-mode updates: workers start empty (the ctor provisions
+        // the throwaway entry); seeds stay in the primary only.
+        ctx->owned_groups =
+            std::make_unique<GroupTable>(plan, analysis.expected_groups);
+        ctx->groups = ctx->owned_groups.get();
+      }
+    }
+    ctxs[w] = std::move(ctx);
+  }
+
+  auto process_tile = [&](ProbeCtx& ctx, int64_t start, int64_t len) {
+    VectorEvaluator& eval = ctx.eval;
+    Scratch& scratch = ctx.scratch;
+    std::vector<int64_t*>& value_ptrs = ctx.value_ptrs;
+    std::vector<int64_t>& scalar_acc = ctx.scalar_acc;
+    std::vector<std::vector<int64_t>>& merge_tmp = ctx.merge_tmp;
+    std::vector<uint8_t>& disjunctive_mask = ctx.disjunctive_mask;
+    std::vector<uint8_t>& clause_fact_mask = ctx.clause_fact_mask;
+    GroupTable* groups = ctx.groups;
 
     if (mask_mode) {
       // ---- Predicate-pullup pipeline: everything stays a byte mask ----
@@ -589,7 +624,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
             &scratch, scalar_acc.data(),
             decisions_.used_access_merging ? &analysis.merged_aggs
                                            : nullptr);
-        continue;
+        return;
       }
 
       // Grouped: keys for every lane (pullup), masked update.
@@ -621,7 +656,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
       } else {
         groups->UpdateMaskedValues(keys, value_ptrs, cmp, len);
       }
-      continue;
+      return;
     }
 
     // ---- Hybrid-fallback pipeline (selection vectors + bitmap probes) ----
@@ -695,13 +730,13 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
       n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
                                scratch.cmp2.data(), n);
     }
-    if (n == 0) continue;
+    if (n == 0) return;
 
     if (!plan.HasGroupBy()) {
       pipeline::AccumulateScalarSel(fact, &eval, plan, shapes, factor_paths,
                                     start, scratch.sel.data(), n, &scratch,
                                     scalar_acc.data());
-      continue;
+      return;
     }
     if (!plan.group_by_path.empty()) {
       pipeline::GatherPathSel(group_path, start, scratch.sel.data(), n,
@@ -731,10 +766,28 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
       }
     }
     groups->UpdateSel(scratch.keys.data(), value_ptrs, n, false);
+  };
+
+  exec::ParallelMorsels(num_threads, fact.num_rows(),
+                        exec::DefaultMorselSize(tile),
+                        [&](int worker, int64_t begin, int64_t end) {
+                          ProbeCtx& ctx = *ctxs[worker];
+                          for (int64_t start = begin; start < end;
+                               start += tile) {
+                            process_tile(ctx, start,
+                                         std::min(tile, end - start));
+                          }
+                        });
+
+  // Ordered merge of worker-local states (DESIGN.md §7).
+  for (int w = 1; w < num_threads; ++w) {
+    pipeline::MergeScalarAcc(plan, ctxs[0]->scalar_acc.data(),
+                             ctxs[w]->scalar_acc.data());
+    if (plan.HasGroupBy()) groups->MergeFrom(*ctxs[w]->groups);
   }
 
   if (!plan.HasGroupBy()) {
-    return pipeline::MakeScalarResult(plan, scalar_acc.data());
+    return pipeline::MakeScalarResult(plan, ctxs[0]->scalar_acc.data());
   }
   return groups->Extract(plan, plan.group_seed.has_value());
 }
@@ -746,9 +799,9 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
 Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     const QueryPlan& plan, const PlanAnalysis& analysis) {
   const int64_t tile = options_.tile_size;
+  const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
-  VectorEvaluator eval(fact, tile);
-  Scratch scratch(tile);
+  Scratch scratch(tile);  // build/seed-phase scratch (caller thread only)
 
   const DimJoin& gdim = plan.dims[analysis.groupjoin_dim];
   const Table& dim_table = catalog_.TableRef(gdim.hop.to_table);
@@ -768,7 +821,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     std::vector<const uint32_t*> child_offsets;
     for (const DimJoin& child : gdim.children) {
       child_bitmaps.push_back(
-          pipeline::BuildDimBitmap(catalog_, child, tile));
+          pipeline::BuildDimBitmap(catalog_, child, tile, num_threads));
       const FkIndex* index =
           dim_table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
       SWOLE_CHECK(index != nullptr);
@@ -802,7 +855,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
   for (size_t d = 0; d < plan.dims.size(); ++d) {
     if (static_cast<int>(d) == analysis.groupjoin_dim) continue;
     other_bitmaps.push_back(
-        pipeline::BuildDimBitmap(catalog_, plan.dims[d], tile));
+        pipeline::BuildDimBitmap(catalog_, plan.dims[d], tile, num_threads));
     const FkIndex* index =
         fact.GetFkIndex(plan.dims[d].hop.fk_column).ValueOr(nullptr);
     SWOLE_CHECK(index != nullptr);
@@ -813,19 +866,49 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
   for (const AggSpec& agg : plan.aggs) {
     shapes.push_back(pipeline::DetectAggShape(fact, agg));
   }
-  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
-  std::vector<int64_t*> value_ptrs(plan.aggs.size());
-  for (size_t a = 0; a < plan.aggs.size(); ++a) {
-    value_storage[a].resize(tile);
-    value_ptrs[a] = value_storage[a].data();
-  }
 
   const Column& fk = fact.ColumnRef(gdim.hop.fk_column);
   const bool hybrid_fallback =
       analysis.agg_choice == AggChoice::kHybridFallback;
 
-  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
-    int64_t len = std::min(tile, fact.num_rows() - start);
+  // Per-worker probe context. The groupjoin probe is join-mode (Find, no
+  // insert), so every worker's table must carry the seeded key set:
+  // workers > 0 get a keys-only clone of the primary.
+  struct ProbeCtx {
+    VectorEvaluator eval;
+    Scratch scratch;
+    std::vector<std::vector<int64_t>> value_storage;
+    std::vector<int64_t*> value_ptrs;
+    std::unique_ptr<GroupTable> owned_groups;
+    GroupTable* groups = nullptr;
+
+    ProbeCtx(const Table& fact_table, int64_t tile_size)
+        : eval(fact_table, tile_size), scratch(tile_size) {}
+  };
+
+  std::vector<std::unique_ptr<ProbeCtx>> ctxs(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    auto ctx = std::make_unique<ProbeCtx>(fact, tile);
+    ctx->value_storage.resize(plan.aggs.size());
+    ctx->value_ptrs.resize(plan.aggs.size());
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      ctx->value_storage[a].resize(tile);
+      ctx->value_ptrs[a] = ctx->value_storage[a].data();
+    }
+    if (w == 0) {
+      ctx->groups = &groups;
+    } else {
+      ctx->owned_groups = groups.CloneKeysOnly();
+      ctx->groups = ctx->owned_groups.get();
+    }
+    ctxs[w] = std::move(ctx);
+  }
+
+  auto process_tile = [&](ProbeCtx& ctx, int64_t start, int64_t len) {
+    VectorEvaluator& eval = ctx.eval;
+    Scratch& scratch = ctx.scratch;
+    std::vector<int64_t*>& value_ptrs = ctx.value_ptrs;
+    GroupTable& groups = *ctx.groups;
 
     if (!hybrid_fallback) {
       uint8_t* cmp = scratch.cmp.data();
@@ -850,7 +933,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
       } else {
         groups.UpdateJoinMasked(keys, value_ptrs, cmp, len);
       }
-      continue;
+      return;
     }
 
     int32_t n = pipeline::FilterToSelVec(StrategyKind::kSwole, &eval, fact,
@@ -865,7 +948,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
       n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
                                scratch.cmp2.data(), n);
     }
-    if (n == 0) continue;
+    if (n == 0) return;
     DispatchPhysical(fk.type().physical, [&]<typename T>() {
       kernels::Gather<T>(fk.Data<T>() + start, scratch.sel.data(), n,
                          scratch.keys.data());
@@ -875,6 +958,22 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
                              scratch.sel.data(), n, &scratch, value_ptrs[a]);
     }
     groups.UpdateJoinSel(scratch.keys.data(), value_ptrs, n, false);
+  };
+
+  exec::ParallelMorsels(num_threads, fact.num_rows(),
+                        exec::DefaultMorselSize(tile),
+                        [&](int worker, int64_t begin, int64_t end) {
+                          ProbeCtx& ctx = *ctxs[worker];
+                          for (int64_t start = begin; start < end;
+                               start += tile) {
+                            process_tile(ctx, start,
+                                         std::min(tile, end - start));
+                          }
+                        });
+
+  // Ordered merge of worker-local join-mode states.
+  for (int w = 1; w < num_threads; ++w) {
+    groups.MergeFrom(*ctxs[w]->groups);
   }
 
   return groups.Extract(plan, plan.group_seed.has_value());
@@ -889,9 +988,9 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
 Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     const QueryPlan& plan, const PlanAnalysis& analysis) {
   const int64_t tile = options_.tile_size;
+  const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
-  VectorEvaluator eval(fact, tile);
-  Scratch scratch(tile);
+  Scratch scratch(tile);  // phase-2 dim-scan scratch (caller thread only)
 
   const DimJoin& dim = plan.dims[0];
   const Table& dim_table = catalog_.TableRef(dim.hop.to_table);
@@ -900,12 +999,6 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
   std::vector<AggShape> shapes;
   for (const AggSpec& agg : plan.aggs) {
     shapes.push_back(pipeline::DetectAggShape(fact, agg));
-  }
-  std::vector<std::vector<int64_t>> value_storage(plan.aggs.size());
-  std::vector<int64_t*> value_ptrs(plan.aggs.size());
-  for (size_t a = 0; a < plan.aggs.size(); ++a) {
-    value_storage[a].resize(tile);
-    value_ptrs[a] = value_storage[a].data();
   }
 
   GroupTable groups(plan, dim_table.num_rows());
@@ -925,8 +1018,41 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
   }
 
   // Phase 1: unconditional aggregation of the fact by the join key.
-  for (int64_t start = 0; start < fact.num_rows(); start += tile) {
-    int64_t len = std::min(tile, fact.num_rows() - start);
+  // Parallel: every worker aggregates morsels into its own group table
+  // (insert-mode updates), merged into `groups` in worker order afterwards.
+  struct EaCtx {
+    VectorEvaluator eval;
+    Scratch scratch;
+    std::vector<std::vector<int64_t>> value_storage;
+    std::vector<int64_t*> value_ptrs;
+    std::unique_ptr<GroupTable> owned_groups;
+    GroupTable* groups = nullptr;
+    EaCtx(const Table& fact, int64_t tile) : eval(fact, tile), scratch(tile) {}
+  };
+  std::vector<std::unique_ptr<EaCtx>> ctxs(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    ctxs[w] = std::make_unique<EaCtx>(fact, tile);
+    EaCtx& ctx = *ctxs[w];
+    ctx.value_storage.resize(plan.aggs.size());
+    ctx.value_ptrs.resize(plan.aggs.size());
+    for (size_t a = 0; a < plan.aggs.size(); ++a) {
+      ctx.value_storage[a].resize(tile);
+      ctx.value_ptrs[a] = ctx.value_storage[a].data();
+    }
+    if (w == 0) {
+      ctx.groups = &groups;
+    } else {
+      ctx.owned_groups =
+          std::make_unique<GroupTable>(plan, dim_table.num_rows());
+      ctx.groups = ctx.owned_groups.get();
+    }
+  }
+
+  auto process_tile = [&](EaCtx& ctx, int64_t start, int64_t len) {
+    VectorEvaluator& eval = ctx.eval;
+    Scratch& scratch = ctx.scratch;
+    std::vector<int64_t*>& value_ptrs = ctx.value_ptrs;
+    GroupTable& groups = *ctx.groups;
 
     if (plan.fact_filter != nullptr &&
         sub_choice == AggChoice::kHybridFallback) {
@@ -934,7 +1060,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
                                            plan.fact_filter.get(), start,
                                            len, &scratch,
                                            scratch.sel.data());
-      if (n == 0) continue;
+      if (n == 0) return;
       DispatchPhysical(fk.type().physical, [&]<typename T>() {
         kernels::Gather<T>(fk.Data<T>() + start, scratch.sel.data(), n,
                            scratch.keys.data());
@@ -945,7 +1071,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
                                value_ptrs[a]);
       }
       groups.UpdateSel(scratch.keys.data(), value_ptrs, n, false);
-      continue;
+      return;
     }
 
     int64_t* keys = scratch.keys.data();
@@ -968,6 +1094,18 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
         groups.UpdateMaskedValues(keys, value_ptrs, scratch.cmp.data(), len);
       }
     }
+  };
+
+  exec::ParallelMorsels(
+      num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
+      [&](int worker, int64_t begin, int64_t end) {
+        EaCtx& ctx = *ctxs[worker];
+        for (int64_t start = begin; start < end; start += tile) {
+          process_tile(ctx, start, std::min(tile, end - start));
+        }
+      });
+  for (int w = 1; w < num_threads; ++w) {
+    groups.MergeFrom(*ctxs[w]->groups);
   }
 
   // Phase 2: scan the dim with the predicate inverted; delete keys of
@@ -976,7 +1114,8 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     std::vector<PositionalBitmap> child_bitmaps;
     std::vector<const uint32_t*> child_offsets;
     for (const DimJoin& child : dim.children) {
-      child_bitmaps.push_back(pipeline::BuildDimBitmap(catalog_, child, tile));
+      child_bitmaps.push_back(
+          pipeline::BuildDimBitmap(catalog_, child, tile, num_threads));
       const FkIndex* index =
           dim_table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
       SWOLE_CHECK(index != nullptr);

@@ -1,0 +1,192 @@
+// Unit tests for the morsel-driven work-stealing scheduler
+// (exec/scheduler.h): full coverage with no overlap at any thread count,
+// stealing under skewed morsel costs, degenerate inputs (empty tables,
+// single rows, more threads than morsels), environment-variable thread
+// resolution, and nested parallel regions running inline.
+
+#include "exec/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swole::exec {
+namespace {
+
+// Sums of row indices over [0, total) for coverage checks.
+int64_t RowIndexSum(int64_t total) { return total * (total - 1) / 2; }
+
+TEST(ResolveNumThreadsTest, ExplicitRequestWins) {
+  ::setenv("SWOLE_THREADS", "7", 1);
+  EXPECT_EQ(ResolveNumThreads(3), 3);
+  ::unsetenv("SWOLE_THREADS");
+}
+
+TEST(ResolveNumThreadsTest, EnvironmentFallbackAndDefault) {
+  ::setenv("SWOLE_THREADS", "5", 1);
+  EXPECT_EQ(ResolveNumThreads(0), 5);
+  ::unsetenv("SWOLE_THREADS");
+  EXPECT_EQ(ResolveNumThreads(0), 1);
+  EXPECT_EQ(ResolveNumThreads(-4), 1);
+}
+
+TEST(ResolveNumThreadsTest, ClampsToSaneRange) {
+  EXPECT_EQ(ResolveNumThreads(100000), 256);
+  ::setenv("SWOLE_THREADS", "0", 1);
+  EXPECT_EQ(ResolveNumThreads(0), 1);
+  ::unsetenv("SWOLE_THREADS");
+}
+
+TEST(DefaultMorselSizeTest, TileAndWordAligned) {
+  for (int64_t tile : {int64_t{1}, int64_t{7}, int64_t{64}, int64_t{1000},
+                       int64_t{1024}, int64_t{4096}}) {
+    int64_t morsel = DefaultMorselSize(tile);
+    EXPECT_GT(morsel, 0) << "tile " << tile;
+    EXPECT_EQ(morsel % tile, 0) << "tile " << tile;
+    EXPECT_EQ(morsel % 64, 0) << "tile " << tile;
+  }
+}
+
+TEST(ParallelMorselsTest, CoversEveryRowExactlyOnce) {
+  for (int threads : {1, 2, 3, 8}) {
+    for (int64_t total : {int64_t{1}, int64_t{63}, int64_t{64}, int64_t{65},
+                          int64_t{1000}, int64_t{4096 * 3 + 17}}) {
+      std::atomic<int64_t> rows{0};
+      std::atomic<int64_t> index_sum{0};
+      MorselStats stats =
+          ParallelMorsels(threads, total, /*morsel_size=*/64,
+                          [&](int worker, int64_t begin, int64_t end) {
+                            EXPECT_GE(worker, 0);
+                            EXPECT_LT(worker, threads);
+                            EXPECT_LT(begin, end);
+                            EXPECT_LE(end, total);
+                            rows.fetch_add(end - begin);
+                            for (int64_t i = begin; i < end; ++i) {
+                              index_sum.fetch_add(i);
+                            }
+                          });
+      EXPECT_EQ(rows.load(), total)
+          << "threads " << threads << " total " << total;
+      EXPECT_EQ(index_sum.load(), RowIndexSum(total))
+          << "threads " << threads << " total " << total;
+      EXPECT_EQ(stats.morsels, (total + 63) / 64);
+      EXPECT_LE(stats.workers, threads);
+    }
+  }
+}
+
+TEST(ParallelMorselsTest, EmptyInputIsANoOp) {
+  int calls = 0;
+  MorselStats stats = ParallelMorsels(
+      8, /*total_rows=*/0, /*morsel_size=*/64,
+      [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(stats.morsels, 0);
+}
+
+TEST(ParallelMorselsTest, SingleRowTable) {
+  std::atomic<int64_t> rows{0};
+  ParallelMorsels(8, /*total_rows=*/1, /*morsel_size=*/1024,
+                  [&](int worker, int64_t begin, int64_t end) {
+                    EXPECT_EQ(worker, 0);  // one morsel => caller only
+                    rows.fetch_add(end - begin);
+                  });
+  EXPECT_EQ(rows.load(), 1);
+}
+
+TEST(ParallelMorselsTest, MoreThreadsThanMorsels) {
+  // 3 morsels, 16 requested threads: participants are capped at 3 and
+  // every row is still covered exactly once.
+  std::atomic<int64_t> rows{0};
+  MorselStats stats = ParallelMorsels(
+      16, /*total_rows=*/192, /*morsel_size=*/64,
+      [&](int worker, int64_t begin, int64_t end) {
+        EXPECT_LT(worker, 3);
+        rows.fetch_add(end - begin);
+      });
+  EXPECT_EQ(rows.load(), 192);
+  EXPECT_LE(stats.workers, 3);
+}
+
+TEST(ParallelMorselsTest, SingleThreadRunsInAscendingOrder) {
+  std::vector<int64_t> begins;
+  ParallelMorsels(1, /*total_rows=*/640, /*morsel_size=*/64,
+                  [&](int worker, int64_t begin, int64_t) {
+                    EXPECT_EQ(worker, 0);
+                    begins.push_back(begin);
+                  });
+  ASSERT_EQ(begins.size(), 10u);
+  for (size_t i = 1; i < begins.size(); ++i) {
+    EXPECT_LT(begins[i - 1], begins[i]);
+  }
+}
+
+TEST(ParallelMorselsTest, StealingDrainsASlowParticipantsQueue) {
+  // Two participants, many morsels. Participant 0's first morsel sleeps;
+  // the other participant should steal from its run. With a real second
+  // thread this exercises the steal path; on a single-core machine the
+  // scheduler still guarantees coverage.
+  std::atomic<int64_t> rows{0};
+  std::atomic<bool> first{true};
+  MorselStats stats = ParallelMorsels(
+      2, /*total_rows=*/64 * 40, /*morsel_size=*/64,
+      [&](int worker, int64_t begin, int64_t end) {
+        if (worker == 0 && first.exchange(false)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        }
+        rows.fetch_add(end - begin);
+      });
+  EXPECT_EQ(rows.load(), 64 * 40);
+  EXPECT_EQ(stats.morsels, 40);
+  // steals is machine-dependent (0 on a single core with a fast worker 0),
+  // but never negative and never more than the morsel count.
+  EXPECT_GE(stats.steals, 0);
+  EXPECT_LE(stats.steals, stats.morsels);
+}
+
+TEST(ParallelMorselsTest, NestedRegionsRunInlineOnTheWorker) {
+  // A morsel function that itself calls ParallelMorsels: the inner call
+  // must run inline on the same worker (no pool deadlock, no new worker
+  // ids), and both levels must cover their rows.
+  std::atomic<int64_t> outer_rows{0};
+  std::atomic<int64_t> inner_rows{0};
+  ParallelMorsels(
+      4, /*total_rows=*/64 * 8, /*morsel_size=*/64,
+      [&](int outer_worker, int64_t begin, int64_t end) {
+        outer_rows.fetch_add(end - begin);
+        ParallelMorsels(4, /*total_rows=*/128, /*morsel_size=*/64,
+                        [&](int inner_worker, int64_t b, int64_t e) {
+                          EXPECT_EQ(inner_worker, 0);  // inline
+                          (void)outer_worker;
+                          inner_rows.fetch_add(e - b);
+                        });
+      });
+  EXPECT_EQ(outer_rows.load(), 64 * 8);
+  EXPECT_EQ(inner_rows.load(), 128 * 8);
+}
+
+TEST(ParallelMorselsTest, WorkerZeroIsTheCallingThread) {
+  // Worker id 0 runs on the calling thread and only there; other worker
+  // ids run on pool threads. (Worker 0 may legitimately process zero
+  // morsels if the pool steals its whole queue first, so the invariant is
+  // per-invocation, not "worker 0 ran".)
+  std::thread::id caller = std::this_thread::get_id();
+  std::mutex mu;
+  ParallelMorsels(4, /*total_rows=*/64 * 16, /*morsel_size=*/64,
+                  [&](int worker, int64_t, int64_t) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    if (worker == 0) {
+                      EXPECT_EQ(std::this_thread::get_id(), caller);
+                    } else {
+                      EXPECT_NE(std::this_thread::get_id(), caller);
+                    }
+                  });
+}
+
+}  // namespace
+}  // namespace swole::exec
