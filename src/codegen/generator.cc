@@ -235,6 +235,38 @@ std::string AggValueExpr(const AggSpec& agg, const std::string& fact,
   return EmitExpr(*agg.expr, fact, row, slots, style);
 }
 
+// For value-masked scalar aggregation, simple shapes lower to the
+// dispatched SIMD kernels (exec/simd.h) instead of a hand-rolled lane
+// loop: count -> CountBytes, sum(col) -> SumMasked, sum(a*b) ->
+// SumProductMasked. Returns the full `aggN += ...;` statement, or empty if
+// the expression is outside the kernel shapes (it then stays in the
+// per-lane loop; int64 wrap-around addition is associative, so the
+// lane-reordered kernel reductions are bit-exact either way).
+std::string MaskedAggKernelStmt(const AggSpec& agg, int index,
+                                const std::string& fact, SlotTable* slots) {
+  if (agg.kind == AggKind::kCount) {
+    return StringFormat("agg%d += swole::kernels::CountBytes(cmp, len);",
+                        index);
+  }
+  const Expr& e = *agg.expr;
+  if (e.kind == ExprKind::kColumnRef) {
+    return StringFormat(
+        "agg%d += swole::kernels::SumMasked(%s + i, cmp, len);", index,
+        slots->Column(fact, e.column).c_str());
+  }
+  if (e.kind == ExprKind::kBinary && e.op == BinaryOp::kMul &&
+      e.children[0]->kind == ExprKind::kColumnRef &&
+      e.children[1]->kind == ExprKind::kColumnRef) {
+    std::string a = slots->Column(fact, e.children[0]->column);
+    std::string b = slots->Column(fact, e.children[1]->column);
+    return StringFormat(
+        "agg%d += swole::kernels::SumProductMasked(%s + i, %s + i, cmp, "
+        "len);",
+        index, a.c_str(), b.c_str());
+  }
+  return std::string();
+}
+
 }  // namespace
 
 Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
@@ -399,6 +431,11 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
                            static_cast<long long>(options.tile_size)));
     body.Line("uint8_t cmp[kTile];");
     if (!masked) body.Line("int32_t idx[kTile];");
+    // Hash-table batch buffers: gathered probe keys and, for group-bys,
+    // the payload pointers handed back by GetOrInsertBatch.
+    const bool batch_dims = !masked && !swole && !plan.dims.empty();
+    if (grouped || batch_dims) body.Line("int64_t keys[kTile];");
+    if (grouped) body.Line("int64_t* ptrs[kTile];");
     body.Open("for (int64_t i = morsel_begin; i < morsel_end; i += kTile) {");
     body.Line(
         "const int64_t len = "
@@ -430,16 +467,33 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     if (masked) {
       if (!grouped) {
         // Value masking (Fig. 3): unconditional aggregation, masked adds.
-        body.Open("for (int64_t j = 0; j < len; ++j) {");
+        // Simple shapes go through the dispatched SIMD kernels; anything
+        // else stays in a branch-free lane loop.
+        std::vector<int> loop_aggs;
         for (int a = 0; a < naggs; ++a) {
-          body.Line(StringFormat(
-              "agg%d += (%s) * cmp[j];", a,
-              AggValueExpr(plan.aggs[a], fact, "i + j", &slots,
-                           BoolStyle::kBranchFree)
-                  .c_str()));
+          std::string stmt =
+              MaskedAggKernelStmt(plan.aggs[a], a, fact, &slots);
+          if (stmt.empty()) {
+            loop_aggs.push_back(a);
+          } else {
+            body.Line(stmt);
+          }
         }
-        body.Close();
+        if (!loop_aggs.empty()) {
+          body.Open("for (int64_t j = 0; j < len; ++j) {");
+          for (int a : loop_aggs) {
+            body.Line(StringFormat(
+                "agg%d += (%s) * cmp[j];", a,
+                AggValueExpr(plan.aggs[a], fact, "i + j", &slots,
+                             BoolStyle::kBranchFree)
+                    .c_str()));
+          }
+          body.Close();
+        }
       } else {
+        // Group keys are materialized per tile and probed with one
+        // software-pipelined GetOrInsertBatch (capacity is reserved up
+        // front, so every ptrs[j] stays valid for the whole tile).
         body.Open("for (int64_t j = 0; j < len; ++j) {");
         std::string key = EmitExpr(*plan.group_by, fact, "i + j", &slots,
                                    BoolStyle::kBranchFree);
@@ -448,10 +502,18 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
           // throwaway entry; values stay unmasked.
           body.Line(StringFormat("int64_t mm = -(int64_t)cmp[j];"));
           body.Line(StringFormat(
-              "int64_t key = ((%s) & mm) | (swole::HashTable::kMaskKey & "
+              "keys[j] = ((%s) & mm) | (swole::HashTable::kMaskKey & "
               "~mm);",
               key.c_str()));
-          body.Line("int64_t* p = groups.GetOrInsert(key);");
+        } else {
+          body.Line(StringFormat("keys[j] = %s;", key.c_str()));
+        }
+        body.Close();
+        body.Line(
+            "groups.GetOrInsertBatch(keys, (int32_t)len, ptrs, true);");
+        body.Open("for (int64_t j = 0; j < len; ++j) {");
+        body.Line("int64_t* p = ptrs[j];");
+        if (key_masked) {
           body.Line("p[0] += 1;");
           for (int a = 0; a < naggs; ++a) {
             body.Line(StringFormat(
@@ -462,9 +524,6 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
           }
         } else {
           // Value masking over groups (Fig. 4 top).
-          body.Line(
-              StringFormat("int64_t* p = groups.GetOrInsert(%s);",
-                           key.c_str()));
           body.Line("p[0] += cmp[j];");
           for (int a = 0; a < naggs; ++a) {
             body.Line(StringFormat(
@@ -477,29 +536,36 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
         body.Close();
       }
     } else {
-      // Selection vector, no-branch construction (Fig. 1 middle).
-      body.Line("int32_t n = 0;");
-      body.Open("for (int64_t j = 0; j < len; ++j) {");
-      body.Line("idx[n] = (int32_t)j;");
-      body.Line("n += cmp[j] != 0;");
-      body.Close();
+      // Selection vector via the dispatched no-branch kernel (Fig. 1
+      // middle); the SWAR/AVX2 tiers pack the mask a word / movemask at a
+      // time with bit-identical output.
+      body.Line(
+          "int32_t n = swole::kernels::SelVecFromCmpNoBranch(cmp, len, "
+          "idx);");
       if (!swole) {
-        // Hash-probe refinement per dimension (partial selection vectors).
+        // Hash-probe refinement per dimension: gather the fk keys for the
+        // surviving lanes and probe them as one batch (cmp is dead after
+        // the selection vector is built, so it doubles as the match-byte
+        // output).
         for (size_t d = 0; d < plan.dims.size(); ++d) {
-          body.Line("{");
-          body.Line("  int32_t m = 0;");
-          body.Open("  for (int32_t k = 0; k < n; ++k) {");
+          body.Open("{");
+          body.Open("for (int32_t k = 0; k < n; ++k) {");
           body.Line(StringFormat(
-              "  const uint8_t f = dim%d.Contains(%s) ? 1 : 0;",
-              static_cast<int>(d),
+              "keys[k] = %s;",
               EmitExpr(*Col(plan.dims[d].hop.fk_column), fact,
                        "i + idx[k]", &slots, BoolStyle::kBranchFree)
                   .c_str()));
-          body.Line("  idx[m] = idx[k];");
-          body.Line("  m += f;");
-          body.Close("  }");
-          body.Line("  n = m;");
-          body.Line("}");
+          body.Close();
+          body.Line(StringFormat(
+              "dim%d.ContainsBatch(keys, n, cmp, false);",
+              static_cast<int>(d)));
+          body.Line("int32_t m = 0;");
+          body.Open("for (int32_t k = 0; k < n; ++k) {");
+          body.Line("idx[m] = idx[k];");
+          body.Line("m += cmp[k] != 0;");
+          body.Close();
+          body.Line("n = m;");
+          body.Close();
         }
       }
       if (!grouped) {
@@ -515,10 +581,14 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       } else {
         body.Open("for (int32_t k = 0; k < n; ++k) {");
         body.Line(StringFormat(
-            "int64_t* p = groups.GetOrInsert(%s);",
+            "keys[k] = %s;",
             EmitExpr(*plan.group_by, fact, "i + idx[k]", &slots,
                      BoolStyle::kBranchFree)
                 .c_str()));
+        body.Close();
+        body.Line("groups.GetOrInsertBatch(keys, n, ptrs, false);");
+        body.Open("for (int32_t k = 0; k < n; ++k) {");
+        body.Line("int64_t* p = ptrs[k];");
         body.Line("p[0] += 1;");
         for (int a = 0; a < naggs; ++a) {
           body.Line(StringFormat(

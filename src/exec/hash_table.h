@@ -54,30 +54,47 @@ class HashTable {
   /// Payload for `key`, inserting a zero-initialized entry if absent.
   /// The pointer is invalidated by the next insertion. With width 0 the
   /// returned pointer is non-null but must not be dereferenced.
+  ///
+  /// Growth happens on the actual-insert path only: a lookup of a present
+  /// key never rehashes, and an insert that reuses a tombstone does not
+  /// raise occupancy, so neither triggers growth.
   SWOLE_ALWAYS_INLINE int64_t* GetOrInsert(int64_t key) {
     SWOLE_DCHECK(key != kEmpty && key != kTombstone);
-    if (SWOLE_UNLIKELY((size_ + tombstones_ + 1) * 10 >= capacity_ * 7)) {
-      Rehash(capacity_ * 2);
-    }
-    uint64_t slot = Hash(key) & mask_;
-    int64_t first_tombstone = -1;
     while (true) {
-      int64_t k = keys_[slot];
-      if (k == key) return PayloadAt(slot);
-      if (k == kEmpty) {
-        if (first_tombstone >= 0) {
-          slot = static_cast<uint64_t>(first_tombstone);
-          --tombstones_;
+      uint64_t slot = Hash(key) & mask_;
+      int64_t first_tombstone = -1;
+      while (true) {
+        int64_t k = keys_[slot];
+        if (k == key) return PayloadAt(slot);
+        if (k == kEmpty) {
+          if (first_tombstone >= 0) {
+            slot = static_cast<uint64_t>(first_tombstone);
+            --tombstones_;
+          } else if (SWOLE_UNLIKELY((size_ + tombstones_ + 1) * 10 >=
+                                    capacity_ * 7)) {
+            Rehash(capacity_ * 2);
+            break;  // re-probe against the grown table
+          }
+          keys_[slot] = key;
+          ++size_;
+          return PayloadAt(slot);
         }
-        keys_[slot] = key;
-        ++size_;
-        return PayloadAt(slot);
+        if (k == kTombstone && first_tombstone < 0) {
+          first_tombstone = static_cast<int64_t>(slot);
+        }
+        slot = (slot + 1) & mask_;
       }
-      if (k == kTombstone && first_tombstone < 0) {
-        first_tombstone = static_cast<int64_t>(slot);
-      }
-      slot = (slot + 1) & mask_;
     }
+  }
+
+  /// Grows (if needed) so that `additional` inserts cannot trigger a rehash
+  /// — i.e. payload pointers handed out during the next `additional`
+  /// GetOrInsert calls stay valid for the whole batch.
+  void ReserveFor(int64_t additional) {
+    int64_t needed = size_ + tombstones_ + additional;
+    int64_t cap = capacity_;
+    while (needed * 10 >= cap * 7) cap *= 2;
+    if (cap != capacity_) Rehash(cap);
   }
 
   /// Payload for `key`, or nullptr if absent.
@@ -127,6 +144,79 @@ class HashTable {
     if (payload_width_ > 0) {
       __builtin_prefetch(&payload_[slot * payload_width_], 1, 1);
     }
+  }
+
+  /// Probe distance of the software-pipelined batch loops below (ROF
+  /// §II-A.3): the home slot of key k+kProbeLookahead is prefetched while
+  /// key k is probed, overlapping the cache misses of up to that many
+  /// independent probes.
+  static constexpr int32_t kProbeLookahead = 8;
+
+  /// Batched Find: out[k] = payload pointer for keys[k], or nullptr.
+  /// With `prefetch`, probes are software-pipelined.
+  void FindBatch(const int64_t* SWOLE_RESTRICT keys, int32_t n,
+                 int64_t** SWOLE_RESTRICT out, bool prefetch) {
+    int32_t k = 0;
+    if (prefetch) {
+      const int32_t head = std::min(n, kProbeLookahead);
+      for (; k < head; ++k) PrefetchSlot(keys[k]);
+      for (k = 0; k + kProbeLookahead < n; ++k) {
+        PrefetchSlot(keys[k + kProbeLookahead]);
+        out[k] = Find(keys[k]);
+      }
+    }
+    for (; k < n; ++k) out[k] = Find(keys[k]);
+  }
+
+  /// Batched membership probe: out[k] = keys[k] present ? 1 : 0 (a cmp
+  /// byte array, composable with the mask kernels).
+  void ContainsBatch(const int64_t* SWOLE_RESTRICT keys, int32_t n,
+                     uint8_t* SWOLE_RESTRICT out, bool prefetch) const {
+    int32_t k = 0;
+    if (prefetch) {
+      const int32_t head = std::min(n, kProbeLookahead);
+      for (; k < head; ++k) PrefetchSlot(keys[k]);
+      for (k = 0; k + kProbeLookahead < n; ++k) {
+        PrefetchSlot(keys[k + kProbeLookahead]);
+        out[k] = Contains(keys[k]) ? 1 : 0;
+      }
+    }
+    for (; k < n; ++k) out[k] = Contains(keys[k]) ? 1 : 0;
+  }
+
+  /// Batched GetOrInsert. Capacity is reserved up front, so — unlike
+  /// repeated GetOrInsert calls — every out[k] stays valid for the whole
+  /// batch.
+  void GetOrInsertBatch(const int64_t* SWOLE_RESTRICT keys, int32_t n,
+                        int64_t** SWOLE_RESTRICT out, bool prefetch) {
+    ReserveFor(n);
+    int32_t k = 0;
+    if (prefetch) {
+      const int32_t head = std::min(n, kProbeLookahead);
+      for (; k < head; ++k) PrefetchSlot(keys[k]);
+      for (k = 0; k + kProbeLookahead < n; ++k) {
+        PrefetchSlot(keys[k + kProbeLookahead]);
+        out[k] = GetOrInsert(keys[k]);
+      }
+    }
+    for (; k < n; ++k) out[k] = GetOrInsert(keys[k]);
+  }
+
+  /// Batched set insert (width-0 tables / key-set builds): like
+  /// GetOrInsertBatch but without materializing payload pointers.
+  void InsertBatch(const int64_t* SWOLE_RESTRICT keys, int32_t n,
+                   bool prefetch) {
+    ReserveFor(n);
+    int32_t k = 0;
+    if (prefetch) {
+      const int32_t head = std::min(n, kProbeLookahead);
+      for (; k < head; ++k) PrefetchSlot(keys[k]);
+      for (k = 0; k + kProbeLookahead < n; ++k) {
+        PrefetchSlot(keys[k + kProbeLookahead]);
+        GetOrInsert(keys[k]);
+      }
+    }
+    for (; k < n; ++k) GetOrInsert(keys[k]);
   }
 
   /// Adds every entry of `other` into this table element-wise: absent keys

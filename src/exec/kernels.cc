@@ -1,49 +1,14 @@
 #include "exec/kernels.h"
 
-#include <array>
+#include "exec/simd.h"
 
 namespace swole::kernels {
 
-namespace {
-// Precomputed positions-per-mask table (Data Blocks [32] / ROF [5]): for an
-// 8-bit match mask, entry m lists the bit positions set in m, in order.
-struct LutEntry {
-  uint8_t count;
-  uint8_t positions[8];
-};
-
-constexpr std::array<LutEntry, 256> BuildLut() {
-  std::array<LutEntry, 256> lut{};
-  for (int m = 0; m < 256; ++m) {
-    uint8_t n = 0;
-    for (uint8_t b = 0; b < 8; ++b) {
-      if (m & (1 << b)) lut[m].positions[n++] = b;
-    }
-    lut[m].count = n;
-  }
-  return lut;
-}
-
-constexpr std::array<LutEntry, 256> kLut = BuildLut();
-}  // namespace
-
 int32_t SelVecFromCmpLut(const uint8_t* cmp, int64_t len, int32_t* idx) {
-  int32_t n = 0;
-  int64_t j = 0;
-  for (; j + 8 <= len; j += 8) {
-    // Pack 8 cmp bytes into a bitmask (branch-free).
-    unsigned mask = 0;
-    for (int b = 0; b < 8; ++b) mask |= (cmp[j + b] & 1u) << b;
-    const LutEntry& entry = kLut[mask];
-    for (uint8_t k = 0; k < entry.count; ++k) {
-      idx[n++] = static_cast<int32_t>(j) + entry.positions[k];
-    }
-  }
-  for (; j < len; ++j) {
-    idx[n] = static_cast<int32_t>(j);
-    n += cmp[j] != 0;
-  }
-  return n;
+  // Under the scalar backend this is the Data Blocks [32] / ROF [5] LUT
+  // construction; the SWAR and AVX2 tiers pack the match mask a word /
+  // movemask at a time (exec/simd.h) with bit-identical output.
+  return simd::SelVecFromCmp(cmp, len, idx, simd::SelFlavor::kLut);
 }
 
 }  // namespace swole::kernels

@@ -4,13 +4,17 @@
 #include <cstdint>
 
 #include "common/macros.h"
+#include "exec/simd.h"
 
 // The shared primitive kernels ("library code" in the paper's terms, §IV:
 // all strategies are built from the same library code so the comparison
 // isolates the code generation strategy itself). Header-only templates so
 // that both the strategy engines and the JIT-generated translation units
-// instantiate them with concrete column types at -O3, auto-vectorizing the
-// branch-free loops exactly like the paper's hand-written C.
+// instantiate them with concrete column types. The hot branch-free
+// primitives route through the runtime-dispatched backends in exec/simd.h
+// (scalar / SWAR / AVX2, selected once at startup, `SWOLE_SIMD` override);
+// the deliberately *branching* kernels below stay scalar because branching
+// is the behavior they exist to measure (data-centric strategy, Fig. 8).
 //
 // Conventions:
 //  * All kernels operate on one tile: `col` pointers are pre-offset to the
@@ -25,37 +29,10 @@ namespace swole::kernels {
 /// Default vector/tile size (paper §IV: 1024, as suggested by [5], [27]).
 inline constexpr int64_t kDefaultTileSize = 1024;
 
-enum class CmpOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+using CmpOp = simd::CmpOp;
 
 namespace internal {
-template <CmpOp op>
-SWOLE_ALWAYS_INLINE bool Cmp(int64_t lhs, int64_t rhs) {
-  if constexpr (op == CmpOp::kLt) return lhs < rhs;
-  if constexpr (op == CmpOp::kLe) return lhs <= rhs;
-  if constexpr (op == CmpOp::kGt) return lhs > rhs;
-  if constexpr (op == CmpOp::kGe) return lhs >= rhs;
-  if constexpr (op == CmpOp::kEq) return lhs == rhs;
-  if constexpr (op == CmpOp::kNe) return lhs != rhs;
-}
-
-template <typename T, CmpOp op>
-void CompareLitImpl(const T* SWOLE_RESTRICT col, int64_t lit,
-                    uint8_t* SWOLE_RESTRICT out, int64_t len) {
-  for (int64_t j = 0; j < len; ++j) {
-    out[j] = Cmp<op>(static_cast<int64_t>(col[j]), lit) ? 1 : 0;
-  }
-}
-
-template <typename T, CmpOp op>
-void CompareColImpl(const T* SWOLE_RESTRICT lhs, const T* SWOLE_RESTRICT rhs,
-                    uint8_t* SWOLE_RESTRICT out, int64_t len) {
-  for (int64_t j = 0; j < len; ++j) {
-    out[j] = Cmp<op>(static_cast<int64_t>(lhs[j]),
-                     static_cast<int64_t>(rhs[j]))
-                 ? 1
-                 : 0;
-  }
-}
+using simd::detail::Cmp;
 }  // namespace internal
 
 /// Prepass comparison against a literal: out[j] = col[j] OP lit (0/1).
@@ -64,58 +41,28 @@ void CompareColImpl(const T* SWOLE_RESTRICT lhs, const T* SWOLE_RESTRICT rhs,
 template <typename T>
 void CompareLit(CmpOp op, const T* col, int64_t lit, uint8_t* out,
                 int64_t len) {
-  switch (op) {
-    case CmpOp::kLt:
-      return internal::CompareLitImpl<T, CmpOp::kLt>(col, lit, out, len);
-    case CmpOp::kLe:
-      return internal::CompareLitImpl<T, CmpOp::kLe>(col, lit, out, len);
-    case CmpOp::kGt:
-      return internal::CompareLitImpl<T, CmpOp::kGt>(col, lit, out, len);
-    case CmpOp::kGe:
-      return internal::CompareLitImpl<T, CmpOp::kGe>(col, lit, out, len);
-    case CmpOp::kEq:
-      return internal::CompareLitImpl<T, CmpOp::kEq>(col, lit, out, len);
-    case CmpOp::kNe:
-      return internal::CompareLitImpl<T, CmpOp::kNe>(col, lit, out, len);
-  }
+  simd::CompareLit<T>(op, col, lit, out, len);
 }
 
 /// Prepass column-vs-column comparison (same physical type).
 template <typename T>
 void CompareCol(CmpOp op, const T* lhs, const T* rhs, uint8_t* out,
                 int64_t len) {
-  switch (op) {
-    case CmpOp::kLt:
-      return internal::CompareColImpl<T, CmpOp::kLt>(lhs, rhs, out, len);
-    case CmpOp::kLe:
-      return internal::CompareColImpl<T, CmpOp::kLe>(lhs, rhs, out, len);
-    case CmpOp::kGt:
-      return internal::CompareColImpl<T, CmpOp::kGt>(lhs, rhs, out, len);
-    case CmpOp::kGe:
-      return internal::CompareColImpl<T, CmpOp::kGe>(lhs, rhs, out, len);
-    case CmpOp::kEq:
-      return internal::CompareColImpl<T, CmpOp::kEq>(lhs, rhs, out, len);
-    case CmpOp::kNe:
-      return internal::CompareColImpl<T, CmpOp::kNe>(lhs, rhs, out, len);
-  }
+  simd::CompareCol<T>(op, lhs, rhs, out, len);
 }
 
 /// out[j] &= other[j] — conjunction of prepass results.
-inline void AndBytes(uint8_t* SWOLE_RESTRICT out,
-                     const uint8_t* SWOLE_RESTRICT other, int64_t len) {
-  for (int64_t j = 0; j < len; ++j) out[j] &= other[j];
+inline void AndBytes(uint8_t* out, const uint8_t* other, int64_t len) {
+  simd::AndBytes(out, other, len);
 }
 
 /// out[j] |= other[j].
-inline void OrBytes(uint8_t* SWOLE_RESTRICT out,
-                    const uint8_t* SWOLE_RESTRICT other, int64_t len) {
-  for (int64_t j = 0; j < len; ++j) out[j] |= other[j];
+inline void OrBytes(uint8_t* out, const uint8_t* other, int64_t len) {
+  simd::OrBytes(out, other, len);
 }
 
 /// out[j] = 1 - out[j] (logical NOT of a 0/1 byte array).
-inline void NotBytes(uint8_t* out, int64_t len) {
-  for (int64_t j = 0; j < len; ++j) out[j] = 1 - out[j];
-}
+inline void NotBytes(uint8_t* out, int64_t len) { simd::NotBytes(out, len); }
 
 /// Dictionary-code predicate: out[j] = mask[col[j]] (e.g. LIKE evaluated
 /// once per dictionary entry, then a positional mask lookup per tuple).
@@ -142,16 +89,12 @@ inline int32_t SelVecFromCmpBranch(const uint8_t* SWOLE_RESTRICT cmp,
 }
 
 /// No-branch (predicated) construction: `idx[n] = j; n += cmp[j]`.
-/// Replaces the control dependency with a data dependency [31].
-inline int32_t SelVecFromCmpNoBranch(const uint8_t* SWOLE_RESTRICT cmp,
-                                     int64_t len,
-                                     int32_t* SWOLE_RESTRICT idx) {
-  int32_t n = 0;
-  for (int64_t j = 0; j < len; ++j) {
-    idx[n] = static_cast<int32_t>(j);
-    n += cmp[j] != 0;
-  }
-  return n;
+/// Replaces the control dependency with a data dependency [31]. Under the
+/// SWAR/AVX2 backends this and SelVecFromCmpLut unify into the packed
+/// movemask+LUT construction (bit-identical output).
+inline int32_t SelVecFromCmpNoBranch(const uint8_t* cmp, int64_t len,
+                                     int32_t* idx) {
+  return simd::SelVecFromCmp(cmp, len, idx, simd::SelFlavor::kNoBranch);
 }
 
 /// Data Blocks-style [32] lookup-table construction used by ROF: packs 8
@@ -277,25 +220,15 @@ int64_t SumQuotientSel(const TA* SWOLE_RESTRICT a, const TB* SWOLE_RESTRICT b,
 /// Value masking (§III-A): sum_j col[j] * cmp[j]. Sequential access of
 /// `col`; wasted work on masked lanes, no conditional reads.
 template <typename T>
-int64_t SumMasked(const T* SWOLE_RESTRICT col,
-                  const uint8_t* SWOLE_RESTRICT cmp, int64_t len) {
-  int64_t sum = 0;
-  for (int64_t j = 0; j < len; ++j) {
-    sum += static_cast<int64_t>(col[j]) * cmp[j];
-  }
-  return sum;
+int64_t SumMasked(const T* col, const uint8_t* cmp, int64_t len) {
+  return simd::SumMasked<T>(col, cmp, len);
 }
 
 /// Value masking of a product (Fig. 3): sum_j (a[j]*b[j]) * cmp[j].
 template <typename TA, typename TB>
-int64_t SumProductMasked(const TA* SWOLE_RESTRICT a,
-                         const TB* SWOLE_RESTRICT b,
-                         const uint8_t* SWOLE_RESTRICT cmp, int64_t len) {
-  int64_t sum = 0;
-  for (int64_t j = 0; j < len; ++j) {
-    sum += (static_cast<int64_t>(a[j]) * static_cast<int64_t>(b[j])) * cmp[j];
-  }
-  return sum;
+int64_t SumProductMasked(const TA* a, const TB* b, const uint8_t* cmp,
+                         int64_t len) {
+  return simd::SumProductMasked<TA, TB>(a, b, cmp, len);
 }
 
 /// Value-masked quotient: sum_j (a[j]/b[j]) * cmp[j]. Division happens for
@@ -332,55 +265,32 @@ int64_t SumProductAll(const TA* SWOLE_RESTRICT a, const TB* SWOLE_RESTRICT b,
 
 /// Number of set lanes in a cmp array (selectivity of a tile).
 inline int64_t CountBytes(const uint8_t* cmp, int64_t len) {
-  int64_t count = 0;
-  for (int64_t j = 0; j < len; ++j) count += cmp[j];
-  return count;
+  return simd::CountBytes(cmp, len);
 }
 
 /// Access merging (§III-C, Fig. 5): tmp[j] = col[j] * cmp[j] — the predicate
 /// result is folded into the value at first touch so the attribute is read
 /// exactly once.
 template <typename T>
-void MaskIntoTmp(const T* SWOLE_RESTRICT col,
-                 const uint8_t* SWOLE_RESTRICT cmp, int64_t len,
-                 int64_t* SWOLE_RESTRICT tmp) {
-  for (int64_t j = 0; j < len; ++j) {
-    tmp[j] = static_cast<int64_t>(col[j]) * cmp[j];
-  }
+void MaskIntoTmp(const T* col, const uint8_t* cmp, int64_t len,
+                 int64_t* tmp) {
+  simd::MaskIntoTmp<T>(col, cmp, len, tmp);
 }
 
 /// Access merging with the comparison fused (Fig. 5 bottom, one access of x):
 /// tmp[j] = x[j] * (x[j] OP lit).
 template <typename T>
-void CompareLitMaskIntoTmp(CmpOp op, const T* SWOLE_RESTRICT col, int64_t lit,
-                           int64_t len, int64_t* SWOLE_RESTRICT tmp) {
-  switch (op) {
-#define SWOLE_CASE(OP)                                                \
-  case CmpOp::OP:                                                     \
-    for (int64_t j = 0; j < len; ++j) {                               \
-      int64_t v = static_cast<int64_t>(col[j]);                       \
-      tmp[j] = v * (internal::Cmp<CmpOp::OP>(v, lit) ? 1 : 0);        \
-    }                                                                 \
-    break;
-    SWOLE_CASE(kLt)
-    SWOLE_CASE(kLe)
-    SWOLE_CASE(kGt)
-    SWOLE_CASE(kGe)
-    SWOLE_CASE(kEq)
-    SWOLE_CASE(kNe)
-#undef SWOLE_CASE
-  }
+void CompareLitMaskIntoTmp(CmpOp op, const T* col, int64_t lit, int64_t len,
+                           int64_t* tmp) {
+  simd::CompareLitMaskIntoTmp<T>(op, col, lit, len, tmp);
 }
 
 /// Key masking key production (§III-B, Fig. 4 bottom):
 /// key[j] = cmp[j] ? c[j] : null_key. Branch-free select.
 template <typename T>
-void MaskKeys(const T* SWOLE_RESTRICT col, const uint8_t* SWOLE_RESTRICT cmp,
-              int64_t null_key, int64_t len, int64_t* SWOLE_RESTRICT key) {
-  for (int64_t j = 0; j < len; ++j) {
-    int64_t m = -static_cast<int64_t>(cmp[j]);  // 0 or ~0
-    key[j] = (static_cast<int64_t>(col[j]) & m) | (null_key & ~m);
-  }
+void MaskKeys(const T* col, const uint8_t* cmp, int64_t null_key, int64_t len,
+              int64_t* key) {
+  simd::MaskKeys<T>(col, cmp, null_key, len, key);
 }
 
 /// Software prefetch helper (ROF §II-A.3): hints the cache line of `addr`.

@@ -103,7 +103,8 @@ Scratch::Scratch(int64_t tile_size)
       vals(tile_size),
       vals2(tile_size),
       offs(tile_size),
-      gath(tile_size) {}
+      gath(tile_size),
+      ptrs(tile_size) {}
 
 void FilterToMask(VectorEvaluator* eval, const Expr* filter, int64_t start,
                   int64_t len, uint8_t* cmp) {
@@ -238,25 +239,15 @@ std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
             GatherColumnSel(fk, start, scratch.sel.data(), n,
                             scratch.keys.data());
             HashTable& child = *child_sets[c];
-            if (kind == StrategyKind::kRof) {
-              for (int32_t k = 0; k < n; ++k) {
-                child.PrefetchSlot(scratch.keys[k]);
-              }
-            }
-            for (int32_t k = 0; k < n; ++k) {
-              scratch.cmp2[k] = child.Contains(scratch.keys[k]) ? 1 : 0;
-            }
+            child.ContainsBatch(scratch.keys.data(), n, scratch.cmp2.data(),
+                                /*prefetch=*/kind == StrategyKind::kRof);
             n = CompactSel(kind, scratch.sel.data(), scratch.cmp2.data(), n);
           }
 
           GatherColumnSel(pk, start, scratch.sel.data(), n,
                           scratch.keys.data());
-          if (kind == StrategyKind::kRof) {
-            for (int32_t k = 0; k < n; ++k) {
-              ht.PrefetchSlot(scratch.keys[k]);
-            }
-          }
-          for (int32_t k = 0; k < n; ++k) ht.GetOrInsert(scratch.keys[k]);
+          ht.InsertBatch(scratch.keys.data(), n,
+                         /*prefetch=*/kind == StrategyKind::kRof);
         }
       });
 
@@ -354,12 +345,8 @@ std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
                                      scratch.sel.data());
           GatherColumnSel(fk, start, scratch.sel.data(), n,
                           scratch.keys.data());
-          if (kind == StrategyKind::kRof) {
-            for (int32_t k = 0; k < n; ++k) {
-              ht.PrefetchSlot(scratch.keys[k]);
-            }
-          }
-          for (int32_t k = 0; k < n; ++k) ht.GetOrInsert(scratch.keys[k]);
+          ht.InsertBatch(scratch.keys.data(), n,
+                         /*prefetch=*/kind == StrategyKind::kRof);
         }
       });
 
@@ -435,11 +422,16 @@ std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
             }
           }
           WidenColumn(pk, start, len, scratch.keys.data());
+          // Compact the qualifying lanes, then insert as one batch.
+          int32_t m = 0;
           for (int64_t j = 0; j < len; ++j) {
-            if (bits[j] != 0) {
-              *ht.GetOrInsert(scratch.keys[j]) = bits[j];
-            }
+            scratch.keys[m] = scratch.keys[j];
+            bits[m] = bits[j];
+            m += bits[j] != 0;
           }
+          ht.GetOrInsertBatch(scratch.keys.data(), m, scratch.ptrs.data(),
+                              /*prefetch=*/false);
+          for (int32_t k = 0; k < m; ++k) *scratch.ptrs[k] = bits[k];
         }
       });
 
@@ -839,34 +831,36 @@ void GroupTable::SeedKey(int64_t key) { table_.GetOrInsert(key); }
 void GroupTable::UpdateSel(const int64_t* keys,
                            const std::vector<int64_t*>& values, int32_t n,
                            bool prefetch) {
-  if (prefetch) {
-    for (int32_t k = 0; k < n; ++k) table_.PrefetchSlot(keys[k]);
-  }
+  int64_t** p = ProbeScratch(n);
+  table_.GetOrInsertBatch(keys, n, p, prefetch);
   for (int32_t k = 0; k < n; ++k) {
-    int64_t* p = table_.GetOrInsert(keys[k]);
-    p[0] += 1;
-    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][k];
+    p[k][0] += 1;
+    for (int a = 0; a < num_aggs_; ++a) p[k][1 + a] += values[a][k];
   }
 }
 
 void GroupTable::UpdateMaskedValues(const int64_t* keys,
                                     const std::vector<int64_t*>& values,
                                     const uint8_t* cmp, int64_t len) {
-  for (int64_t j = 0; j < len; ++j) {
-    int64_t* p = table_.GetOrInsert(keys[j]);
+  const int32_t n = static_cast<int32_t>(len);
+  int64_t** p = ProbeScratch(n);
+  table_.GetOrInsertBatch(keys, n, p, /*prefetch=*/true);
+  for (int32_t j = 0; j < n; ++j) {
     int64_t m = cmp[j];
-    p[0] += m;
-    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][j] * m;
+    p[j][0] += m;
+    for (int a = 0; a < num_aggs_; ++a) p[j][1 + a] += values[a][j] * m;
   }
 }
 
 void GroupTable::UpdateMaskedKeys(const int64_t* masked_keys,
                                   const std::vector<int64_t*>& values,
                                   int64_t len) {
-  for (int64_t j = 0; j < len; ++j) {
-    int64_t* p = table_.GetOrInsert(masked_keys[j]);
-    p[0] += 1;
-    for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][j];
+  const int32_t n = static_cast<int32_t>(len);
+  int64_t** p = ProbeScratch(n);
+  table_.GetOrInsertBatch(masked_keys, n, p, /*prefetch=*/true);
+  for (int32_t j = 0; j < n; ++j) {
+    p[j][0] += 1;
+    for (int a = 0; a < num_aggs_; ++a) p[j][1 + a] += values[a][j];
   }
 }
 
@@ -875,10 +869,12 @@ void GroupTable::UpdateJoinMasked(const int64_t* keys,
                                   const uint8_t* extra_mask, int64_t len) {
   int64_t* throwaway = table_.Find(HashTable::kMaskKey);
   SWOLE_DCHECK(throwaway != nullptr);
-  for (int64_t j = 0; j < len; ++j) {
-    int64_t* p = table_.Find(keys[j]);
-    int64_t found = p != nullptr ? 1 : 0;
-    p = found ? p : throwaway;  // branch-free-ish select on the pointer
+  const int32_t n = static_cast<int32_t>(len);
+  int64_t** ptrs = ProbeScratch(n);
+  table_.FindBatch(keys, n, ptrs, /*prefetch=*/true);
+  for (int32_t j = 0; j < n; ++j) {
+    int64_t found = ptrs[j] != nullptr ? 1 : 0;
+    int64_t* p = found ? ptrs[j] : throwaway;  // branch-free-ish select
     int64_t m = found & (extra_mask != nullptr ? extra_mask[j] : 1);
     p[0] += m;
     for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][j] * m;
@@ -888,11 +884,10 @@ void GroupTable::UpdateJoinMasked(const int64_t* keys,
 void GroupTable::UpdateJoinSel(const int64_t* keys,
                                const std::vector<int64_t*>& values,
                                int32_t n, bool prefetch) {
-  if (prefetch) {
-    for (int32_t k = 0; k < n; ++k) table_.PrefetchSlot(keys[k]);
-  }
+  int64_t** ptrs = ProbeScratch(n);
+  table_.FindBatch(keys, n, ptrs, prefetch);
   for (int32_t k = 0; k < n; ++k) {
-    int64_t* p = table_.Find(keys[k]);
+    int64_t* p = ptrs[k];
     if (p == nullptr) continue;  // traditional probe miss: skip (branch)
     p[0] += 1;
     for (int a = 0; a < num_aggs_; ++a) p[1 + a] += values[a][k];

@@ -34,6 +34,7 @@ struct Scratch {
   std::vector<int64_t> vals2;  // second operand / path factors
   std::vector<int64_t> offs;   // fk offset chain work buffer
   std::vector<int64_t> gath;   // gathered column buffer (override eval)
+  std::vector<int64_t*> ptrs;  // batched hash-probe payload pointers
 };
 
 // ---- Filter evaluation (the strategies' defining difference) ----
@@ -247,9 +248,16 @@ class GroupTable {
   QueryResult Extract(const QueryPlan& plan, bool keep_untouched) const;
 
  private:
+  /// Resizes the batched-probe pointer scratch to at least n entries.
+  int64_t** ProbeScratch(int64_t n) {
+    if (static_cast<int64_t>(probe_.size()) < n) probe_.resize(n);
+    return probe_.data();
+  }
+
   const QueryPlan& plan_;
   int num_aggs_;
   HashTable table_;
+  std::vector<int64_t*> probe_;  // batched-probe payload pointers
 };
 
 /// Initializes a scalar accumulator to each aggregate's identity (0 for

@@ -201,12 +201,8 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
         kernels::Gather<T>(fk.Data<T>() + base, sel, n, scratch.keys.data());
       });
       HashTable& set = *dim_sets[d];
-      if (rof) {
-        for (int32_t k = 0; k < n; ++k) set.PrefetchSlot(scratch.keys[k]);
-      }
-      for (int32_t k = 0; k < n; ++k) {
-        scratch.cmp2[k] = set.Contains(scratch.keys[k]) ? 1 : 0;
-      }
+      set.ContainsBatch(scratch.keys.data(), n, scratch.cmp2.data(),
+                        /*prefetch=*/rof);
       n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
     }
 
@@ -218,12 +214,8 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
         kernels::Gather<T>(pk.Data<T>() + base, sel, n, scratch.keys.data());
       });
       HashTable& set = *reverse_sets[r];
-      if (rof) {
-        for (int32_t k = 0; k < n; ++k) set.PrefetchSlot(scratch.keys[k]);
-      }
-      for (int32_t k = 0; k < n; ++k) {
-        scratch.cmp2[k] = set.Contains(scratch.keys[k]) ? 1 : 0;
-      }
+      set.ContainsBatch(scratch.keys.data(), n, scratch.cmp2.data(),
+                        /*prefetch=*/rof);
       n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
     }
 
@@ -234,13 +226,10 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
       DispatchPhysical(fk.type().physical, [&]<typename T>() {
         kernels::Gather<T>(fk.Data<T>() + base, sel, n, scratch.keys.data());
       });
-      if (rof) {
-        for (int32_t k = 0; k < n; ++k) {
-          disjunctive_ht->PrefetchSlot(scratch.keys[k]);
-        }
-      }
+      disjunctive_ht->FindBatch(scratch.keys.data(), n, scratch.ptrs.data(),
+                                /*prefetch=*/rof);
       for (int32_t k = 0; k < n; ++k) {
-        const int64_t* payload = disjunctive_ht->Find(scratch.keys[k]);
+        const int64_t* payload = scratch.ptrs[k];
         uint8_t dim_bits =
             payload != nullptr ? static_cast<uint8_t>(*payload) : 0;
         uint8_t ok = 0;

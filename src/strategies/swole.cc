@@ -526,13 +526,12 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
         } else {
           const Column& fk = fact.ColumnRef(plan.dims[d].hop.fk_column);
           DispatchPhysical(fk.type().physical, [&]<typename T>() {
-            const T* data = fk.Data<T>() + start;
-            HashTable& set = *dim_sets[d];
-            for (int64_t j = 0; j < len; ++j) {
-              cmp[j] &= static_cast<uint8_t>(
-                  set.Contains(static_cast<int64_t>(data[j])));
-            }
+            kernels::Widen<T>(fk.Data<T>() + start, len, scratch.keys.data());
           });
+          dim_sets[d]->ContainsBatch(scratch.keys.data(),
+                                     static_cast<int32_t>(len),
+                                     scratch.cmp2.data(), /*prefetch=*/false);
+          kernels::AndBytes(cmp, scratch.cmp2.data(), len);
         }
       }
 
@@ -684,9 +683,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
           kernels::Gather<T>(fk.Data<T>() + start, scratch.sel.data(), n,
                              scratch.keys.data());
         });
-        for (int32_t k = 0; k < n; ++k) {
-          scratch.cmp2[k] = dim_sets[d]->Contains(scratch.keys[k]) ? 1 : 0;
-        }
+        dim_sets[d]->ContainsBatch(scratch.keys.data(), n,
+                                   scratch.cmp2.data(), /*prefetch=*/false);
       }
       n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
                                scratch.cmp2.data(), n);

@@ -85,10 +85,12 @@ TEST_F(CodegenTest, HybridSourceHasPrepassAndSelectionVector) {
       codegen::GenerateKernel(MicroQ1(false, 13), data_->catalog,
                               Options(StrategyKind::kHybrid))
           .value();
-  // Fig. 1 middle: tiled prepass into cmp, no-branch idx construction.
+  // Fig. 1 middle: tiled prepass into cmp, then the dispatched no-branch
+  // selection-vector kernel (scalar/SWAR/AVX2 picked at runtime).
   EXPECT_NE(kernel.source.find("cmp[j] = (uint8_t)"), std::string::npos);
-  EXPECT_NE(kernel.source.find("idx[n] = (int32_t)j;"), std::string::npos);
-  EXPECT_NE(kernel.source.find("n += cmp[j] != 0;"), std::string::npos);
+  EXPECT_NE(
+      kernel.source.find("swole::kernels::SelVecFromCmpNoBranch(cmp, len"),
+      std::string::npos);
   EXPECT_NE(kernel.source.find("kTile"), std::string::npos);
 }
 
@@ -97,9 +99,20 @@ TEST_F(CodegenTest, SwoleValueMaskingSourceMasksTheAggregate) {
       codegen::GenerateKernel(MicroQ1(false, 13), data_->catalog,
                               Options(StrategyKind::kSwole))
           .value();
-  // Fig. 3: unconditional aggregation multiplied by cmp; no idx array.
-  EXPECT_NE(kernel.source.find(") * cmp[j];"), std::string::npos);
+  // Fig. 3: sum(a*b) lowers to the dispatched masked-product kernel;
+  // no idx array anywhere in the masked pipeline.
+  EXPECT_NE(kernel.source.find("swole::kernels::SumProductMasked("),
+            std::string::npos);
   EXPECT_EQ(kernel.source.find("idx["), std::string::npos);
+
+  // Shapes outside the kernel subset (division) stay in the branch-free
+  // lane loop with an explicit mask multiply.
+  GeneratedKernel div_kernel =
+      codegen::GenerateKernel(MicroQ1(true, 13), data_->catalog,
+                              Options(StrategyKind::kSwole))
+          .value();
+  EXPECT_NE(div_kernel.source.find(") * cmp[j];"), std::string::npos);
+  EXPECT_EQ(div_kernel.source.find("SumProductMasked"), std::string::npos);
 }
 
 TEST_F(CodegenTest, SwoleKeyMaskingSourceMapsToThrowawayKey) {
@@ -109,8 +122,11 @@ TEST_F(CodegenTest, SwoleKeyMaskingSourceMapsToThrowawayKey) {
           data_->catalog,
           Options(StrategyKind::kSwole, AggChoice::kKeyMasking))
           .value();
-  // Fig. 4 bottom: masked key select + the reserved throwaway entry.
+  // Fig. 4 bottom: masked key select + the reserved throwaway entry,
+  // probed per tile with one software-pipelined batch.
   EXPECT_NE(kernel.source.find("kMaskKey"), std::string::npos);
+  EXPECT_NE(kernel.source.find("groups.GetOrInsertBatch("),
+            std::string::npos);
   EXPECT_NE(kernel.source.find("p[0] += 1;"), std::string::npos);
 }
 
@@ -131,7 +147,7 @@ TEST_F(CodegenTest, HashStrategiesJoinViaHashTable) {
                               Options(StrategyKind::kHybrid))
           .value();
   EXPECT_NE(kernel.source.find("swole::HashTable dim0"), std::string::npos);
-  EXPECT_NE(kernel.source.find("dim0.Contains("), std::string::npos);
+  EXPECT_NE(kernel.source.find("dim0.ContainsBatch("), std::string::npos);
   EXPECT_EQ(kernel.source.find("PositionalBitmap"), std::string::npos);
 }
 
