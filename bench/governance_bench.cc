@@ -1,0 +1,76 @@
+// Governance overhead: the cost of running a query under an active
+// QueryContext — morsel-boundary cancellation checks plus memory-tracker
+// charges on every hash-table/bitmap growth — measured on TPC-H Q1 and Q3
+// against the ungoverned baseline (null context: no hooks attach, no
+// checks run). The acceptance bar is < 2% on Q1; see BENCH_governance.json.
+//
+// Series per query: ungoverned | governed (a non-binding 1 TiB budget, so
+// every check runs and nothing aborts).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exec/query_context.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace swole {
+namespace {
+
+void RegisterGoverned(const std::string& name, const Catalog& catalog,
+                      StrategyKind kind, QueryPlan plan) {
+  bench::PlanPool().push_back(std::make_unique<QueryPlan>(std::move(plan)));
+  const QueryPlan* plan_ptr = bench::PlanPool().back().get();
+  StrategyOptions options;
+  // Non-binding budget: the tracker and cancellation token are live on
+  // every execution, but no limit ever refuses a charge.
+  options.mem_limit_bytes = int64_t{1} << 40;
+  bench::EnginePool().push_back(MakeStrategy(kind, catalog, options));
+  Strategy* engine = bench::EnginePool().back().get();
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [plan_ptr, engine](benchmark::State& state) {
+                                 int64_t checksum = 0;
+                                 for (auto _ : state) {
+                                   Result<QueryResult> result =
+                                       engine->Execute(*plan_ptr);
+                                   result.status().CheckOK();
+                                   checksum ^= result->grouped
+                                                   ? result->NumGroups()
+                                                   : result->scalar[0];
+                                   benchmark::DoNotOptimize(checksum);
+                                 }
+                               })
+      ->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll(const tpch::TpchData& data) {
+  struct Row {
+    const char* name;
+    QueryPlan (*build)(const Catalog&);
+  };
+  static constexpr Row kRows[] = {{"Q1", tpch::Q1}, {"Q3", tpch::Q3}};
+  for (const Row& row : kRows) {
+    for (StrategyKind kind :
+         {StrategyKind::kDataCentric, StrategyKind::kSwole}) {
+      bench::RegisterPlanBenchmark(
+          StringFormat("governance/%s/%s/ungoverned", row.name,
+                       StrategyKindName(kind)),
+          data.catalog, kind, row.build(data.catalog));
+      RegisterGoverned(StringFormat("governance/%s/%s/governed", row.name,
+                                    StrategyKindName(kind)),
+                       data.catalog, kind, row.build(data.catalog));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data = swole::tpch::TpchData::Generate(
+      swole::tpch::TpchConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

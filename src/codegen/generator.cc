@@ -307,6 +307,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   std::vector<std::string> shared_params;
   std::vector<std::string> shared_inits;
   std::vector<std::string> shared_args;  // row-count vars at the new-site
+  // Governance hook attachments, emitted right after shared-state
+  // construction (before the build loops fill the structures, so growth is
+  // charged as it happens).
+  std::vector<std::string> hook_attach;
 
   // ---- Build phase ----
   for (size_t d = 0; d < plan.dims.size(); ++d) {
@@ -323,6 +327,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       shared_inits.push_back(
           StringFormat("bm%d(r%d)", static_cast<int>(d),
                        static_cast<int>(d)));
+      hook_attach.push_back(StringFormat(
+          "shared->bm%d.SetMemHook(io->mem_charge, io->governor, "
+          "\"jit_dim_bitmap\");",
+          static_cast<int>(d)));
       build.Line(StringFormat(
           "swole::PositionalBitmap& bm%d = shared->bm%d;",
           static_cast<int>(d), static_cast<int>(d)));
@@ -344,6 +352,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       shared_inits.push_back(StringFormat("dim%d(0, r%d)",
                                           static_cast<int>(d),
                                           static_cast<int>(d)));
+      hook_attach.push_back(StringFormat(
+          "shared->dim%d.SetMemHook(io->mem_charge, io->governor, "
+          "\"jit_dim_keyset\");",
+          static_cast<int>(d)));
       build.Line(StringFormat("swole::HashTable& dim%d = shared->dim%d;",
                               static_cast<int>(d), static_cast<int>(d)));
       build.Open(StringFormat("for (int64_t i = 0; i < %s; ++i) {",
@@ -620,7 +632,7 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("#include \"exec/kernels.h\"");
   unit.Line("#include \"storage/bitmap.h\"");
   unit.Line("");
-  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO).");
+  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO, ABI v3).");
   unit.Open("struct SwoleKernelIO {");
   unit.Line("const void* const* columns;");
   unit.Line("const int64_t* table_rows;");
@@ -628,6 +640,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("int64_t* scalar_out;");
   unit.Line("void* group_ctx;");
   unit.Line("void (*emit_group)(void* ctx, int64_t key, const int64_t*);");
+  unit.Line("// Governance hooks; null when the query runs ungoverned.");
+  unit.Line("void* governor;");
+  unit.Line("int (*mem_charge)(void* ctx, int64_t delta, const char* site);");
+  unit.Line("int (*cancel_check)(void* ctx);");
   unit.Close("};");
   unit.Line("");
   unit.Line("// Build-phase output: dimension structures, read-only while");
@@ -671,7 +687,16 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     unit.Line(StringFormat("auto* shared = new SwoleSharedState(%s);",
                            StrJoin(shared_args, ", ").c_str()));
   }
+  // A refused charge (or bad_alloc) throws out of the build loops; free
+  // the half-built shared state before letting the host classify it.
+  unit.Open("try {");
+  if (!hook_attach.empty()) {
+    unit.Open("if (io->mem_charge != nullptr) {");
+    for (const std::string& attach : hook_attach) unit.Line(attach);
+    unit.Close();
+  }
   splice(std::move(build));
+  unit.Close("} catch (...) { delete shared; throw; }");
   unit.Line("return shared;");
   unit.Close();
   unit.Line("");
@@ -683,9 +708,16 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     unit.Line(StringFormat("auto* state = new SwoleThreadState(INT64_C(%lld));",
                            static_cast<long long>(
                                options.group_capacity_hint)));
+    unit.Open("try {");
+    unit.Open("if (io->mem_charge != nullptr) {");
+    unit.Line(
+        "state->groups.SetMemHook(io->mem_charge, io->governor, "
+        "\"jit_groups\");");
+    unit.Close();
     if (key_masked) {
       unit.Line("state->groups.GetOrInsert(swole::HashTable::kMaskKey);");
     }
+    unit.Close("} catch (...) { delete state; throw; }");
   } else {
     unit.Line("auto* state = new SwoleThreadState();");
   }
@@ -697,6 +729,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       "extern \"C\" void %s(const SwoleKernelIO* io, void* shared_v, "
       "void* state_v, int64_t morsel_begin, int64_t morsel_end) {",
       kMorselEntryPoint));
+  unit.Line("// Cooperative cancellation checkpoint (governed runs only).");
+  unit.Line(
+      "if (io->cancel_check != nullptr && "
+      "io->cancel_check(io->governor) != 0) return;");
   slots.EmitDeclarations(&unit);
   unit.Line("auto* shared = static_cast<SwoleSharedState*>(shared_v);");
   unit.Line("auto* state = static_cast<SwoleThreadState*>(state_v);");
@@ -727,6 +763,9 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       kFinishEntryPoint));
   unit.Line("auto* shared = static_cast<SwoleSharedState*>(shared_v);");
   unit.Line("auto* state = static_cast<SwoleThreadState*>(state_v);");
+  // state may be null when the host tears down after an abort that hit
+  // before worker 0's thread state existed; still free the shared state.
+  unit.Open("if (state != nullptr) {");
   if (grouped) {
     unit.Open("state->groups.ForEach([&](int64_t key, const int64_t* p) {");
     unit.Line("if (key == swole::HashTable::kMaskKey) return;");
@@ -739,7 +778,16 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     }
   }
   unit.Line("delete state;");
+  unit.Close();
   unit.Line("delete shared;");
+  unit.Close();
+  unit.Line("");
+
+  unit.Open(StringFormat("extern \"C\" int %s(const SwoleKernelIO* io) {",
+                         kCancelCheckEntryPoint));
+  unit.Line(
+      "return io->cancel_check != nullptr ? io->cancel_check(io->governor) "
+      ": 0;");
   unit.Close();
 
   GeneratedKernel kernel;

@@ -21,9 +21,10 @@
 //
 // The generated unit includes only the header-only runtime
 // (exec/kernels.h, exec/hash_table.h, storage/bitmap.h) — the same
-// "library code" the engines use — and exports five extern "C" entry
+// "library code" the engines use — and exports six extern "C" entry
 // points forming a morsel-driven ABI (build shared state, create
-// per-thread state, process one morsel, merge states, emit output).
+// per-thread state, process one morsel, merge states, emit output,
+// plus a governance cancel-check probe).
 // codegen/jit.h compiles it with the system compiler, dlopens it, and
 // drives the morsel entry under exec/scheduler.h's work-stealing
 // scheduler.
@@ -45,9 +46,21 @@ struct KernelIO {
   int64_t* scalar_out = nullptr;          // naggs values (scalar plans)
   void* group_ctx = nullptr;              // grouped plans: emit callback
   void (*emit_group)(void* ctx, int64_t key, const int64_t* aggs) = nullptr;
+  // ---- Governance (ABI v3) ----
+  // Optional query-lifecycle hooks (exec/query_context.h). `mem_charge`
+  // follows common/query_abort.h's MemHookFn contract: the kernel's hash
+  // tables and bitmaps ask permission before growing (nonzero return ->
+  // the structure throws QueryAbort instead of allocating). `cancel_check`
+  // is polled at the top of every morsel; nonzero (an AbortReason) makes
+  // the morsel return without touching its rows. Both may be null — the
+  // generated code always carries the fields so kernel source (and thus
+  // cache keys) is identical for governed and ungoverned runs.
+  void* governor = nullptr;
+  int (*mem_charge)(void* ctx, int64_t delta, const char* site) = nullptr;
+  int (*cancel_check)(void* ctx) = nullptr;
 };
 
-/// Names of the five entry points exported by every generated unit.
+/// Names of the entry points exported by every generated unit.
 /// The host drives them as:
 ///
 ///   void* shared = swole_kernel_build(io);             // dim structures
@@ -63,6 +76,11 @@ inline constexpr char kThreadStateEntryPoint[] = "swole_kernel_thread_state";
 inline constexpr char kMorselEntryPoint[] = "swole_kernel_morsel";
 inline constexpr char kMergeEntryPoint[] = "swole_kernel_merge";
 inline constexpr char kFinishEntryPoint[] = "swole_kernel_finish";
+/// Sixth entry point (ABI v3): returns KernelIO::cancel_check(governor),
+/// or 0 when the hook is unset. Lets the host confirm a loaded kernel
+/// carries the governance ABI; disk-cached objects from older builds miss
+/// this symbol and are recompiled.
+inline constexpr char kCancelCheckEntryPoint[] = "swole_kernel_cancel_check";
 
 struct ColumnSlot {
   std::string table;

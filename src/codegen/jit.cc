@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "common/subprocess.h"
 #include "engine/reference_engine.h"
+#include "exec/query_context.h"
 #include "exec/scheduler.h"
 #include "storage/table.h"
 #include "strategies/strategy.h"
@@ -347,7 +348,8 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
 }
 
 Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
-                                        int num_threads) const {
+                                        int num_threads,
+                                        exec::QueryContext* query_ctx) const {
   // Bind column slots.
   std::vector<const void*> columns;
   for (const ColumnSlot& slot : kernel_.column_slots) {
@@ -425,12 +427,24 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     emit->result->AddGroup(key, aggs);
   };
 
+  // Governance (ABI v3): the kernel's structures charge the context's
+  // memory tracker and its morsel entry polls the cancellation token. The
+  // hooks stay null on ungoverned runs — same generated source either way.
+  exec::GovernanceScope governance(query_ctx, /*mem_limit_bytes=*/-1,
+                                   /*deadline_ms=*/-1);
+  exec::QueryContext* qctx = governance.ctx();
+  if (qctx != nullptr) {
+    io.governor = qctx;
+    io.mem_charge = exec::QueryContext::MemHookThunk;
+    io.cancel_check = exec::QueryContext::CancelCheckThunk;
+  }
+
   if (kernel_.grouped) {
     result.grouped = true;
     result.num_aggs = kernel_.num_aggs;
   }
 
-  // Drive the five-entry morsel ABI: build the shared dim structures once,
+  // Drive the morsel ABI: build the shared dim structures once,
   // then scan the fact in tile-aligned morsels under the work-stealing
   // scheduler with one generated state per worker, merged in worker order
   // (bit-exact at every thread count), and emit from worker 0's state.
@@ -450,18 +464,70 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
   auto merge = reinterpret_cast<MergeFn>(library_->merge_entry());
   auto finish = reinterpret_cast<FinishFn>(library_->finish_entry());
 
-  void* shared = build(&io);
-  std::vector<void*> states(resolved_threads);
-  for (int w = 0; w < resolved_threads; ++w) states[w] = thread_state(&io);
+  void* shared = nullptr;
+  std::vector<void*> states(resolved_threads, nullptr);
 
-  exec::ParallelMorsels(resolved_threads, fact->num_rows(),
-                        exec::DefaultMorselSize(kernel_.tile_size),
-                        [&](int worker, int64_t begin, int64_t end) {
-                          morsel(&io, shared, states[worker], begin, end);
-                        });
+  // Best-effort teardown of generated-side allocations after an abort:
+  // merge deletes its `from`, finish deletes state + shared (their
+  // destructors release tracked charges). A second abort mid-teardown
+  // (e.g. a refused rehash inside merge) leaks that state — bounded, and
+  // only on an already-failing query.
+  auto cleanup = [&]() noexcept {
+    if (states[0] != nullptr) {
+      for (int w = 1; w < resolved_threads; ++w) {
+        if (states[w] == nullptr) continue;
+        try {
+          merge(states[0], states[w]);
+        } catch (...) {
+        }
+        states[w] = nullptr;
+      }
+    }
+    // finish tolerates a null worker-0 state (abort before it existed)
+    // and still frees the shared structures.
+    if (shared != nullptr || states[0] != nullptr) {
+      try {
+        finish(&io, shared, states[0]);
+      } catch (...) {
+      }
+      states[0] = nullptr;
+      shared = nullptr;
+    }
+  };
 
-  for (int w = 1; w < resolved_threads; ++w) merge(states[0], states[w]);
-  finish(&io, shared, states[0]);
+  try {
+    shared = build(&io);
+    for (int w = 0; w < resolved_threads; ++w) states[w] = thread_state(&io);
+  } catch (...) {
+    Status aborted = exec::StatusFromCurrentException(qctx);
+    cleanup();
+    return aborted;
+  }
+
+  exec::MorselStats scan_stats = exec::ParallelMorsels(
+      qctx, resolved_threads, fact->num_rows(),
+      exec::DefaultMorselSize(kernel_.tile_size),
+      [&](int worker, int64_t begin, int64_t end) {
+        morsel(&io, shared, states[worker], begin, end);
+      });
+  if (!scan_stats.status.ok()) {
+    cleanup();
+    return scan_stats.status;
+  }
+
+  try {
+    for (int w = 1; w < resolved_threads; ++w) {
+      merge(states[0], states[w]);
+      states[w] = nullptr;
+    }
+    finish(&io, shared, states[0]);
+    states[0] = nullptr;
+    shared = nullptr;
+  } catch (...) {
+    Status aborted = exec::StatusFromCurrentException(qctx);
+    cleanup();
+    return aborted;
+  }
 
   if (kernel_.grouped) {
     if (sort_groups_) result.SortGroups();
@@ -489,13 +555,21 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
   if (report == nullptr) report = &local_report;
   *report = ExecutionReport();
 
+  // One governance scope for the whole attempt chain (env-resolved:
+  // SWOLE_MEM_LIMIT / SWOLE_DEADLINE_MS), so a degradation retry runs
+  // under the same budget, deadline, and accumulated peak attribution as
+  // the kernel run that breached.
+  exec::GovernanceScope governance(nullptr, /*mem_limit_bytes=*/-1,
+                                   /*deadline_ms=*/-1);
+  exec::QueryContext* qctx = governance.ctx();
+
   Status jit_failure;
   Result<std::unique_ptr<CompiledKernel>> compiled =
       GenerateAndCompile(plan, catalog, gen_options, jit_options);
   if (compiled.ok()) {
     report->cache_hit = (*compiled)->from_cache();
     Result<QueryResult> run =
-        (*compiled)->Run(catalog, gen_options.num_threads);
+        (*compiled)->Run(catalog, gen_options.num_threads, qctx);
     if (run.ok()) {
       report->used_jit = true;
       return std::move(run).value();
@@ -503,6 +577,35 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
     jit_failure = run.status();
   } else {
     jit_failure = compiled.status();
+  }
+
+  // Governance aborts are query-lifecycle outcomes, not JIT infrastructure
+  // failures: re-running the same work interpreted would just breach (or
+  // miss the deadline) again. Surface them structured — except a SWOLE
+  // budget breach, which earns one retry on the memory-lean data-centric
+  // interpreter under the same context (SwoleStrategy's degradation path).
+  if (jit_failure.IsGovernance()) {
+    if (jit_failure.code() == StatusCode::kBudgetExceeded && qctx != nullptr &&
+        gen_options.strategy == StrategyKind::kSwole) {
+      SWOLE_LOG(WARNING) << "JIT kernel for plan \"" << plan.name
+                         << "\" breached its memory budget ("
+                         << jit_failure.ToString()
+                         << "); degrading to interpreted data-centric";
+      qctx->CountDegradation();
+      GlobalJitStats().fallbacks.fetch_add(1);
+      report->used_fallback = true;
+      report->fallback_reason = jit_failure.ToString();
+      StrategyOptions lean_options;
+      lean_options.tile_size = gen_options.tile_size;
+      lean_options.num_threads = gen_options.num_threads;
+      lean_options.query_ctx = qctx;
+      std::unique_ptr<Strategy> lean =
+          MakeStrategy(StrategyKind::kDataCentric, catalog, lean_options);
+      Result<QueryResult> degraded = lean->Execute(plan);
+      if (degraded.ok()) report->fallback_engine = lean->name();
+      return degraded;
+    }
+    return jit_failure;
   }
 
   GlobalJitStats().fallbacks.fetch_add(1);
@@ -519,6 +622,7 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
   StrategyOptions fallback_options;
   fallback_options.tile_size = gen_options.tile_size;
   fallback_options.num_threads = gen_options.num_threads;
+  fallback_options.query_ctx = qctx;
   std::unique_ptr<Strategy> engine =
       MakeStrategy(gen_options.strategy, catalog, fallback_options);
   Result<QueryResult> interpreted = engine->Execute(plan);
@@ -526,7 +630,10 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
     report->fallback_engine = engine->name();
     return std::move(interpreted).value();
   }
+  // An interpreted governance abort is final for the same reason as above.
+  if (interpreted.status().IsGovernance()) return interpreted.status();
   ReferenceEngine reference(catalog, gen_options.num_threads);
+  reference.set_query_context(qctx);
   Result<QueryResult> oracle = reference.Execute(plan);
   if (!oracle.ok()) return oracle.status();
   report->fallback_engine = "reference";

@@ -31,6 +31,10 @@
 // paths are deterministically testable. Counters for all of it live in
 // JitStats.
 
+namespace swole::exec {
+class QueryContext;
+}  // namespace swole::exec
+
 namespace swole::codegen {
 
 struct JitOptions {
@@ -113,7 +117,16 @@ class CompiledKernel {
   /// is dispatched as tile-aligned morsels with per-worker generated
   /// states merged in worker order, so results are bit-exact at every
   /// thread count.
-  Result<QueryResult> Run(const Catalog& catalog, int num_threads = 0) const;
+  ///
+  /// `query_ctx` attaches query-lifecycle governance (exec/query_context.h)
+  /// to the kernel: its memory hook tracks the generated dim structures and
+  /// group tables (sites jit_dim_bitmap / jit_dim_keyset / jit_groups) and
+  /// its cancellation token is polled at the top of every generated morsel.
+  /// When null, SWOLE_MEM_LIMIT / SWOLE_DEADLINE_MS still govern the run if
+  /// set; with neither, the hooks stay null and the kernel runs exactly as
+  /// before (identical generated source either way — cache keys are stable).
+  Result<QueryResult> Run(const Catalog& catalog, int num_threads = 0,
+                          exec::QueryContext* query_ctx = nullptr) const;
 
   const GeneratedKernel& kernel() const { return kernel_; }
   const std::string& library_path() const { return library_->library_path(); }
@@ -165,6 +178,13 @@ struct ExecutionReport {
 /// interpreted engine for gen_options.strategy — and on the reference
 /// engine if even that refuses. A query only returns an error Status when
 /// every layer has failed. Fallbacks are counted in GlobalJitStats().
+///
+/// Governance statuses are NOT infrastructure failures and do not trigger
+/// the interpreter fallback: a cancelled or deadline-exceeded kernel run
+/// returns its structured Status directly. The one exception is a memory
+/// budget breach under the SWOLE strategy, which earns a single retry on
+/// the interpreted data-centric engine under the same query context —
+/// mirroring SwoleStrategy's own degradation path.
 Result<QueryResult> ExecuteWithFallback(
     const QueryPlan& plan, const Catalog& catalog,
     const GeneratorOptions& gen_options = {},

@@ -41,6 +41,7 @@ Result<std::shared_ptr<KernelLibrary>> KernelLibrary::Load(
       {kMorselEntryPoint, &library->morsel_},
       {kMergeEntryPoint, &library->merge_},
       {kFinishEntryPoint, &library->finish_},
+      {kCancelCheckEntryPoint, &library->cancel_check_},
   };
   for (const auto& symbol : symbols) {
     void* entry = ::dlsym(handle, symbol.name);

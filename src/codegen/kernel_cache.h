@@ -26,7 +26,7 @@
 namespace swole::codegen {
 
 /// A dlopened kernel shared object with its resolved entry points (the
-/// five-symbol morsel ABI of codegen/generator.h). Shared between the
+/// six-symbol morsel ABI of codegen/generator.h). Shared between the
 /// cache and every CompiledKernel bound to it; the handle is dlclosed when
 /// the last reference drops.
 class KernelLibrary {
@@ -36,8 +36,9 @@ class KernelLibrary {
   KernelLibrary(const KernelLibrary&) = delete;
   KernelLibrary& operator=(const KernelLibrary&) = delete;
 
-  /// dlopens `library_path` and resolves all five generated entry points.
-  /// A shared object missing any of them (e.g. a disk-cached kernel built
+  /// dlopens `library_path` and resolves all six generated entry points
+  /// (the five morsel-ABI symbols plus swole_kernel_cancel_check). A
+  /// shared object missing any of them (e.g. a disk-cached kernel built
   /// by an older ABI) fails here, which callers treat as "recompile", not
   /// as a fatal error. Honors the jit_dlopen / jit_dlsym fault sites.
   static Result<std::shared_ptr<KernelLibrary>> Load(
@@ -48,6 +49,7 @@ class KernelLibrary {
   void* morsel_entry() const { return morsel_; }
   void* merge_entry() const { return merge_; }
   void* finish_entry() const { return finish_; }
+  void* cancel_check_entry() const { return cancel_check_; }
   const std::string& library_path() const { return library_path_; }
 
  private:
@@ -59,6 +61,7 @@ class KernelLibrary {
   void* morsel_ = nullptr;
   void* merge_ = nullptr;
   void* finish_ = nullptr;
+  void* cancel_check_ = nullptr;
   std::string library_path_;
 };
 

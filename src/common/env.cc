@@ -1,23 +1,50 @@
 #include "common/env.h"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "common/logging.h"
+
 namespace swole {
+
+namespace {
+
+// Every SWOLE_* numeric knob is a count, size, or duration, so negative
+// values are as malformed as trailing garbage. A bad value must not be
+// silently swallowed: log which variable was ignored and which default is
+// in effect, so a typo like SWOLE_THREADS=abc is visible instead of
+// mysteriously running single-threaded.
+void WarnMalformed(const char* name, const char* value, double fallback) {
+  SWOLE_LOG(WARNING) << "ignoring malformed " << name << "=\"" << value
+                     << "\"; using default " << fallback;
+}
+
+}  // namespace
 
 int64_t GetEnvInt64(const char* name, int64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   int64_t parsed = std::strtoll(value, &end, 10);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  if (end == nullptr || *end != '\0' || errno == ERANGE || parsed < 0) {
+    WarnMalformed(name, value, static_cast<double>(fallback));
+    return fallback;
+  }
+  return parsed;
 }
 
 double GetEnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   double parsed = std::strtod(value, &end);
-  return (end != nullptr && *end == '\0') ? parsed : fallback;
+  if (end == nullptr || *end != '\0' || errno == ERANGE || parsed < 0) {
+    WarnMalformed(name, value, fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string GetEnvString(const char* name, const std::string& fallback) {

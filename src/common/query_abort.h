@@ -1,0 +1,60 @@
+#ifndef SWOLE_COMMON_QUERY_ABORT_H_
+#define SWOLE_COMMON_QUERY_ABORT_H_
+
+#include <cstdint>
+#include <cstring>
+
+// Query-lifecycle abort plumbing shared by the host engines and the
+// header-only runtime that JIT-generated kernels compile against
+// (exec/hash_table.h, storage/bitmap.h). When a tracked allocation is
+// refused — budget breach, deadline, cancellation, or an injected
+// allocation fault — the data structure throws `QueryAbort`; the engine (or
+// the morsel scheduler) catches it at the query boundary and converts it to
+// the structured Status of the matching code.
+//
+// The type is deliberately exception-minimal (no std::string members, no
+// std::exception base) and marked default-visibility: a kernel .so compiled
+// from these same headers can throw one across the dlopen boundary, and
+// even if RTTI unification fails there, the host still classifies the
+// failure through QueryContext's pending-abort record (the refusing thunk
+// writes the reason *before* the throw — see exec/query_context.h).
+
+namespace swole {
+
+enum class AbortReason : int {
+  kNone = 0,
+  kBudget = 1,    // memory budget refused the charge
+  kDeadline = 2,  // wall-clock deadline fired
+  kCancelled = 3, // cancellation was requested
+};
+
+struct
+#if defined(__GNUC__)
+    __attribute__((visibility("default")))
+#endif
+    QueryAbort {
+  AbortReason reason = AbortReason::kBudget;
+  int64_t requested_bytes = 0;  // the charge that was refused (0 if n/a)
+  char site[64] = {0};          // operator site name of the refusal
+
+  QueryAbort() = default;
+  QueryAbort(AbortReason r, const char* at, int64_t requested)
+      : reason(r), requested_bytes(requested) {
+    if (at != nullptr) {
+      std::strncpy(site, at, sizeof(site) - 1);
+      site[sizeof(site) - 1] = '\0';
+    }
+  }
+};
+
+/// Allocation-charge hook shared by HashTable / PositionalBitmap and the
+/// JIT kernel ABI (codegen/generator.h KernelIO::mem_charge). `delta` > 0
+/// asks permission to grow by that many bytes; the hook returns 0 to allow
+/// or an AbortReason integer to refuse (the structure then throws
+/// QueryAbort without allocating). `delta` < 0 releases bytes and must
+/// always be accepted.
+using MemHookFn = int (*)(void* ctx, int64_t delta, const char* site);
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_QUERY_ABORT_H_

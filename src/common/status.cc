@@ -25,6 +25,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kTypeError:
       return "TypeError";
+    case StatusCode::kBudgetExceeded:
+      return "BudgetExceeded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -28,6 +28,11 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kTypeError,
+  // Query-lifecycle governance outcomes (exec/query_context.h): the query
+  // failed as a *query* — the process and its engines remain healthy.
+  kBudgetExceeded,    // memory budget breached (SWOLE_MEM_LIMIT)
+  kDeadlineExceeded,  // wall-clock deadline fired (SWOLE_DEADLINE_MS)
+  kCancelled,         // cooperative cancellation was requested
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -69,6 +74,25 @@ class Status {
   }
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status BudgetExceeded(std::string msg) {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  /// True for the governance codes a QueryContext produces: the query was
+  /// stopped by policy (budget/deadline/cancel), not by a defect — callers
+  /// like the JIT fallback chain must surface these instead of retrying on
+  /// another engine.
+  bool IsGovernance() const {
+    return code_ == StatusCode::kBudgetExceeded ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/query_context.h"
 #include "exec/scheduler.h"
 #include "expr/scalar_eval.h"
 #include "storage/table.h"
@@ -113,7 +114,17 @@ int64_t AggIdentity(AggKind kind) {
 
 Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  exec::GovernanceScope governance(query_ctx_, /*mem_limit_bytes=*/-1,
+                                   /*deadline_ms=*/-1);
+  try {
+    return ExecuteGoverned(plan, governance.ctx());
+  } catch (...) {
+    return exec::StatusFromCurrentException(governance.ctx());
+  }
+}
 
+Result<QueryResult> ReferenceEngine::ExecuteGoverned(
+    const QueryPlan& plan, exec::QueryContext* qctx) {
   const Table& fact = catalog_.TableRef(plan.fact_table);
   const int num_threads = exec::ResolveNumThreads(num_threads_);
 
@@ -130,6 +141,11 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
       std::vector<bool> marks(fact.num_rows(), false);
       ScalarEvaluator& reval = build_pool.For(rdim.table);
       for (int64_t row = 0; row < rtable.num_rows(); ++row) {
+        // Sequential scan: a per-tile liveness check stands in for the
+        // morsel-boundary checkpoint of the parallel path.
+        if (qctx != nullptr && (row & 4095) == 0) {
+          exec::ThrowIfError(qctx->CheckLive());
+        }
         if (rdim.filter == nullptr || reval.Eval(*rdim.filter, row) != 0) {
           marks[index->OffsetAt(row)] = true;
         }
@@ -255,13 +271,15 @@ Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
     }
   };
 
-  exec::ParallelMorsels(num_threads, fact.num_rows(), /*morsel_size=*/4096,
-                        [&](int worker, int64_t begin, int64_t end) {
-                          Shard& shard = *shards[worker];
-                          for (int64_t row = begin; row < end; ++row) {
-                            process_row(shard, row);
-                          }
-                        });
+  exec::MorselStats scan_stats = exec::ParallelMorsels(
+      qctx, num_threads, fact.num_rows(), /*morsel_size=*/4096,
+      [&](int worker, int64_t begin, int64_t end) {
+        Shard& shard = *shards[worker];
+        for (int64_t row = begin; row < end; ++row) {
+          process_row(shard, row);
+        }
+      });
+  SWOLE_RETURN_NOT_OK(scan_stats.status);
 
   std::map<int64_t, std::vector<int64_t>>& groups = shards[0]->groups;
   std::vector<int64_t>& scalar = shards[0]->scalar;

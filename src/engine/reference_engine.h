@@ -13,6 +13,10 @@
 
 namespace swole {
 
+namespace exec {
+class QueryContext;
+}  // namespace exec
+
 class ReferenceEngine {
  public:
   /// `num_threads` == 0 defers to SWOLE_THREADS (default 1). The fact scan
@@ -21,13 +25,24 @@ class ReferenceEngine {
   explicit ReferenceEngine(const Catalog& catalog, int num_threads = 0)
       : catalog_(catalog), num_threads_(num_threads) {}
 
+  /// Attaches an externally owned query context. The oracle's memory is
+  /// untracked (std::map shards), but deadline and cancellation checks run
+  /// at morsel boundaries and worker exceptions surface as a Status. When
+  /// no context is set, SWOLE_MEM_LIMIT / SWOLE_DEADLINE_MS still apply
+  /// via the governance scope resolved inside Execute.
+  void set_query_context(exec::QueryContext* ctx) { query_ctx_ = ctx; }
+
   /// Executes `plan`. Validates first; returns the normalized result with
   /// groups sorted by key.
   Result<QueryResult> Execute(const QueryPlan& plan);
 
  private:
+  Result<QueryResult> ExecuteGoverned(const QueryPlan& plan,
+                                      exec::QueryContext* qctx);
+
   const Catalog& catalog_;
   int num_threads_;
+  exec::QueryContext* query_ctx_ = nullptr;
 };
 
 }  // namespace swole

@@ -9,6 +9,7 @@
 #include "common/bit_util.h"
 #include "common/logging.h"
 #include "common/macros.h"
+#include "common/query_abort.h"
 
 // Open-addressing, linear-probing hash table with int64 keys and a
 // fixed-width int64 payload per key. This single structure backs group-by
@@ -40,8 +41,58 @@ class HashTable {
 
   HashTable(const HashTable&) = delete;
   HashTable& operator=(const HashTable&) = delete;
-  HashTable(HashTable&&) = default;
-  HashTable& operator=(HashTable&&) = default;
+
+  // Custom moves: the memory-hook registration and the charged byte count
+  // transfer with the buffers, so the source releases nothing and the
+  // destination releases exactly once.
+  HashTable(HashTable&& other) noexcept
+      : payload_width_(other.payload_width_),
+        capacity_(other.capacity_),
+        mask_(other.mask_),
+        size_(other.size_),
+        tombstones_(other.tombstones_),
+        keys_(std::move(other.keys_)),
+        payload_(std::move(other.payload_)),
+        mem_hook_(other.mem_hook_),
+        mem_ctx_(other.mem_ctx_),
+        mem_site_(other.mem_site_),
+        tracked_bytes_(other.tracked_bytes_) {
+    other.DropHook();
+  }
+  HashTable& operator=(HashTable&& other) noexcept {
+    if (this != &other) {
+      ReleaseTracked();
+      payload_width_ = other.payload_width_;
+      capacity_ = other.capacity_;
+      mask_ = other.mask_;
+      size_ = other.size_;
+      tombstones_ = other.tombstones_;
+      keys_ = std::move(other.keys_);
+      payload_ = std::move(other.payload_);
+      mem_hook_ = other.mem_hook_;
+      mem_ctx_ = other.mem_ctx_;
+      mem_site_ = other.mem_site_;
+      tracked_bytes_ = other.tracked_bytes_;
+      other.DropHook();
+    }
+    return *this;
+  }
+
+  ~HashTable() { ReleaseTracked(); }
+
+  /// Registers the query-lifecycle memory hook (exec/query_context.h):
+  /// growth charges the tracker *before* allocating and throws QueryAbort
+  /// when refused; destruction releases the charge. `site` must be a
+  /// string with static storage duration (the operator attribution name).
+  /// The current footprint is charged on attachment, so a table that is
+  /// already over budget fails here rather than at its next growth.
+  void SetMemHook(MemHookFn hook, void* ctx, const char* site) {
+    ReleaseTracked();
+    mem_hook_ = hook;
+    mem_ctx_ = ctx;
+    mem_site_ = site;
+    if (mem_hook_ != nullptr) ChargeDelta(ByteSize());
+  }
 
   int payload_width() const { return payload_width_; }
   int64_t size() const { return size_; }
@@ -261,11 +312,43 @@ class HashTable {
                               : sentinel_;
   }
 
+  // Asks the memory hook for `delta` more bytes (releases when negative).
+  // Throws QueryAbort on refusal *before* anything is allocated, leaving
+  // the table fully usable at its current size.
+  void ChargeDelta(int64_t delta) {
+    if (mem_hook_ == nullptr || delta == 0) return;
+    int rc = mem_hook_(mem_ctx_, delta, mem_site_);
+    if (SWOLE_UNLIKELY(delta > 0 && rc != 0)) {
+      throw QueryAbort(static_cast<AbortReason>(rc), mem_site_, delta);
+    }
+    tracked_bytes_ += delta;
+  }
+
+  void ReleaseTracked() noexcept {
+    if (mem_hook_ != nullptr && tracked_bytes_ > 0) {
+      mem_hook_(mem_ctx_, -tracked_bytes_, mem_site_);
+    }
+    tracked_bytes_ = 0;
+  }
+
+  void DropHook() noexcept {
+    mem_hook_ = nullptr;
+    mem_ctx_ = nullptr;
+    tracked_bytes_ = 0;
+  }
+
   void Rehash(int64_t new_capacity) {
     SWOLE_CHECK(bit_util::IsPowerOfTwo(static_cast<uint64_t>(new_capacity)));
+    // Charge the new buffers before allocating them. Both generations are
+    // live during the re-insert scan, so the tracker sees the true peak;
+    // the old generation's bytes are released once it is freed below.
+    const int64_t new_bytes = new_capacity * 8 * (1 + payload_width_);
+    ChargeDelta(new_bytes);
     std::vector<int64_t> old_keys = std::move(keys_);
     std::vector<int64_t> old_payload = std::move(payload_);
     int64_t old_capacity = capacity_;
+    const int64_t old_bytes =
+        static_cast<int64_t>(old_keys.size() + old_payload.size()) * 8;
 
     capacity_ = new_capacity;
     mask_ = static_cast<uint64_t>(new_capacity - 1);
@@ -283,6 +366,10 @@ class HashTable {
                     payload_width_ * sizeof(int64_t));
       }
     }
+
+    old_keys = std::vector<int64_t>();
+    old_payload = std::vector<int64_t>();
+    ChargeDelta(-old_bytes);
   }
 
   int payload_width_;
@@ -293,6 +380,12 @@ class HashTable {
   std::vector<int64_t> keys_;
   std::vector<int64_t> payload_;
   int64_t sentinel_[1] = {0};
+
+  // Query-lifecycle memory accounting (see SetMemHook).
+  MemHookFn mem_hook_ = nullptr;
+  void* mem_ctx_ = nullptr;
+  const char* mem_site_ = "";
+  int64_t tracked_bytes_ = 0;
 };
 
 }  // namespace swole

@@ -1,0 +1,255 @@
+#include "exec/query_context.h"
+
+#include <algorithm>
+#include <exception>
+#include <new>
+#include <vector>
+
+#include "common/env.h"
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
+namespace swole::exec {
+
+QueryContext::QueryContext() : QueryContext(Limits()) {}
+
+QueryContext::QueryContext(Limits limits) : limits_(limits) {
+  if (limits_.deadline_ms > 0) {
+    deadline_tp_ = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(limits_.deadline_ms);
+    has_deadline_ = true;
+  }
+}
+
+AbortReason QueryContext::CheckLiveReason() {
+  if (SWOLE_UNLIKELY(cancelled_.load(std::memory_order_acquire))) {
+    return AbortReason::kCancelled;
+  }
+  if (SWOLE_UNLIKELY(deadline_fired_.load(std::memory_order_acquire))) {
+    return AbortReason::kDeadline;
+  }
+  if (has_deadline_ &&
+      SWOLE_UNLIKELY(std::chrono::steady_clock::now() >= deadline_tp_)) {
+    deadline_fired_.store(true, std::memory_order_release);
+    return AbortReason::kDeadline;
+  }
+  // Deterministic deadline injection for tests (SWOLE_FAULT=deadline_fire:p).
+  if (SWOLE_UNLIKELY(FaultInjector::Global().ShouldFail("deadline_fire"))) {
+    deadline_fired_.store(true, std::memory_order_release);
+    return AbortReason::kDeadline;
+  }
+  return AbortReason::kNone;
+}
+
+Status QueryContext::CheckLive() {
+  AbortReason reason = CheckLiveReason();
+  if (SWOLE_LIKELY(reason == AbortReason::kNone)) return Status::OK();
+  return MakeStatus(reason);
+}
+
+AbortReason QueryContext::TryCharge(int64_t delta, const char* site) {
+  if (delta <= 0) {
+    // Release path: always accepted, keeps query-level accounting exact.
+    consumed_.fetch_add(delta, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(site_mu_);
+    sites_[site].current += delta;
+    return AbortReason::kNone;
+  }
+
+  // A growth point is also a cooperative cancellation/deadline checkpoint —
+  // hash-table rehashes are where runaway queries spend unbounded time.
+  AbortReason live = CheckLiveReason();
+  if (SWOLE_UNLIKELY(live != AbortReason::kNone)) {
+    RecordPendingAbort(live, site, delta);
+    return live;
+  }
+
+  // Deterministic allocation-failure injection at every tracked site.
+  if (SWOLE_UNLIKELY(FaultInjector::Global().ShouldFail(site))) {
+    RecordPendingAbort(AbortReason::kBudget, site, delta);
+    return AbortReason::kBudget;
+  }
+
+  int64_t now = consumed_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (SWOLE_UNLIKELY(limits_.mem_limit_bytes > 0 &&
+                     now > limits_.mem_limit_bytes)) {
+    consumed_.fetch_sub(delta, std::memory_order_relaxed);
+    RecordPendingAbort(AbortReason::kBudget, site, delta);
+    return AbortReason::kBudget;
+  }
+
+  // Query-level peak (CAS loop: charges are rare growth events).
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+
+  std::lock_guard<std::mutex> lock(site_mu_);
+  SiteStats& stats = sites_[site];
+  stats.current += delta;
+  stats.peak = std::max(stats.peak, stats.current);
+  return AbortReason::kNone;
+}
+
+int64_t QueryContext::site_peak_bytes(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(site_mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.peak;
+}
+
+std::string QueryContext::MemoryReport() const {
+  std::string report = StringFormat(
+      "peak %lldB", static_cast<long long>(peak_bytes()));
+  if (limits_.mem_limit_bytes > 0) {
+    report += StringFormat(" (limit %lldB)",
+                           static_cast<long long>(limits_.mem_limit_bytes));
+  }
+  std::lock_guard<std::mutex> lock(site_mu_);
+  if (sites_.empty()) return report;
+  report += "; per-operator peaks:";
+  for (const auto& [site, stats] : sites_) {
+    report += StringFormat(" %s=%lldB", site.c_str(),
+                           static_cast<long long>(stats.peak));
+  }
+  return report;
+}
+
+Status QueryContext::MakeStatus(AbortReason reason, const char* site,
+                                int64_t requested) const {
+  std::string detail;
+  if (site != nullptr && site[0] != '\0') {
+    detail = StringFormat(" at site %s", site);
+    if (requested > 0) {
+      detail += StringFormat(" (requested %lldB)",
+                             static_cast<long long>(requested));
+    }
+  }
+  std::string report = MemoryReport();
+  switch (reason) {
+    case AbortReason::kBudget:
+      return Status::BudgetExceeded(StringFormat(
+          "query memory budget exceeded%s; %s", detail.c_str(),
+          report.c_str()));
+    case AbortReason::kDeadline:
+      return Status::DeadlineExceeded(StringFormat(
+          "query deadline of %lldms exceeded%s; %s",
+          static_cast<long long>(limits_.deadline_ms), detail.c_str(),
+          report.c_str()));
+    case AbortReason::kCancelled:
+      return Status::Cancelled(StringFormat("query cancelled%s; %s",
+                                            detail.c_str(), report.c_str()));
+    case AbortReason::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+void QueryContext::RecordPendingAbort(AbortReason reason, const char* site,
+                                      int64_t requested) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_site_ = site != nullptr ? site : "";
+    pending_requested_ = requested;
+  }
+  pending_reason_.store(static_cast<int>(reason), std::memory_order_release);
+}
+
+AbortReason QueryContext::TakePendingAbort(std::string* site_out,
+                                           int64_t* requested_out) {
+  int reason = pending_reason_.exchange(0, std::memory_order_acq_rel);
+  if (reason == 0) return AbortReason::kNone;
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (site_out != nullptr) *site_out = pending_site_;
+  if (requested_out != nullptr) *requested_out = pending_requested_;
+  return static_cast<AbortReason>(reason);
+}
+
+int QueryContext::MemHookThunk(void* ctx, int64_t delta, const char* site) {
+  auto* context = static_cast<QueryContext*>(ctx);
+  return static_cast<int>(context->TryCharge(delta, site));
+}
+
+int QueryContext::CancelCheckThunk(void* ctx) {
+  auto* context = static_cast<QueryContext*>(ctx);
+  AbortReason reason = context->CheckLiveReason();
+  if (SWOLE_UNLIKELY(reason != AbortReason::kNone)) {
+    // Record it: a kernel that early-returns on this signal surfaces the
+    // reason through the host's next CheckLive, but recording here keeps
+    // the first-observed site attribution.
+    context->RecordPendingAbort(reason, "cancel_check", 0);
+  }
+  return static_cast<int>(reason);
+}
+
+GovernanceScope::GovernanceScope(QueryContext* external,
+                                 int64_t mem_limit_bytes,
+                                 int64_t deadline_ms) {
+  if (external != nullptr) {
+    ctx_ = external;
+    return;
+  }
+  QueryContext::Limits limits;
+  limits.mem_limit_bytes = mem_limit_bytes >= 0
+                               ? mem_limit_bytes
+                               : GetEnvInt64("SWOLE_MEM_LIMIT", 0);
+  limits.deadline_ms =
+      deadline_ms >= 0 ? deadline_ms : GetEnvInt64("SWOLE_DEADLINE_MS", 0);
+  if (limits.mem_limit_bytes > 0 || limits.deadline_ms > 0) {
+    owned_ = new QueryContext(limits);
+    ctx_ = owned_;
+  }
+}
+
+GovernanceScope::~GovernanceScope() { delete owned_; }
+
+Status StatusFromCurrentException(QueryContext* ctx) {
+  // The pending-abort record takes precedence: it is written by the
+  // refusing hook *before* the throw, so it classifies correctly even when
+  // the exception object itself crossed a dlopen boundary and its RTTI
+  // does not unify with the host's QueryAbort.
+  if (ctx != nullptr) {
+    std::string site;
+    int64_t requested = 0;
+    AbortReason pending = ctx->TakePendingAbort(&site, &requested);
+    if (pending != AbortReason::kNone) {
+      return ctx->MakeStatus(pending, site.c_str(), requested);
+    }
+  }
+  try {
+    throw;
+  } catch (const ThrownStatus& thrown) {
+    return thrown.status;
+  } catch (const QueryAbort& abort) {
+    if (ctx != nullptr) {
+      return ctx->MakeStatus(abort.reason, abort.site, abort.requested_bytes);
+    }
+    switch (abort.reason) {
+      case AbortReason::kBudget:
+        return Status::BudgetExceeded("query memory budget exceeded");
+      case AbortReason::kDeadline:
+        return Status::DeadlineExceeded("query deadline exceeded");
+      case AbortReason::kCancelled:
+        return Status::Cancelled("query cancelled");
+      case AbortReason::kNone:
+        break;
+    }
+    return Status::Internal("QueryAbort with no reason");
+  } catch (const std::bad_alloc&) {
+    return Status::BudgetExceeded(
+        ctx != nullptr
+            ? StringFormat("allocation failed (std::bad_alloc); %s",
+                           ctx->MemoryReport().c_str())
+            : std::string("allocation failed (std::bad_alloc)"));
+  } catch (const std::exception& e) {
+    return Status::Internal(
+        StringFormat("worker exception: %s", e.what()));
+  } catch (...) {
+    return Status::Internal("worker exception of unknown type");
+  }
+}
+
+void ThrowIfError(const Status& status) {
+  if (SWOLE_UNLIKELY(!status.ok())) throw ThrownStatus{status};
+}
+
+}  // namespace swole::exec

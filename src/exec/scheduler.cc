@@ -11,6 +11,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "exec/query_context.h"
 
 namespace swole::exec {
 
@@ -23,6 +24,7 @@ thread_local bool t_in_parallel_region = false;
 
 struct Job {
   const MorselFn* fn = nullptr;
+  QueryContext* ctx = nullptr;
   int64_t morsel_size = 0;
   int64_t total = 0;
   int participants = 0;
@@ -35,14 +37,46 @@ struct Job {
   std::unique_ptr<std::atomic<int64_t>[]> cursor;
   std::atomic<int64_t> remaining{0};
   std::atomic<int64_t> steals{0};
+  // First error wins; once `aborted` is set, remaining morsels are claimed
+  // but their bodies are skipped, so siblings drain fast and the caller's
+  // completion wait still terminates.
+  std::atomic<bool> aborted{false};
+  Status first_error = Status::OK();  // guarded by mu once aborted is set
   std::mutex mu;
   std::condition_variable done;
 };
 
+void SetJobError(Job& job, const Status& status) {
+  bool expected = false;
+  if (job.aborted.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.first_error = status;
+  }
+}
+
 void RunMorsel(Job& job, int worker, int64_t morsel) {
-  const int64_t begin = morsel * job.morsel_size;
-  const int64_t end = std::min(job.total, begin + job.morsel_size);
-  (*job.fn)(worker, begin, end);
+  if (SWOLE_LIKELY(!job.aborted.load(std::memory_order_acquire))) {
+    // Every morsel claim is a cooperative checkpoint under governance.
+    if (job.ctx != nullptr) {
+      AbortReason live = job.ctx->CheckLiveReason();
+      if (SWOLE_UNLIKELY(live != AbortReason::kNone)) {
+        SetJobError(job, job.ctx->MakeStatus(live));
+      }
+    }
+    if (SWOLE_LIKELY(!job.aborted.load(std::memory_order_acquire))) {
+      const int64_t begin = morsel * job.morsel_size;
+      const int64_t end = std::min(job.total, begin + job.morsel_size);
+      try {
+        (*job.fn)(worker, begin, end);
+      } catch (...) {
+        // A worker exception must never reach std::thread (that would
+        // std::terminate the process): capture the first one as a Status
+        // and cancel the sibling participants.
+        SetJobError(job, StatusFromCurrentException(job.ctx));
+      }
+    }
+  }
   // The release half of acq_rel publishes this worker's state writes to the
   // caller, whose completion wait loads `remaining` with acquire.
   if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -149,6 +183,12 @@ int64_t DefaultMorselSize(int64_t tile_size) {
 
 MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
                             int64_t morsel_size, const MorselFn& fn) {
+  return ParallelMorsels(nullptr, num_threads, total_rows, morsel_size, fn);
+}
+
+MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
+                            int64_t total_rows, int64_t morsel_size,
+                            const MorselFn& fn) {
   MorselStats stats;
   if (total_rows <= 0) return stats;
   SWOLE_CHECK(morsel_size > 0);
@@ -160,14 +200,27 @@ MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
 
   if (participants == 1 || t_in_parallel_region) {
     for (int64_t m = 0; m < num_morsels; ++m) {
+      if (ctx != nullptr) {
+        AbortReason live = ctx->CheckLiveReason();
+        if (SWOLE_UNLIKELY(live != AbortReason::kNone)) {
+          stats.status = ctx->MakeStatus(live);
+          return stats;
+        }
+      }
       const int64_t begin = m * morsel_size;
-      fn(0, begin, std::min(total_rows, begin + morsel_size));
+      try {
+        fn(0, begin, std::min(total_rows, begin + morsel_size));
+      } catch (...) {
+        stats.status = StatusFromCurrentException(ctx);
+        return stats;
+      }
     }
     return stats;
   }
 
   auto job = std::make_shared<Job>();
   job->fn = &fn;
+  job->ctx = ctx;
   job->morsel_size = morsel_size;
   job->total = total_rows;
   job->participants = participants;
@@ -199,6 +252,10 @@ MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
     });
   }
   stats.steals = job->steals.load(std::memory_order_relaxed);
+  if (SWOLE_UNLIKELY(job->aborted.load(std::memory_order_acquire))) {
+    std::lock_guard<std::mutex> lock(job->mu);
+    stats.status = job->first_error;
+  }
   return stats;
 }
 

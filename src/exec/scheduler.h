@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/status.h"
+
 // Morsel-driven parallel execution.
 //
 // A query's probe/scan side is split into fixed-size "morsels" (a whole
@@ -22,6 +24,8 @@
 
 namespace swole::exec {
 
+class QueryContext;
+
 /// Resolves an engine's thread count: `requested` > 0 wins, otherwise the
 /// SWOLE_THREADS environment variable, otherwise 1 (single-threaded — the
 /// default matches the pre-parallel engines). Clamped to [1, 256].
@@ -38,6 +42,10 @@ struct MorselStats {
   int64_t morsels = 0;
   int64_t steals = 0;
   int workers = 1;  // participants actually used (<= requested threads)
+  /// First error observed across all participants. Non-OK means the run
+  /// was aborted: some morsels were skipped and per-worker states are
+  /// incomplete — callers must discard them and propagate this status.
+  Status status = Status::OK();
 };
 
 /// Morsel body: process fact rows [begin, end). `worker` indexes the
@@ -53,8 +61,24 @@ using MorselFn = std::function<void(int worker, int64_t begin, int64_t end)>;
 /// completed. With num_threads <= 1, a single morsel, or when called from
 /// inside another parallel region, all morsels run inline on the caller in
 /// ascending order. total_rows == 0 returns without invoking `fn`.
+///
+/// Workers are exception-safe: an exception escaping `fn` is caught at the
+/// morsel boundary, converted to a Status, and returned as
+/// MorselStats::status; sibling participants stop claiming morsels as soon
+/// as the first error is recorded. The process never aborts because a
+/// morsel threw.
 MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
                             int64_t morsel_size, const MorselFn& fn);
+
+/// Governed variant: when `ctx` is non-null, every morsel claim is a
+/// cooperative cancellation / deadline checkpoint (QueryContext::CheckLive)
+/// and a governance abort (QueryAbort thrown by a tracked allocation, or a
+/// checkpoint firing) stops all participants and surfaces as the matching
+/// structured Status. ctx == nullptr behaves exactly like the overload
+/// above.
+MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
+                            int64_t total_rows, int64_t morsel_size,
+                            const MorselFn& fn);
 
 }  // namespace swole::exec
 

@@ -6,6 +6,7 @@
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/query_abort.h"
 
 // Positional bitmap (§III-D): one bit per row of the build-side table,
 // bit[i] == 1 iff row i qualifies. Probing is a positional lookup through the
@@ -20,8 +21,65 @@ class PositionalBitmap {
   PositionalBitmap() = default;
   explicit PositionalBitmap(int64_t num_bits) { Resize(num_bits); }
 
+  // Copies duplicate the bits but not the memory-hook registration: the
+  // copy starts untracked (call SetMemHook on it to charge it), while a
+  // hooked copy-assignment target re-charges to the incoming size.
+  PositionalBitmap(const PositionalBitmap& other)
+      : num_bits_(other.num_bits_), words_(other.words_) {}
+  PositionalBitmap& operator=(const PositionalBitmap& other) {
+    if (this != &other) {
+      ChargeDelta(static_cast<int64_t>(other.words_.size()) * 8 -
+                  tracked_bytes_);
+      num_bits_ = other.num_bits_;
+      words_ = other.words_;
+    }
+    return *this;
+  }
+
+  // Custom moves: the memory-hook registration and the charged byte count
+  // travel with the buffer (see exec/hash_table.h for the same pattern).
+  PositionalBitmap(PositionalBitmap&& other) noexcept
+      : num_bits_(other.num_bits_),
+        words_(std::move(other.words_)),
+        mem_hook_(other.mem_hook_),
+        mem_ctx_(other.mem_ctx_),
+        mem_site_(other.mem_site_),
+        tracked_bytes_(other.tracked_bytes_) {
+    other.DropHook();
+  }
+  PositionalBitmap& operator=(PositionalBitmap&& other) noexcept {
+    if (this != &other) {
+      ReleaseTracked();
+      num_bits_ = other.num_bits_;
+      words_ = std::move(other.words_);
+      mem_hook_ = other.mem_hook_;
+      mem_ctx_ = other.mem_ctx_;
+      mem_site_ = other.mem_site_;
+      tracked_bytes_ = other.tracked_bytes_;
+      other.DropHook();
+    }
+    return *this;
+  }
+
+  ~PositionalBitmap() { ReleaseTracked(); }
+
+  /// Registers the query-lifecycle memory hook (exec/query_context.h):
+  /// Resize charges the tracker *before* allocating and throws QueryAbort
+  /// when refused. `site` must have static storage duration. The current
+  /// footprint is charged on attachment.
+  void SetMemHook(MemHookFn hook, void* ctx, const char* site) {
+    ReleaseTracked();
+    mem_hook_ = hook;
+    mem_ctx_ = ctx;
+    mem_site_ = site;
+    if (mem_hook_ != nullptr) ChargeDelta(ByteSize());
+  }
+
   /// Resizes to `num_bits`, clearing all bits.
   void Resize(int64_t num_bits) {
+    const int64_t new_bytes =
+        static_cast<int64_t>(bit_util::WordsForBits(num_bits)) * 8;
+    ChargeDelta(new_bytes - tracked_bytes_);
     num_bits_ = num_bits;
     words_.assign(bit_util::WordsForBits(num_bits), 0);
   }
@@ -77,8 +135,37 @@ class PositionalBitmap {
   const uint64_t* words() const { return words_.data(); }
 
  private:
+  // Asks the memory hook for `delta` more bytes (releases when negative).
+  // Throws QueryAbort on refusal before anything is allocated.
+  void ChargeDelta(int64_t delta) {
+    if (mem_hook_ == nullptr || delta == 0) return;
+    int rc = mem_hook_(mem_ctx_, delta, mem_site_);
+    if (delta > 0 && rc != 0) {
+      throw QueryAbort(static_cast<AbortReason>(rc), mem_site_, delta);
+    }
+    tracked_bytes_ += delta;
+  }
+
+  void ReleaseTracked() noexcept {
+    if (mem_hook_ != nullptr && tracked_bytes_ > 0) {
+      mem_hook_(mem_ctx_, -tracked_bytes_, mem_site_);
+    }
+    tracked_bytes_ = 0;
+  }
+
+  void DropHook() noexcept {
+    mem_hook_ = nullptr;
+    mem_ctx_ = nullptr;
+    tracked_bytes_ = 0;
+  }
+
   int64_t num_bits_ = 0;
   std::vector<uint64_t> words_;
+
+  MemHookFn mem_hook_ = nullptr;
+  void* mem_ctx_ = nullptr;
+  const char* mem_site_ = "";
+  int64_t tracked_bytes_ = 0;
 };
 
 /// Block-compressed bitmap (the paper's §III-D note: "replace entire blocks

@@ -192,14 +192,14 @@ int32_t FilterToSelVec(StrategyKind kind, VectorEvaluator* eval,
 std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
                                           const Catalog& catalog,
                                           const DimJoin& dim,
-                                          int64_t tile_size,
-                                          int num_threads) {
+                                          int64_t tile_size, int num_threads,
+                                          exec::QueryContext* ctx) {
   // Children first (bottom-up through the snowflake).
   std::vector<std::unique_ptr<HashTable>> child_sets;
   child_sets.reserve(dim.children.size());
   for (const DimJoin& child : dim.children) {
     child_sets.push_back(
-        BuildDimKeySet(kind, catalog, child, tile_size, num_threads));
+        BuildDimKeySet(kind, catalog, child, tile_size, num_threads, ctx));
   }
 
   const Table& table = catalog.TableRef(dim.hop.to_table);
@@ -215,12 +215,16 @@ std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
     partials[w] = std::make_unique<HashTable>(
         /*payload_width=*/0,
         w == 0 ? table.num_rows() : table.num_rows() / num_threads + 16);
+    if (ctx != nullptr) {
+      partials[w]->SetMemHook(exec::QueryContext::MemHookThunk, ctx,
+                              "dim_keyset");
+    }
     evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
     scratches[w] = std::make_unique<Scratch>(tile_size);
   }
 
-  exec::ParallelMorsels(
-      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+  exec::MorselStats scan_stats = exec::ParallelMorsels(
+      ctx, num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
       [&](int worker, int64_t range_begin, int64_t range_end) {
         VectorEvaluator& eval = *evals[worker];
         Scratch& scratch = *scratches[worker];
@@ -250,22 +254,27 @@ std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
                          /*prefetch=*/kind == StrategyKind::kRof);
         }
       });
+  exec::ThrowIfError(scan_stats.status);
 
   for (int w = 1; w < num_threads; ++w) partials[0]->MergeAdd(*partials[w]);
   return std::move(partials[0]);
 }
 
 PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
-                                int64_t tile_size, int num_threads) {
+                                int64_t tile_size, int num_threads,
+                                exec::QueryContext* ctx) {
   std::vector<PositionalBitmap> child_bitmaps;
   child_bitmaps.reserve(dim.children.size());
   for (const DimJoin& child : dim.children) {
     child_bitmaps.push_back(
-        BuildDimBitmap(catalog, child, tile_size, num_threads));
+        BuildDimBitmap(catalog, child, tile_size, num_threads, ctx));
   }
 
   const Table& table = catalog.TableRef(dim.hop.to_table);
   PositionalBitmap bitmap(table.num_rows());
+  if (ctx != nullptr) {
+    bitmap.SetMemHook(exec::QueryContext::MemHookThunk, ctx, "dim_bitmap");
+  }
 
   // Fk offset arrays for the children (sequential reads during the scan).
   std::vector<const uint32_t*> child_offsets;
@@ -286,8 +295,8 @@ PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
     scratches[w] = std::make_unique<Scratch>(tile_size);
   }
 
-  exec::ParallelMorsels(
-      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+  exec::MorselStats scan_stats = exec::ParallelMorsels(
+      ctx, num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
       [&](int worker, int64_t range_begin, int64_t range_end) {
         VectorEvaluator& eval = *evals[worker];
         Scratch& scratch = *scratches[worker];
@@ -307,6 +316,7 @@ PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
           bitmap.PackBytes(start, scratch.cmp.data(), len);
         }
       });
+  exec::ThrowIfError(scan_stats.status);
   return bitmap;
 }
 
@@ -314,7 +324,8 @@ std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
                                               const Catalog& catalog,
                                               const ReverseDim& rdim,
                                               int64_t tile_size,
-                                              int num_threads) {
+                                              int num_threads,
+                                              exec::QueryContext* ctx) {
   const Table& table = catalog.TableRef(rdim.table);
   const Column& fk = table.ColumnRef(rdim.fk_column);
 
@@ -327,12 +338,16 @@ std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
     partials[w] = std::make_unique<HashTable>(
         /*payload_width=*/0,
         w == 0 ? table.num_rows() : table.num_rows() / num_threads + 16);
+    if (ctx != nullptr) {
+      partials[w]->SetMemHook(exec::QueryContext::MemHookThunk, ctx,
+                              "reverse_keyset");
+    }
     evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
     scratches[w] = std::make_unique<Scratch>(tile_size);
   }
 
-  exec::ParallelMorsels(
-      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+  exec::MorselStats scan_stats = exec::ParallelMorsels(
+      ctx, num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
       [&](int worker, int64_t range_begin, int64_t range_end) {
         VectorEvaluator& eval = *evals[worker];
         Scratch& scratch = *scratches[worker];
@@ -349,6 +364,7 @@ std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
                          /*prefetch=*/kind == StrategyKind::kRof);
         }
       });
+  exec::ThrowIfError(scan_stats.status);
 
   for (int w = 1; w < num_threads; ++w) partials[0]->MergeAdd(*partials[w]);
   return std::move(partials[0]);
@@ -356,7 +372,8 @@ std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
 
 PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
                                     const ReverseDim& rdim,
-                                    int64_t fact_rows, int64_t tile_size) {
+                                    int64_t fact_rows, int64_t tile_size,
+                                    exec::QueryContext* ctx) {
   const Table& table = catalog.TableRef(rdim.table);
   const FkIndex* index = table.GetFkIndex(rdim.fk_column).ValueOr(nullptr);
   SWOLE_CHECK(index != nullptr);
@@ -366,8 +383,16 @@ PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
   VectorEvaluator eval(table, tile_size);
   Scratch scratch(tile_size);
   PositionalBitmap bitmap(fact_rows);
+  if (ctx != nullptr) {
+    bitmap.SetMemHook(exec::QueryContext::MemHookThunk, ctx,
+                      "reverse_bitmap");
+  }
 
   for (int64_t start = 0; start < table.num_rows(); start += tile_size) {
+    // This scan is inherently sequential (fk offsets land at arbitrary
+    // fact positions), so the per-tile check replaces the morsel-boundary
+    // checkpoint the parallel builders get from the scheduler.
+    if (ctx != nullptr) exec::ThrowIfError(ctx->CheckLive());
     int64_t len = std::min(tile_size, table.num_rows() - start);
     FilterToMask(&eval, rdim.filter.get(), start, len, scratch.cmp.data());
     const uint32_t* offs = offsets + start;
@@ -383,7 +408,8 @@ std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
                                               const Catalog& catalog,
                                               const DisjunctiveJoin& dj,
                                               int64_t tile_size,
-                                              int num_threads) {
+                                              int num_threads,
+                                              exec::QueryContext* ctx) {
   (void)kind;  // the clause masks are prepass-evaluated for every strategy
   const Table& table = catalog.TableRef(dj.hop.to_table);
   const Column& pk = table.ColumnRef(dj.hop.to_pk_column);
@@ -398,13 +424,17 @@ std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
     partials[w] = std::make_unique<HashTable>(
         /*payload_width=*/1,
         w == 0 ? table.num_rows() : table.num_rows() / num_threads + 16);
+    if (ctx != nullptr) {
+      partials[w]->SetMemHook(exec::QueryContext::MemHookThunk, ctx,
+                              "disjunctive_ht");
+    }
     evals[w] = std::make_unique<VectorEvaluator>(table, tile_size);
     scratches[w] = std::make_unique<Scratch>(tile_size);
     clause_bits[w].resize(tile_size);
   }
 
-  exec::ParallelMorsels(
-      num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+  exec::MorselStats scan_stats = exec::ParallelMorsels(
+      ctx, num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
       [&](int worker, int64_t range_begin, int64_t range_end) {
         VectorEvaluator& eval = *evals[worker];
         Scratch& scratch = *scratches[worker];
@@ -434,6 +464,7 @@ std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
           for (int32_t k = 0; k < m; ++k) *scratch.ptrs[k] = bits[k];
         }
       });
+  exec::ThrowIfError(scan_stats.status);
 
   for (int w = 1; w < num_threads; ++w) partials[0]->MergeAdd(*partials[w]);
   return std::move(partials[0]);
@@ -441,7 +472,7 @@ std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
 
 std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
     const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size,
-    int num_threads) {
+    int num_threads, exec::QueryContext* ctx) {
   const Table& table = catalog.TableRef(dj.hop.to_table);
 
   std::vector<std::unique_ptr<VectorEvaluator>> evals(num_threads);
@@ -455,8 +486,13 @@ std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
   bitmaps.reserve(dj.clauses.size());
   for (const DisjunctiveJoin::Clause& clause : dj.clauses) {
     PositionalBitmap bitmap(table.num_rows());
-    exec::ParallelMorsels(
-        num_threads, table.num_rows(), exec::DefaultMorselSize(tile_size),
+    if (ctx != nullptr) {
+      bitmap.SetMemHook(exec::QueryContext::MemHookThunk, ctx,
+                        "disjunctive_bitmap");
+    }
+    exec::MorselStats scan_stats = exec::ParallelMorsels(
+        ctx, num_threads, table.num_rows(),
+        exec::DefaultMorselSize(tile_size),
         [&](int worker, int64_t range_begin, int64_t range_end) {
           VectorEvaluator& eval = *evals[worker];
           Scratch& scratch = *scratches[worker];
@@ -468,6 +504,7 @@ std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
             bitmap.PackBytes(start, scratch.cmp.data(), len);
           }
         });
+    exec::ThrowIfError(scan_stats.status);
     bitmaps.push_back(std::move(bitmap));
   }
   return bitmaps;
@@ -817,11 +854,17 @@ void AccumulateScalarMasked(const Table& fact, VectorEvaluator* eval,
   }
 }
 
-GroupTable::GroupTable(const QueryPlan& plan, int64_t expected_keys)
+GroupTable::GroupTable(const QueryPlan& plan, int64_t expected_keys,
+                       exec::QueryContext* ctx, const char* site)
     : plan_(plan),
       num_aggs_(static_cast<int>(plan.aggs.size())),
+      ctx_(ctx),
+      site_(site),
       table_(/*payload_width=*/1 + static_cast<int>(plan.aggs.size()),
              std::max<int64_t>(expected_keys, 16)) {
+  if (ctx_ != nullptr) {
+    table_.SetMemHook(exec::QueryContext::MemHookThunk, ctx_, site_);
+  }
   // Always provision the throwaway entry for masked updates (§III-B).
   table_.GetOrInsert(HashTable::kMaskKey);
 }
@@ -895,7 +938,7 @@ void GroupTable::UpdateJoinSel(const int64_t* keys,
 }
 
 std::unique_ptr<GroupTable> GroupTable::CloneKeysOnly() const {
-  auto clone = std::make_unique<GroupTable>(plan_, table_.size());
+  auto clone = std::make_unique<GroupTable>(plan_, table_.size(), ctx_, site_);
   table_.ForEach([&](int64_t key, const int64_t*) {
     clone->table_.GetOrInsert(key);
   });

@@ -6,6 +6,7 @@
 
 #include "exec/hash_table.h"
 #include "exec/kernels.h"
+#include "exec/query_context.h"
 #include "expr/vector_eval.h"
 #include "plan/plan.h"
 #include "plan/result.h"
@@ -69,27 +70,33 @@ int32_t CompactSel(StrategyKind kind, int32_t* sel, const uint8_t* flags,
 /// With num_threads > 1 the dim scan is partitioned into morsels: each
 /// worker fills a private partial table, merged via HashTable::MergeAdd
 /// in worker order (pk keys are unique, so the merge is a disjoint union).
+/// All build-side constructors below take an optional QueryContext: when
+/// set, the structures they build charge the memory tracker (per-operator
+/// sites "dim_keyset" / "dim_bitmap" / "reverse_keyset" / "reverse_bitmap" /
+/// "disjunctive_ht" / "disjunctive_bitmap") and internal parallel scans are
+/// governed. A refused charge or fired checkpoint propagates by exception
+/// (QueryAbort / ThrownStatus), caught at the engine's Execute boundary.
 std::unique_ptr<HashTable> BuildDimKeySet(StrategyKind kind,
                                           const Catalog& catalog,
                                           const DimJoin& dim,
                                           int64_t tile_size,
-                                          int num_threads = 1);
+                                          int num_threads = 1,
+                                          exec::QueryContext* ctx = nullptr);
 
 /// Positional qualification bitmap for a dimension subtree (SWOLE §III-D):
 /// bit i == 1 iff dim row i passes the filter and all child dims qualify.
 /// Sequential scan per worker; with num_threads > 1 workers fill disjoint
 /// 64-bit-aligned row ranges of the same bitmap (no merge needed).
 PositionalBitmap BuildDimBitmap(const Catalog& catalog, const DimJoin& dim,
-                                int64_t tile_size, int num_threads = 1);
+                                int64_t tile_size, int num_threads = 1,
+                                exec::QueryContext* ctx = nullptr);
 
 /// Hash set of fk *values* for a reverse dim (Q4's EXISTS): the keys are
 /// rdim.fk_column values of qualifying rdim rows; the fact probes with its
 /// pk value.
-std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
-                                              const Catalog& catalog,
-                                              const ReverseDim& rdim,
-                                              int64_t tile_size,
-                                              int num_threads = 1);
+std::unique_ptr<HashTable> BuildReverseKeySet(
+    StrategyKind kind, const Catalog& catalog, const ReverseDim& rdim,
+    int64_t tile_size, int num_threads = 1, exec::QueryContext* ctx = nullptr);
 
 /// Positional bitmap over *fact* offsets for a reverse dim: scanning the
 /// rdim table sequentially, OR the predicate result into the bit at the fk
@@ -98,22 +105,21 @@ std::unique_ptr<HashTable> BuildReverseKeySet(StrategyKind kind,
 /// would race on bitmap words.
 PositionalBitmap BuildReverseBitmap(const Catalog& catalog,
                                     const ReverseDim& rdim,
-                                    int64_t fact_rows, int64_t tile_size);
+                                    int64_t fact_rows, int64_t tile_size,
+                                    exec::QueryContext* ctx = nullptr);
 
 /// Hash table for a disjunctive join (Q19): keys are dim pk values of rows
 /// matching at least one clause; payload[0] is the bitmask of matching
 /// clauses.
-std::unique_ptr<HashTable> BuildDisjunctiveHt(StrategyKind kind,
-                                              const Catalog& catalog,
-                                              const DisjunctiveJoin& dj,
-                                              int64_t tile_size,
-                                              int num_threads = 1);
+std::unique_ptr<HashTable> BuildDisjunctiveHt(
+    StrategyKind kind, const Catalog& catalog, const DisjunctiveJoin& dj,
+    int64_t tile_size, int num_threads = 1, exec::QueryContext* ctx = nullptr);
 
 /// One qualification bitmap per clause over the dim table (SWOLE, Q19:
 /// "builds a total of three bitmaps in a purely sequential scan").
 std::vector<PositionalBitmap> BuildDisjunctiveBitmaps(
     const Catalog& catalog, const DisjunctiveJoin& dj, int64_t tile_size,
-    int num_threads = 1);
+    int num_threads = 1, exec::QueryContext* ctx = nullptr);
 
 // ---- Column paths (late materialization, §III-D) ----
 
@@ -192,7 +198,12 @@ void AccumulateScalarMasked(const Table& fact, VectorEvaluator* eval,
 /// that exist only structurally (groupjoin build keys, VM-masked inserts).
 class GroupTable {
  public:
-  GroupTable(const QueryPlan& plan, int64_t expected_keys);
+  /// When `ctx` is set, the backing hash table charges the memory tracker
+  /// under `site` (default "group_table"); growth past the budget throws
+  /// QueryAbort. `site` must have static storage duration.
+  GroupTable(const QueryPlan& plan, int64_t expected_keys,
+             exec::QueryContext* ctx = nullptr,
+             const char* site = "group_table");
 
   /// Inserts `key` with zeroed aggregates if absent (groupjoin build /
   /// group seeding).
@@ -256,6 +267,8 @@ class GroupTable {
 
   const QueryPlan& plan_;
   int num_aggs_;
+  exec::QueryContext* ctx_;  // governance context (may be null); CloneKeysOnly
+  const char* site_;         // propagates both to worker-local copies
   HashTable table_;
   std::vector<int64_t*> probe_;  // batched-probe payload pointers
 };

@@ -41,7 +41,18 @@ HashStrategyEngine::HashStrategyEngine(StrategyKind kind,
 
 Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  exec::GovernanceScope governance(options_.query_ctx,
+                                   options_.mem_limit_bytes,
+                                   options_.deadline_ms);
+  try {
+    return ExecuteGoverned(plan, governance.ctx());
+  } catch (...) {
+    return exec::StatusFromCurrentException(governance.ctx());
+  }
+}
 
+Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
+    const QueryPlan& plan, exec::QueryContext* qctx) {
   const int64_t tile = options_.tile_size;
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
@@ -54,20 +65,20 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   for (size_t d = 0; d < plan.dims.size(); ++d) {
     if (static_cast<int>(d) == groupjoin_dim) continue;  // fused below
     dim_sets[d] = pipeline::BuildDimKeySet(kind_, catalog_, plan.dims[d],
-                                           tile, num_threads);
+                                           tile, num_threads, qctx);
   }
 
   std::vector<std::unique_ptr<HashTable>> reverse_sets;
   for (const ReverseDim& rdim : plan.reverse_dims) {
     reverse_sets.push_back(
         pipeline::BuildReverseKeySet(kind_, catalog_, rdim, tile,
-                                     num_threads));
+                                     num_threads, qctx));
   }
 
   std::unique_ptr<HashTable> disjunctive_ht;
   if (plan.disjunctive.has_value()) {
     disjunctive_ht = pipeline::BuildDisjunctiveHt(
-        kind_, catalog_, *plan.disjunctive, tile, num_threads);
+        kind_, catalog_, *plan.disjunctive, tile, num_threads, qctx);
   }
 
   // Group table. For the groupjoin fusion its keys ARE the qualifying
@@ -75,7 +86,7 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   std::unique_ptr<GroupTable> groups;
   if (plan.HasGroupBy()) {
     groups = std::make_unique<GroupTable>(
-        plan, pipeline::ExpectedGroups(catalog_, plan));
+        plan, pipeline::ExpectedGroups(catalog_, plan), qctx);
     if (plan.group_seed.has_value()) {
       const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
       const Column& key_col =
@@ -94,8 +105,8 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
       // Build the groupjoin table from the fused dimension: every
       // qualifying dim key is seeded (so probe misses mean "join filtered").
       const DimJoin& dim = plan.dims[groupjoin_dim];
-      std::unique_ptr<HashTable> qualifying =
-          pipeline::BuildDimKeySet(kind_, catalog_, dim, tile, num_threads);
+      std::unique_ptr<HashTable> qualifying = pipeline::BuildDimKeySet(
+          kind_, catalog_, dim, tile, num_threads, qctx);
       qualifying->ForEach(
           [&](int64_t key, const int64_t*) { groups->SeedKey(key); });
     }
@@ -178,7 +189,7 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
         ctx->groups = ctx->owned_groups.get();
       } else {
         ctx->owned_groups = std::make_unique<GroupTable>(
-            plan, pipeline::ExpectedGroups(catalog_, plan));
+            plan, pipeline::ExpectedGroups(catalog_, plan), qctx);
         ctx->groups = ctx->owned_groups.get();
       }
     }
@@ -362,11 +373,13 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
     }
   };
 
-  exec::ParallelMorsels(num_threads, fact.num_rows(),
-                        exec::DefaultMorselSize(tile),
-                        [&](int worker, int64_t begin, int64_t end) {
-                          process_range(*ctxs[worker], begin, end);
-                        });
+  exec::MorselStats probe_stats =
+      exec::ParallelMorsels(qctx, num_threads, fact.num_rows(),
+                           exec::DefaultMorselSize(tile),
+                           [&](int worker, int64_t begin, int64_t end) {
+                             process_range(*ctxs[worker], begin, end);
+                           });
+  SWOLE_RETURN_NOT_OK(probe_stats.status);
 
   // Flush leftover ROF carries, then merge worker states — both in worker
   // order, the deterministic ordered merge (DESIGN.md §7).

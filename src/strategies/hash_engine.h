@@ -28,9 +28,16 @@ class HashStrategyEngine : public Strategy {
 
   StrategyKind kind() const override { return kind_; }
 
+  /// Governed execution boundary: resolves the QueryContext (options /
+  /// environment), runs the plan, and converts any governance abort
+  /// (budget / deadline / cancellation) or worker exception into a
+  /// structured error Status instead of letting it escape.
   Result<QueryResult> Execute(const QueryPlan& plan) override;
 
  private:
+  Result<QueryResult> ExecuteGoverned(const QueryPlan& plan,
+                                      exec::QueryContext* qctx);
+
   StrategyKind kind_;
   const Catalog& catalog_;
   StrategyOptions options_;

@@ -19,6 +19,10 @@
 
 namespace swole {
 
+namespace exec {
+class QueryContext;
+}  // namespace exec
+
 enum class StrategyKind : uint8_t {
   kDataCentric,  // HyPer-style tuple-at-a-time with branching [3]
   kHybrid,       // Tupleware-style prepass + partial selection vectors [4]
@@ -65,6 +69,23 @@ struct StrategyOptions {
   // but the benefits in size reduction would need to be weighed against
   // the increased access overhead"). Exposed for the bitmap benchmark.
   bool use_compressed_bitmaps = false;
+
+  // ---- Query-lifecycle governance (exec/query_context.h) ----
+
+  // Externally owned context carrying the memory budget, deadline, and
+  // cancellation token for this execution. When set it wins over the limit
+  // fields below and over the environment. The caller retains ownership
+  // and may RequestCancel() from another thread.
+  exec::QueryContext* query_ctx = nullptr;
+
+  // Hard memory budget in bytes for tracked build-side structures
+  // (hash tables, group tables, positional bitmaps). -1 defers to
+  // SWOLE_MEM_LIMIT (absent = unlimited); 0 explicitly unlimited.
+  int64_t mem_limit_bytes = -1;
+
+  // Wall-clock deadline for the whole execution. -1 defers to
+  // SWOLE_DEADLINE_MS (absent = none); 0 explicitly none.
+  int64_t deadline_ms = -1;
 };
 
 /// Explanation of what SWOLE decided for a plan (for tests, examples, and
@@ -74,6 +95,10 @@ struct SwoleDecisions {
   bool used_access_merging = false;
   bool used_positional_bitmaps = false;
   bool used_eager_aggregation = false;
+  // The pullup plan breached its memory budget and the execution was
+  // retried (successfully or not) under the memory-lean data-centric
+  // strategy (graceful degradation).
+  bool degraded_to_data_centric = false;
   std::string rationale;
 };
 

@@ -128,9 +128,47 @@ SwoleStrategy::~SwoleStrategy() = default;
 Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
   const PlanAnalysis& analysis = Analyze(plan);
-  if (analysis.use_ea) return ExecuteEagerAggregation(plan, analysis);
-  if (analysis.groupjoin_dim >= 0) return ExecuteGroupjoin(plan, analysis);
-  return ExecuteGeneral(plan, analysis);
+  exec::GovernanceScope governance(options_.query_ctx,
+                                   options_.mem_limit_bytes,
+                                   options_.deadline_ms);
+  exec::QueryContext* qctx = governance.ctx();
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    try {
+      if (analysis.use_ea) {
+        return ExecuteEagerAggregation(plan, analysis, qctx);
+      }
+      if (analysis.groupjoin_dim >= 0) {
+        return ExecuteGroupjoin(plan, analysis, qctx);
+      }
+      return ExecuteGeneral(plan, analysis, qctx);
+    } catch (...) {
+      return exec::StatusFromCurrentException(qctx);
+    }
+  }();
+
+  // Graceful degradation: when the pullup plan breached its memory budget,
+  // retry once under the memory-lean data-centric strategy against the
+  // SAME context. The pullup build structures were destroyed during
+  // unwinding (their trackers released), so the retry starts from the
+  // query's baseline consumption. Deadline and cancellation are terminal —
+  // retrying cannot make the clock go backwards.
+  if (result.ok() || qctx == nullptr ||
+      result.status().code() != StatusCode::kBudgetExceeded) {
+    return result;
+  }
+  SWOLE_LOG(WARNING) << "swole plan breached its memory budget ("
+                     << result.status().message()
+                     << "); degrading to data-centric";
+  qctx->CountDegradation();
+  decisions_.degraded_to_data_centric = true;
+  decisions_.rationale +=
+      " [budget breach: degraded to data-centric strategy]";
+  StrategyOptions lean = options_;
+  lean.query_ctx = qctx;  // same budget, deadline, and cancellation token
+  std::unique_ptr<Strategy> fallback =
+      MakeStrategy(StrategyKind::kDataCentric, catalog_, lean);
+  return fallback->Execute(plan);
 }
 
 const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
@@ -355,7 +393,8 @@ const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
 // ---------------------------------------------------------------------------
 
 Result<QueryResult> SwoleStrategy::ExecuteGeneral(
-    const QueryPlan& plan, const PlanAnalysis& analysis) {
+    const QueryPlan& plan, const PlanAnalysis& analysis,
+    exec::QueryContext* qctx) {
   const int64_t tile = options_.tile_size;
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
@@ -370,7 +409,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   for (const DimJoin& dim : plan.dims) {
     if (use_bitmaps) {
       dim_bitmaps.push_back(
-          pipeline::BuildDimBitmap(catalog_, dim, tile, num_threads));
+          pipeline::BuildDimBitmap(catalog_, dim, tile, num_threads, qctx));
       if (compressed) {
         dim_compressed.push_back(
             CompressedBitmap::Compress(dim_bitmaps.back()));
@@ -379,7 +418,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     } else {
       dim_bitmaps.emplace_back();
       dim_sets.push_back(pipeline::BuildDimKeySet(
-          StrategyKind::kSwole, catalog_, dim, tile, num_threads));
+          StrategyKind::kSwole, catalog_, dim, tile, num_threads, qctx));
     }
     const FkIndex* index =
         fact.GetFkIndex(dim.hop.fk_column).ValueOr(nullptr);
@@ -390,14 +429,14 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   std::vector<PositionalBitmap> reverse_bitmaps;
   for (const ReverseDim& rdim : plan.reverse_dims) {
     reverse_bitmaps.push_back(pipeline::BuildReverseBitmap(
-        catalog_, rdim, fact.num_rows(), tile));
+        catalog_, rdim, fact.num_rows(), tile, qctx));
   }
 
   std::vector<PositionalBitmap> clause_bitmaps;
   const uint32_t* disjunctive_offsets = nullptr;
   if (plan.disjunctive.has_value()) {
     clause_bitmaps = pipeline::BuildDisjunctiveBitmaps(
-        catalog_, *plan.disjunctive, tile, num_threads);
+        catalog_, *plan.disjunctive, tile, num_threads, qctx);
     const FkIndex* index =
         fact.GetFkIndex(plan.disjunctive->hop.fk_column).ValueOr(nullptr);
     SWOLE_CHECK(index != nullptr);
@@ -428,7 +467,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
 
   std::unique_ptr<GroupTable> groups;
   if (plan.HasGroupBy()) {
-    groups = std::make_unique<GroupTable>(plan, analysis.expected_groups);
+    groups =
+        std::make_unique<GroupTable>(plan, analysis.expected_groups, qctx);
     if (plan.group_seed.has_value()) {
       const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
       const Column& key_col =
@@ -487,8 +527,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
       } else {
         // Insert-mode updates: workers start empty (the ctor provisions
         // the throwaway entry); seeds stay in the primary only.
-        ctx->owned_groups =
-            std::make_unique<GroupTable>(plan, analysis.expected_groups);
+        ctx->owned_groups = std::make_unique<GroupTable>(
+            plan, analysis.expected_groups, qctx);
         ctx->groups = ctx->owned_groups.get();
       }
     }
@@ -766,16 +806,15 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     groups->UpdateSel(scratch.keys.data(), value_ptrs, n, false);
   };
 
-  exec::ParallelMorsels(num_threads, fact.num_rows(),
-                        exec::DefaultMorselSize(tile),
-                        [&](int worker, int64_t begin, int64_t end) {
-                          ProbeCtx& ctx = *ctxs[worker];
-                          for (int64_t start = begin; start < end;
-                               start += tile) {
-                            process_tile(ctx, start,
-                                         std::min(tile, end - start));
-                          }
-                        });
+  exec::MorselStats probe_stats = exec::ParallelMorsels(
+      qctx, num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
+      [&](int worker, int64_t begin, int64_t end) {
+        ProbeCtx& ctx = *ctxs[worker];
+        for (int64_t start = begin; start < end; start += tile) {
+          process_tile(ctx, start, std::min(tile, end - start));
+        }
+      });
+  SWOLE_RETURN_NOT_OK(probe_stats.status);
 
   // Ordered merge of worker-local states (DESIGN.md §7).
   for (int w = 1; w < num_threads; ++w) {
@@ -795,7 +834,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
 // ---------------------------------------------------------------------------
 
 Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
-    const QueryPlan& plan, const PlanAnalysis& analysis) {
+    const QueryPlan& plan, const PlanAnalysis& analysis,
+    exec::QueryContext* qctx) {
   const int64_t tile = options_.tile_size;
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
@@ -806,7 +846,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
 
   // Seed the groupjoin table with qualifying dim keys: local filter plus
   // child qualification through positional bitmaps.
-  GroupTable groups(plan, dim_table.num_rows());
+  GroupTable groups(plan, dim_table.num_rows(), qctx);
   if (plan.group_seed.has_value()) {
     const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
     const Column& key_col = seed_table.ColumnRef(plan.group_seed->key_column);
@@ -819,7 +859,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     std::vector<const uint32_t*> child_offsets;
     for (const DimJoin& child : gdim.children) {
       child_bitmaps.push_back(
-          pipeline::BuildDimBitmap(catalog_, child, tile, num_threads));
+          pipeline::BuildDimBitmap(catalog_, child, tile, num_threads, qctx));
       const FkIndex* index =
           dim_table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
       SWOLE_CHECK(index != nullptr);
@@ -828,6 +868,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     VectorEvaluator dim_eval(dim_table, tile);
     const Column& pk = dim_table.ColumnRef(gdim.hop.to_pk_column);
     for (int64_t start = 0; start < dim_table.num_rows(); start += tile) {
+      if (qctx != nullptr) exec::ThrowIfError(qctx->CheckLive());
       int64_t len = std::min(tile, dim_table.num_rows() - start);
       pipeline::FilterToMask(&dim_eval, gdim.filter.get(), start, len,
                              scratch.cmp.data());
@@ -852,8 +893,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
   std::vector<const uint32_t*> other_offsets;
   for (size_t d = 0; d < plan.dims.size(); ++d) {
     if (static_cast<int>(d) == analysis.groupjoin_dim) continue;
-    other_bitmaps.push_back(
-        pipeline::BuildDimBitmap(catalog_, plan.dims[d], tile, num_threads));
+    other_bitmaps.push_back(pipeline::BuildDimBitmap(
+        catalog_, plan.dims[d], tile, num_threads, qctx));
     const FkIndex* index =
         fact.GetFkIndex(plan.dims[d].hop.fk_column).ValueOr(nullptr);
     SWOLE_CHECK(index != nullptr);
@@ -958,16 +999,15 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     groups.UpdateJoinSel(scratch.keys.data(), value_ptrs, n, false);
   };
 
-  exec::ParallelMorsels(num_threads, fact.num_rows(),
-                        exec::DefaultMorselSize(tile),
-                        [&](int worker, int64_t begin, int64_t end) {
-                          ProbeCtx& ctx = *ctxs[worker];
-                          for (int64_t start = begin; start < end;
-                               start += tile) {
-                            process_tile(ctx, start,
-                                         std::min(tile, end - start));
-                          }
-                        });
+  exec::MorselStats probe_stats = exec::ParallelMorsels(
+      qctx, num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
+      [&](int worker, int64_t begin, int64_t end) {
+        ProbeCtx& ctx = *ctxs[worker];
+        for (int64_t start = begin; start < end; start += tile) {
+          process_tile(ctx, start, std::min(tile, end - start));
+        }
+      });
+  SWOLE_RETURN_NOT_OK(probe_stats.status);
 
   // Ordered merge of worker-local join-mode states.
   for (int w = 1; w < num_threads; ++w) {
@@ -984,7 +1024,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
 // ---------------------------------------------------------------------------
 
 Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
-    const QueryPlan& plan, const PlanAnalysis& analysis) {
+    const QueryPlan& plan, const PlanAnalysis& analysis,
+    exec::QueryContext* qctx) {
   const int64_t tile = options_.tile_size;
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
@@ -999,7 +1040,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     shapes.push_back(pipeline::DetectAggShape(fact, agg));
   }
 
-  GroupTable groups(plan, dim_table.num_rows());
+  GroupTable groups(plan, dim_table.num_rows(), qctx);
 
   // Sub-choice for handling the fact's own filter during the unconditional
   // aggregation ("min(Hybrid, VM, KM)" in the EA formula).
@@ -1041,7 +1082,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
       ctx.groups = &groups;
     } else {
       ctx.owned_groups =
-          std::make_unique<GroupTable>(plan, dim_table.num_rows());
+          std::make_unique<GroupTable>(plan, dim_table.num_rows(), qctx);
       ctx.groups = ctx.owned_groups.get();
     }
   }
@@ -1094,14 +1135,15 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     }
   };
 
-  exec::ParallelMorsels(
-      num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
+  exec::MorselStats agg_stats = exec::ParallelMorsels(
+      qctx, num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
       [&](int worker, int64_t begin, int64_t end) {
         EaCtx& ctx = *ctxs[worker];
         for (int64_t start = begin; start < end; start += tile) {
           process_tile(ctx, start, std::min(tile, end - start));
         }
       });
+  SWOLE_RETURN_NOT_OK(agg_stats.status);
   for (int w = 1; w < num_threads; ++w) {
     groups.MergeFrom(*ctxs[w]->groups);
   }
@@ -1113,7 +1155,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     std::vector<const uint32_t*> child_offsets;
     for (const DimJoin& child : dim.children) {
       child_bitmaps.push_back(
-          pipeline::BuildDimBitmap(catalog_, child, tile, num_threads));
+          pipeline::BuildDimBitmap(catalog_, child, tile, num_threads, qctx));
       const FkIndex* index =
           dim_table.GetFkIndex(child.hop.fk_column).ValueOr(nullptr);
       SWOLE_CHECK(index != nullptr);
@@ -1122,6 +1164,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     VectorEvaluator dim_eval(dim_table, tile);
     const Column& pk = dim_table.ColumnRef(dim.hop.to_pk_column);
     for (int64_t start = 0; start < dim_table.num_rows(); start += tile) {
+      if (qctx != nullptr) exec::ThrowIfError(qctx->CheckLive());
       int64_t len = std::min(tile, dim_table.num_rows() - start);
       pipeline::FilterToMask(&dim_eval, dim.filter.get(), start, len,
                              scratch.cmp.data());

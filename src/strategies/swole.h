@@ -42,11 +42,14 @@ class SwoleStrategy : public Strategy {
   const PlanAnalysis& Analyze(const QueryPlan& plan);
 
   Result<QueryResult> ExecuteEagerAggregation(const QueryPlan& plan,
-                                              const PlanAnalysis& analysis);
+                                              const PlanAnalysis& analysis,
+                                              exec::QueryContext* qctx);
   Result<QueryResult> ExecuteGroupjoin(const QueryPlan& plan,
-                                       const PlanAnalysis& analysis);
+                                       const PlanAnalysis& analysis,
+                                       exec::QueryContext* qctx);
   Result<QueryResult> ExecuteGeneral(const QueryPlan& plan,
-                                     const PlanAnalysis& analysis);
+                                     const PlanAnalysis& analysis,
+                                     exec::QueryContext* qctx);
 
   const Catalog& catalog_;
   StrategyOptions options_;
