@@ -119,6 +119,12 @@ struct GeneratorOptions {
   // kernel-cache keys stay stable across thread counts); 0 defers to
   // SWOLE_THREADS.
   int num_threads = 0;
+  // Per-query trace (obs/trace.h) for ExecuteWithFallback / CompiledKernel
+  // runs. Like num_threads, this NEVER affects the emitted source — span
+  // recording happens entirely on the host side of the morsel ABI, so
+  // kernel-cache keys are identical for traced and untraced runs. Null
+  // disables recording; SWOLE_TRACE=1 enables an internally owned trace.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Emits the translation unit for `plan`, or Unimplemented if the plan

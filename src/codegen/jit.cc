@@ -2,18 +2,22 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/subprocess.h"
+#include "common/timer.h"
 #include "engine/reference_engine.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 #include "strategies/strategy.h"
 
@@ -126,28 +130,42 @@ Status JitOptions::Validate() const {
   return Status::OK();
 }
 
+JitStats::JitStats()
+    : compiles(obs::MetricsRegistry::Global().GetCounter("jit.compiles")),
+      compile_failures(
+          obs::MetricsRegistry::Global().GetCounter("jit.compile_failures")),
+      retries(obs::MetricsRegistry::Global().GetCounter("jit.retries")),
+      timeouts(obs::MetricsRegistry::Global().GetCounter("jit.timeouts")),
+      cache_hits_memory(
+          obs::MetricsRegistry::Global().GetCounter("jit.cache_hits_memory")),
+      cache_hits_disk(
+          obs::MetricsRegistry::Global().GetCounter("jit.cache_hits_disk")),
+      fallbacks(obs::MetricsRegistry::Global().GetCounter("jit.fallbacks")),
+      compile_ms(obs::MetricsRegistry::Global().GetCounter("jit.compile_ms")) {
+}
+
 JitStats::Snapshot JitStats::snapshot() const {
   Snapshot s;
-  s.compiles = compiles.load();
-  s.compile_failures = compile_failures.load();
-  s.retries = retries.load();
-  s.timeouts = timeouts.load();
-  s.cache_hits_memory = cache_hits_memory.load();
-  s.cache_hits_disk = cache_hits_disk.load();
-  s.fallbacks = fallbacks.load();
-  s.compile_ms = compile_ms.load();
+  s.compiles = compiles.value();
+  s.compile_failures = compile_failures.value();
+  s.retries = retries.value();
+  s.timeouts = timeouts.value();
+  s.cache_hits_memory = cache_hits_memory.value();
+  s.cache_hits_disk = cache_hits_disk.value();
+  s.fallbacks = fallbacks.value();
+  s.compile_ms = compile_ms.value();
   return s;
 }
 
 void JitStats::Reset() {
-  compiles.store(0);
-  compile_failures.store(0);
-  retries.store(0);
-  timeouts.store(0);
-  cache_hits_memory.store(0);
-  cache_hits_disk.store(0);
-  fallbacks.store(0);
-  compile_ms.store(0);
+  compiles.Reset();
+  compile_failures.Reset();
+  retries.Reset();
+  timeouts.Reset();
+  cache_hits_memory.Reset();
+  cache_hits_disk.Reset();
+  fallbacks.Reset();
+  compile_ms.Reset();
 }
 
 std::string JitStats::Snapshot::ToString() const {
@@ -164,19 +182,9 @@ std::string JitStats::Snapshot::ToString() const {
 }
 
 JitStats& GlobalJitStats() {
-  static JitStats* stats = [] {
-    auto* s = new JitStats();
-    std::atexit([] {
-      JitStats::Snapshot snap = GlobalJitStats().snapshot();
-      if (snap.compiles + snap.cache_hits_memory + snap.cache_hits_disk +
-              snap.fallbacks ==
-          0) {
-        return;
-      }
-      SWOLE_LOG(INFO) << "JIT shutdown stats: " << snap.ToString();
-    });
-    return s;
-  }();
+  // The registry owns the counters (and the shutdown dump of non-zero
+  // instruments); this is just the stable bundle of handles.
+  static JitStats* stats = new JitStats();
   return *stats;
 }
 
@@ -217,14 +225,14 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
   if (options.use_cache && !options.keep_artifacts) {
     if (std::shared_ptr<KernelLibrary> library =
             KernelCache::Global().Lookup(cache_key)) {
-      stats.cache_hits_memory.fetch_add(1);
+      stats.cache_hits_memory.Add(1);
       return make_compiled(std::move(library), "", /*from_cache=*/true);
     }
     if (!disk_cache_dir.empty()) {
       Result<std::shared_ptr<KernelLibrary>> from_disk =
           KernelCache::Global().LookupDisk(disk_cache_dir, cache_key);
       if (from_disk.ok() && *from_disk != nullptr) {
-        stats.cache_hits_disk.fetch_add(1);
+        stats.cache_hits_disk.Add(1);
         KernelCache::Global().Insert(cache_key, *from_disk);
         return make_compiled(std::move(*from_disk), "", /*from_cache=*/true);
       }
@@ -271,14 +279,14 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
   bool compiled_ok = false;
   for (size_t attempt = 0; attempt < rungs.size(); ++attempt) {
     if (attempt > 0) {
-      stats.retries.fetch_add(1);
+      stats.retries.Add(1);
       SWOLE_LOG(WARNING) << "JIT retry " << attempt << " for plan "
                          << plan.name << " with flags \"" << rungs[attempt]
                          << "\": " << last_failure.ToString();
     }
     if (FaultInjector::Global().ShouldFail("jit_compile")) {
       last_failure = Status::Internal("injected fault: jit_compile");
-      stats.compile_failures.fetch_add(1);
+      stats.compile_failures.Add(1);
       continue;
     }
     std::vector<std::string> argv = {compiler, "-std=c++20"};
@@ -291,17 +299,17 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
                  library_path});
     SubprocessOptions sub_options;
     sub_options.timeout_ms = timeout_ms;
-    stats.compiles.fetch_add(1);
+    stats.compiles.Add(1);
     SWOLE_ASSIGN_OR_RETURN(SubprocessResult run,
                            RunSubprocess(argv, sub_options));
-    stats.compile_ms.fetch_add(run.elapsed_ms);
+    stats.compile_ms.Add(run.elapsed_ms);
     if (run.Succeeded()) {
       compiled_ok = true;
       break;
     }
-    stats.compile_failures.fetch_add(1);
+    stats.compile_failures.Add(1);
     if (run.timed_out) {
-      stats.timeouts.fetch_add(1);
+      stats.timeouts.Add(1);
       last_failure = Status::Internal(StringFormat(
           "JIT compile timed out after %lld ms (flags \"%s\"); compiler "
           "killed",
@@ -439,6 +447,13 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     io.cancel_check = exec::QueryContext::CancelCheckThunk;
   }
 
+  // Spans live entirely on the host side of the morsel ABI — the generated
+  // source is identical for traced and untraced runs.
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  obs::SpanScope kernel_span(trace, "jit_kernel");
+  kernel_span.Attr("cache_hit", static_cast<int64_t>(from_cache_ ? 1 : 0));
+  std::optional<obs::SpanScope> phase;
+
   if (kernel_.grouped) {
     result.grouped = true;
     result.num_aggs = kernel_.num_aggs;
@@ -451,6 +466,7 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
   SWOLE_ASSIGN_OR_RETURN(const Table* fact,
                          catalog.GetTable(kernel_.fact_table));
   const int resolved_threads = exec::ResolveNumThreads(num_threads);
+  kernel_span.Attr("threads", static_cast<int64_t>(resolved_threads));
 
   using BuildFn = void* (*)(const KernelIO*);
   using ThreadStateFn = void* (*)(const KernelIO*);
@@ -495,6 +511,7 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     }
   };
 
+  phase.emplace(trace, "build");
   try {
     shared = build(&io);
     for (int w = 0; w < resolved_threads; ++w) states[w] = thread_state(&io);
@@ -503,23 +520,32 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     cleanup();
     return aborted;
   }
+  phase.reset();
 
+  phase.emplace(trace, "scan");
   exec::MorselStats scan_stats = exec::ParallelMorsels(
       qctx, resolved_threads, fact->num_rows(),
       exec::DefaultMorselSize(kernel_.tile_size),
       [&](int worker, int64_t begin, int64_t end) {
         morsel(&io, shared, states[worker], begin, end);
       });
+  phase->Attr("morsels", scan_stats.morsels);
+  phase->Attr("steals", scan_stats.steals);
+  phase->Attr("workers", static_cast<int64_t>(scan_stats.workers));
+  phase.reset();
   if (!scan_stats.status.ok()) {
     cleanup();
     return scan_stats.status;
   }
 
+  phase.emplace(trace, "merge");
   try {
     for (int w = 1; w < resolved_threads; ++w) {
       merge(states[0], states[w]);
       states[w] = nullptr;
     }
+    phase.reset();
+    phase.emplace(trace, "finish");
     finish(&io, shared, states[0]);
     states[0] = nullptr;
     shared = nullptr;
@@ -528,6 +554,7 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     cleanup();
     return aborted;
   }
+  phase.reset();
 
   if (kernel_.grouped) {
     if (sort_groups_) result.SortGroups();
@@ -560,23 +587,40 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
   // under the same budget, deadline, and accumulated peak attribution as
   // the kernel run that breached.
   exec::GovernanceScope governance(nullptr, /*mem_limit_bytes=*/-1,
-                                   /*deadline_ms=*/-1);
+                                   /*deadline_ms=*/-1, gen_options.trace);
   exec::QueryContext* qctx = governance.ctx();
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("queries.jit");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("query.latency_us.jit");
+  queries.Add(1);
+  Timer timer;
 
   Status jit_failure;
+  std::optional<obs::SpanScope> compile_span;
+  compile_span.emplace(trace, "jit_compile");
+  compile_span->Attr("strategy", StrategyKindName(gen_options.strategy));
   Result<std::unique_ptr<CompiledKernel>> compiled =
       GenerateAndCompile(plan, catalog, gen_options, jit_options);
   if (compiled.ok()) {
     report->cache_hit = (*compiled)->from_cache();
+    compile_span->Attr("cache_hit",
+                       static_cast<int64_t>(report->cache_hit ? 1 : 0));
+    compile_span.reset();
     Result<QueryResult> run =
         (*compiled)->Run(catalog, gen_options.num_threads, qctx);
     if (run.ok()) {
       report->used_jit = true;
+      latency.Record(timer.ElapsedNanos() / 1000);
       return std::move(run).value();
     }
     jit_failure = run.status();
   } else {
     jit_failure = compiled.status();
+    compile_span->Attr("error", jit_failure.ToString());
+    compile_span.reset();
   }
 
   // Governance aborts are query-lifecycle outcomes, not JIT infrastructure
@@ -592,7 +636,7 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
                          << jit_failure.ToString()
                          << "); degrading to interpreted data-centric";
       qctx->CountDegradation();
-      GlobalJitStats().fallbacks.fetch_add(1);
+      GlobalJitStats().fallbacks.Add(1);
       report->used_fallback = true;
       report->fallback_reason = jit_failure.ToString();
       StrategyOptions lean_options;
@@ -608,7 +652,7 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
     return jit_failure;
   }
 
-  GlobalJitStats().fallbacks.fetch_add(1);
+  GlobalJitStats().fallbacks.Add(1);
   report->used_fallback = true;
   report->fallback_reason = jit_failure.ToString();
   SWOLE_LOG(WARNING) << "JIT unavailable for plan \"" << plan.name

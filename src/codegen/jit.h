@@ -1,13 +1,13 @@
 #ifndef SWOLE_CODEGEN_JIT_H_
 #define SWOLE_CODEGEN_JIT_H_
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "codegen/generator.h"
 #include "codegen/kernel_cache.h"
+#include "obs/metrics.h"
 #include "plan/result.h"
 
 // JIT driver: writes a generated translation unit to a temp directory,
@@ -66,17 +66,21 @@ struct JitOptions {
   Status Validate() const;
 };
 
-/// Pipeline counters, process-wide. Logged at shutdown when non-empty;
-/// benches and tests read snapshots.
+/// Pipeline counters, process-wide. A stable view over the `jit.*`
+/// instruments in obs::MetricsRegistry (which owns storage and the
+/// shutdown dump); benches and tests read snapshots exactly as before the
+/// registry existed. Each member is a forever-valid registry handle.
 struct JitStats {
-  std::atomic<int64_t> compiles{0};        // compiler subprocess invocations
-  std::atomic<int64_t> compile_failures{0};  // attempts that failed
-  std::atomic<int64_t> retries{0};         // ladder rungs after the first
-  std::atomic<int64_t> timeouts{0};        // attempts killed on timeout
-  std::atomic<int64_t> cache_hits_memory{0};
-  std::atomic<int64_t> cache_hits_disk{0};
-  std::atomic<int64_t> fallbacks{0};       // queries served interpreted
-  std::atomic<int64_t> compile_ms{0};      // total wall time in the compiler
+  obs::Counter& compiles;          // jit.compiles: subprocess invocations
+  obs::Counter& compile_failures;  // jit.compile_failures
+  obs::Counter& retries;           // jit.retries: ladder rungs after first
+  obs::Counter& timeouts;          // jit.timeouts: attempts killed on timeout
+  obs::Counter& cache_hits_memory;  // jit.cache_hits_memory
+  obs::Counter& cache_hits_disk;    // jit.cache_hits_disk
+  obs::Counter& fallbacks;         // jit.fallbacks: served interpreted
+  obs::Counter& compile_ms;        // jit.compile_ms: total compiler wall time
+
+  JitStats();  // binds the handles; use GlobalJitStats(), don't construct
 
   struct Snapshot {
     int64_t compiles = 0;
@@ -95,8 +99,8 @@ struct JitStats {
   void Reset();
 };
 
-/// The process-wide stats instance used by the pipeline. First use arranges
-/// for a summary log line at shutdown (if anything was counted).
+/// The process-wide stats instance used by the pipeline. The metrics
+/// registry logs all non-zero instruments (including these) at shutdown.
 JitStats& GlobalJitStats();
 
 /// A compiled query kernel bound to the dlopened shared object. The shared

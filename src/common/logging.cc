@@ -1,6 +1,7 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,51 @@ void SetLogLevel(LogLevel level) {
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
+
+bool ParseLogLevel(const std::string& value, LogLevel* out) {
+  std::string lower;
+  lower.reserve(value.size());
+  for (char c : value) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '3') {
+    *out = static_cast<LogLevel>(lower[0] - '0');
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* value = std::getenv("SWOLE_LOG_LEVEL");
+  if (value == nullptr || *value == '\0') return;
+  LogLevel level;
+  if (!ParseLogLevel(value, &level)) {
+    SWOLE_LOG(WARNING) << "ignoring malformed SWOLE_LOG_LEVEL=\"" << value
+                       << "\"; using default "
+                       << LevelName(GetLogLevel());
+    return;
+  }
+  SetLogLevel(level);
+}
+
+namespace {
+// Static initializer: logging.cc is linked into every binary (LogMessage is
+// referenced from the Status/env machinery), so SWOLE_LOG_LEVEL takes
+// effect before main() without each entry point opting in.
+const bool g_log_level_env_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
+}  // namespace
 
 namespace internal {
 

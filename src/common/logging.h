@@ -23,6 +23,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warning" / "error" (case-insensitive) or a
+/// numeric level 0-3 into `*out`. False on malformed input.
+bool ParseLogLevel(const std::string& value, LogLevel* out);
+
+/// Applies SWOLE_LOG_LEVEL to SetLogLevel. Runs automatically at startup
+/// (static initializer in logging.cc); exposed so tests can re-apply after
+/// setenv. Malformed values are warned about and ignored, matching the
+/// env.cc numeric-knob convention.
+void InitLogLevelFromEnv();
+
 namespace internal {
 
 class LogMessage {

@@ -151,4 +151,26 @@ bool ChooseEagerAggregation(const CostProfile& p,
   return EagerAggregationCost(p, w) < GroupjoinCost(p, w);
 }
 
+std::string DescribeAggDecision(const CostProfile& p, const AggWorkload& w) {
+  std::string out = StringFormat(
+      "hybrid=%.1fms vm=%.1fms", HybridCost(p, w) / 1e6,
+      ValueMaskingCost(p, w) / 1e6);
+  if (w.group_ht_bytes > 0) {
+    out += StringFormat(" km=%.1fms", KeyMaskingCost(p, w) / 1e6);
+  }
+  out += StringFormat(" sigma=%.3f cols=%d ht=%lldB", w.selectivity,
+                      w.num_read_columns,
+                      static_cast<long long>(w.group_ht_bytes));
+  return out;
+}
+
+std::string DescribeEagerDecision(const CostProfile& p,
+                                  const GroupjoinWorkload& w) {
+  return StringFormat(
+      "groupjoin=%.1fms ea=%.1fms sigma_s=%.3f match=%.3f ht=%lldB/%lldB",
+      GroupjoinCost(p, w) / 1e6, EagerAggregationCost(p, w) / 1e6, w.sigma_s,
+      w.match_prob, static_cast<long long>(w.ht_bytes),
+      static_cast<long long>(w.ea_ht_bytes));
+}
+
 }  // namespace swole

@@ -114,6 +114,17 @@ AggChoice ChooseAggregation(const CostProfile& p, const AggWorkload& w);
 bool ChooseEagerAggregation(const CostProfile& p,
                             const GroupjoinWorkload& w);
 
+// ---- Decision logging (obs/trace.h) ----
+// One-line renderings of a decision's model inputs and candidate costs, so
+// traces record not just what was chosen but the numbers it was chosen on.
+
+/// "hybrid=12.3ms vm=10.1ms km=11.8ms sigma=0.200 cols=7 ht=16384B".
+std::string DescribeAggDecision(const CostProfile& p, const AggWorkload& w);
+
+/// "groupjoin=8.1ms ea=6.9ms sigma_s=0.500 match=0.100 ht=4096B/65536B".
+std::string DescribeEagerDecision(const CostProfile& p,
+                                  const GroupjoinWorkload& w);
+
 }  // namespace swole
 
 #endif  // SWOLE_COST_COST_MODEL_H_

@@ -2,13 +2,17 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
 #include "expr/scalar_eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/table.h"
 
 namespace swole {
@@ -114,19 +118,35 @@ int64_t AggIdentity(AggKind kind) {
 
 Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("queries.reference");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("query.latency_us.reference");
+  queries.Add(1);
+  Timer timer;
   exec::GovernanceScope governance(query_ctx_, /*mem_limit_bytes=*/-1,
                                    /*deadline_ms=*/-1);
-  try {
-    return ExecuteGoverned(plan, governance.ctx());
-  } catch (...) {
-    return exec::StatusFromCurrentException(governance.ctx());
-  }
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    try {
+      return ExecuteGoverned(plan, governance.ctx());
+    } catch (...) {
+      return exec::StatusFromCurrentException(governance.ctx());
+    }
+  }();
+  latency.Record(timer.ElapsedNanos() / 1000);
+  return result;
 }
 
 Result<QueryResult> ReferenceEngine::ExecuteGoverned(
     const QueryPlan& plan, exec::QueryContext* qctx) {
   const Table& fact = catalog_.TableRef(plan.fact_table);
   const int num_threads = exec::ResolveNumThreads(num_threads_);
+
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  obs::SpanScope engine_span(trace, "reference");
+  engine_span.Attr("threads", static_cast<int64_t>(num_threads));
+  std::optional<obs::SpanScope> phase;
+  phase.emplace(trace, "build");
 
   // Reverse dims: precompute the set of qualifying fact offsets (on the
   // caller thread, before the parallel fact scan — shards read them).
@@ -271,6 +291,8 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
     }
   };
 
+  phase.reset();  // build
+  phase.emplace(trace, "scan");
   exec::MorselStats scan_stats = exec::ParallelMorsels(
       qctx, num_threads, fact.num_rows(), /*morsel_size=*/4096,
       [&](int worker, int64_t begin, int64_t end) {
@@ -279,8 +301,13 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
           process_row(shard, row);
         }
       });
+  phase->Attr("morsels", scan_stats.morsels);
+  phase->Attr("steals", scan_stats.steals);
+  phase->Attr("workers", static_cast<int64_t>(scan_stats.workers));
+  phase.reset();
   SWOLE_RETURN_NOT_OK(scan_stats.status);
 
+  phase.emplace(trace, "merge");
   std::map<int64_t, std::vector<int64_t>>& groups = shards[0]->groups;
   std::vector<int64_t>& scalar = shards[0]->scalar;
   for (int w = 1; w < num_threads; ++w) {
@@ -294,7 +321,9 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
       }
     }
   }
+  phase.reset();
 
+  phase.emplace(trace, "extract");
   QueryResult result;
   for (const AggSpec& agg : plan.aggs) result.agg_names.push_back(agg.name);
 

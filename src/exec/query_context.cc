@@ -7,9 +7,43 @@
 
 #include "common/env.h"
 #include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/trace.h"
 
 namespace swole::exec {
+
+namespace {
+// Governance events feed the process-wide registry so budget breaches and
+// deadline fires are visible without per-query tracing.
+obs::Counter& BudgetBreachCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("governance.budget_breaches");
+  return c;
+}
+obs::Counter& DeadlineFireCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("governance.deadline_fires");
+  return c;
+}
+obs::Counter& CancellationCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("governance.cancellations");
+  return c;
+}
+obs::Counter& DegradationCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("governance.degradations");
+  return c;
+}
+
+bool TraceRequestedFromEnv() {
+  static const bool requested = GetEnvInt64("SWOLE_TRACE", 0) != 0;
+  return requested;
+}
+}  // namespace
 
 QueryContext::QueryContext() : QueryContext(Limits()) {}
 
@@ -21,6 +55,17 @@ QueryContext::QueryContext(Limits limits) : limits_(limits) {
   }
 }
 
+void QueryContext::RequestCancel() {
+  if (!cancelled_.exchange(true, std::memory_order_acq_rel)) {
+    CancellationCounter().Add(1);
+  }
+}
+
+void QueryContext::CountDegradation() {
+  degradations_.fetch_add(1, std::memory_order_relaxed);
+  DegradationCounter().Add(1);
+}
+
 AbortReason QueryContext::CheckLiveReason() {
   if (SWOLE_UNLIKELY(cancelled_.load(std::memory_order_acquire))) {
     return AbortReason::kCancelled;
@@ -30,12 +75,16 @@ AbortReason QueryContext::CheckLiveReason() {
   }
   if (has_deadline_ &&
       SWOLE_UNLIKELY(std::chrono::steady_clock::now() >= deadline_tp_)) {
-    deadline_fired_.store(true, std::memory_order_release);
+    if (!deadline_fired_.exchange(true, std::memory_order_acq_rel)) {
+      DeadlineFireCounter().Add(1);
+    }
     return AbortReason::kDeadline;
   }
   // Deterministic deadline injection for tests (SWOLE_FAULT=deadline_fire:p).
   if (SWOLE_UNLIKELY(FaultInjector::Global().ShouldFail("deadline_fire"))) {
-    deadline_fired_.store(true, std::memory_order_release);
+    if (!deadline_fired_.exchange(true, std::memory_order_acq_rel)) {
+      DeadlineFireCounter().Add(1);
+    }
     return AbortReason::kDeadline;
   }
   return AbortReason::kNone;
@@ -66,6 +115,7 @@ AbortReason QueryContext::TryCharge(int64_t delta, const char* site) {
 
   // Deterministic allocation-failure injection at every tracked site.
   if (SWOLE_UNLIKELY(FaultInjector::Global().ShouldFail(site))) {
+    BudgetBreachCounter().Add(1);
     RecordPendingAbort(AbortReason::kBudget, site, delta);
     return AbortReason::kBudget;
   }
@@ -74,6 +124,7 @@ AbortReason QueryContext::TryCharge(int64_t delta, const char* site) {
   if (SWOLE_UNLIKELY(limits_.mem_limit_bytes > 0 &&
                      now > limits_.mem_limit_bytes)) {
     consumed_.fetch_sub(delta, std::memory_order_relaxed);
+    BudgetBreachCounter().Add(1);
     RecordPendingAbort(AbortReason::kBudget, site, delta);
     return AbortReason::kBudget;
   }
@@ -95,6 +146,38 @@ int64_t QueryContext::site_peak_bytes(const std::string& site) const {
   std::lock_guard<std::mutex> lock(site_mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.peak;
+}
+
+std::vector<std::pair<std::string, int64_t>> QueryContext::SitePeaks() const {
+  std::lock_guard<std::mutex> lock(site_mu_);
+  std::vector<std::pair<std::string, int64_t>> peaks;
+  peaks.reserve(sites_.size());
+  for (const auto& [site, stats] : sites_) {
+    peaks.emplace_back(site, stats.peak);
+  }
+  return peaks;
+}
+
+void QueryContext::AttachStatsToTrace() {
+  obs::QueryTrace* trace = trace_;
+  if (trace == nullptr) return;
+  obs::QueryTrace::Span* root = trace->root();
+  trace->AddAttr(root, "mem.peak_bytes", peak_bytes());
+  if (limits_.mem_limit_bytes > 0) {
+    trace->AddAttr(root, "mem.limit_bytes", limits_.mem_limit_bytes);
+  }
+  for (const auto& [site, peak] : SitePeaks()) {
+    trace->AddAttr(root, ("mem.site." + site).c_str(), peak);
+  }
+  if (degradations() > 0) {
+    trace->AddAttr(root, "governance.degradations", degradations());
+  }
+  if (deadline_fired_.load(std::memory_order_acquire)) {
+    trace->AddAttr(root, "governance.deadline_fired", int64_t{1});
+  }
+  if (cancel_requested()) {
+    trace->AddAttr(root, "governance.cancelled", int64_t{1});
+  }
 }
 
 std::string QueryContext::MemoryReport() const {
@@ -182,10 +265,14 @@ int QueryContext::CancelCheckThunk(void* ctx) {
 }
 
 GovernanceScope::GovernanceScope(QueryContext* external,
-                                 int64_t mem_limit_bytes,
-                                 int64_t deadline_ms) {
+                                 int64_t mem_limit_bytes, int64_t deadline_ms,
+                                 obs::QueryTrace* trace) {
   if (external != nullptr) {
     ctx_ = external;
+    if (trace != nullptr && external->trace() == nullptr) {
+      external->set_trace(trace);
+      attached_trace_ = true;
+    }
     return;
   }
   QueryContext::Limits limits;
@@ -194,13 +281,69 @@ GovernanceScope::GovernanceScope(QueryContext* external,
                                : GetEnvInt64("SWOLE_MEM_LIMIT", 0);
   limits.deadline_ms =
       deadline_ms >= 0 ? deadline_ms : GetEnvInt64("SWOLE_DEADLINE_MS", 0);
-  if (limits.mem_limit_bytes > 0 || limits.deadline_ms > 0) {
+  const bool trace_requested = trace != nullptr || TraceRequestedFromEnv();
+  const bool perf_requested = obs::PerfCountersRequested();
+  if (limits.mem_limit_bytes > 0 || limits.deadline_ms > 0 ||
+      trace_requested || perf_requested) {
     owned_ = new QueryContext(limits);
     ctx_ = owned_;
   }
+  if (trace_requested) {
+    if (trace == nullptr) {
+      // Env-requested trace with no caller-supplied sink: own one for the
+      // query and render it at DEBUG level on scope exit (enable with
+      // SWOLE_TRACE=1 SWOLE_LOG_LEVEL=debug).
+      owned_trace_ = new obs::QueryTrace();
+      trace = owned_trace_;
+    }
+    ctx_->set_trace(trace);
+    attached_trace_ = true;
+  }
+  if (perf_requested) {
+    std::string error;
+    perf_ = obs::PerfCounterSet::TryCreate(&error).release();
+    if (perf_ != nullptr) {
+      perf_->Start();
+    } else {
+      static bool warned = [](const std::string& reason) {
+        SWOLE_LOG(WARNING) << "SWOLE_PERF_COUNTERS=1 but hardware counters "
+                              "are unavailable: "
+                           << reason;
+        return true;
+      }(error);
+      (void)warned;
+    }
+  }
 }
 
-GovernanceScope::~GovernanceScope() { delete owned_; }
+GovernanceScope::~GovernanceScope() {
+  if (perf_ != nullptr) {
+    perf_->Stop();
+    obs::HwCounts counts = perf_->Read();
+    obs::QueryTrace* trace = ctx_ != nullptr ? ctx_->trace() : nullptr;
+    if (trace != nullptr && counts.valid) {
+      obs::QueryTrace::Span* root = trace->root();
+      trace->AddAttr(root, "hw.cycles", counts.cycles);
+      trace->AddAttr(root, "hw.instructions", counts.instructions);
+      trace->AddAttr(root, "hw.llc_misses", counts.llc_misses);
+      trace->AddAttr(root, "hw.branch_misses", counts.branch_misses);
+    } else {
+      SWOLE_LOG(DEBUG) << "hw counters: " << counts.ToString();
+    }
+    delete perf_;
+  }
+  if (attached_trace_ && ctx_ != nullptr) {
+    ctx_->AttachStatsToTrace();
+  }
+  if (owned_trace_ != nullptr && GetLogLevel() <= LogLevel::kDebug) {
+    SWOLE_LOG(DEBUG) << "query trace:\n" << owned_trace_->ToText();
+  }
+  if (attached_trace_ && ctx_ != nullptr) {
+    ctx_->set_trace(nullptr);
+  }
+  delete owned_trace_;
+  delete owned_;
+}
 
 Status StatusFromCurrentException(QueryContext* ctx) {
   // The pending-abort record takes precedence: it is written by the

@@ -7,9 +7,16 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/query_abort.h"
 #include "common/status.h"
+
+namespace swole::obs {
+class PerfCounterSet;
+class QueryTrace;
+}  // namespace swole::obs
 
 // Query-lifecycle governance: one QueryContext per query execution carries
 //
@@ -54,7 +61,7 @@ class QueryContext {
   /// Requests cooperative cancellation (thread-safe; callable from any
   /// thread while the query runs). Workers observe it at the next morsel
   /// claim or tracked allocation.
-  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+  void RequestCancel();
   bool cancel_requested() const {
     return cancelled_.load(std::memory_order_acquire);
   }
@@ -83,6 +90,9 @@ class QueryContext {
 
   /// Peak bytes attributed to one operator site (0 if never charged).
   int64_t site_peak_bytes(const std::string& site) const;
+
+  /// Every charged site with its peak bytes, sorted by site name.
+  std::vector<std::pair<std::string, int64_t>> SitePeaks() const;
 
   /// Per-operator peak attribution, e.g.
   /// "peak 18432B (limit 16384B): group_table=12288B peak, dim_bitmap=..."
@@ -120,9 +130,22 @@ class QueryContext {
   int64_t degradations() const {
     return degradations_.load(std::memory_order_relaxed);
   }
-  void CountDegradation() {
-    degradations_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void CountDegradation();
+
+  // ---- Tracing (obs/trace.h) ----
+
+  /// Non-owning trace attachment; null (the default) disables span
+  /// recording — engines pay one pointer test per phase. Set by the owner
+  /// of the trace (GovernanceScope or the caller) before execution starts.
+  obs::QueryTrace* trace() const { return trace_; }
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
+  /// Writes the governance outcome onto the trace root as attributes —
+  /// mem.peak_bytes, mem.site.<name> peaks, degradations, deadline/cancel
+  /// flags. No-op without an attached trace. GovernanceScope calls this
+  /// when it attached the trace; callers managing their own attachment can
+  /// invoke it directly.
+  void AttachStatsToTrace();
 
  private:
   struct SiteStats {
@@ -148,20 +171,30 @@ class QueryContext {
   int64_t pending_requested_ = 0;
 
   std::atomic<int64_t> degradations_{0};
+
+  obs::QueryTrace* trace_ = nullptr;
 };
 
-/// Resolves the governance configuration for one engine execution: an
-/// externally supplied context wins; otherwise a context is owned for the
-/// call when the options (or the SWOLE_MEM_LIMIT / SWOLE_DEADLINE_MS
-/// environment) configure any limit. ctx() is nullptr when ungoverned —
-/// the zero-overhead path: no hooks attach and no checks run.
+/// Resolves the governance + observability configuration for one engine
+/// execution: an externally supplied context wins; otherwise a context is
+/// owned for the call when the options (or the SWOLE_MEM_LIMIT /
+/// SWOLE_DEADLINE_MS environment) configure any limit, when a trace is
+/// requested (explicit `trace` or SWOLE_TRACE=1), or when hardware
+/// counters are requested (SWOLE_PERF_COUNTERS=1). ctx() is nullptr when
+/// ungoverned and untraced — the zero-overhead path: no hooks attach and
+/// no checks run.
 class GovernanceScope {
  public:
   /// `mem_limit_bytes` / `deadline_ms`: -1 defers to the environment
   /// variable (whose absence means "off"); 0 explicitly off; > 0 sets the
-  /// limit.
+  /// limit. A non-null `trace` is attached to the resolved context for the
+  /// scope's lifetime (unless the external context already carries one);
+  /// with SWOLE_TRACE=1 and no explicit trace, the scope owns one and
+  /// renders it at DEBUG level on exit. The scope that attached the trace
+  /// stamps the governance outcome onto it (AttachStatsToTrace) and owns
+  /// the per-query perf-counter set when SWOLE_PERF_COUNTERS=1.
   GovernanceScope(QueryContext* external, int64_t mem_limit_bytes,
-                  int64_t deadline_ms);
+                  int64_t deadline_ms, obs::QueryTrace* trace = nullptr);
   ~GovernanceScope();
 
   GovernanceScope(const GovernanceScope&) = delete;
@@ -172,6 +205,9 @@ class GovernanceScope {
  private:
   QueryContext* ctx_ = nullptr;
   QueryContext* owned_ = nullptr;
+  obs::QueryTrace* owned_trace_ = nullptr;
+  obs::PerfCounterSet* perf_ = nullptr;
+  bool attached_trace_ = false;
 };
 
 /// Maps the in-flight exception to a Status: QueryAbort (and the pending

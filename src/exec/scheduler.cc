@@ -12,6 +12,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "exec/query_context.h"
+#include "obs/metrics.h"
 
 namespace swole::exec {
 
@@ -186,6 +187,21 @@ MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
   return ParallelMorsels(nullptr, num_threads, total_rows, morsel_size, fn);
 }
 
+namespace {
+// Process-wide rollups, bumped once per parallel region (never per morsel).
+void CountRegion(const MorselStats& stats) {
+  static obs::Counter& runs =
+      obs::MetricsRegistry::Global().GetCounter("scheduler.runs");
+  static obs::Counter& morsels =
+      obs::MetricsRegistry::Global().GetCounter("scheduler.morsels");
+  static obs::Counter& steals =
+      obs::MetricsRegistry::Global().GetCounter("scheduler.steals");
+  runs.Add(1);
+  morsels.Add(stats.morsels);
+  steals.Add(stats.steals);
+}
+}  // namespace
+
 MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
                             int64_t total_rows, int64_t morsel_size,
                             const MorselFn& fn) {
@@ -204,6 +220,7 @@ MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
         AbortReason live = ctx->CheckLiveReason();
         if (SWOLE_UNLIKELY(live != AbortReason::kNone)) {
           stats.status = ctx->MakeStatus(live);
+          CountRegion(stats);
           return stats;
         }
       }
@@ -212,9 +229,11 @@ MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
         fn(0, begin, std::min(total_rows, begin + morsel_size));
       } catch (...) {
         stats.status = StatusFromCurrentException(ctx);
+        CountRegion(stats);
         return stats;
       }
     }
+    CountRegion(stats);
     return stats;
   }
 
@@ -256,6 +275,7 @@ MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
     std::lock_guard<std::mutex> lock(job->mu);
     stats.status = job->first_error;
   }
+  CountRegion(stats);
   return stats;
 }
 

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace swole::obs {
+
+void Histogram::Record(int64_t sample) {
+  if (sample < 0) sample = 0;
+  int bucket = 0;
+  while ((int64_t{1} << bucket) <= sample && bucket < kBuckets - 1) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (sample > prev &&
+         !max_.compare_exchange_weak(prev, sample, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// All three instrument kinds live in one name-keyed map so a name collision
+// across kinds is detected instead of silently splitting the metric.
+struct MetricsRegistry::Impl {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked so instrument handles outlive static destructors (the shutdown
+  // dump below reads them from atexit).
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    std::atexit([] {
+      std::string line = Global().DumpCompactNonZero();
+      if (!line.empty()) {
+        SWOLE_LOG(INFO) << "metrics at shutdown: " << line;
+      }
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& entry = im.entries[name];
+  if (entry.counter == nullptr) {
+    SWOLE_CHECK(entry.gauge == nullptr && entry.histogram == nullptr)
+        << "metric name reused across kinds: " << name;
+    entry.kind = Impl::Kind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& entry = im.entries[name];
+  if (entry.gauge == nullptr) {
+    SWOLE_CHECK(entry.counter == nullptr && entry.histogram == nullptr)
+        << "metric name reused across kinds: " << name;
+    entry.kind = Impl::Kind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& entry = im.entries[name];
+  if (entry.histogram == nullptr) {
+    SWOLE_CHECK(entry.counter == nullptr && entry.gauge == nullptr)
+        << "metric name reused across kinds: " << name;
+    entry.kind = Impl::Kind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>();
+  }
+  return *entry.histogram;
+}
+
+namespace {
+// Upper edge of the smallest bucket prefix holding half the samples — a
+// power-of-two approximation of the median, good enough for a text dump.
+int64_t ApproxP50(const Histogram& h) {
+  int64_t total = h.count();
+  if (total == 0) return 0;
+  int64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    seen += h.bucket(i);
+    if (seen * 2 >= total) return i == 0 ? 0 : (int64_t{1} << i) - 1;
+  }
+  return h.max();
+}
+}  // namespace
+
+std::string MetricsRegistry::DumpText() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::ostringstream out;
+  for (const auto& [name, entry] : im.entries) {
+    switch (entry.kind) {
+      case Impl::Kind::kCounter:
+        out << "counter " << name << " " << entry.counter->value() << "\n";
+        break;
+      case Impl::Kind::kGauge:
+        out << "gauge " << name << " " << entry.gauge->value() << "\n";
+        break;
+      case Impl::Kind::kHistogram:
+        out << "histogram " << name << " count=" << entry.histogram->count()
+            << " sum=" << entry.histogram->sum()
+            << " max=" << entry.histogram->max()
+            << " p50~" << ApproxP50(*entry.histogram) << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::DumpCompactNonZero() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, entry] : im.entries) {
+    int64_t value = 0;
+    switch (entry.kind) {
+      case Impl::Kind::kCounter:
+        value = entry.counter->value();
+        break;
+      case Impl::Kind::kGauge:
+        value = entry.gauge->value();
+        break;
+      case Impl::Kind::kHistogram:
+        value = entry.histogram->count();
+        break;
+    }
+    if (value == 0) continue;
+    if (!first) out << " ";
+    first = false;
+    out << name << "=" << value;
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, entry] : im.entries) {
+    switch (entry.kind) {
+      case Impl::Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Impl::Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Impl::Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace swole::obs

@@ -1,0 +1,119 @@
+#ifndef SWOLE_OBS_METRICS_H_
+#define SWOLE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+// Process-wide metrics registry: named lock-free counters, gauges, and
+// histograms shared by every engine, the scheduler, the JIT, and
+// governance.
+//
+//   static obs::Counter& steals =
+//       obs::MetricsRegistry::Global().GetCounter("scheduler.steals");
+//   steals.Add(n);
+//
+// Handles returned by Get*() are valid for the life of the process, so the
+// idiomatic use is a function-local static reference: one mutex-guarded map
+// lookup ever, then plain relaxed atomics on the hot path. Instruments are
+// never unregistered.
+//
+// The registry absorbs the ad-hoc GlobalJitStats() counters from PR 1
+// (codegen/jit.h keeps its JitStats::Snapshot API, now backed by `jit.*`
+// registry counters) and replaces the bespoke JIT shutdown logger with one
+// registry-wide dump: at process exit every non-zero counter is logged in a
+// single "metrics at shutdown:" INFO line.
+//
+// Naming: dotted lowercase paths, `<subsystem>.<event>` —
+//   queries.<strategy>            engine executions per strategy kind
+//   query.latency_us.<strategy>   per-strategy latency histogram
+//   scheduler.{runs,morsels,steals}
+//   governance.{budget_breaches,deadline_fires,cancellations,degradations}
+//   jit.{compiles,compile_failures,retries,timeouts,cache_hits_memory,
+//        cache_hits_disk,fallbacks,compile_ms}
+//   perf.{sets_opened,open_failures}
+
+namespace swole::obs {
+
+/// Monotonic event count. Add/value/Reset are single relaxed atomics.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. pool size, cache entries).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two-bucketed distribution of non-negative samples. Bucket i
+/// counts samples in [2^(i-1), 2^i) (bucket 0 counts zeros); the dump
+/// reports count/sum/max plus the populated buckets. Record is two relaxed
+/// atomics plus a CAS-free max update — safe from any thread.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t sample);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. The reference stays valid forever; take it once (function-local
+  /// static) and increment lock-free after that. A name identifies exactly
+  /// one instrument kind — reusing it across kinds is a programming error
+  /// (CHECK-fails).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// One instrument per line, sorted by name, zero-valued entries included:
+  ///   counter scheduler.steals 42
+  ///   histogram query.latency_us.swole count=12 sum=48211 max=9001 p50~4096
+  std::string DumpText() const;
+
+  /// Single-line "name=value" rendering of the non-zero counters and
+  /// gauges, for the shutdown log. Empty when nothing fired.
+  std::string DumpCompactNonZero() const;
+
+  /// Resets every registered instrument to zero (tests/benchmarks).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace swole::obs
+
+#endif  // SWOLE_OBS_METRICS_H_

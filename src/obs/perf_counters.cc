@@ -1,0 +1,149 @@
+#include "obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/fault_injection.h"
+#include "obs/metrics.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SWOLE_HAVE_PERF_EVENTS 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define SWOLE_HAVE_PERF_EVENTS 0
+#endif
+
+namespace swole::obs {
+
+std::string HwCounts::ToString() const {
+  if (!valid) return "unavailable";
+  std::ostringstream out;
+  out << "cycles=" << cycles << " instructions=" << instructions
+      << " llc_misses=" << llc_misses << " branch_misses=" << branch_misses;
+  return out.str();
+}
+
+#if SWOLE_HAVE_PERF_EVENTS
+
+namespace {
+// Event order matches HwCounts field order; all four are the generic
+// PERF_TYPE_HARDWARE events (PERF_COUNT_HW_CACHE_MISSES is the kernel's
+// last-level-cache miss alias).
+constexpr uint64_t kEventConfigs[PerfCounterSet::kEvents] = {
+    PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+
+int PerfEventOpen(uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  // Count worker threads spawned while the set runs (the morsel pool).
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+}  // namespace
+
+std::unique_ptr<PerfCounterSet> PerfCounterSet::TryCreate(std::string* error) {
+  static Counter& opened =
+      MetricsRegistry::Global().GetCounter("perf.sets_opened");
+  static Counter& failures =
+      MetricsRegistry::Global().GetCounter("perf.open_failures");
+  if (FaultInjector::Global().ShouldFail("perf_open")) {
+    failures.Add(1);
+    if (error != nullptr) *error = "perf_event_open: injected EACCES";
+    return nullptr;
+  }
+  std::unique_ptr<PerfCounterSet> set(new PerfCounterSet());
+  for (int i = 0; i < kEvents; ++i) {
+    set->fds_[i] = PerfEventOpen(kEventConfigs[i]);
+    if (set->fds_[i] < 0) {
+      failures.Add(1);
+      if (error != nullptr) {
+        *error = std::string("perf_event_open: ") + std::strerror(errno);
+      }
+      return nullptr;  // dtor closes the fds opened so far
+    }
+  }
+  opened.Add(1);
+  if (error != nullptr) error->clear();
+  return set;
+}
+
+PerfCounterSet::~PerfCounterSet() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounterSet::Start() {
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounterSet::Stop() {
+  for (int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+HwCounts PerfCounterSet::Read() const {
+  HwCounts counts;
+  int64_t values[kEvents] = {};
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] < 0 ||
+        read(fds_[i], &values[i], sizeof values[i]) !=
+            static_cast<ssize_t>(sizeof values[i])) {
+      return counts;  // valid stays false
+    }
+  }
+  counts.valid = true;
+  counts.cycles = values[0];
+  counts.instructions = values[1];
+  counts.llc_misses = values[2];
+  counts.branch_misses = values[3];
+  return counts;
+}
+
+#else  // !SWOLE_HAVE_PERF_EVENTS
+
+std::unique_ptr<PerfCounterSet> PerfCounterSet::TryCreate(std::string* error) {
+  static Counter& failures =
+      MetricsRegistry::Global().GetCounter("perf.open_failures");
+  failures.Add(1);
+  if (error != nullptr) {
+    *error = FaultInjector::Global().ShouldFail("perf_open")
+                 ? "perf_event_open: injected EACCES"
+                 : "perf events unsupported on this platform";
+  } else {
+    FaultInjector::Global().ShouldFail("perf_open");
+  }
+  return nullptr;
+}
+
+PerfCounterSet::~PerfCounterSet() = default;
+void PerfCounterSet::Start() {}
+void PerfCounterSet::Stop() {}
+HwCounts PerfCounterSet::Read() const { return HwCounts{}; }
+
+#endif  // SWOLE_HAVE_PERF_EVENTS
+
+bool PerfCountersRequested() {
+  static const bool requested = GetEnvInt64("SWOLE_PERF_COUNTERS", 0) != 0;
+  return requested;
+}
+
+}  // namespace swole::obs

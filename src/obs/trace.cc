@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace swole::obs {
+
+QueryTrace::QueryTrace() : epoch_(std::chrono::steady_clock::now()) {
+  root_ = std::make_unique<Span>();
+  root_->name = "query";
+  root_->start_ns = 0;
+  current_ = root_.get();
+}
+
+int64_t QueryTrace::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+QueryTrace::Span* QueryTrace::Begin(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto span = std::make_unique<Span>();
+  span->name = name;
+  span->start_ns = NowNs();
+  span->parent = current_;
+  Span* raw = span.get();
+  current_->children.push_back(std::move(span));
+  current_ = raw;
+  return raw;
+}
+
+void QueryTrace::End(Span* span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span == nullptr || span->duration_ns >= 0) return;
+  span->duration_ns = NowNs() - span->start_ns;
+  // Unwind to the span's parent even if inner spans were left open (an
+  // exception unwound past their scopes): close them with the same stamp.
+  for (Span* s = current_; s != nullptr && s != span; s = s->parent) {
+    if (s->duration_ns < 0) s->duration_ns = NowNs() - s->start_ns;
+  }
+  current_ = span->parent != nullptr ? span->parent : root_.get();
+}
+
+void QueryTrace::AddAttr(Span* span, const char* key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span == nullptr) span = root_.get();
+  span->attrs.emplace_back(key, std::move(value));
+}
+
+void QueryTrace::AddAttr(Span* span, const char* key, int64_t value) {
+  AddAttr(span, key, std::to_string(value));
+}
+
+namespace {
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void AppendJsonString(const std::string& s, std::ostringstream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+}  // namespace
+
+void QueryTrace::Render(const Span& span, int depth,
+                        std::ostringstream& out) const {
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << span.name << "  [actual=";
+  int64_t dur = span.duration_ns >= 0 ? span.duration_ns
+                                      : NowNs() - span.start_ns;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fms", Ms(dur));
+  out << buf << "]";
+  for (const auto& [key, value] : span.attrs) {
+    out << "  " << key << "=" << value;
+  }
+  out << "\n";
+  for (const auto& child : span.children) Render(*child, depth + 1, out);
+}
+
+std::string QueryTrace::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  Render(*root_, 0, out);
+  return out.str();
+}
+
+void QueryTrace::RenderJson(const Span& span, std::ostringstream& out) const {
+  out << "{\"name\":";
+  AppendJsonString(span.name, out);
+  int64_t dur = span.duration_ns >= 0 ? span.duration_ns
+                                      : NowNs() - span.start_ns;
+  out << ",\"start_ns\":" << span.start_ns << ",\"duration_ns\":" << dur;
+  if (!span.attrs.empty()) {
+    out << ",\"attrs\":{";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i != 0) out << ",";
+      AppendJsonString(span.attrs[i].first, out);
+      out << ":";
+      AppendJsonString(span.attrs[i].second, out);
+    }
+    out << "}";
+  }
+  if (!span.children.empty()) {
+    out << ",\"children\":[";
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i != 0) out << ",";
+      RenderJson(*span.children[i], out);
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+std::string QueryTrace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  RenderJson(*root_, out);
+  return out.str();
+}
+
+void QueryTrace::RenderShape(const Span& span, std::ostringstream& out) const {
+  out << span.name;
+  if (!span.children.empty()) {
+    out << "(";
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i != 0) out << ",";
+      RenderShape(*span.children[i], out);
+    }
+    out << ")";
+  }
+}
+
+std::string QueryTrace::ShapeString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  RenderShape(*root_, out);
+  return out.str();
+}
+
+}  // namespace swole::obs

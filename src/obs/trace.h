@@ -1,0 +1,123 @@
+#ifndef SWOLE_OBS_TRACE_H_
+#define SWOLE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Per-query hierarchical trace: one QueryTrace per execution records a tree
+// of timed spans — the strategy chosen with its cost-model inputs, the
+// per-operator phases (dim-build / probe / agg-merge), morsel-batch rollups
+// from the scheduler (morsels, steals, workers), JIT stage timings and
+// cache hit/miss, and governance events (per-site memory peaks, degradation
+// retries, deadline fires).
+//
+// Attachment is a plain pointer on QueryContext (exec/query_context.h); the
+// engines open spans through the null-safe SpanScope RAII below, so a query
+// without a trace pays one pointer test per *phase* — no allocation, no
+// lock, nothing per tuple or per morsel. Tracing is off by default; enable
+// it per query (StrategyOptions::trace) or process-wide (SWOLE_TRACE=1,
+// resolved by GovernanceScope, rendered at DEBUG log level on scope exit).
+//
+// Spans are opened and closed only by the query's driving thread — worker
+// aggregates (steals, workers used) arrive as attributes after the
+// scheduler joins — so the span tree SHAPE is deterministic across thread
+// counts; attribute values may legitimately vary. The internal mutex makes
+// concurrent Render/attr calls safe, but it is not a license to open spans
+// from workers.
+
+namespace swole::obs {
+
+class QueryTrace {
+ public:
+  struct Span {
+    std::string name;
+    int64_t start_ns = 0;     // relative to the trace epoch
+    int64_t duration_ns = -1;  // -1 while open
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::vector<std::unique_ptr<Span>> children;
+    Span* parent = nullptr;
+  };
+
+  /// Opens the root span "query" at construction.
+  QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Opens a child of the current span and makes it current.
+  Span* Begin(const char* name);
+
+  /// Closes `span`, stamping its duration; the parent becomes current.
+  void End(Span* span);
+
+  void AddAttr(Span* span, const char* key, std::string value);
+  void AddAttr(Span* span, const char* key, int64_t value);
+
+  Span* root() { return root_.get(); }
+  Span* current() { return current_; }
+
+  /// EXPLAIN ANALYZE-style indented text, durations in ms:
+  ///   query  [actual=12.41ms]
+  ///     swole  [actual=12.38ms]  strategy=swole threads=8
+  ///       build.dim  [actual=1.02ms]  rows=65536
+  std::string ToText() const;
+
+  /// Machine-readable rendering:
+  ///   {"name":"query","start_ns":0,"duration_ns":...,
+  ///    "attrs":{...},"children":[...]}
+  std::string ToJson() const;
+
+  /// Names + nesting only ("query(swole(build,probe,merge))") — the
+  /// determinism tests compare this across thread counts, where timings
+  /// and attr values legitimately differ.
+  std::string ShapeString() const;
+
+ private:
+  void Render(const Span& span, int depth, std::ostringstream& out) const;
+  void RenderJson(const Span& span, std::ostringstream& out) const;
+  void RenderShape(const Span& span, std::ostringstream& out) const;
+  int64_t NowNs() const;
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<Span> root_;
+  Span* current_ = nullptr;
+};
+
+/// Null-safe RAII around Begin/End: a nullptr trace makes construction,
+/// Attr, and destruction single pointer tests — the disabled hot path does
+/// zero work and zero allocation.
+class SpanScope {
+ public:
+  SpanScope(QueryTrace* trace, const char* name)
+      : trace_(trace), span_(trace != nullptr ? trace->Begin(name) : nullptr) {}
+  ~SpanScope() {
+    if (trace_ != nullptr) trace_->End(span_);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void Attr(const char* key, int64_t value) {
+    if (trace_ != nullptr) trace_->AddAttr(span_, key, value);
+  }
+  void Attr(const char* key, std::string value) {
+    if (trace_ != nullptr) trace_->AddAttr(span_, key, std::move(value));
+  }
+
+  QueryTrace::Span* span() { return span_; }
+  QueryTrace* trace() { return trace_; }
+
+ private:
+  QueryTrace* trace_;
+  QueryTrace::Span* span_;
+};
+
+}  // namespace swole::obs
+
+#endif  // SWOLE_OBS_TRACE_H_

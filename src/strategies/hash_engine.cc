@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "exec/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swole {
 
@@ -41,14 +45,24 @@ HashStrategyEngine::HashStrategyEngine(StrategyKind kind,
 
 Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("queries.") + name())
+      .Add(1);
+  Timer timer;
   exec::GovernanceScope governance(options_.query_ctx,
                                    options_.mem_limit_bytes,
-                                   options_.deadline_ms);
-  try {
-    return ExecuteGoverned(plan, governance.ctx());
-  } catch (...) {
-    return exec::StatusFromCurrentException(governance.ctx());
-  }
+                                   options_.deadline_ms, options_.trace);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    try {
+      return ExecuteGoverned(plan, governance.ctx());
+    } catch (...) {
+      return exec::StatusFromCurrentException(governance.ctx());
+    }
+  }();
+  obs::MetricsRegistry::Global()
+      .GetHistogram(std::string("query.latency_us.") + name())
+      .Record(timer.ElapsedNanos() / 1000);
+  return result;
 }
 
 Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
@@ -57,6 +71,14 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
   const bool rof = kind_ == StrategyKind::kRof;
+
+  // Spans open/close only on this (driving) thread, so the tree shape is
+  // identical at every thread count; worker rollups arrive as attributes.
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  obs::SpanScope engine_span(trace, name());
+  engine_span.Attr("threads", static_cast<int64_t>(num_threads));
+  std::optional<obs::SpanScope> phase;
+  phase.emplace(trace, "build");
 
   // ---- Build phase ----
   const int groupjoin_dim = FindGroupjoinDim(plan);
@@ -111,6 +133,8 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
           [&](int64_t key, const int64_t*) { groups->SeedKey(key); });
     }
   }
+
+  phase.reset();  // build
 
   // ---- Probe-phase metadata ----
   std::vector<AggShape> shapes;
@@ -373,14 +397,20 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
     }
   };
 
+  phase.emplace(trace, "probe");
   exec::MorselStats probe_stats =
       exec::ParallelMorsels(qctx, num_threads, fact.num_rows(),
                            exec::DefaultMorselSize(tile),
                            [&](int worker, int64_t begin, int64_t end) {
                              process_range(*ctxs[worker], begin, end);
                            });
+  phase->Attr("morsels", probe_stats.morsels);
+  phase->Attr("steals", probe_stats.steals);
+  phase->Attr("workers", static_cast<int64_t>(probe_stats.workers));
+  phase.reset();  // probe
   SWOLE_RETURN_NOT_OK(probe_stats.status);
 
+  phase.emplace(trace, "merge");
   // Flush leftover ROF carries, then merge worker states — both in worker
   // order, the deterministic ordered merge (DESIGN.md §7).
   for (int w = 0; w < num_threads; ++w) {
@@ -397,7 +427,10 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
     if (plan.HasGroupBy()) groups->MergeFrom(*ctxs[w]->groups);
   }
 
+  phase.reset();  // merge
+
   // ---- Result extraction ----
+  phase.emplace(trace, "extract");
   if (!plan.HasGroupBy()) {
     return pipeline::MakeScalarResult(plan, ctxs[0]->scalar_acc.data());
   }

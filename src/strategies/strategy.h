@@ -23,6 +23,10 @@ namespace exec {
 class QueryContext;
 }  // namespace exec
 
+namespace obs {
+class QueryTrace;
+}  // namespace obs
+
 enum class StrategyKind : uint8_t {
   kDataCentric,  // HyPer-style tuple-at-a-time with branching [3]
   kHybrid,       // Tupleware-style prepass + partial selection vectors [4]
@@ -86,6 +90,16 @@ struct StrategyOptions {
   // Wall-clock deadline for the whole execution. -1 defers to
   // SWOLE_DEADLINE_MS (absent = none); 0 explicitly none.
   int64_t deadline_ms = -1;
+
+  // ---- Observability (obs/trace.h) ----
+
+  // Per-query trace to record spans into (strategy choice, operator
+  // phases, morsel rollups, governance events). Null (the default)
+  // disables recording at zero cost; SWOLE_TRACE=1 enables an internally
+  // owned trace instead, rendered at DEBUG log level. When query_ctx is
+  // also set, the trace attaches to it for the duration of the call unless
+  // the context already carries one.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Explanation of what SWOLE decided for a plan (for tests, examples, and

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <set>
 
 #include "common/bit_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "cost/estimates.h"
 #include "exec/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swole {
 
@@ -106,6 +110,9 @@ struct SwoleStrategy::PlanAnalysis {
   bool use_ea = false;
   int groupjoin_dim = -1;
   int num_read_columns = 1;
+  // Cost-model decision inputs, rendered once for the trace (obs/trace.h).
+  std::string agg_cost_detail;
+  std::string ea_cost_detail;
   std::vector<MergeCandidate> merges;
   std::vector<uint8_t> merged_aggs;  // per agg: handled by merging?
   ExprPtr residual_filter;           // fact filter minus merged conjuncts
@@ -127,13 +134,37 @@ SwoleStrategy::~SwoleStrategy() = default;
 
 Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  obs::MetricsRegistry::Global().GetCounter("queries.swole").Add(1);
+  Timer timer;
   const PlanAnalysis& analysis = Analyze(plan);
   exec::GovernanceScope governance(options_.query_ctx,
                                    options_.mem_limit_bytes,
-                                   options_.deadline_ms);
+                                   options_.deadline_ms, options_.trace);
   exec::QueryContext* qctx = governance.ctx();
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    // The strategy decision and the cost-model numbers it was made on go
+    // onto the engine span, so a trace explains *why* this plan ran as
+    // VM/KM/EA/groupjoin, not just that it did.
+    obs::SpanScope engine_span(trace, "swole");
+    if (trace != nullptr) {
+      engine_span.Attr("agg", decisions_.aggregation);
+      if (analysis.use_ea) engine_span.Attr("ea", int64_t{1});
+      if (analysis.groupjoin_dim >= 0) {
+        engine_span.Attr("groupjoin_dim",
+                         static_cast<int64_t>(analysis.groupjoin_dim));
+      }
+      if (decisions_.used_access_merging) {
+        engine_span.Attr("access_merging", int64_t{1});
+      }
+      if (!analysis.agg_cost_detail.empty()) {
+        engine_span.Attr("cost.agg", analysis.agg_cost_detail);
+      }
+      if (!analysis.ea_cost_detail.empty()) {
+        engine_span.Attr("cost.ea", analysis.ea_cost_detail);
+      }
+    }
     try {
       if (analysis.use_ea) {
         return ExecuteEagerAggregation(plan, analysis, qctx);
@@ -146,6 +177,9 @@ Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
       return exec::StatusFromCurrentException(qctx);
     }
   }();
+  obs::MetricsRegistry::Global()
+      .GetHistogram("query.latency_us.swole")
+      .Record(timer.ElapsedNanos() / 1000);
 
   // Graceful degradation: when the pullup plan breached its memory budget,
   // retry once under the memory-lean data-centric strategy against the
@@ -258,6 +292,7 @@ const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
         "EA=%.0fms vs groupjoin=%.0fms; ",
         EagerAggregationCost(profile_, w) / 1e6,
         GroupjoinCost(profile_, w) / 1e6);
+    analysis.ea_cost_detail = DescribeEagerDecision(profile_, w);
   }
 
   // ---- Aggregation technique decision (§III-A/B) ----
@@ -293,6 +328,7 @@ const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
     }
   }
   decisions_.aggregation = AggChoiceName(analysis.agg_choice);
+  analysis.agg_cost_detail = DescribeAggDecision(profile_, w);
   decisions_.used_eager_aggregation = analysis.use_ea;
   decisions_.used_positional_bitmaps =
       options_.enable_positional_bitmaps &&
@@ -399,6 +435,12 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
   const bool use_bitmaps = options_.enable_positional_bitmaps;
+
+  // Phase spans are recorded by this (driving) thread only, so the tree
+  // shape is thread-count invariant; worker rollups become attributes.
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  std::optional<obs::SpanScope> phase;
+  phase.emplace(trace, "build");
 
   // ---- Build phase ----
   std::vector<PositionalBitmap> dim_bitmaps;
@@ -806,6 +848,9 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     groups->UpdateSel(scratch.keys.data(), value_ptrs, n, false);
   };
 
+  phase.reset();  // build
+
+  phase.emplace(trace, "probe");
   exec::MorselStats probe_stats = exec::ParallelMorsels(
       qctx, num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
       [&](int worker, int64_t begin, int64_t end) {
@@ -814,15 +859,22 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
           process_tile(ctx, start, std::min(tile, end - start));
         }
       });
+  phase->Attr("morsels", probe_stats.morsels);
+  phase->Attr("steals", probe_stats.steals);
+  phase->Attr("workers", static_cast<int64_t>(probe_stats.workers));
+  phase.reset();  // probe
   SWOLE_RETURN_NOT_OK(probe_stats.status);
 
+  phase.emplace(trace, "merge");
   // Ordered merge of worker-local states (DESIGN.md §7).
   for (int w = 1; w < num_threads; ++w) {
     pipeline::MergeScalarAcc(plan, ctxs[0]->scalar_acc.data(),
                              ctxs[w]->scalar_acc.data());
     if (plan.HasGroupBy()) groups->MergeFrom(*ctxs[w]->groups);
   }
+  phase.reset();  // merge
 
+  phase.emplace(trace, "extract");
   if (!plan.HasGroupBy()) {
     return pipeline::MakeScalarResult(plan, ctxs[0]->scalar_acc.data());
   }
@@ -840,6 +892,10 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
   Scratch scratch(tile);  // build/seed-phase scratch (caller thread only)
+
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  std::optional<obs::SpanScope> phase;
+  phase.emplace(trace, "build");
 
   const DimJoin& gdim = plan.dims[analysis.groupjoin_dim];
   const Table& dim_table = catalog_.TableRef(gdim.hop.to_table);
@@ -999,6 +1055,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     groups.UpdateJoinSel(scratch.keys.data(), value_ptrs, n, false);
   };
 
+  phase.reset();  // build
+  phase.emplace(trace, "probe");
   exec::MorselStats probe_stats = exec::ParallelMorsels(
       qctx, num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
       [&](int worker, int64_t begin, int64_t end) {
@@ -1007,13 +1065,20 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
           process_tile(ctx, start, std::min(tile, end - start));
         }
       });
+  phase->Attr("morsels", probe_stats.morsels);
+  phase->Attr("steals", probe_stats.steals);
+  phase->Attr("workers", static_cast<int64_t>(probe_stats.workers));
+  phase.reset();
   SWOLE_RETURN_NOT_OK(probe_stats.status);
 
   // Ordered merge of worker-local join-mode states.
+  phase.emplace(trace, "merge");
   for (int w = 1; w < num_threads; ++w) {
     groups.MergeFrom(*ctxs[w]->groups);
   }
+  phase.reset();
 
+  phase.emplace(trace, "extract");
   return groups.Extract(plan, plan.group_seed.has_value());
 }
 
@@ -1030,6 +1095,9 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
   Scratch scratch(tile);  // phase-2 dim-scan scratch (caller thread only)
+
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  std::optional<obs::SpanScope> phase;
 
   const DimJoin& dim = plan.dims[0];
   const Table& dim_table = catalog_.TableRef(dim.hop.to_table);
@@ -1135,6 +1203,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     }
   };
 
+  phase.emplace(trace, "aggregate");
   exec::MorselStats agg_stats = exec::ParallelMorsels(
       qctx, num_threads, fact.num_rows(), exec::DefaultMorselSize(tile),
       [&](int worker, int64_t begin, int64_t end) {
@@ -1143,13 +1212,20 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
           process_tile(ctx, start, std::min(tile, end - start));
         }
       });
+  phase->Attr("morsels", agg_stats.morsels);
+  phase->Attr("steals", agg_stats.steals);
+  phase->Attr("workers", static_cast<int64_t>(agg_stats.workers));
+  phase.reset();
   SWOLE_RETURN_NOT_OK(agg_stats.status);
+  phase.emplace(trace, "merge");
   for (int w = 1; w < num_threads; ++w) {
     groups.MergeFrom(*ctxs[w]->groups);
   }
+  phase.reset();
 
   // Phase 2: scan the dim with the predicate inverted; delete keys of
   // non-qualifying dim rows from the aggregate table.
+  phase.emplace(trace, "delete");
   {
     std::vector<PositionalBitmap> child_bitmaps;
     std::vector<const uint32_t*> child_offsets;
@@ -1185,7 +1261,9 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
       });
     }
   }
+  phase.reset();
 
+  phase.emplace(trace, "extract");
   return groups.Extract(plan, /*keep_untouched=*/false);
 }
 
