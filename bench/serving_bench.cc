@@ -1,0 +1,233 @@
+// Concurrent multi-query serving: throughput and tail latency of the
+// shared morsel scheduler under closed-loop client load, plus overload
+// shedding behavior when the admission controller is saturated at 2x its
+// concurrency cap. See BENCH_serving.json and EXPERIMENTS.md.
+//
+// Series:
+//   serving/throughput/<clients>    - C client threads, each running a
+//       mixed Q1/Q3/Q6 stream against one shared engine per strategy.
+//       Counters: qps, p50_us, p99_us, p999_us.
+//   serving/overload/2x             - admission capped at 2 concurrent
+//       queries with no wait queue, driven by 4 clients. Every query
+//       either succeeds or sheds with a structured admission Status;
+//       anything else aborts the bench. Counters: shed_rate, admitted,
+//       shed.
+//   serving/q1_single/<strategy>    - single-threaded Q1 baseline; the
+//       acceptance bar is < 5% regression vs the pre-scheduler seed.
+//
+// Tail percentiles are computed over every per-query latency observed
+// across all iterations of a series, not per iteration, so the p999 row
+// has a real sample population behind it.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "exec/admission.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace swole {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedUs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+// One entry of the mixed workload: a plan and the shared engine that
+// serves it. Engines are shared across client threads on purpose — that
+// is the serving scenario under test (Execute is thread-safe).
+struct ServedQuery {
+  const QueryPlan* plan;
+  Strategy* engine;
+};
+
+// Plans and engines live in the bench_util pools; this just holds the
+// round-robin view handed to client threads.
+std::vector<ServedQuery>& Workload() {
+  static std::vector<ServedQuery> workload;
+  return workload;
+}
+
+void BuildWorkload(const tpch::TpchData& data) {
+  struct Row {
+    QueryPlan (*build)(const Catalog&);
+  };
+  static constexpr Row kRows[] = {{tpch::Q1}, {tpch::Q3}, {tpch::Q6}};
+  for (StrategyKind kind : {StrategyKind::kDataCentric, StrategyKind::kSwole}) {
+    Strategy* engine = nullptr;
+    {
+      bench::EnginePool().push_back(MakeStrategy(kind, data.catalog, {}));
+      engine = bench::EnginePool().back().get();
+    }
+    for (const Row& row : kRows) {
+      bench::PlanPool().push_back(
+          std::make_unique<QueryPlan>(row.build(data.catalog)));
+      Workload().push_back({bench::PlanPool().back().get(), engine});
+    }
+  }
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+// Closed loop: `clients` threads each run `queries_per_client` queries
+// round-robin over the mixed workload; wall time of the whole wave is the
+// iteration time, and every per-query latency feeds the percentile
+// counters.
+void ServingThroughput(benchmark::State& state, int clients) {
+  const int queries_per_client = 16;
+  const std::vector<ServedQuery>& workload = Workload();
+  std::vector<int64_t> latencies_us;
+  int64_t total_queries = 0;
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    std::vector<std::vector<int64_t>> per_client(clients);
+    Clock::time_point wave_start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&workload, &per_client, c, queries_per_client] {
+        for (int q = 0; q < queries_per_client; ++q) {
+          const ServedQuery& served = workload[(c + q) % workload.size()];
+          Clock::time_point start = Clock::now();
+          Result<QueryResult> result = served.engine->Execute(*served.plan);
+          result.status().CheckOK();
+          per_client[c].push_back(ElapsedUs(start));
+          benchmark::DoNotOptimize(result->grouped ? result->NumGroups()
+                                                   : result->scalar[0]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double seconds =
+        static_cast<double>(ElapsedUs(wave_start)) / 1e6;
+    state.SetIterationTime(seconds);
+    total_seconds += seconds;
+    total_queries += clients * queries_per_client;
+    for (std::vector<int64_t>& lats : per_client) {
+      latencies_us.insert(latencies_us.end(), lats.begin(), lats.end());
+    }
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  state.counters["qps"] =
+      total_seconds > 0 ? static_cast<double>(total_queries) / total_seconds
+                        : 0;
+  state.counters["p50_us"] =
+      static_cast<double>(Percentile(latencies_us, 0.50));
+  state.counters["p99_us"] =
+      static_cast<double>(Percentile(latencies_us, 0.99));
+  state.counters["p999_us"] =
+      static_cast<double>(Percentile(latencies_us, 0.999));
+}
+
+// Overload: admission capped at 2 concurrent queries, no wait queue, and
+// twice that many clients hammering it. Sheds must be structured
+// admission Statuses; any other failure is a bench abort. Shed clients
+// retry-loop so admitted throughput stays measurable under the cap.
+void ServingOverload(benchmark::State& state) {
+  const int clients = 4;
+  const int queries_per_client = 16;
+  exec::AdmissionConfig cfg;
+  cfg.max_concurrent_queries = 2;
+  cfg.max_queued_queries = 0;  // saturation sheds immediately, no waiting
+  exec::AdmissionController::ConfigureGlobal(cfg);
+  const std::vector<ServedQuery>& workload = Workload();
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  double total_seconds = 0.0;
+  for (auto _ : state) {
+    std::atomic<int64_t> wave_admitted{0};
+    std::atomic<int64_t> wave_shed{0};
+    Clock::time_point wave_start = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < queries_per_client; ++q) {
+          const ServedQuery& served = workload[(c + q) % workload.size()];
+          while (true) {
+            Result<QueryResult> result = served.engine->Execute(*served.plan);
+            if (result.ok()) {
+              wave_admitted.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            // Anything but a structured admission shed is a bench abort.
+            if (!result.status().IsAdmission()) result.status().CheckOK();
+            wave_shed.fetch_add(1, std::memory_order_relaxed);
+            // Back off before retrying so the shed counter reflects load
+            // waves, not a hot spin against the saturated controller.
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double seconds = static_cast<double>(ElapsedUs(wave_start)) / 1e6;
+    state.SetIterationTime(seconds);
+    total_seconds += seconds;
+    admitted += wave_admitted.load();
+    shed += wave_shed.load();
+  }
+  exec::AdmissionController::ConfigureGlobal(exec::AdmissionConfig{});
+  const double attempts = static_cast<double>(admitted + shed);
+  state.counters["admitted"] = static_cast<double>(admitted);
+  state.counters["shed"] = static_cast<double>(shed);
+  state.counters["shed_rate"] =
+      attempts > 0 ? static_cast<double>(shed) / attempts : 0;
+  state.counters["qps"] =
+      total_seconds > 0 ? static_cast<double>(admitted) / total_seconds : 0;
+}
+
+void RegisterAll(const tpch::TpchData& data) {
+  BuildWorkload(data);
+  for (int clients : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        StringFormat("serving/throughput/%d", clients).c_str(),
+        [clients](benchmark::State& state) {
+          ServingThroughput(state, clients);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(5);
+  }
+  benchmark::RegisterBenchmark("serving/overload/2x", ServingOverload)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(5);
+  // Single-query baseline: the shared-scheduler refactor must keep this
+  // within 5% of the pre-refactor seed (acceptance bar in ISSUE/ROADMAP).
+  for (StrategyKind kind : {StrategyKind::kDataCentric, StrategyKind::kSwole}) {
+    bench::RegisterPlanBenchmark(
+        StringFormat("serving/q1_single/%s", StrategyKindName(kind)),
+        data.catalog, kind, tpch::Q1(data.catalog));
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  auto data =
+      swole::tpch::TpchData::Generate(swole::tpch::TpchConfig::FromEnv());
+  swole::RegisterAll(*data);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -125,6 +125,12 @@ struct GeneratorOptions {
   // kernel-cache keys are identical for traced and untraced runs. Null
   // disables recording; SWOLE_TRACE=1 enables an internally owned trace.
   obs::QueryTrace* trace = nullptr;
+  // Concurrent serving (exec/admission.h, exec/scheduler.h): host-side
+  // only, never part of the emitted source or the kernel-cache key.
+  // Scheduler priority of this query's morsel jobs in the shared pool.
+  int priority = 0;
+  // Tenant identity for per-tenant admission caps; empty = default tenant.
+  std::string tenant;
 };
 
 /// Emits the translation unit for `plan`, or Unimplemented if the plan

@@ -15,6 +15,7 @@
 #include "common/subprocess.h"
 #include "common/timer.h"
 #include "engine/reference_engine.h"
+#include "exec/admission.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
 #include "obs/trace.h"
@@ -582,6 +583,12 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
   if (report == nullptr) report = &local_report;
   *report = ExecutionReport();
 
+  // Admission before compiling anything: a shed query must not occupy the
+  // compiler either. The interpreted fallbacks below re-enter engine
+  // Execute on this thread and ride this scope's slot (exec/admission.h).
+  exec::AdmissionScope admission(gen_options.tenant);
+  SWOLE_RETURN_NOT_OK(admission.status());
+
   // One governance scope for the whole attempt chain (env-resolved:
   // SWOLE_MEM_LIMIT / SWOLE_DEADLINE_MS), so a degradation retry runs
   // under the same budget, deadline, and accumulated peak attribution as
@@ -589,6 +596,9 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
   exec::GovernanceScope governance(nullptr, /*mem_limit_bytes=*/-1,
                                    /*deadline_ms=*/-1, gen_options.trace);
   exec::QueryContext* qctx = governance.ctx();
+  if (qctx != nullptr && gen_options.priority != 0) {
+    qctx->set_priority(gen_options.priority);
+  }
   obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
 
   static obs::Counter& queries =
@@ -597,6 +607,16 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
       obs::MetricsRegistry::Global().GetHistogram("query.latency_us.jit");
   queries.Add(1);
   Timer timer;
+
+  // Stamped on every exit — success, fallback, or structured failure — so
+  // the histogram carries what the client observed for the whole attempt
+  // chain. Stamping only the happy path (as this function once did)
+  // understates exactly the tail that matters under concurrency.
+  struct LatencyStamp {
+    obs::Histogram& hist;
+    Timer& timer;
+    ~LatencyStamp() { hist.Record(timer.ElapsedNanos() / 1000); }
+  } latency_stamp{latency, timer};
 
   Status jit_failure;
   std::optional<obs::SpanScope> compile_span;
@@ -613,7 +633,6 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
         (*compiled)->Run(catalog, gen_options.num_threads, qctx);
     if (run.ok()) {
       report->used_jit = true;
-      latency.Record(timer.ElapsedNanos() / 1000);
       return std::move(run).value();
     }
     jit_failure = run.status();

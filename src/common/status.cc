@@ -31,6 +31,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kAdmissionRejected:
+      return "AdmissionRejected";
+    case StatusCode::kQueueTimeout:
+      return "QueueTimeout";
   }
   return "Unknown";
 }

@@ -33,6 +33,11 @@ enum class StatusCode {
   kBudgetExceeded,    // memory budget breached (SWOLE_MEM_LIMIT)
   kDeadlineExceeded,  // wall-clock deadline fired (SWOLE_DEADLINE_MS)
   kCancelled,         // cooperative cancellation was requested
+  // Admission-control outcomes (exec/admission.h): the query was never
+  // started — the server shed it at the door instead of degrading every
+  // in-flight query. Retryable by the client after backoff.
+  kAdmissionRejected,  // concurrency / queue-depth / tenant cap refused it
+  kQueueTimeout,       // waited in the admission queue past the bounded wait
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -84,6 +89,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status AdmissionRejected(std::string msg) {
+    return Status(StatusCode::kAdmissionRejected, std::move(msg));
+  }
+  static Status QueueTimeout(std::string msg) {
+    return Status(StatusCode::kQueueTimeout, std::move(msg));
+  }
 
   /// True for the governance codes a QueryContext produces: the query was
   /// stopped by policy (budget/deadline/cancel), not by a defect — callers
@@ -93,6 +104,16 @@ class Status {
     return code_ == StatusCode::kBudgetExceeded ||
            code_ == StatusCode::kDeadlineExceeded ||
            code_ == StatusCode::kCancelled;
+  }
+
+  /// True for the admission-control codes (exec/admission.h): the server
+  /// refused to start the query while overloaded. Distinct from
+  /// IsGovernance() — no work ran, nothing was degraded, and the client may
+  /// simply retry later; engine fallback chains must not reinterpret these
+  /// as execution failures.
+  bool IsAdmission() const {
+    return code_ == StatusCode::kAdmissionRejected ||
+           code_ == StatusCode::kQueueTimeout;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "exec/admission.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
 #include "expr/scalar_eval.h"
@@ -118,6 +119,10 @@ int64_t AggIdentity(AggKind kind) {
 
 Result<QueryResult> ReferenceEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
+  // The oracle serves under the same admission regime as the strategy
+  // engines: correctness-checking traffic is still traffic.
+  exec::AdmissionScope admission(tenant_);
+  SWOLE_RETURN_NOT_OK(admission.status());
   static obs::Counter& queries =
       obs::MetricsRegistry::Global().GetCounter("queries.reference");
   static obs::Histogram& latency =

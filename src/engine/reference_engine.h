@@ -1,6 +1,9 @@
 #ifndef SWOLE_ENGINE_REFERENCE_ENGINE_H_
 #define SWOLE_ENGINE_REFERENCE_ENGINE_H_
 
+#include <string>
+#include <utility>
+
 #include "common/status.h"
 #include "plan/plan.h"
 #include "plan/result.h"
@@ -32,6 +35,10 @@ class ReferenceEngine {
   /// via the governance scope resolved inside Execute.
   void set_query_context(exec::QueryContext* ctx) { query_ctx_ = ctx; }
 
+  /// Tenant identity for per-tenant admission caps (exec/admission.h).
+  /// Empty (the default) is the uncapped default tenant.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+
   /// Executes `plan`. Validates first; returns the normalized result with
   /// groups sorted by key.
   Result<QueryResult> Execute(const QueryPlan& plan);
@@ -43,6 +50,7 @@ class ReferenceEngine {
   const Catalog& catalog_;
   int num_threads_;
   exec::QueryContext* query_ctx_ = nullptr;
+  std::string tenant_;
 };
 
 }  // namespace swole

@@ -1,0 +1,309 @@
+#include "exec/admission.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/env.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace swole::exec {
+
+namespace {
+
+// Shedding outcomes feed the registry so overload is visible without
+// per-query tracing (naming: admission.<event>).
+obs::Counter& AdmittedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("admission.admitted");
+  return c;
+}
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("admission.rejected");
+  return c;
+}
+obs::Counter& TenantRejectedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("admission.tenant_rejected");
+  return c;
+}
+obs::Counter& TimeoutCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("admission.timeouts");
+  return c;
+}
+obs::Counter& QueuedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("admission.queued");
+  return c;
+}
+obs::Counter& PoolRefusalCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("admission.pool_refusals");
+  return c;
+}
+obs::Gauge& RunningGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("admission.running");
+  return g;
+}
+obs::Gauge& WaitingGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("admission.waiting");
+  return g;
+}
+obs::Histogram& WaitHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("admission.wait_us");
+  return h;
+}
+
+// Only the outermost AdmissionScope on a driver thread admits: retries of
+// the same logical query (SWOLE degradation, JIT fallback) re-enter engine
+// Execute on this thread while the outer scope still holds the slot.
+thread_local bool t_thread_admitted = false;
+
+// Queue-wait facts for the outermost admission on this thread; stamped
+// onto the query trace by GovernanceScope (query_context.cc).
+thread_local AdmissionWaitInfo t_last_wait;
+
+}  // namespace
+
+const AdmissionWaitInfo& LastAdmissionWaitOnThread() { return t_last_wait; }
+
+AdmissionConfig AdmissionConfig::FromEnv() {
+  AdmissionConfig config;
+  config.max_concurrent_queries = GetEnvInt64("SWOLE_MAX_QUERIES", 0);
+  config.max_queued_queries = GetEnvInt64("SWOLE_MAX_QUEUED", -1);
+  config.admission_timeout_ms =
+      GetEnvInt64("SWOLE_ADMISSION_TIMEOUT_MS", 100);
+  config.global_mem_limit_bytes = GetEnvInt64("SWOLE_GLOBAL_MEM_LIMIT", 0);
+  config.max_queries_per_tenant =
+      GetEnvInt64("SWOLE_TENANT_MAX_QUERIES", 0);
+  return config;
+}
+
+bool GlobalMemoryPool::TryReserve(int64_t bytes) {
+  if (bytes <= 0) return true;
+  // Deterministic exhaustion for tests: refuses as if the pool were full.
+  if (SWOLE_UNLIKELY(
+          FaultInjector::Global().ShouldFail("pool_exhausted"))) {
+    PoolRefusalCounter().Add(1);
+    return false;
+  }
+  int64_t now = reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (SWOLE_UNLIKELY(limit_ > 0 && now > limit_)) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    PoolRefusalCounter().Add(1);
+    return false;
+  }
+  return true;
+}
+
+void GlobalMemoryPool::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    tenant_ = std::move(other.tenant_);
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(tenant_);
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController& AdmissionController::Global() {
+  // Leaked: tickets released from client threads may outlive static
+  // destruction of this translation unit's other objects.
+  static AdmissionController* controller =
+      new AdmissionController(AdmissionConfig::FromEnv());
+  return *controller;
+}
+
+void AdmissionController::ConfigureGlobal(const AdmissionConfig& config) {
+  AdmissionController& controller = Global();
+  {
+    std::lock_guard<std::mutex> lock(controller.mu_);
+    controller.ResetConfig(config);
+  }
+  controller.slot_free_.notify_all();
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& config) {
+  ResetConfig(config);
+}
+
+void AdmissionController::ResetConfig(const AdmissionConfig& config) {
+  config_ = config;
+  ++epoch_;
+  if (config.global_mem_limit_bytes > 0) {
+    // A new pool starts empty; in-flight queries keep drawing from the
+    // pool they attached at admission (their QueryContext holds the
+    // pointer), so a reconfiguration never strands or double-frees bytes.
+    pool_ = std::make_unique<GlobalMemoryPool>(config.global_mem_limit_bytes);
+  } else {
+    pool_.reset();
+  }
+}
+
+bool AdmissionController::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.max_concurrent_queries > 0 ||
+         config_.max_queries_per_tenant > 0 ||
+         config_.global_mem_limit_bytes > 0;
+}
+
+AdmissionConfig AdmissionController::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+int64_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+int64_t AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+GlobalMemoryPool* AdmissionController::memory_pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.get();
+}
+
+Status AdmissionController::Admit(const std::string& tenant,
+                                  AdmissionTicket* ticket) {
+  // The deterministic rejection sites fire before any capacity math so
+  // every shedding path is testable without real overload — even on a
+  // controller with no caps configured.
+  if (SWOLE_UNLIKELY(
+          FaultInjector::Global().ShouldFail("admission_reject"))) {
+    RejectedCounter().Add(1);
+    return Status::AdmissionRejected(
+        "admission rejected (injected admission_reject fault)");
+  }
+  if (SWOLE_UNLIKELY(FaultInjector::Global().ShouldFail("queue_timeout"))) {
+    TimeoutCounter().Add(1);
+    return Status::QueueTimeout(
+        "admission queue timeout (injected queue_timeout fault)");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (config_.max_queries_per_tenant > 0 && !tenant.empty()) {
+    auto it = tenant_running_.find(tenant);
+    if (it != tenant_running_.end() &&
+        it->second >= config_.max_queries_per_tenant) {
+      // Tenant caps shed immediately: a capped tenant must not consume
+      // shared queue slots other tenants could use.
+      TenantRejectedCounter().Add(1);
+      RejectedCounter().Add(1);
+      return Status::AdmissionRejected(StringFormat(
+          "tenant \"%s\" is at its cap of %lld running queries",
+          tenant.c_str(),
+          static_cast<long long>(config_.max_queries_per_tenant)));
+    }
+  }
+
+  if (config_.max_concurrent_queries > 0 &&
+      running_ >= config_.max_concurrent_queries) {
+    if (waiting_ >= config_.EffectiveMaxQueued()) {
+      RejectedCounter().Add(1);
+      return Status::AdmissionRejected(StringFormat(
+          "server saturated: %lld queries running (cap %lld), "
+          "%lld already queued (cap %lld)",
+          static_cast<long long>(running_),
+          static_cast<long long>(config_.max_concurrent_queries),
+          static_cast<long long>(waiting_),
+          static_cast<long long>(config_.EffectiveMaxQueued())));
+    }
+    ++waiting_;
+    QueuedCounter().Add(1);
+    WaitingGauge().Set(waiting_);
+    const int64_t entry_epoch = epoch_;
+    const auto wait_start = std::chrono::steady_clock::now();
+    const auto deadline =
+        wait_start + std::chrono::milliseconds(config_.admission_timeout_ms);
+    const bool got_slot = slot_free_.wait_until(lock, deadline, [&] {
+      // Re-read the config each evaluation so ConfigureGlobal takes
+      // effect on live waiters.
+      return epoch_ != entry_epoch ||
+             config_.max_concurrent_queries <= 0 ||
+             running_ < config_.max_concurrent_queries;
+    });
+    --waiting_;
+    WaitingGauge().Set(waiting_);
+    const int64_t waited_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count();
+    WaitHistogram().Record(waited_us);
+    t_last_wait.queued = true;
+    t_last_wait.wait_us = waited_us;
+    if (!got_slot) {
+      TimeoutCounter().Add(1);
+      return Status::QueueTimeout(StringFormat(
+          "no admission slot within %lldms (cap %lld running)",
+          static_cast<long long>(config_.admission_timeout_ms),
+          static_cast<long long>(config_.max_concurrent_queries)));
+    }
+  }
+
+  ++running_;
+  RunningGauge().Set(running_);
+  if (!tenant.empty()) ++tenant_running_[tenant];
+  AdmittedCounter().Add(1);
+  if (ticket != nullptr) {
+    ticket->Release();
+    ticket->controller_ = this;
+    ticket->tenant_ = tenant;
+  }
+  return Status::OK();
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    RunningGauge().Set(running_);
+    if (!tenant.empty()) {
+      auto it = tenant_running_.find(tenant);
+      if (it != tenant_running_.end() && --it->second <= 0) {
+        tenant_running_.erase(it);
+      }
+    }
+  }
+  slot_free_.notify_all();
+}
+
+AdmissionScope::AdmissionScope(const std::string& tenant) {
+  if (t_thread_admitted) return;  // nested: the outer scope holds the slot
+  t_last_wait = AdmissionWaitInfo{};  // fresh facts for this admission
+  AdmissionController& controller = AdmissionController::Global();
+  status_ = controller.Admit(tenant, &ticket_);
+  if (status_.ok()) {
+    t_thread_admitted = true;
+    outermost_ = true;
+  }
+}
+
+AdmissionScope::~AdmissionScope() {
+  if (outermost_) t_thread_admitted = false;
+}
+
+}  // namespace swole::exec

@@ -9,6 +9,7 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/admission.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
 #include "obs/trace.h"
@@ -53,6 +54,23 @@ QueryContext::QueryContext(Limits limits) : limits_(limits) {
                    std::chrono::milliseconds(limits_.deadline_ms);
     has_deadline_ = true;
   }
+}
+
+QueryContext::~QueryContext() { DetachGlobalPool(); }
+
+void QueryContext::AttachGlobalPool(GlobalMemoryPool* pool) {
+  pool_.store(pool, std::memory_order_release);
+}
+
+void QueryContext::DetachGlobalPool() {
+  GlobalMemoryPool* pool = pool_.exchange(nullptr, std::memory_order_acq_rel);
+  if (pool == nullptr) return;
+  // Refund whatever this query still holds in the shared pool. Normally
+  // zero — tracked structures release their charges on destruction — but
+  // an abort that leaked generated-side state (see codegen/jit.cc cleanup)
+  // must not strand pool capacity forever.
+  int64_t residual = pool_charged_.exchange(0, std::memory_order_acq_rel);
+  if (residual > 0) pool->Release(residual);
 }
 
 void QueryContext::RequestCancel() {
@@ -100,6 +118,10 @@ AbortReason QueryContext::TryCharge(int64_t delta, const char* site) {
   if (delta <= 0) {
     // Release path: always accepted, keeps query-level accounting exact.
     consumed_.fetch_add(delta, std::memory_order_relaxed);
+    if (GlobalMemoryPool* pool = global_pool(); pool != nullptr) {
+      pool->Release(-delta);
+      pool_charged_.fetch_add(delta, std::memory_order_relaxed);
+    }
     std::lock_guard<std::mutex> lock(site_mu_);
     sites_[site].current += delta;
     return AbortReason::kNone;
@@ -127,6 +149,20 @@ AbortReason QueryContext::TryCharge(int64_t delta, const char* site) {
     BudgetBreachCounter().Add(1);
     RecordPendingAbort(AbortReason::kBudget, site, delta);
     return AbortReason::kBudget;
+  }
+
+  // Mirror the accepted growth into the shared pool (when admitted under a
+  // global memory limit): the pool refusing means some *other* queries hold
+  // the capacity — this query sheds with the same structured kBudget abort
+  // a private-limit breach produces, and the process never overcommits.
+  if (GlobalMemoryPool* pool = global_pool(); pool != nullptr) {
+    if (SWOLE_UNLIKELY(!pool->TryReserve(delta))) {
+      consumed_.fetch_sub(delta, std::memory_order_relaxed);
+      BudgetBreachCounter().Add(1);
+      RecordPendingAbort(AbortReason::kBudget, site, delta);
+      return AbortReason::kBudget;
+    }
+    pool_charged_.fetch_add(delta, std::memory_order_relaxed);
   }
 
   // Query-level peak (CAS loop: charges are rare growth events).
@@ -178,6 +214,14 @@ void QueryContext::AttachStatsToTrace() {
   if (cancel_requested()) {
     trace->AddAttr(root, "governance.cancelled", int64_t{1});
   }
+  // Queue-wait facts from this driver thread's admission (exec/admission.h):
+  // stamped here because AttachStatsToTrace runs on the same thread that
+  // opened the AdmissionScope, after the query finished.
+  const AdmissionWaitInfo& wait = LastAdmissionWaitOnThread();
+  if (wait.queued) {
+    trace->AddAttr(root, "admission.queued", int64_t{1});
+    trace->AddAttr(root, "admission.wait_us", wait.wait_us);
+  }
 }
 
 std::string QueryContext::MemoryReport() const {
@@ -186,6 +230,12 @@ std::string QueryContext::MemoryReport() const {
   if (limits_.mem_limit_bytes > 0) {
     report += StringFormat(" (limit %lldB)",
                            static_cast<long long>(limits_.mem_limit_bytes));
+  }
+  if (GlobalMemoryPool* pool = global_pool(); pool != nullptr) {
+    report += StringFormat(
+        "; global pool %lldB/%lldB reserved",
+        static_cast<long long>(pool->reserved_bytes()),
+        static_cast<long long>(pool->limit_bytes()));
   }
   std::lock_guard<std::mutex> lock(site_mu_);
   if (sites_.empty()) return report;
@@ -267,8 +317,16 @@ int QueryContext::CancelCheckThunk(void* ctx) {
 GovernanceScope::GovernanceScope(QueryContext* external,
                                  int64_t mem_limit_bytes, int64_t deadline_ms,
                                  obs::QueryTrace* trace) {
+  // When the process serves under a global memory limit, every governed
+  // execution draws from the shared pool — including externally supplied
+  // contexts that have not attached one themselves.
+  GlobalMemoryPool* pool = AdmissionController::Global().memory_pool();
   if (external != nullptr) {
     ctx_ = external;
+    if (pool != nullptr && external->global_pool() == nullptr) {
+      external->AttachGlobalPool(pool);
+      attached_pool_ = true;
+    }
     if (trace != nullptr && external->trace() == nullptr) {
       external->set_trace(trace);
       attached_trace_ = true;
@@ -284,9 +342,13 @@ GovernanceScope::GovernanceScope(QueryContext* external,
   const bool trace_requested = trace != nullptr || TraceRequestedFromEnv();
   const bool perf_requested = obs::PerfCountersRequested();
   if (limits.mem_limit_bytes > 0 || limits.deadline_ms > 0 ||
-      trace_requested || perf_requested) {
+      trace_requested || perf_requested || pool != nullptr) {
     owned_ = new QueryContext(limits);
     ctx_ = owned_;
+    if (pool != nullptr) {
+      ctx_->AttachGlobalPool(pool);
+      attached_pool_ = true;
+    }
   }
   if (trace_requested) {
     if (trace == nullptr) {
@@ -340,6 +402,9 @@ GovernanceScope::~GovernanceScope() {
   }
   if (attached_trace_ && ctx_ != nullptr) {
     ctx_->set_trace(nullptr);
+  }
+  if (attached_pool_ && ctx_ != nullptr) {
+    ctx_->DetachGlobalPool();  // refunds any residual shared-pool charge
   }
   delete owned_trace_;
   delete owned_;

@@ -43,6 +43,8 @@ class QueryTrace;
 
 namespace swole::exec {
 
+class GlobalMemoryPool;
+
 class QueryContext {
  public:
   struct Limits {
@@ -52,6 +54,7 @@ class QueryContext {
 
   QueryContext();
   explicit QueryContext(Limits limits);
+  ~QueryContext();
 
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
@@ -87,6 +90,26 @@ class QueryContext {
     return consumed_.load(std::memory_order_relaxed);
   }
   int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Attaches the process-wide memory pool (exec/admission.h) this query's
+  /// charges draw down from: every accepted TryCharge delta is mirrored
+  /// into the pool, so concurrent queries compete for one global budget.
+  /// A pool refusal is a kBudget abort attributed to the refusing site.
+  /// Detaching (or destroying the context) refunds any residual charge, so
+  /// an aborted query can never strand pool capacity.
+  void AttachGlobalPool(GlobalMemoryPool* pool);
+  void DetachGlobalPool();
+  GlobalMemoryPool* global_pool() const {
+    return pool_.load(std::memory_order_acquire);
+  }
+
+  // ---- Scheduling ----
+
+  /// Scheduler priority of this query's morsel jobs (exec/scheduler.h):
+  /// higher is served first by the shared pool; equal priorities share
+  /// round-robin. Default 0. Set before execution starts.
+  int priority() const { return priority_; }
+  void set_priority(int priority) { priority_ = priority; }
 
   /// Peak bytes attributed to one operator site (0 if never charged).
   int64_t site_peak_bytes(const std::string& site) const;
@@ -172,6 +195,14 @@ class QueryContext {
 
   std::atomic<int64_t> degradations_{0};
 
+  // Shared-pool accounting: the pool this context draws from (null = query
+  // budget only) and how many bytes this context currently holds in it —
+  // the residual refunded on detach/destruction.
+  std::atomic<GlobalMemoryPool*> pool_{nullptr};
+  std::atomic<int64_t> pool_charged_{0};
+
+  int priority_ = 0;
+
   obs::QueryTrace* trace_ = nullptr;
 };
 
@@ -208,6 +239,7 @@ class GovernanceScope {
   obs::QueryTrace* owned_trace_ = nullptr;
   obs::PerfCounterSet* perf_ = nullptr;
   bool attached_trace_ = false;
+  bool attached_pool_ = false;
 };
 
 /// Maps the in-flight exception to a Status: QueryAbort (and the pending

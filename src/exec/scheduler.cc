@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -23,21 +22,37 @@ namespace {
 // blocks waiting on tasks that need the pool.
 thread_local bool t_in_parallel_region = false;
 
+// Per-pool-worker slot markers (Job::worker_slot).
+constexpr int kNoSlot = -1;     // this pool worker has not joined the job
+constexpr int kSlotsFull = -2;  // job had no free participant slot for it
+
+// One parallel region of one query: the per-query task queue the global
+// scheduler multiplexes. Participant slot w owns the contiguous morsel run
+// [queue_begin[w], queue_end[w]) and pops via fetch_add on cursor[w]; a
+// steal is the identical fetch_add on another slot's cursor, so each morsel
+// index is claimed exactly once regardless of which thread holds the slot.
 struct Job {
   const MorselFn* fn = nullptr;
   QueryContext* ctx = nullptr;
   int64_t morsel_size = 0;
   int64_t total = 0;
   int participants = 0;
-  // Participant w owns the contiguous morsel run
-  // [queue_begin[w], queue_end[w]) and pops via fetch_add on cursor[w];
-  // a steal is the identical fetch_add on another participant's cursor, so
-  // each morsel index is claimed exactly once.
+  int priority = 0;   // higher is served first (QueryContext::priority)
+  uint64_t seq = 0;   // registration order, anchors the round-robin sweep
   std::vector<int64_t> queue_begin;
   std::vector<int64_t> queue_end;
   std::unique_ptr<std::atomic<int64_t>[]> cursor;
+  // Morsels not yet claimed by any participant. The scheduler skips jobs
+  // at zero — they are done or being finished by their current claimants.
+  std::atomic<int64_t> unclaimed{0};
   std::atomic<int64_t> remaining{0};
   std::atomic<int64_t> steals{0};
+  // Participant-slot allocator for pool workers; slot 0 is the caller's.
+  std::atomic<int> next_slot{1};
+  // Slot held by each pool worker (kNoSlot / kSlotsFull / index). A worker
+  // keeps its slot until the job completes, so the slot's thread-local
+  // aggregation state is only ever touched by one thread.
+  std::unique_ptr<std::atomic<int>[]> worker_slot;
   // First error wins; once `aborted` is set, remaining morsels are claimed
   // but their bodies are skipped, so siblings drain fast and the caller's
   // completion wait still terminates.
@@ -54,6 +69,28 @@ void SetJobError(Job& job, const Status& status) {
     std::lock_guard<std::mutex> lock(job.mu);
     job.first_error = status;
   }
+}
+
+/// Claims one morsel for participant `slot`: own run first (keeps the scan
+/// contiguous), then a sweep over the sibling slots' runs. Returns the
+/// morsel index, setting *stolen when it came from a sibling, or -1 when
+/// the job has nothing left to claim.
+int64_t ClaimMorsel(Job& job, int slot, bool* stolen) {
+  int64_t m = job.cursor[slot].fetch_add(1, std::memory_order_relaxed);
+  if (m < job.queue_end[slot]) {
+    job.unclaimed.fetch_sub(1, std::memory_order_relaxed);
+    return m;
+  }
+  for (int v = 1; v < job.participants; ++v) {
+    int victim = (slot + v) % job.participants;
+    m = job.cursor[victim].fetch_add(1, std::memory_order_relaxed);
+    if (m < job.queue_end[victim]) {
+      job.unclaimed.fetch_sub(1, std::memory_order_relaxed);
+      *stolen = true;
+      return m;
+    }
+  }
+  return -1;
 }
 
 void RunMorsel(Job& job, int worker, int64_t morsel) {
@@ -86,55 +123,93 @@ void RunMorsel(Job& job, int worker, int64_t morsel) {
   }
 }
 
-void RunParticipant(const std::shared_ptr<Job>& job, int worker) {
+/// The calling thread's participation: slot 0 of its own job, and only its
+/// own job — claim (own queue, then steal) until the job is drained.
+void RunCallerParticipant(Job& job) {
   const bool was_in_region = t_in_parallel_region;
   t_in_parallel_region = true;
-  // Drain the own run first: contiguous morsels keep the scan sequential.
   while (true) {
-    int64_t m = job->cursor[worker].fetch_add(1, std::memory_order_relaxed);
-    if (m >= job->queue_end[worker]) break;
-    RunMorsel(*job, worker, m);
-  }
-  // Then steal, sweeping the other participants until one full sweep finds
-  // no work anywhere.
-  bool found = true;
-  while (found) {
-    found = false;
-    for (int v = 1; v < job->participants; ++v) {
-      int victim = (worker + v) % job->participants;
-      int64_t m = job->cursor[victim].fetch_add(1, std::memory_order_relaxed);
-      if (m < job->queue_end[victim]) {
-        job->steals.fetch_add(1, std::memory_order_relaxed);
-        RunMorsel(*job, worker, m);
-        found = true;
-      }
-    }
+    bool stolen = false;
+    int64_t m = ClaimMorsel(job, 0, &stolen);
+    if (m < 0) break;
+    if (stolen) job.steals.fetch_add(1, std::memory_order_relaxed);
+    RunMorsel(job, 0, m);
   }
   t_in_parallel_region = was_in_region;
 }
 
-// Lazily grown, process-lifetime worker pool. A function-local static value
-// (not a leaked pointer) so the destructor joins all workers at exit and
-// leak/thread sanitizers see a clean shutdown.
-class Pool {
+int64_t ResolvePoolCap() {
+  int64_t cap = GetEnvInt64("SWOLE_POOL_THREADS", 0);
+  if (cap <= 0) {
+    // The floor of 8 keeps stealing and cross-query interleavings real on
+    // small CI machines; threads are spawned lazily, so an idle process
+    // never pays for the cap.
+    cap = std::max<int64_t>(
+        {static_cast<int64_t>(std::thread::hardware_concurrency()),
+         GetEnvInt64("SWOLE_THREADS", 1), 8});
+  }
+  return std::clamp<int64_t>(cap, 1, 256);
+}
+
+// The process-wide scheduler: a fixed-cap worker pool multiplexing morsels
+// from every active job. A function-local static value (not a leaked
+// pointer) so the destructor joins all workers at exit and leak/thread
+// sanitizers see a clean shutdown.
+class TaskScheduler {
  public:
-  static Pool& Global() {
-    static Pool pool;
-    return pool;
+  static TaskScheduler& Global() {
+    static TaskScheduler scheduler;
+    return scheduler;
   }
 
-  void Submit(std::function<void()> task, int needed_workers) {
+  int cap() const { return cap_; }
+
+  int threads_spawned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+  }
+
+  void Register(const std::shared_ptr<Job>& job) {
+    static obs::Gauge& queue_depth =
+        obs::MetricsRegistry::Global().GetGauge("scheduler.queue_depth");
+    static obs::Gauge& pool_threads =
+        obs::MetricsRegistry::Global().GetGauge("scheduler.pool_threads");
     {
       std::lock_guard<std::mutex> lock(mu_);
-      while (static_cast<int>(threads_.size()) < needed_workers) {
-        threads_.emplace_back([this] { WorkerLoop(); });
+      job->seq = next_seq_++;
+      active_.push_back(job);
+      queue_depth.Set(static_cast<int64_t>(active_.size()));
+      // Grow the pool toward the summed demand of the active jobs (each
+      // job can use participants-1 workers beside its caller), never past
+      // the cap and never shrinking: a serving process converges on one
+      // warm, fixed-size pool.
+      int64_t demand = 0;
+      for (const auto& j : active_) demand += j->participants - 1;
+      const int target =
+          static_cast<int>(std::min<int64_t>(demand, cap_));
+      while (static_cast<int>(threads_.size()) < target) {
+        const int id = static_cast<int>(threads_.size());
+        threads_.emplace_back([this, id] { WorkerLoop(id); });
       }
-      tasks_.push_back(std::move(task));
+      pool_threads.Set(static_cast<int64_t>(threads_.size()));
     }
-    cv_.notify_one();
+    cv_.notify_all();
   }
 
-  ~Pool() {
+  void Unregister(const Job* job) {
+    static obs::Gauge& queue_depth =
+        obs::MetricsRegistry::Global().GetGauge("scheduler.queue_depth");
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].get() == job) {
+        active_.erase(active_.begin() + i);
+        break;
+      }
+    }
+    queue_depth.Set(static_cast<int64_t>(active_.size()));
+  }
+
+  ~TaskScheduler() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       shutdown_ = true;
@@ -144,24 +219,79 @@ class Pool {
   }
 
  private:
-  void WorkerLoop() {
-    while (true) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
-        if (tasks_.empty()) return;  // only reachable on shutdown
-        task = std::move(tasks_.front());
-        tasks_.pop_front();
+  TaskScheduler() : cap_(static_cast<int>(ResolvePoolCap())) {}
+
+  /// Picks the job worker `id` should serve next, under mu_: the highest
+  /// priority among jobs with unclaimed morsels and a (potential) slot for
+  /// this worker; ties broken round-robin by registration sequence,
+  /// rotated one step per pick so equal-priority queries interleave at
+  /// morsel granularity.
+  std::shared_ptr<Job> PickJobFor(int id) {
+    std::shared_ptr<Job> best;
+    uint64_t rotation = rr_++;
+    for (size_t i = 0; i < active_.size(); ++i) {
+      const std::shared_ptr<Job>& job =
+          active_[(i + rotation) % active_.size()];
+      if (job->unclaimed.load(std::memory_order_relaxed) <= 0) continue;
+      int slot = job->worker_slot[id].load(std::memory_order_relaxed);
+      if (slot == kSlotsFull) continue;
+      if (slot == kNoSlot &&
+          job->next_slot.load(std::memory_order_relaxed) >=
+              job->participants) {
+        // No slot will ever free up (slots are held to completion):
+        // remember so the wait predicate does not spin on this job.
+        job->worker_slot[id].store(kSlotsFull, std::memory_order_relaxed);
+        continue;
       }
-      task();
+      if (best == nullptr || job->priority > best->priority) best = job;
+    }
+    return best;
+  }
+
+  void WorkerLoop(int id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      std::shared_ptr<Job> job;
+      cv_.wait(lock, [&] {
+        if (shutdown_) return true;
+        job = PickJobFor(id);
+        return job != nullptr;
+      });
+      if (shutdown_) return;
+      lock.unlock();
+      // Join the job (acquire a participant slot on first contact), then
+      // claim and run ONE morsel before re-picking: morsel-granularity
+      // round-robin is what keeps a short query's tail latency flat while
+      // a scan-heavy neighbor is resident.
+      int slot = job->worker_slot[id].load(std::memory_order_relaxed);
+      if (slot == kNoSlot) {
+        slot = job->next_slot.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= job->participants) slot = kSlotsFull;
+        job->worker_slot[id].store(slot, std::memory_order_relaxed);
+      }
+      if (slot >= 0) {
+        bool stolen = false;
+        int64_t m = ClaimMorsel(*job, slot, &stolen);
+        if (m >= 0) {
+          if (stolen) job->steals.fetch_add(1, std::memory_order_relaxed);
+          const bool was_in_region = t_in_parallel_region;
+          t_in_parallel_region = true;
+          RunMorsel(*job, slot, m);
+          t_in_parallel_region = was_in_region;
+        }
+      }
+      job.reset();
+      lock.lock();
     }
   }
 
-  std::mutex mu_;
+  const int cap_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> tasks_;
+  std::vector<std::shared_ptr<Job>> active_;
+  uint64_t next_seq_ = 0;
+  uint64_t rr_ = 0;
   bool shutdown_ = false;
 };
 
@@ -170,6 +300,12 @@ class Pool {
 int ResolveNumThreads(int requested) {
   int64_t n = requested > 0 ? requested : GetEnvInt64("SWOLE_THREADS", 1);
   return static_cast<int>(std::clamp<int64_t>(n, 1, 256));
+}
+
+int GlobalPoolThreadCap() { return TaskScheduler::Global().cap(); }
+
+int GlobalPoolThreadsSpawned() {
+  return TaskScheduler::Global().threads_spawned();
 }
 
 int64_t DefaultMorselSize(int64_t tile_size) {
@@ -237,16 +373,24 @@ MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
     return stats;
   }
 
+  TaskScheduler& scheduler = TaskScheduler::Global();
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->ctx = ctx;
   job->morsel_size = morsel_size;
   job->total = total_rows;
   job->participants = participants;
+  job->priority = ctx != nullptr ? ctx->priority() : 0;
   job->queue_begin.resize(participants);
   job->queue_end.resize(participants);
   job->cursor = std::make_unique<std::atomic<int64_t>[]>(participants);
+  job->unclaimed.store(num_morsels, std::memory_order_relaxed);
   job->remaining.store(num_morsels, std::memory_order_relaxed);
+  job->worker_slot =
+      std::make_unique<std::atomic<int>[]>(scheduler.cap());
+  for (int w = 0; w < scheduler.cap(); ++w) {
+    job->worker_slot[w].store(kNoSlot, std::memory_order_relaxed);
+  }
   const int64_t base = num_morsels / participants;
   const int64_t extra = num_morsels % participants;
   int64_t next = 0;
@@ -256,20 +400,19 @@ MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
     job->queue_end[w] = next;
     job->cursor[w].store(job->queue_begin[w], std::memory_order_relaxed);
   }
-  for (int w = 1; w < participants; ++w) {
-    Pool::Global().Submit([job, w] { RunParticipant(job, w); },
-                          participants - 1);
-  }
-  RunParticipant(job, 0);
+  scheduler.Register(job);
+  RunCallerParticipant(*job);
   {
     // `remaining == 0` means every morsel's fn call has returned, so `fn`
     // (a caller-owned reference) is never touched after we return; late
-    // pool tasks only probe the cursors, which the shared_ptr keeps alive.
+    // scheduler picks only probe the cursors, which the shared_ptr keeps
+    // alive.
     std::unique_lock<std::mutex> lock(job->mu);
     job->done.wait(lock, [&] {
       return job->remaining.load(std::memory_order_acquire) == 0;
     });
   }
+  scheduler.Unregister(job.get());
   stats.steals = job->steals.load(std::memory_order_relaxed);
   if (SWOLE_UNLIKELY(job->aborted.load(std::memory_order_acquire))) {
     std::lock_guard<std::mutex> lock(job->mu);

@@ -6,21 +6,40 @@
 
 #include "common/status.h"
 
-// Morsel-driven parallel execution.
+// Morsel-driven parallel execution over one process-wide scheduler.
 //
 // A query's probe/scan side is split into fixed-size "morsels" (a whole
 // number of tiles, see DefaultMorselSize); morsels are dealt to a small
 // set of participants in contiguous runs, and idle participants steal from
 // the tail of other participants' runs. Every participant owns a
-// thread-local aggregation state that the engines merge in worker order
-// after the scan, which keeps results bit-exact with single-thread runs
-// (see DESIGN.md §7).
+// thread-local aggregation state that the engines merge in participant
+// order after the scan, which keeps results bit-exact with single-thread
+// runs (see DESIGN.md §7).
 //
-// The worker pool behind ParallelMorsels is a process-global lazy
-// singleton: threads are spawned on first use, reused across queries, and
-// joined at process exit. Nested ParallelMorsels calls (a worker's morsel
-// function starting another parallel region) run inline on the calling
-// participant, so the pool can never deadlock on itself.
+// Concurrency model (DESIGN.md §11). The worker pool behind ParallelMorsels
+// is a single process-wide TaskScheduler with a fixed thread cap
+// (GlobalPoolThreadCap: SWOLE_POOL_THREADS, else hardware/SWOLE_THREADS).
+// Each ParallelMorsels call registers one job — the per-query task queue —
+// and pool workers multiplex morsels from all active jobs:
+//
+//   * fairness: workers pick jobs round-robin at MORSEL granularity, so a
+//     long-running scan cannot monopolize the pool against a short query;
+//   * priority: jobs inherit QueryContext::priority(); workers always
+//     serve the highest-priority job that still has unclaimed morsels
+//     (strict priority — equal priorities share round-robin);
+//   * participant slots: a pool worker joining a job claims one of the
+//     job's participant slots (bounded by the query's num_threads) and
+//     keeps it until the job completes, so per-worker aggregation state
+//     and the worker-order merge are untouched by multiplexing;
+//   * stealing: within a job, exhausting the own slot's run falls through
+//     to stealing from sibling slots exactly as before; across jobs, the
+//     round-robin pick itself is the (fair) steal.
+//
+// The calling thread always participates as slot 0 of its own job and only
+// its own job — a client thread never burns its latency budget executing
+// another query's morsels. Nested ParallelMorsels calls (a morsel function
+// starting another parallel region) run inline on the calling participant,
+// so the pool can never deadlock on itself.
 
 namespace swole::exec {
 
@@ -30,6 +49,17 @@ class QueryContext;
 /// SWOLE_THREADS environment variable, otherwise 1 (single-threaded — the
 /// default matches the pre-parallel engines). Clamped to [1, 256].
 int ResolveNumThreads(int requested);
+
+/// The process-wide worker-pool thread cap: SWOLE_POOL_THREADS when set,
+/// otherwise max(hardware concurrency, SWOLE_THREADS, 8) — the floor keeps
+/// work stealing and the TSan schedules real on small CI machines. Clamped
+/// to [1, 256]; resolved once at first use. Threads are spawned lazily up
+/// to this cap as jobs demand them and reused across all queries.
+int GlobalPoolThreadCap();
+
+/// Pool threads actually spawned so far (<= GlobalPoolThreadCap()). For
+/// tests and the serving benchmark.
+int GlobalPoolThreadsSpawned();
 
 /// Morsel size for a given tile size: SWOLE_MORSEL_TILES tiles (default
 /// 64), rounded up by whole tiles until the size is also a multiple of 64
@@ -41,7 +71,7 @@ int64_t DefaultMorselSize(int64_t tile_size);
 struct MorselStats {
   int64_t morsels = 0;
   int64_t steals = 0;
-  int workers = 1;  // participants actually used (<= requested threads)
+  int workers = 1;  // participant slots available (<= requested threads)
   /// First error observed across all participants. Non-OK means the run
   /// was aborted: some morsels were skipped and per-worker states are
   /// incomplete — callers must discard them and propagate this status.
@@ -74,8 +104,8 @@ MorselStats ParallelMorsels(int num_threads, int64_t total_rows,
 /// cooperative cancellation / deadline checkpoint (QueryContext::CheckLive)
 /// and a governance abort (QueryAbort thrown by a tracked allocation, or a
 /// checkpoint firing) stops all participants and surfaces as the matching
-/// structured Status. ctx == nullptr behaves exactly like the overload
-/// above.
+/// structured Status; the job is scheduled at ctx->priority(). ctx ==
+/// nullptr behaves exactly like the overload above.
 MorselStats ParallelMorsels(QueryContext* ctx, int num_threads,
                             int64_t total_rows, int64_t morsel_size,
                             const MorselFn& fn);

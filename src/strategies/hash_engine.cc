@@ -1,11 +1,13 @@
 #include "strategies/hash_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <optional>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "exec/admission.h"
 #include "exec/scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -34,6 +36,30 @@ int FindGroupjoinDim(const QueryPlan& plan) {
   return -1;
 }
 
+// Bound-once metric handles per strategy kind. One HashStrategyEngine
+// class serves three kinds, so a single function-local static at the call
+// site would bind whichever kind executed first; and per-call
+// GetCounter/GetHistogram lookups take the registry mutex, which
+// concurrent driver threads contend on every query.
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Histogram* latency;
+};
+
+EngineMetrics& MetricsFor(StrategyKind kind) {
+  static std::array<EngineMetrics, 4> table = [] {
+    std::array<EngineMetrics, 4> t{};
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    for (int k = 0; k < 4; ++k) {
+      const char* name = StrategyKindName(static_cast<StrategyKind>(k));
+      t[k] = {&reg.GetCounter(std::string("queries.") + name),
+              &reg.GetHistogram(std::string("query.latency_us.") + name)};
+    }
+    return t;
+  }();
+  return table[static_cast<int>(kind)];
+}
+
 }  // namespace
 
 HashStrategyEngine::HashStrategyEngine(StrategyKind kind,
@@ -45,13 +71,23 @@ HashStrategyEngine::HashStrategyEngine(StrategyKind kind,
 
 Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
-  obs::MetricsRegistry::Global()
-      .GetCounter(std::string("queries.") + name())
-      .Add(1);
+
+  // Admission before any work (exec/admission.h): a shed query costs the
+  // server nothing but the rejection Status. When this engine runs as the
+  // SWOLE degradation fallback on an already-admitted thread, the scope is
+  // a no-op riding the outer slot.
+  exec::AdmissionScope admission(options_.tenant);
+  SWOLE_RETURN_NOT_OK(admission.status());
+
+  EngineMetrics& metrics = MetricsFor(kind_);
+  metrics.queries->Add(1);
   Timer timer;
   exec::GovernanceScope governance(options_.query_ctx,
                                    options_.mem_limit_bytes,
                                    options_.deadline_ms, options_.trace);
+  if (governance.ctx() != nullptr && options_.priority != 0) {
+    governance.ctx()->set_priority(options_.priority);
+  }
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     try {
       return ExecuteGoverned(plan, governance.ctx());
@@ -59,9 +95,7 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
       return exec::StatusFromCurrentException(governance.ctx());
     }
   }();
-  obs::MetricsRegistry::Global()
-      .GetHistogram(std::string("query.latency_us.") + name())
-      .Record(timer.ElapsedNanos() / 1000);
+  metrics.latency->Record(timer.ElapsedNanos() / 1000);
   return result;
 }
 

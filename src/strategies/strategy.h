@@ -91,6 +91,17 @@ struct StrategyOptions {
   // SWOLE_DEADLINE_MS (absent = none); 0 explicitly none.
   int64_t deadline_ms = -1;
 
+  // ---- Concurrent serving (exec/admission.h, exec/scheduler.h) ----
+
+  // Scheduler priority of this query's morsel work in the shared worker
+  // pool: higher runs first, equal priorities share round-robin. Only
+  // meaningful when concurrent queries compete for the pool.
+  int priority = 0;
+
+  // Tenant identity for per-tenant admission caps (SWOLE_TENANT_MAX_QUERIES).
+  // Empty = the default tenant (never capped per-tenant).
+  std::string tenant;
+
   // ---- Observability (obs/trace.h) ----
 
   // Per-query trace to record spans into (strategy choice, operator

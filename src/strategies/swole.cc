@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <optional>
 #include <set>
 
@@ -10,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "cost/estimates.h"
+#include "exec/admission.h"
 #include "exec/scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -134,28 +136,47 @@ SwoleStrategy::~SwoleStrategy() = default;
 
 Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog_));
-  obs::MetricsRegistry::Global().GetCounter("queries.swole").Add(1);
+
+  // Admission before any work: a shed query costs the server nothing but
+  // the rejection Status (exec/admission.h). Nested calls — the
+  // degradation retry below re-enters Execute on this thread — ride the
+  // outer scope's slot.
+  exec::AdmissionScope admission(options_.tenant);
+  SWOLE_RETURN_NOT_OK(admission.status());
+
+  // Bound-once handles: per-call GetCounter takes the registry mutex,
+  // which concurrent driver threads would contend on every query.
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("queries.swole");
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("query.latency_us.swole");
+  queries.Add(1);
   Timer timer;
-  const PlanAnalysis& analysis = Analyze(plan);
+  const CachedAnalysis& cached = Analyze(plan);
+  const PlanAnalysis& analysis = cached.analysis;
   exec::GovernanceScope governance(options_.query_ctx,
                                    options_.mem_limit_bytes,
                                    options_.deadline_ms, options_.trace);
   exec::QueryContext* qctx = governance.ctx();
+  if (qctx != nullptr && options_.priority != 0) {
+    qctx->set_priority(options_.priority);
+  }
   obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // The strategy decision and the cost-model numbers it was made on go
     // onto the engine span, so a trace explains *why* this plan ran as
-    // VM/KM/EA/groupjoin, not just that it did.
+    // VM/KM/EA/groupjoin, not just that it did. Attrs read the immutable
+    // cache entry, not decisions_, so concurrent Executes don't race.
     obs::SpanScope engine_span(trace, "swole");
     if (trace != nullptr) {
-      engine_span.Attr("agg", decisions_.aggregation);
+      engine_span.Attr("agg", cached.decisions.aggregation);
       if (analysis.use_ea) engine_span.Attr("ea", int64_t{1});
       if (analysis.groupjoin_dim >= 0) {
         engine_span.Attr("groupjoin_dim",
                          static_cast<int64_t>(analysis.groupjoin_dim));
       }
-      if (decisions_.used_access_merging) {
+      if (cached.decisions.used_access_merging) {
         engine_span.Attr("access_merging", int64_t{1});
       }
       if (!analysis.agg_cost_detail.empty()) {
@@ -177,9 +198,6 @@ Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
       return exec::StatusFromCurrentException(qctx);
     }
   }();
-  obs::MetricsRegistry::Global()
-      .GetHistogram("query.latency_us.swole")
-      .Record(timer.ElapsedNanos() / 1000);
 
   // Graceful degradation: when the pullup plan breached its memory budget,
   // retry once under the memory-lean data-centric strategy against the
@@ -187,30 +205,43 @@ Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
   // unwinding (their trackers released), so the retry starts from the
   // query's baseline consumption. Deadline and cancellation are terminal —
   // retrying cannot make the clock go backwards.
-  if (result.ok() || qctx == nullptr ||
-      result.status().code() != StatusCode::kBudgetExceeded) {
-    return result;
+  if (!result.ok() && qctx != nullptr &&
+      result.status().code() == StatusCode::kBudgetExceeded) {
+    SWOLE_LOG(WARNING) << "swole plan breached its memory budget ("
+                       << result.status().message()
+                       << "); degrading to data-centric";
+    qctx->CountDegradation();
+    {
+      std::lock_guard<std::mutex> lock(analysis_mu_);
+      decisions_.degraded_to_data_centric = true;
+      decisions_.rationale +=
+          " [budget breach: degraded to data-centric strategy]";
+    }
+    StrategyOptions lean = options_;
+    lean.query_ctx = qctx;  // same budget, deadline, and cancellation token
+    std::unique_ptr<Strategy> fallback =
+        MakeStrategy(StrategyKind::kDataCentric, catalog_, lean);
+    result = fallback->Execute(plan);
   }
-  SWOLE_LOG(WARNING) << "swole plan breached its memory budget ("
-                     << result.status().message()
-                     << "); degrading to data-centric";
-  qctx->CountDegradation();
-  decisions_.degraded_to_data_centric = true;
-  decisions_.rationale +=
-      " [budget breach: degraded to data-centric strategy]";
-  StrategyOptions lean = options_;
-  lean.query_ctx = qctx;  // same budget, deadline, and cancellation token
-  std::unique_ptr<Strategy> fallback =
-      MakeStrategy(StrategyKind::kDataCentric, catalog_, lean);
-  return fallback->Execute(plan);
+
+  // Stamped after the degradation retry: the histogram carries what the
+  // CLIENT observed for this query, not just the first attempt — under
+  // concurrency that difference is exactly the tail the p99 must show.
+  latency.Record(timer.ElapsedNanos() / 1000);
+  return result;
 }
 
-const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
+const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
     const QueryPlan& plan) {
+  // One lock over lookup + compute + publish: analyses are cheap relative
+  // to execution and memoized per plan object, so serializing them is not
+  // a serving bottleneck; entries are heap-stable once published, so the
+  // returned reference outlives the lock.
+  std::lock_guard<std::mutex> lock(analysis_mu_);
   auto cache_it = analysis_cache_.find(&plan);
   if (cache_it != analysis_cache_.end()) {
     decisions_ = cache_it->second->decisions;
-    return cache_it->second->analysis;
+    return *cache_it->second;
   }
 
   const Table& fact = catalog_.TableRef(plan.fact_table);
@@ -420,7 +451,7 @@ const SwoleStrategy::PlanAnalysis& SwoleStrategy::Analyze(
   cached->analysis = std::move(analysis);
   cached->decisions = decisions_;
   cache_it = analysis_cache_.emplace(&plan, std::move(cached)).first;
-  return cache_it->second->analysis;
+  return *cache_it->second;
 }
 
 // ---------------------------------------------------------------------------

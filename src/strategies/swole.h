@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "strategies/common.h"
 #include "strategies/strategy.h"
@@ -29,7 +30,11 @@ class SwoleStrategy : public Strategy {
 
   Result<QueryResult> Execute(const QueryPlan& plan) override;
 
-  /// What the cost model decided during the last Execute call.
+  /// What the cost model decided during the last Execute call. Not
+  /// synchronized with in-flight Execute calls — read it after Execute
+  /// returns on the calling thread (concurrent drivers should use one
+  /// engine instance per thread; the worker pool and admission control are
+  /// process-wide either way).
   const SwoleDecisions& last_decisions() const { return decisions_; }
 
  private:
@@ -38,8 +43,9 @@ class SwoleStrategy : public Strategy {
 
   /// Runs the cost-model analysis for `plan`, memoized per plan object
   /// (the paper's timings cover query processing, not planning — repeated
-  /// executions of the same plan reuse the decisions).
-  const PlanAnalysis& Analyze(const QueryPlan& plan);
+  /// executions of the same plan reuse the decisions). Thread-safe: the
+  /// cache is mutex-guarded and entries are stable once published.
+  const CachedAnalysis& Analyze(const QueryPlan& plan);
 
   Result<QueryResult> ExecuteEagerAggregation(const QueryPlan& plan,
                                               const PlanAnalysis& analysis,
@@ -55,6 +61,9 @@ class SwoleStrategy : public Strategy {
   StrategyOptions options_;
   CostProfile profile_;
   SwoleDecisions decisions_;
+  // Guards analysis_cache_ and writes to decisions_ (Analyze runs from
+  // concurrent driver threads when an instance is shared).
+  mutable std::mutex analysis_mu_;
   std::map<const QueryPlan*, std::unique_ptr<CachedAnalysis>>
       analysis_cache_;
 };

@@ -1,0 +1,608 @@
+// Concurrent multi-query serving (DESIGN.md §11): many driver threads
+// share one process-wide morsel scheduler and admission controller.
+//
+//   * results stay bit-identical to sequential execution at every worker
+//     count while queries from different clients overlap;
+//   * cancelling or deadline-aborting one query from another thread never
+//     disturbs concurrently running queries;
+//   * overload is shed with structured Status codes (kAdmissionRejected /
+//     kQueueTimeout) — deterministically via the admission_reject,
+//     queue_timeout, and pool_exhausted fault sites — and the server
+//     recovers fully once load drains;
+//   * per-tenant caps shed only the capped tenant;
+//   * the global memory pool arbitrates concurrent queries' budgets.
+//
+// The whole file must be TSan-clean: it runs under the serving-tsan preset.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "engine/reference_engine.h"
+#include "exec/admission.h"
+#include "exec/query_context.h"
+#include "exec/scheduler.h"
+#include "micro/micro.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/table.h"
+#include "strategies/strategy.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace swole {
+namespace {
+
+constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kDataCentric, StrategyKind::kHybrid, StrategyKind::kRof,
+    StrategyKind::kSwole};
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // One-tile morsels (1024 rows): the 20k-row micro plans split into ~20
+    // morsels instead of one, so these tests genuinely multiplex the shared
+    // pool — at the default 64-tile morsel size every plan here would be a
+    // single morsel and run inline on its driver thread.
+    setenv("SWOLE_MORSEL_TILES", "1", /*overwrite=*/1);
+
+    MicroConfig config;
+    config.r_rows = 20'000;
+    config.s_small_rows = 50;
+    config.s_large_rows = 500;
+    config.c_cardinalities = {10, 200};
+    config.seed = 99;
+    micro_ = MicroData::Generate(config).release();
+
+    tpch::TpchConfig tpch_config;
+    tpch_config.scale_factor = 0.002;
+    tpch_config.seed = 99;
+    tpch_ = tpch::TpchData::Generate(tpch_config).release();
+  }
+  static void TearDownTestSuite() {
+    unsetenv("SWOLE_MORSEL_TILES");
+    delete micro_;
+    micro_ = nullptr;
+    delete tpch_;
+    tpch_ = nullptr;
+  }
+
+  void SetUp() override { ResetServingState(); }
+  void TearDown() override { ResetServingState(); }
+
+  // Admission config and fault sites are process-global; every test starts
+  // and ends with both disabled so tests compose in one binary.
+  static void ResetServingState() {
+    FaultInjector::Global().ClearAll();
+    exec::AdmissionController::ConfigureGlobal(exec::AdmissionConfig{});
+  }
+
+  static MicroData* micro_;
+  static tpch::TpchData* tpch_;
+};
+
+MicroData* ServingTest::micro_ = nullptr;
+tpch::TpchData* ServingTest::tpch_ = nullptr;
+
+// Mixed (plan, strategy) workload with sequential baseline results.
+// QueryPlan is move-only, so items index into the owning plan vector.
+struct MixedWorkload {
+  struct Item {
+    size_t plan_index;
+    StrategyKind kind;
+    QueryResult baseline;
+  };
+  std::vector<QueryPlan> plans;
+  std::vector<Item> items;
+
+  const QueryPlan& plan_of(const Item& item) const {
+    return plans[item.plan_index];
+  }
+};
+
+MixedWorkload BuildMixedWorkload(const MicroData& micro) {
+  MixedWorkload workload;
+  workload.plans.push_back(MicroQ1(false, 37));
+  workload.plans.push_back(
+      MicroQ2(micro.c_columns[1], micro.c_actual[1], 45));
+  workload.plans.push_back(MicroQ4(true, 60, 40));
+  for (size_t p = 0; p < workload.plans.size(); ++p) {
+    for (StrategyKind kind : kAllStrategies) {
+      MixedWorkload::Item item;
+      item.plan_index = p;
+      item.kind = kind;
+      StrategyOptions options;
+      options.num_threads = 1;
+      item.baseline = MakeStrategy(kind, micro.catalog, options)
+                          ->Execute(workload.plans[p])
+                          .value();
+      workload.items.push_back(std::move(item));
+    }
+  }
+  return workload;
+}
+
+// Runs the mixed workload from `num_clients` concurrent driver threads at
+// each worker count and checks every result against its sequential
+// baseline. One engine instance per execution (engines are cheap; the
+// worker pool and admission control are process-wide regardless).
+void RunConcurrentMixedWorkload(const MicroData& micro, int num_clients) {
+  const MixedWorkload workload = BuildMixedWorkload(micro);
+  for (int workers : {1, 2, 8}) {
+    std::vector<std::thread> clients;
+    std::atomic<int> mismatches{0};
+    std::vector<std::string> errors(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        // Clients start at staggered offsets so different strategies and
+        // plan shapes overlap in the pool at any instant.
+        for (size_t i = 0; i < workload.items.size(); ++i) {
+          const MixedWorkload::Item& item =
+              workload.items[(i + c) % workload.items.size()];
+          const QueryPlan& plan = workload.plan_of(item);
+          StrategyOptions options;
+          options.num_threads = workers;
+          Result<QueryResult> result =
+              MakeStrategy(item.kind, micro.catalog, options)->Execute(plan);
+          if (!result.ok() || !(*result == item.baseline)) {
+            mismatches.fetch_add(1);
+            if (errors[c].empty()) {
+              errors[c] = plan.name + std::string(" ") +
+                          StrategyKindName(item.kind) +
+                          (result.ok() ? " result mismatch"
+                                       : " " + result.status().ToString());
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (const std::string& err : errors) {
+      EXPECT_TRUE(err.empty()) << "workers=" << workers << ": " << err;
+    }
+    ASSERT_EQ(mismatches.load(), 0) << "workers=" << workers;
+  }
+}
+
+TEST_F(ServingTest, ConcurrentMixedQueriesBitIdenticalToSequential) {
+  RunConcurrentMixedWorkload(*micro_, 4);
+}
+
+TEST_F(ServingTest, ConcurrentQueriesUnderAdmissionCapStillBitIdentical) {
+  // With the pool capped at 2 running queries, the 4 clients queue at the
+  // door (bounded wait, generous timeout) — admission must delay queries,
+  // never corrupt them.
+  exec::AdmissionConfig config;
+  config.max_concurrent_queries = 2;
+  config.admission_timeout_ms = 60'000;
+  exec::AdmissionController::ConfigureGlobal(config);
+  RunConcurrentMixedWorkload(*micro_, 4);
+  EXPECT_EQ(exec::AdmissionController::Global().running(), 0);
+  EXPECT_EQ(exec::AdmissionController::Global().waiting(), 0);
+}
+
+TEST_F(ServingTest, TpchQueriesConcurrentAcrossCatalogs) {
+  // Two clients on TPC-H plans, two on micro plans: concurrent queries
+  // over different catalogs share the pool without cross-talk.
+  std::vector<QueryPlan> tpch_plans = tpch::AllQueries(tpch_->catalog);
+  tpch_plans.resize(3);
+  std::vector<QueryResult> tpch_baselines;
+  for (const QueryPlan& plan : tpch_plans) {
+    StrategyOptions options;
+    options.num_threads = 1;
+    tpch_baselines.push_back(MakeStrategy(StrategyKind::kSwole,
+                                          tpch_->catalog, options)
+                                 ->Execute(plan)
+                                 .value());
+  }
+  const MixedWorkload micro_workload = BuildMixedWorkload(*micro_);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      for (size_t i = 0; i < tpch_plans.size(); ++i) {
+        StrategyOptions options;
+        options.num_threads = 8;
+        Result<QueryResult> result =
+            MakeStrategy(StrategyKind::kSwole, tpch_->catalog, options)
+                ->Execute(tpch_plans[i]);
+        if (!result.ok() || !(*result == tpch_baselines[i])) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+    clients.emplace_back([&] {
+      for (const MixedWorkload::Item& item : micro_workload.items) {
+        StrategyOptions options;
+        options.num_threads = 8;
+        Result<QueryResult> result =
+            MakeStrategy(item.kind, micro_->catalog, options)
+                ->Execute(micro_workload.plan_of(item));
+        if (!result.ok() || !(*result == item.baseline)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServingTest, CrossThreadCancelLeavesOtherQueriesUntouched) {
+  QueryPlan plan = MicroQ1(false, 37);
+  StrategyOptions baseline_options;
+  baseline_options.num_threads = 1;
+  QueryResult baseline = MakeStrategy(StrategyKind::kSwole, micro_->catalog,
+                                      baseline_options)
+                             ->Execute(plan)
+                             .value();
+
+  exec::QueryContext ctx;
+  std::atomic<bool> victim_started{false};
+  std::atomic<bool> saw_cancelled{false};
+
+  // Victim: re-executes under its context until the cancel lands (sticky:
+  // once RequestCancel is observed, every subsequent claim aborts).
+  std::thread victim([&] {
+    StrategyOptions options;
+    options.num_threads = 8;
+    options.query_ctx = &ctx;
+    for (int i = 0; i < 1000; ++i) {
+      victim_started.store(true, std::memory_order_release);
+      Result<QueryResult> result =
+          MakeStrategy(StrategyKind::kSwole, micro_->catalog, options)
+              ->Execute(plan);
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+            << result.status().ToString();
+        saw_cancelled.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  });
+
+  // Bystanders: keep executing ungoverned queries throughout; every one
+  // must succeed bit-identically while the victim is being killed.
+  std::atomic<int> bystander_failures{0};
+  std::vector<std::thread> bystanders;
+  for (int c = 0; c < 2; ++c) {
+    bystanders.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        StrategyOptions options;
+        options.num_threads = 8;
+        Result<QueryResult> result =
+            MakeStrategy(StrategyKind::kSwole, micro_->catalog, options)
+                ->Execute(plan);
+        if (!result.ok() || !(*result == baseline)) {
+          bystander_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  while (!victim_started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ctx.RequestCancel();  // cross-thread: the victim is mid-loop
+
+  victim.join();
+  for (std::thread& t : bystanders) t.join();
+  EXPECT_TRUE(saw_cancelled.load());
+  EXPECT_EQ(bystander_failures.load(), 0);
+}
+
+TEST_F(ServingTest, DeadlineAbortsOneQueryWhileOthersProceed) {
+  QueryPlan plan = MicroQ1(false, 37);
+  StrategyOptions baseline_options;
+  baseline_options.num_threads = 1;
+  QueryResult baseline = MakeStrategy(StrategyKind::kSwole, micro_->catalog,
+                                      baseline_options)
+                             ->Execute(plan)
+                             .value();
+
+  // deadline_fire makes every governed CheckLive report an expired
+  // deadline; the bystanders run ungoverned (no context), so only the
+  // victim aborts.
+  FaultInjector::Global().SetFault("deadline_fire", 1.0);
+
+  std::atomic<int> bystander_failures{0};
+  std::vector<std::thread> bystanders;
+  for (int c = 0; c < 2; ++c) {
+    bystanders.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        StrategyOptions options;
+        options.num_threads = 8;
+        Result<QueryResult> result =
+            MakeStrategy(StrategyKind::kSwole, micro_->catalog, options)
+                ->Execute(plan);
+        if (!result.ok() || !(*result == baseline)) {
+          bystander_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  exec::QueryContext::Limits limits;
+  limits.deadline_ms = 60'000;  // real deadline far away; the fault fires
+  exec::QueryContext ctx(limits);
+  StrategyOptions governed;
+  governed.num_threads = 8;
+  governed.query_ctx = &ctx;
+  Result<QueryResult> result =
+      MakeStrategy(StrategyKind::kSwole, micro_->catalog, governed)
+          ->Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status().ToString();
+
+  for (std::thread& t : bystanders) t.join();
+  EXPECT_EQ(bystander_failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: caps, queueing, structured shedding, recovery.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, AdmitRejectsWhenSaturatedAndRecovers) {
+  exec::AdmissionConfig config;
+  config.max_concurrent_queries = 1;
+  config.max_queued_queries = 0;  // no queue: reject immediately when full
+  exec::AdmissionController controller(config);
+
+  exec::AdmissionTicket first;
+  ASSERT_TRUE(controller.Admit("", &first).ok());
+  EXPECT_EQ(controller.running(), 1);
+
+  exec::AdmissionTicket second;
+  Status rejected = controller.Admit("", &second);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kAdmissionRejected);
+  EXPECT_TRUE(rejected.IsAdmission());
+  EXPECT_FALSE(rejected.IsGovernance());  // fallback chains must not retry
+
+  // Full recovery: releasing the slot admits the next arrival.
+  first.Release();
+  EXPECT_EQ(controller.running(), 0);
+  ASSERT_TRUE(controller.Admit("", &second).ok());
+  second.Release();
+  EXPECT_EQ(controller.running(), 0);
+}
+
+TEST_F(ServingTest, QueuedAdmissionTimesOutWithStructuredStatus) {
+  // A held slot that never frees: the bounded wait must expire with the
+  // structured kQueueTimeout, not block forever.
+  exec::AdmissionConfig config;
+  config.max_concurrent_queries = 1;
+  config.max_queued_queries = 4;
+  config.admission_timeout_ms = 50;
+  exec::AdmissionController starved(config);
+  exec::AdmissionTicket holder;
+  ASSERT_TRUE(starved.Admit("", &holder).ok());
+  exec::AdmissionTicket waiter;
+  Status timed_out = starved.Admit("", &waiter);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.code(), StatusCode::kQueueTimeout);
+  EXPECT_TRUE(timed_out.IsAdmission());
+  EXPECT_EQ(starved.waiting(), 0);  // the waiter left the queue
+
+  // A slot freeing while an arrival waits (generous timeout): admitted.
+  config.admission_timeout_ms = 60'000;
+  exec::AdmissionController draining(config);
+  exec::AdmissionTicket busy;
+  ASSERT_TRUE(draining.Admit("", &busy).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    busy.Release();
+  });
+  exec::AdmissionTicket late;
+  Status admitted = draining.Admit("", &late);
+  releaser.join();
+  EXPECT_TRUE(admitted.ok()) << admitted.ToString();
+  late.Release();
+  EXPECT_EQ(draining.running(), 0);
+}
+
+TEST_F(ServingTest, QueueWaitIsStampedOntoTheQueryTrace) {
+  // A query that waited for an admission slot records how long on its
+  // trace root (admission.queued / admission.wait_us), so queueing shows
+  // up in per-query observability, not just the aggregate registry.
+  exec::AdmissionConfig config;
+  config.max_concurrent_queries = 1;
+  config.admission_timeout_ms = 60'000;
+  exec::AdmissionController::ConfigureGlobal(config);
+  exec::AdmissionTicket busy;
+  ASSERT_TRUE(exec::AdmissionController::Global().Admit("", &busy).ok());
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    busy.Release();
+  });
+
+  QueryPlan plan = MicroQ1(false, 37);
+  obs::QueryTrace trace;
+  StrategyOptions options;
+  options.trace = &trace;
+  Result<QueryResult> result =
+      MakeStrategy(StrategyKind::kDataCentric, micro_->catalog, options)
+          ->Execute(plan);
+  releaser.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = trace.ToText();
+  EXPECT_NE(text.find("admission.queued"), std::string::npos) << text;
+  EXPECT_NE(text.find("admission.wait_us"), std::string::npos) << text;
+
+  // An uncontended query stamps nothing: the attributes mean "queued".
+  exec::AdmissionController::ConfigureGlobal(exec::AdmissionConfig{});
+  obs::QueryTrace untouched;
+  options.trace = &untouched;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kDataCentric, micro_->catalog,
+                           options)
+                  ->Execute(plan)
+                  .ok());
+  EXPECT_EQ(untouched.ToText().find("admission.queued"), std::string::npos);
+}
+
+TEST_F(ServingTest, TenantCapShedsOnlyThatTenant) {
+  exec::AdmissionConfig config;
+  config.max_queries_per_tenant = 1;
+  exec::AdmissionController controller(config);
+
+  exec::AdmissionTicket a1, a2, b1;
+  ASSERT_TRUE(controller.Admit("tenant-a", &a1).ok());
+  Status capped = controller.Admit("tenant-a", &a2);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.code(), StatusCode::kAdmissionRejected);
+  // Another tenant is unaffected by tenant-a's cap.
+  EXPECT_TRUE(controller.Admit("tenant-b", &b1).ok());
+  // Releasing tenant-a's query restores its headroom.
+  a1.Release();
+  EXPECT_TRUE(controller.Admit("tenant-a", &a2).ok());
+}
+
+TEST_F(ServingTest, FaultSitesForceEveryShedPathThroughEngines) {
+  QueryPlan plan = MicroQ1(false, 37);
+  StrategyOptions options;
+  options.num_threads = 2;
+
+  obs::Counter& rejected =
+      obs::MetricsRegistry::Global().GetCounter("admission.rejected");
+  obs::Counter& timeouts =
+      obs::MetricsRegistry::Global().GetCounter("admission.timeouts");
+
+  // admission_reject: the engine sheds before any work, structured.
+  FaultInjector::Global().SetFault("admission_reject", 1.0);
+  int64_t rejected_before = rejected.value();
+  for (StrategyKind kind : kAllStrategies) {
+    Result<QueryResult> result =
+        MakeStrategy(kind, micro_->catalog, options)->Execute(plan);
+    ASSERT_FALSE(result.ok()) << StrategyKindName(kind);
+    EXPECT_EQ(result.status().code(), StatusCode::kAdmissionRejected)
+        << StrategyKindName(kind);
+  }
+  EXPECT_GE(rejected.value(), rejected_before + 4);
+  FaultInjector::Global().ClearAll();
+
+  // queue_timeout: same, with the bounded-wait outcome.
+  FaultInjector::Global().SetFault("queue_timeout", 1.0);
+  int64_t timeouts_before = timeouts.value();
+  Result<QueryResult> timed_out =
+      MakeStrategy(StrategyKind::kSwole, micro_->catalog, options)
+          ->Execute(plan);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.status().code(), StatusCode::kQueueTimeout);
+  EXPECT_GE(timeouts.value(), timeouts_before + 1);
+  FaultInjector::Global().ClearAll();
+
+  // The reference oracle sheds through the same path.
+  FaultInjector::Global().SetFault("admission_reject", 1.0);
+  ReferenceEngine reference(micro_->catalog);
+  Result<QueryResult> oracle = reference.Execute(plan);
+  ASSERT_FALSE(oracle.ok());
+  EXPECT_EQ(oracle.status().code(), StatusCode::kAdmissionRejected);
+  FaultInjector::Global().ClearAll();
+
+  // Full recovery: with the faults cleared, the same engines serve again.
+  for (StrategyKind kind : kAllStrategies) {
+    Result<QueryResult> result =
+        MakeStrategy(kind, micro_->catalog, options)->Execute(plan);
+    EXPECT_TRUE(result.ok()) << StrategyKindName(kind) << " "
+                             << result.status().ToString();
+  }
+  EXPECT_EQ(exec::AdmissionController::Global().running(), 0);
+}
+
+TEST_F(ServingTest, PoolExhaustedFaultSurfacesAsBudgetBreach) {
+  // A configured global pool makes every execution governed; the
+  // pool_exhausted site then refuses the first tracked growth, which must
+  // surface as the same structured budget breach a real overcommit causes.
+  exec::AdmissionConfig config;
+  config.global_mem_limit_bytes = int64_t{1} << 30;
+  exec::AdmissionController::ConfigureGlobal(config);
+  FaultInjector::Global().SetFault("pool_exhausted", 1.0);
+
+  QueryPlan plan = MicroQ2(micro_->c_columns[1], micro_->c_actual[1], 45);
+  StrategyOptions options;
+  options.num_threads = 2;
+  // Data-centric has no SWOLE degradation retry: the breach surfaces.
+  Result<QueryResult> result =
+      MakeStrategy(StrategyKind::kDataCentric, micro_->catalog, options)
+          ->Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBudgetExceeded)
+      << result.status().ToString();
+
+  // Recovery: clearing the fault restores service under the same pool.
+  FaultInjector::Global().ClearAll();
+  Result<QueryResult> again =
+      MakeStrategy(StrategyKind::kDataCentric, micro_->catalog, options)
+          ->Execute(plan);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+  // Everything the query reserved was refunded at detach.
+  EXPECT_EQ(
+      exec::AdmissionController::Global().memory_pool()->reserved_bytes(), 0);
+}
+
+TEST_F(ServingTest, GlobalPoolArbitratesConcurrentBudgets) {
+  exec::GlobalMemoryPool pool(1000);
+
+  auto ctx1 = std::make_unique<exec::QueryContext>();
+  ctx1->AttachGlobalPool(&pool);
+  auto ctx2 = std::make_unique<exec::QueryContext>();
+  ctx2->AttachGlobalPool(&pool);
+
+  EXPECT_EQ(ctx1->TryCharge(600, "group_table"), AbortReason::kNone);
+  EXPECT_EQ(pool.reserved_bytes(), 600);
+  // The second query's growth would overcommit the pool: it is refused as
+  // a budget breach attributed to the requesting site, not a crash.
+  EXPECT_EQ(ctx2->TryCharge(600, "group_table"), AbortReason::kBudget);
+  EXPECT_EQ(pool.reserved_bytes(), 600);
+  EXPECT_EQ(ctx2->consumed_bytes(), 0);  // the local charge was rolled back
+
+  // Query 1 finishing refunds its reservation; query 2 can now grow.
+  ctx1.reset();
+  EXPECT_EQ(pool.reserved_bytes(), 0);
+  EXPECT_EQ(ctx2->TryCharge(600, "group_table"), AbortReason::kNone);
+  // Releases mirror back to the pool too.
+  EXPECT_EQ(ctx2->TryCharge(-600, "group_table"), AbortReason::kNone);
+  EXPECT_EQ(pool.reserved_bytes(), 0);
+}
+
+TEST_F(ServingTest, SharedSchedulerReportsPoolState) {
+  EXPECT_GE(exec::GlobalPoolThreadCap(), 8);
+  EXPECT_LE(exec::GlobalPoolThreadCap(), 256);
+
+  // Drive a parallel region so the pool has spawned workers, then check
+  // the spawn count respects the cap.
+  QueryPlan plan = MicroQ1(false, 37);
+  StrategyOptions options;
+  options.num_threads = 8;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kSwole, micro_->catalog, options)
+                  ->Execute(plan)
+                  .ok());
+  EXPECT_GE(exec::GlobalPoolThreadsSpawned(), 1);
+  EXPECT_LE(exec::GlobalPoolThreadsSpawned(), exec::GlobalPoolThreadCap());
+}
+
+TEST_F(ServingTest, PriorityPlumbsToTheQueryContext) {
+  exec::QueryContext ctx;
+  EXPECT_EQ(ctx.priority(), 0);
+  QueryPlan plan = MicroQ1(false, 37);
+  StrategyOptions options;
+  options.num_threads = 2;
+  options.query_ctx = &ctx;
+  options.priority = 7;
+  ASSERT_TRUE(MakeStrategy(StrategyKind::kSwole, micro_->catalog, options)
+                  ->Execute(plan)
+                  .ok());
+  EXPECT_EQ(ctx.priority(), 7);
+}
+
+}  // namespace
+}  // namespace swole
