@@ -32,7 +32,8 @@ constexpr int64_t kLen = 1 << 20;  // 1 Mi lanes per iteration
 struct BenchData {
   std::vector<int64_t> a64, b64;
   std::vector<int32_t> a32, b32;
-  std::vector<int8_t> a8;
+  std::vector<int16_t> a16, b16;
+  std::vector<int8_t> a8, b8;
   std::vector<uint8_t> other;            // second mask for And/Or
   std::vector<std::vector<uint8_t>> cmp; // per-selectivity 0/1 masks
   std::vector<int> sels;
@@ -45,7 +46,10 @@ struct BenchData {
     b64.resize(kLen);
     a32.resize(kLen);
     b32.resize(kLen);
+    a16.resize(kLen);
+    b16.resize(kLen);
     a8.resize(kLen);
+    b8.resize(kLen);
     other.resize(kLen);
     for (int64_t j = 0; j < kLen; ++j) {
       // Values in [0, 100): CompareLit with lit == sel hits sel% of lanes,
@@ -55,7 +59,10 @@ struct BenchData {
       b64[j] = pct(rng);
       a32[j] = static_cast<int32_t>(b64[j]);
       b32[j] = static_cast<int32_t>(v);
+      a16[j] = static_cast<int16_t>(v);
+      b16[j] = static_cast<int16_t>(b64[j]);
       a8[j] = static_cast<int8_t>(v);
+      b8[j] = static_cast<int8_t>(b64[j]);
       other[j] = static_cast<uint8_t>(rng() & 1);
     }
     for (int sel : sels) {
@@ -95,6 +102,72 @@ void RegisterKernelRow(const std::string& prim, Backend backend, int sel,
         state.SetBytesProcessed(state.iterations() * bytes);
         simd::SetBackend(prev);
       });
+}
+
+// Width-sweep rows: `kernels/<prim>/<backend>/w:<bits>` at a fixed 50%
+// mask, plus `kernels/<prim>_widened/...` twins that force the legacy
+// widen-to-int64 path (SWOLE_WIDEN) over the same narrow input. Both report
+// the NATIVE streamed volume, so widened GB/s divided into native GB/s is
+// exactly the speedup of executing at the column's physical width.
+template <typename Fn>
+void RegisterWidthRow(const std::string& prim, Backend backend, int bits,
+                      bool widened, int64_t bytes, Fn fn) {
+  std::string name =
+      StringFormat("kernels/%s%s/%s/w:%d", prim.c_str(),
+                   widened ? "_widened" : "", simd::BackendName(backend),
+                   bits);
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [backend, widened, bytes, fn](benchmark::State& state) {
+        Backend prev = simd::ActiveBackend();
+        bool prev_widen = kernels::WidenEnabled();
+        simd::SetBackend(backend);
+        kernels::SetWidenMode(widened);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(fn());
+        }
+        state.SetBytesProcessed(state.iterations() * bytes);
+        kernels::SetWidenMode(prev_widen);
+        simd::SetBackend(prev);
+      });
+}
+
+template <typename T>
+void RegisterWidthRows(Backend b, const std::vector<T>& a,
+                       const std::vector<T>& bcol, std::vector<uint8_t>* out,
+                       std::vector<int64_t>* tmp) {
+  const int bits = static_cast<int>(sizeof(T)) * 8;
+  const int64_t w = static_cast<int64_t>(sizeof(T));
+  // The int64 rows have no narrower path to widen from; register the
+  // widened twin only for narrow widths.
+  const int n_modes = sizeof(T) == 8 ? 1 : 2;
+  for (int mode = 0; mode < n_modes; ++mode) {
+    const bool widened = mode == 1;
+    RegisterWidthRow("compare_lit", b, bits, widened, kLen * (w + 1),
+                     [&a, out]() {
+                       kernels::CompareLit<T>(CmpOp::kLt, a.data(), 50,
+                                              out->data(), kLen);
+                       return (*out)[kLen - 1];
+                     });
+    RegisterWidthRow("sum_masked", b, bits, widened, kLen * (w + 1),
+                     [&a]() {
+                       return kernels::SumMasked<T>(
+                           a.data(), data->Mask(50).data(), kLen);
+                     });
+    RegisterWidthRow("sum_product_masked", b, bits, widened,
+                     kLen * (2 * w + 1), [&a, &bcol]() {
+                       return kernels::SumProductMasked<T, T>(
+                           a.data(), bcol.data(), data->Mask(50).data(),
+                           kLen);
+                     });
+    RegisterWidthRow("mask_into_tmp", b, bits, widened, kLen * (w + 1 + 8),
+                     [&a, tmp]() {
+                       kernels::MaskIntoTmp<T>(a.data(),
+                                               data->Mask(50).data(), kLen,
+                                               tmp->data());
+                       return (*tmp)[kLen - 1];
+                     });
+  }
 }
 
 void RegisterAll() {
@@ -154,6 +227,11 @@ void RegisterAll() {
                                          idx.data());
       });
     }
+
+    RegisterWidthRows<int8_t>(b, data->a8, data->b8, &out, &tmp);
+    RegisterWidthRows<int16_t>(b, data->a16, data->b16, &out, &tmp);
+    RegisterWidthRows<int32_t>(b, data->a32, data->b32, &out, &tmp);
+    RegisterWidthRows<int64_t>(b, data->a64, data->b64, &out, &tmp);
   }
 }
 

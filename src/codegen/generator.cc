@@ -267,6 +267,49 @@ std::string MaskedAggKernelStmt(const AggSpec& agg, int index,
   return std::string();
 }
 
+// Maps a comparison BinaryOp to the emitted kernels::CmpOp name;
+// `swapped` mirrors the op for literal-OP-column leaves (lit < col is
+// col > lit).
+const char* CmpOpName(BinaryOp op, bool swapped) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return swapped ? "kGt" : "kLt";
+    case BinaryOp::kLe:
+      return swapped ? "kGe" : "kLe";
+    case BinaryOp::kGt:
+      return swapped ? "kLt" : "kGt";
+    case BinaryOp::kGe:
+      return swapped ? "kLe" : "kGe";
+    case BinaryOp::kEq:
+      return "kEq";
+    default:
+      return "kNe";
+  }
+}
+
+// Splits the prepass predicate's And-tree into column-vs-literal
+// comparison leaves — lowered to the width-native CompareLit kernel so the
+// generated code reads the column at its physical width — and a residual
+// evaluated in the branch-free lane loop. 0/1 bytes AND bitwise-identically
+// in any order, so the decomposition cannot change the mask.
+void SplitPrepassConjuncts(const Expr& e, std::vector<const Expr*>* simple,
+                           std::vector<const Expr*>* rest) {
+  if (e.kind == ExprKind::kBinary && e.op == BinaryOp::kAnd) {
+    SplitPrepassConjuncts(*e.children[0], simple, rest);
+    SplitPrepassConjuncts(*e.children[1], simple, rest);
+    return;
+  }
+  if (e.kind == ExprKind::kBinary && IsComparisonOp(e.op) &&
+      ((e.children[0]->kind == ExprKind::kColumnRef &&
+        e.children[1]->kind == ExprKind::kLiteral) ||
+       (e.children[0]->kind == ExprKind::kLiteral &&
+        e.children[1]->kind == ExprKind::kColumnRef))) {
+    simple->push_back(&e);
+    return;
+  }
+  rest->push_back(&e);
+}
+
 }  // namespace
 
 Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
@@ -438,10 +481,21 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     }
     body.Close();
   } else {
-    // Tiled loop shared by hybrid and SWOLE.
+    // Tiled loop shared by hybrid and SWOLE. The prepass predicate's
+    // And-tree is split up front: column-vs-literal leaves lower to the
+    // width-native CompareLit kernel (reading the column at its physical
+    // width), anything else stays in the branch-free lane loop.
+    std::vector<const Expr*> pre_simple;
+    std::vector<const Expr*> pre_rest;
+    if (plan.fact_filter != nullptr) {
+      SplitPrepassConjuncts(*plan.fact_filter, &pre_simple, &pre_rest);
+    }
+    const size_t mask_producers =
+        pre_simple.size() + (pre_rest.empty() ? 0 : 1);
     body.Line(StringFormat("constexpr int64_t kTile = %lld;",
                            static_cast<long long>(options.tile_size)));
     body.Line("uint8_t cmp[kTile];");
+    if (mask_producers > 1) body.Line("uint8_t cmp2[kTile];");
     if (!masked) body.Line("int32_t idx[kTile];");
     // Hash-table batch buffers: gathered probe keys and, for group-bys,
     // the payload pointers handed back by GetOrInsertBatch.
@@ -454,14 +508,45 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
         "morsel_end - i < kTile ? morsel_end - i : kTile;");
 
     // Prepass: branch-free predicate evaluation into cmp (Fig. 1 middle).
-    body.Open("for (int64_t j = 0; j < len; ++j) {");
-    std::string pred =
-        plan.fact_filter != nullptr
-            ? EmitExpr(*plan.fact_filter, fact, "i + j", &slots,
+    // Lowered comparison leaves run one dispatched kernel each and AND
+    // into the mask; 0/1 bytes conjoin bitwise-identically in any order.
+    if (mask_producers == 0) {
+      body.Open("for (int64_t j = 0; j < len; ++j) {");
+      body.Line("cmp[j] = (uint8_t)1;");
+      body.Close();
+    } else {
+      bool first = true;
+      for (const Expr* leaf : pre_simple) {
+        const bool swapped = leaf->children[0]->kind == ExprKind::kLiteral;
+        const Expr& col = swapped ? *leaf->children[1] : *leaf->children[0];
+        const Expr& lit = swapped ? *leaf->children[0] : *leaf->children[1];
+        body.Line(StringFormat(
+            "swole::kernels::CompareLit(swole::kernels::CmpOp::%s, %s + i, "
+            "INT64_C(%lld), %s, len);",
+            CmpOpName(leaf->op, swapped),
+            slots.Column(fact, col.column).c_str(),
+            static_cast<long long>(lit.literal), first ? "cmp" : "cmp2"));
+        if (!first) body.Line("swole::kernels::AndBytes(cmp, cmp2, len);");
+        first = false;
+      }
+      if (!pre_rest.empty()) {
+        const char* target = first ? "cmp" : "cmp2";
+        body.Open("for (int64_t j = 0; j < len; ++j) {");
+        std::string pred;
+        for (size_t r = 0; r < pre_rest.size(); ++r) {
+          if (r > 0) pred += " & ";
+          pred += StringFormat(
+              "((%s) != 0)",
+              EmitExpr(*pre_rest[r], fact, "i + j", &slots,
                        BoolStyle::kBranchFree)
-            : std::string("INT64_C(1)");
-    body.Line(StringFormat("cmp[j] = (uint8_t)((%s) != 0);", pred.c_str()));
-    body.Close();
+                  .c_str());
+        }
+        body.Line(
+            StringFormat("%s[j] = (uint8_t)(%s);", target, pred.c_str()));
+        body.Close();
+        if (!first) body.Line("swole::kernels::AndBytes(cmp, cmp2, len);");
+      }
+    }
 
     if (swole) {
       // Positional bitmap probes fold into the mask (predicate pullup).
@@ -632,7 +717,7 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("#include \"exec/kernels.h\"");
   unit.Line("#include \"storage/bitmap.h\"");
   unit.Line("");
-  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO, ABI v3).");
+  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO, ABI v4).");
   unit.Open("struct SwoleKernelIO {");
   unit.Line("const void* const* columns;");
   unit.Line("const int64_t* table_rows;");
@@ -644,6 +729,8 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("void* governor;");
   unit.Line("int (*mem_charge)(void* ctx, int64_t delta, const char* site);");
   unit.Line("int (*cancel_check)(void* ctx);");
+  unit.Line("// Nonzero forces the legacy widening path (SWOLE_WIDEN).");
+  unit.Line("int64_t widen;");
   unit.Close("};");
   unit.Line("");
   unit.Line("// Build-phase output: dimension structures, read-only while");
@@ -680,6 +767,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
 
   unit.Open(StringFormat("extern \"C\" void* %s(const SwoleKernelIO* io) {",
                          kBuildEntryPoint));
+  // The dlopened image carries its own copy of the inline widen flag;
+  // sync it from the host before any kernel runs (build runs exactly once
+  // per execution, including on cache hits).
+  unit.Line("swole::kernels::SetWidenMode(io->widen != 0);");
   slots.EmitDeclarations(&unit);
   if (shared_args.empty()) {
     unit.Line("auto* shared = new SwoleSharedState();");

@@ -58,6 +58,13 @@ struct KernelIO {
   void* governor = nullptr;
   int (*mem_charge)(void* ctx, int64_t delta, const char* site) = nullptr;
   int (*cancel_check)(void* ctx) = nullptr;
+  // ---- Native-width execution (ABI v4) ----
+  // Nonzero forces the legacy widening path inside the kernel image
+  // (kernels::SetWidenMode synced by swole_kernel_build): the dlopened
+  // unit has its own copy of the inline flag, so the host mirrors
+  // kernels::WidenEnabled() here on every run. Always emitted, so kernel
+  // source and cache keys are identical in both modes.
+  int64_t widen = 0;
 };
 
 /// Names of the entry points exported by every generated unit.

@@ -16,6 +16,7 @@
 #include "common/timer.h"
 #include "engine/reference_engine.h"
 #include "exec/admission.h"
+#include "exec/kernels.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
 #include "obs/trace.h"
@@ -435,6 +436,9 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     auto* emit = static_cast<EmitContext*>(ctx);
     emit->result->AddGroup(key, aggs);
   };
+  // ABI v4: mirror the host's widening mode into the kernel image (the
+  // dlopened unit has its own copy of the inline flag).
+  io.widen = kernels::WidenEnabled() ? 1 : 0;
 
   // Governance (ABI v3): the kernel's structures charge the context's
   // memory tracker and its morsel entry polls the cancellation token. The

@@ -16,6 +16,19 @@ std::string CostProfile::ToString() const {
       ht_lookup_l2, ht_lookup_l3, ht_lookup_mem, ns_per_cycle);
 }
 
+namespace {
+
+// Sequential reads are bandwidth-bound: kernels now execute at the
+// column's physical width, so the per-tuple cost of a streaming read
+// scales with bytes moved (8 bytes = the calibrated read_seq). The
+// conditional read_cond terms deliberately do NOT scale — a random touch
+// pays its cache line regardless of element width.
+double SeqRead(const CostProfile& p, double avg_read_width) {
+  return p.read_seq * (avg_read_width / 8.0);
+}
+
+}  // namespace
+
 double HybridCost(const CostProfile& p, const AggWorkload& w) {
   // Selection: one sequential read. Aggregation: for selected tuples only,
   // the max of compute and the conditional reads of every aggregation
@@ -25,36 +38,37 @@ double HybridCost(const CostProfile& p, const AggWorkload& w) {
   if (w.group_ht_bytes > 0) {
     agg = std::max(agg, p.HtLookup(w.group_ht_bytes));
   }
-  return w.rows * (p.read_seq + w.selectivity * agg);
+  return w.rows * (SeqRead(p, w.avg_read_width) + w.selectivity * agg);
 }
 
 double ValueMaskingCost(const CostProfile& p, const AggWorkload& w) {
   // Every tuple is aggregated; the conditional reads become sequential.
-  double reads = p.read_seq * w.num_read_columns;
+  double reads = SeqRead(p, w.avg_read_width) * w.num_read_columns;
   double agg = std::max(w.comp_ns, reads);
   if (w.group_ht_bytes > 0) {
     // Unconditional lookup for every tuple (the VM_gb extension, §III-B).
     agg = std::max(agg, p.HtLookup(w.group_ht_bytes));
   }
-  return w.rows * (p.read_seq + agg);
+  return w.rows * (SeqRead(p, w.avg_read_width) + agg);
 }
 
 double KeyMaskingCost(const CostProfile& p, const AggWorkload& w) {
   // Valid aggregations do a real lookup; masked ones hit the cached
   // throwaway entry.
-  double reads = p.read_seq * w.num_read_columns;
+  double reads = SeqRead(p, w.avg_read_width) * w.num_read_columns;
   double valid = std::max({w.comp_ns, reads,
                            p.HtLookup(w.group_ht_bytes)});
   double masked = std::max({w.comp_ns, reads, p.ht_null});
-  return w.rows * (p.read_seq + w.selectivity * valid +
+  return w.rows * (SeqRead(p, w.avg_read_width) + w.selectivity * valid +
                    (1.0 - w.selectivity) * masked);
 }
 
 double GroupjoinCost(const CostProfile& p, const GroupjoinWorkload& w) {
   double build =
-      w.s_rows * (p.read_seq + w.sigma_s * (p.read_cond + p.ht_insert));
+      w.s_rows * (SeqRead(p, w.avg_read_width) +
+                  w.sigma_s * (p.read_cond + p.ht_insert));
   double probe =
-      w.r_rows * (p.read_seq +
+      w.r_rows * (SeqRead(p, w.avg_read_width) +
                   w.sigma_r * (p.read_cond + p.HtLookup(w.ht_bytes)) +
                   w.match_prob * std::max(w.comp_ns, p.read_cond));
   return build + probe;
@@ -70,11 +84,13 @@ double EagerAggregationCost(const CostProfile& p,
   agg.comp_ns = w.comp_ns;
   agg.group_ht_bytes = w.ea_ht_bytes > 0 ? w.ea_ht_bytes : w.ht_bytes;
   agg.num_read_columns = w.num_read_columns;
+  agg.avg_read_width = w.avg_read_width;
   double per_tuple = std::min({HybridCost(p, agg), ValueMaskingCost(p, agg),
                                KeyMaskingCost(p, agg)});
-  double build = w.r_rows * (p.read_seq + w.sigma_r * per_tuple);
+  double build =
+      w.r_rows * (SeqRead(p, w.avg_read_width) + w.sigma_r * per_tuple);
   double del =
-      w.s_rows * (p.read_seq +
+      w.s_rows * (SeqRead(p, w.avg_read_width) +
                   (1.0 - w.sigma_s) * (p.read_cond + p.ht_delete));
   return build + del;
 }
@@ -158,8 +174,8 @@ std::string DescribeAggDecision(const CostProfile& p, const AggWorkload& w) {
   if (w.group_ht_bytes > 0) {
     out += StringFormat(" km=%.1fms", KeyMaskingCost(p, w) / 1e6);
   }
-  out += StringFormat(" sigma=%.3f cols=%d ht=%lldB", w.selectivity,
-                      w.num_read_columns,
+  out += StringFormat(" sigma=%.3f cols=%d width=%.1fB ht=%lldB",
+                      w.selectivity, w.num_read_columns, w.avg_read_width,
                       static_cast<long long>(w.group_ht_bytes));
   return out;
 }
@@ -167,9 +183,10 @@ std::string DescribeAggDecision(const CostProfile& p, const AggWorkload& w) {
 std::string DescribeEagerDecision(const CostProfile& p,
                                   const GroupjoinWorkload& w) {
   return StringFormat(
-      "groupjoin=%.1fms ea=%.1fms sigma_s=%.3f match=%.3f ht=%lldB/%lldB",
+      "groupjoin=%.1fms ea=%.1fms sigma_s=%.3f match=%.3f width=%.1fB "
+      "ht=%lldB/%lldB",
       GroupjoinCost(p, w) / 1e6, EagerAggregationCost(p, w) / 1e6, w.sigma_s,
-      w.match_prob, static_cast<long long>(w.ht_bytes),
+      w.match_prob, w.avg_read_width, static_cast<long long>(w.ht_bytes),
       static_cast<long long>(w.ea_ht_bytes));
 }
 

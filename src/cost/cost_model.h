@@ -72,6 +72,13 @@ struct AggWorkload {
   // aggregation pays 7 conditional reads under the hybrid plan but 7
   // sequential ones under masking — which is what tips Q1 to key masking.
   int num_read_columns = 1;
+  // Average physical width (bytes) of the columns read, 8 = legacy int64.
+  // Sequential reads are bandwidth-bound, so their cost scales with bytes
+  // actually moved now that kernels execute at native width; conditional
+  // reads stay width-independent (a random touch costs a cache line
+  // either way). Narrow columns therefore bias the model toward the
+  // masking (sequential) plans.
+  double avg_read_width = 8.0;
 };
 
 double HybridCost(const CostProfile& p, const AggWorkload& w);
@@ -92,6 +99,7 @@ struct GroupjoinWorkload {
   int64_t ht_bytes = 0;     // groupjoin hash-table size
   int64_t ea_ht_bytes = 0;  // eager-aggregation hash-table size
   int num_read_columns = 1;  // aggregation inputs (see AggWorkload)
+  double avg_read_width = 8.0;  // bytes per value read (see AggWorkload)
 };
 
 double GroupjoinCost(const CostProfile& p, const GroupjoinWorkload& w);

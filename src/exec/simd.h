@@ -1,8 +1,10 @@
 #ifndef SWOLE_EXEC_SIMD_H_
 #define SWOLE_EXEC_SIMD_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -458,19 +460,69 @@ SWOLE_ALWAYS_INLINE uint64_t ZeroBytesToOnes(uint64_t w) {
   return (~((((w & k7f) + k7f) | w) | k7f)) >> 7;
 }
 
+/// Per-byte unsigned x >= y, flagged in each byte's MSB. The low 7 bits
+/// compare through z = (x|MSB) - (y&~MSB): every minuend byte is >= 0x80
+/// and every subtrahend <= 0x7F, so no borrow crosses byte lanes and z's
+/// per-byte MSB is exactly [x_low7 >= y_low7]. Folding in the operands'
+/// own MSBs gives the full unsigned compare: x >= y iff x's MSB exceeds
+/// y's, or they match and the low halves compare >=.
+SWOLE_ALWAYS_INLINE uint64_t GeBytesMsb(uint64_t x, uint64_t y) {
+  const uint64_t z = (x | kMsbs) - (y & ~kMsbs);
+  return ((x & ~y) | (~(x ^ y) & z)) & kMsbs;
+}
+
+/// Word-wide int8 ordering: signed per-byte compare via the bias trick
+/// (flip both sign bits, compare unsigned). `out` gets 0/1 bytes of
+/// `col[j] OP lit` for the ordering ops; kGe/kLt read GeBytesMsb(x, lit),
+/// kLe/kGt read it with the operands swapped (x <= lit iff lit >= x),
+/// inverting where needed.
+SWOLE_ALWAYS_INLINE void CompareLitOrderI8(CmpOp op, const int8_t* col,
+                                           uint64_t pattern, uint8_t* out,
+                                           int64_t len, int64_t lit) {
+  const uint64_t biased_lit = pattern ^ kMsbs;
+  const bool swap = op == CmpOp::kLe || op == CmpOp::kGt;
+  const uint64_t inv = (op == CmpOp::kLt || op == CmpOp::kGt) ? kMsbs : 0;
+  int64_t j = 0;
+  for (; j <= len - 8; j += 8) {
+    const uint64_t x = LoadWord(col + j) ^ kMsbs;
+    const uint64_t ge = swap ? GeBytesMsb(biased_lit, x)
+                             : GeBytesMsb(x, biased_lit);
+    StoreWord(out + j, (ge ^ inv) >> 7);
+  }
+  for (; j < len; ++j) {
+    switch (op) {
+      case CmpOp::kLt:
+        out[j] = col[j] < lit ? 1 : 0;
+        break;
+      case CmpOp::kLe:
+        out[j] = col[j] <= lit ? 1 : 0;
+        break;
+      case CmpOp::kGt:
+        out[j] = col[j] > lit ? 1 : 0;
+        break;
+      default:
+        out[j] = col[j] >= lit ? 1 : 0;
+        break;
+    }
+  }
+}
+
 template <typename T>
 void CompareLit(CmpOp op, const T* col, int64_t lit, uint8_t* out,
                 int64_t len) {
   if constexpr (std::is_same_v<T, int8_t>) {
+    if (lit < std::numeric_limits<int8_t>::min() ||
+        lit > std::numeric_limits<int8_t>::max()) {
+      std::memset(
+          out,
+          detail::OutOfRangeResult(
+              op, lit > std::numeric_limits<int8_t>::max()),
+          static_cast<size_t>(len));
+      return;
+    }
+    const uint64_t pattern =
+        kOnes * static_cast<uint8_t>(static_cast<int8_t>(lit));
     if (op == CmpOp::kEq || op == CmpOp::kNe) {
-      if (lit < std::numeric_limits<int8_t>::min() ||
-          lit > std::numeric_limits<int8_t>::max()) {
-        std::memset(out, op == CmpOp::kNe ? 1 : 0,
-                    static_cast<size_t>(len));
-        return;
-      }
-      const uint64_t pattern =
-          kOnes * static_cast<uint8_t>(static_cast<int8_t>(lit));
       const uint64_t flip = op == CmpOp::kNe ? kOnes : 0;
       int64_t j = 0;
       for (; j <= len - 8; j += 8) {
@@ -485,6 +537,8 @@ void CompareLit(CmpOp op, const T* col, int64_t lit, uint8_t* out,
       }
       return;
     }
+    CompareLitOrderI8(op, col, pattern, out, len, lit);
+    return;
   }
   scalar::CompareLit<T>(op, col, lit, out, len);
 }
@@ -506,8 +560,64 @@ void CompareCol(CmpOp op, const T* lhs, const T* rhs, uint8_t* out,
       }
       return;
     }
+    // Ordering: same bias trick as CompareLitOrderI8 with both sides
+    // loaded per word.
+    const bool swap = op == CmpOp::kLe || op == CmpOp::kGt;
+    const uint64_t inv = (op == CmpOp::kLt || op == CmpOp::kGt) ? kMsbs : 0;
+    int64_t j = 0;
+    for (; j <= len - 8; j += 8) {
+      const uint64_t x = LoadWord(lhs + j) ^ kMsbs;
+      const uint64_t y = LoadWord(rhs + j) ^ kMsbs;
+      const uint64_t ge = swap ? GeBytesMsb(y, x) : GeBytesMsb(x, y);
+      StoreWord(out + j, (ge ^ inv) >> 7);
+    }
+    for (; j < len; ++j) {
+      switch (op) {
+        case CmpOp::kLt:
+          out[j] = lhs[j] < rhs[j] ? 1 : 0;
+          break;
+        case CmpOp::kLe:
+          out[j] = lhs[j] <= rhs[j] ? 1 : 0;
+          break;
+        case CmpOp::kGt:
+          out[j] = lhs[j] > rhs[j] ? 1 : 0;
+          break;
+        default:
+          out[j] = lhs[j] >= rhs[j] ? 1 : 0;
+          break;
+      }
+    }
+    return;
   }
   scalar::CompareCol<T>(op, lhs, rhs, out, len);
+}
+
+/// Word-wide masked sum for int8 columns. The 0/1 mask bytes expand to
+/// 0x00/0xFF select bytes ((m * 0x7F) | (m << 7): both products are
+/// byte-aligned, no carries), the selected bytes sum unsigned via two
+/// carry-free folds, and a signed correction subtracts 256 for every
+/// selected negative byte (its unsigned value overcounts by exactly 256).
+template <typename T>
+int64_t SumMasked(const T* SWOLE_RESTRICT col,
+                  const uint8_t* SWOLE_RESTRICT cmp, int64_t len) {
+  if constexpr (std::is_same_v<T, int8_t>) {
+    constexpr uint64_t k00ff = 0x00FF00FF00FF00FFULL;
+    int64_t sum = 0;
+    int64_t j = 0;
+    for (; j <= len - 8; j += 8) {
+      const uint64_t m = LoadWord(cmp + j);
+      const uint64_t full = (m * 0x7F) | (m << 7);
+      const uint64_t v = LoadWord(col + j) & full;
+      const uint64_t pairs = (v & k00ff) + ((v >> 8) & k00ff);
+      const uint64_t usum = (pairs * 0x0001000100010001ULL) >> 48;
+      sum += static_cast<int64_t>(usum) -
+             256 * std::popcount(v & kMsbs);
+    }
+    for (; j < len; ++j) sum += static_cast<int64_t>(col[j]) * cmp[j];
+    return sum;
+  } else {
+    return scalar::SumMasked<T>(col, cmp, len);
+  }
 }
 
 /// Word-at-a-time selection-vector construction: packs 8 cmp bytes into a
@@ -568,6 +678,41 @@ SWOLE_TARGET_AVX2 SWOLE_ALWAYS_INLINE __m256i Expand4Mask(const uint8_t* cmp) {
   std::memcpy(&bits, cmp, 4);
   const __m256i m01 = _mm256_cvtepi8_epi64(_mm_cvtsi32_si128(bits));
   return _mm256_sub_epi64(_mm256_setzero_si256(), m01);
+}
+
+/// Loads the next 8 lanes of `col` sign-extended to 8 x int32. Only valid
+/// for columns whose physical type fits in 32 bits; int64 columns use the
+/// 4-lane Load4Widened paths instead.
+template <typename T>
+SWOLE_TARGET_AVX2 SWOLE_ALWAYS_INLINE __m256i Load8AsI32(const T* p) {
+  if constexpr (sizeof(T) == 1) {
+    return _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+  } else if constexpr (sizeof(T) == 2) {
+    return _mm256_cvtepi16_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  } else {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+}
+
+/// Expands 8 mask bytes (0/1) into 8 x int32 lanes of 0 / ~0.
+SWOLE_TARGET_AVX2 SWOLE_ALWAYS_INLINE __m256i Expand8Mask32(
+    const uint8_t* cmp) {
+  const __m256i m01 = _mm256_cvtepi8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cmp)));
+  return _mm256_sub_epi32(_mm256_setzero_si256(), m01);
+}
+
+/// Widens 8 x int32 lanes to 2 x 4 x int64 and adds them into the two
+/// accumulators.
+SWOLE_TARGET_AVX2 SWOLE_ALWAYS_INLINE void AddWidened8(__m256i v,
+                                                       __m256i* acc0,
+                                                       __m256i* acc1) {
+  *acc0 = _mm256_add_epi64(
+      *acc0, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+  *acc1 = _mm256_add_epi64(
+      *acc1, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
 }
 
 /// Exact low-64-bit product per lane (vpmullq is AVX-512; compose from
@@ -862,6 +1007,11 @@ SWOLE_TARGET_AVX2 inline int64_t CountBytes(const uint8_t* cmp, int64_t len) {
   return count;
 }
 
+/// Width-native masked sum. Narrow widths accumulate in the narrowest
+/// exact intermediate and fold into the int64 accumulators before any
+/// intermediate can wrap, so the result is bit-identical to the int64
+/// reference at all widths (int64 addition is the final step everywhere
+/// and wraps mod 2^64 like the scalar backend).
 template <typename T>
 SWOLE_TARGET_AVX2 int64_t SumMasked(const T* SWOLE_RESTRICT col,
                                     const uint8_t* SWOLE_RESTRICT cmp,
@@ -869,38 +1019,132 @@ SWOLE_TARGET_AVX2 int64_t SumMasked(const T* SWOLE_RESTRICT col,
   __m256i acc0 = _mm256_setzero_si256();
   __m256i acc1 = _mm256_setzero_si256();
   int64_t j = 0;
-  for (; j <= len - 8; j += 8) {
-    const __m256i v0 = Load4Widened(col + j);
-    const __m256i v1 = Load4Widened(col + j + 4);
-    acc0 = _mm256_add_epi64(acc0, _mm256_and_si256(v0, Expand4Mask(cmp + j)));
-    acc1 =
-        _mm256_add_epi64(acc1, _mm256_and_si256(v1, Expand4Mask(cmp + j + 4)));
+  if constexpr (sizeof(T) == 1) {
+    // 32 lanes/iter: maddubs pairs the unsigned 0/1 mask with the signed
+    // values — pair sums stay in [-256, 254], far from i16 saturation —
+    // then madd against ones gives exact i32 quad partials. Each i32 lane
+    // grows by at most 4*128 = 2^9 per iteration, so folding to i64 every
+    // 2^20 iterations bounds it at 2^29 < INT32_MAX.
+    const __m256i ones16 = _mm256_set1_epi16(1);
+    constexpr int64_t kFoldLanes = (int64_t{1} << 20) * 32;
+    while (j + 32 <= len) {
+      const int64_t vend = j + ((len - j) / 32) * 32;
+      const int64_t stop = std::min(vend, j + kFoldLanes);
+      __m256i acc32 = _mm256_setzero_si256();
+      for (; j < stop; j += 32) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + j));
+        const __m256i m =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cmp + j));
+        const __m256i pairs = _mm256_maddubs_epi16(m, v);
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(pairs, ones16));
+      }
+      AddWidened8(acc32, &acc0, &acc1);
+    }
+  } else if constexpr (sizeof(T) == 2) {
+    // 16 lanes/iter: madd(value, 0/1 mask) — products are |v| or 0, pair
+    // sums at most 2^16 in magnitude, exact in i32. Lane growth <= 2^16
+    // per iteration; fold every 2^14 iterations (<= 2^30).
+    constexpr int64_t kFoldLanes = (int64_t{1} << 14) * 16;
+    while (j + 16 <= len) {
+      const int64_t vend = j + ((len - j) / 16) * 16;
+      const int64_t stop = std::min(vend, j + kFoldLanes);
+      __m256i acc32 = _mm256_setzero_si256();
+      for (; j < stop; j += 16) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + j));
+        const __m256i m16 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cmp + j)));
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(v, m16));
+      }
+      AddWidened8(acc32, &acc0, &acc1);
+    }
+  } else if constexpr (sizeof(T) == 4) {
+    // 8 lanes/iter, masked at i32 then widened into the accumulators.
+    for (; j + 8 <= len; j += 8) {
+      const __m256i v = _mm256_and_si256(Load8AsI32(col + j),
+                                         Expand8Mask32(cmp + j));
+      AddWidened8(v, &acc0, &acc1);
+    }
+  } else {
+    for (; j <= len - 8; j += 8) {
+      const __m256i v0 = Load4Widened(col + j);
+      const __m256i v1 = Load4Widened(col + j + 4);
+      acc0 =
+          _mm256_add_epi64(acc0, _mm256_and_si256(v0, Expand4Mask(cmp + j)));
+      acc1 = _mm256_add_epi64(acc1,
+                              _mm256_and_si256(v1, Expand4Mask(cmp + j + 4)));
+    }
   }
   int64_t sum = HorizontalSum64(_mm256_add_epi64(acc0, acc1));
   for (; j < len; ++j) sum += static_cast<int64_t>(col[j]) * cmp[j];
   return sum;
 }
 
+/// Width-native masked dot product. Same exactness contract as SumMasked:
+/// every narrow path computes the product in an intermediate wide enough
+/// to hold it exactly and folds into int64 before partials can wrap.
+/// Note the int16 path widens to i32 and multiplies with mullo_epi32
+/// rather than pairing with madd_epi16 — madd's pair-sum wraps when both
+/// pair products are (-2^15)^2, which would break bit-identity.
 template <typename TA, typename TB>
 SWOLE_TARGET_AVX2 int64_t SumProductMasked(const TA* SWOLE_RESTRICT a,
                                            const TB* SWOLE_RESTRICT b,
                                            const uint8_t* SWOLE_RESTRICT cmp,
                                            int64_t len) {
-  __m256i acc = _mm256_setzero_si256();
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
   int64_t j = 0;
-  for (; j <= len - 4; j += 4) {
-    const __m256i va = Load4Widened(a + j);
-    const __m256i vb = Load4Widened(b + j);
-    __m256i prod;
-    if constexpr (sizeof(TA) <= 4 && sizeof(TB) <= 4) {
-      // Both factors fit in 32 bits after widening; one signed 32x32->64.
-      prod = _mm256_mul_epi32(va, vb);
-    } else {
-      prod = MulLo64(va, vb);
+  if constexpr (sizeof(TA) == 1 && sizeof(TB) == 1) {
+    // 16 lanes/iter: int8 x int8 products fit i16 exactly (|p| <= 2^14);
+    // mask at i16, then exact madd pair partials into i32. Lane growth
+    // <= 2^15 per iteration; fold every 2^15 iterations (<= 2^30).
+    const __m256i ones16 = _mm256_set1_epi16(1);
+    constexpr int64_t kFoldLanes = (int64_t{1} << 15) * 16;
+    while (j + 16 <= len) {
+      const int64_t vend = j + ((len - j) / 16) * 16;
+      const int64_t stop = std::min(vend, j + kFoldLanes);
+      __m256i acc32 = _mm256_setzero_si256();
+      for (; j < stop; j += 16) {
+        const __m256i va = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + j)));
+        const __m256i vb = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j)));
+        const __m256i m01 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cmp + j)));
+        const __m256i m = _mm256_sub_epi16(_mm256_setzero_si256(), m01);
+        const __m256i prod =
+            _mm256_and_si256(_mm256_mullo_epi16(va, vb), m);
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(prod, ones16));
+      }
+      AddWidened8(acc32, &acc0, &acc1);
     }
-    acc = _mm256_add_epi64(acc, _mm256_and_si256(prod, Expand4Mask(cmp + j)));
+  } else if constexpr (sizeof(TA) <= 2 && sizeof(TB) <= 2) {
+    // 8 lanes/iter: int16-range factors give |product| <= 2^30, so
+    // mullo_epi32 is exact; mask at i32 and widen into the accumulators.
+    for (; j + 8 <= len; j += 8) {
+      const __m256i va = Load8AsI32(a + j);
+      const __m256i vb = Load8AsI32(b + j);
+      const __m256i prod = _mm256_and_si256(_mm256_mullo_epi32(va, vb),
+                                            Expand8Mask32(cmp + j));
+      AddWidened8(prod, &acc0, &acc1);
+    }
+  } else {
+    for (; j <= len - 4; j += 4) {
+      const __m256i va = Load4Widened(a + j);
+      const __m256i vb = Load4Widened(b + j);
+      __m256i prod;
+      if constexpr (sizeof(TA) <= 4 && sizeof(TB) <= 4) {
+        // Both factors fit in 32 bits after widening; one signed 32x32->64.
+        prod = _mm256_mul_epi32(va, vb);
+      } else {
+        prod = MulLo64(va, vb);
+      }
+      acc0 =
+          _mm256_add_epi64(acc0, _mm256_and_si256(prod, Expand4Mask(cmp + j)));
+    }
   }
-  int64_t sum = HorizontalSum64(acc);
+  int64_t sum = HorizontalSum64(_mm256_add_epi64(acc0, acc1));
   for (; j < len; ++j) {
     sum += (static_cast<int64_t>(a[j]) * static_cast<int64_t>(b[j])) * cmp[j];
   }
@@ -912,10 +1156,25 @@ SWOLE_TARGET_AVX2 void MaskIntoTmp(const T* SWOLE_RESTRICT col,
                                    const uint8_t* SWOLE_RESTRICT cmp,
                                    int64_t len, int64_t* SWOLE_RESTRICT tmp) {
   int64_t j = 0;
-  for (; j <= len - 4; j += 4) {
-    const __m256i v = Load4Widened(col + j);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(tmp + j),
-                        _mm256_and_si256(v, Expand4Mask(cmp + j)));
+  if constexpr (sizeof(T) <= 4) {
+    // 8 lanes/iter: one narrow load + one 8-wide mask expand feed two
+    // widening stores (the stores must widen — tmp is the int64 tile).
+    for (; j + 8 <= len; j += 8) {
+      const __m256i v =
+          _mm256_and_si256(Load8AsI32(col + j), Expand8Mask32(cmp + j));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(tmp + j),
+          _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(tmp + j + 4),
+          _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1)));
+    }
+  } else {
+    for (; j <= len - 4; j += 4) {
+      const __m256i v = Load4Widened(col + j);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(tmp + j),
+                          _mm256_and_si256(v, Expand4Mask(cmp + j)));
+    }
   }
   for (; j < len; ++j) tmp[j] = static_cast<int64_t>(col[j]) * cmp[j];
 }
@@ -926,22 +1185,61 @@ SWOLE_TARGET_AVX2 void CompareLitMaskIntoTmp(CmpOp op,
                                              int64_t lit, int64_t len,
                                              int64_t* SWOLE_RESTRICT tmp) {
   const detail::OpShape shape = detail::ShapeOf(op);
-  const __m256i vlit = _mm256_set1_epi64x(lit);
-  const __m256i inv =
-      shape.invert ? _mm256_set1_epi64x(-1) : _mm256_setzero_si256();
   int64_t j = 0;
-  for (; j <= len - 4; j += 4) {
-    const __m256i v = Load4Widened(col + j);
-    __m256i m;
-    if (shape.eq) {
-      m = _mm256_cmpeq_epi64(v, vlit);
-    } else if (shape.swap) {
-      m = _mm256_cmpgt_epi64(vlit, v);
-    } else {
-      m = _mm256_cmpgt_epi64(v, vlit);
+  if constexpr (sizeof(T) <= 4) {
+    if (lit < static_cast<int64_t>(std::numeric_limits<T>::min()) ||
+        lit > static_cast<int64_t>(std::numeric_limits<T>::max())) {
+      // Every lane compares the same way against an out-of-range literal:
+      // the tile is all zeros or a straight widening copy.
+      if (detail::OutOfRangeResult(
+              op, lit > static_cast<int64_t>(
+                            std::numeric_limits<T>::max())) == 0) {
+        std::memset(tmp, 0, static_cast<size_t>(len) * sizeof(int64_t));
+      } else {
+        for (; j < len; ++j) tmp[j] = static_cast<int64_t>(col[j]);
+      }
+      return;
     }
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(tmp + j),
-                        _mm256_and_si256(v, _mm256_xor_si256(m, inv)));
+    // 8 lanes/iter: compare at the native (<=32-bit) width, mask, then
+    // widen only for the int64 tile stores.
+    const __m256i vlit = _mm256_set1_epi32(static_cast<int32_t>(lit));
+    const __m256i inv =
+        shape.invert ? _mm256_set1_epi32(-1) : _mm256_setzero_si256();
+    for (; j + 8 <= len; j += 8) {
+      const __m256i v = Load8AsI32(col + j);
+      __m256i m;
+      if (shape.eq) {
+        m = _mm256_cmpeq_epi32(v, vlit);
+      } else if (shape.swap) {
+        m = _mm256_cmpgt_epi32(vlit, v);
+      } else {
+        m = _mm256_cmpgt_epi32(v, vlit);
+      }
+      const __m256i mv = _mm256_and_si256(v, _mm256_xor_si256(m, inv));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(tmp + j),
+          _mm256_cvtepi32_epi64(_mm256_castsi256_si128(mv)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(tmp + j + 4),
+          _mm256_cvtepi32_epi64(_mm256_extracti128_si256(mv, 1)));
+    }
+  } else {
+    const __m256i vlit = _mm256_set1_epi64x(lit);
+    const __m256i inv =
+        shape.invert ? _mm256_set1_epi64x(-1) : _mm256_setzero_si256();
+    for (; j <= len - 4; j += 4) {
+      const __m256i v = Load4Widened(col + j);
+      __m256i m;
+      if (shape.eq) {
+        m = _mm256_cmpeq_epi64(v, vlit);
+      } else if (shape.swap) {
+        m = _mm256_cmpgt_epi64(vlit, v);
+      } else {
+        m = _mm256_cmpgt_epi64(v, vlit);
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(tmp + j),
+                          _mm256_and_si256(v, _mm256_xor_si256(m, inv)));
+    }
   }
   for (; j < len; ++j) {
     const int64_t v = static_cast<int64_t>(col[j]);
@@ -964,11 +1262,27 @@ SWOLE_TARGET_AVX2 void MaskKeys(const T* SWOLE_RESTRICT col,
                                 int64_t* SWOLE_RESTRICT key) {
   const __m256i vnull = _mm256_set1_epi64x(null_key);
   int64_t j = 0;
-  for (; j <= len - 4; j += 4) {
-    const __m256i v = Load4Widened(col + j);
-    const __m256i m = Expand4Mask(cmp + j);
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(key + j),
-                        _mm256_blendv_epi8(vnull, v, m));
+  if constexpr (sizeof(T) <= 4) {
+    // 8 lanes/iter off one narrow load; the blend still happens at int64
+    // because null_key need not fit the narrow width.
+    for (; j + 8 <= len; j += 8) {
+      const __m256i v = Load8AsI32(col + j);
+      const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+      const __m256i hi =
+          _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(key + j),
+                          _mm256_blendv_epi8(vnull, lo, Expand4Mask(cmp + j)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(key + j + 4),
+          _mm256_blendv_epi8(vnull, hi, Expand4Mask(cmp + j + 4)));
+    }
+  } else {
+    for (; j <= len - 4; j += 4) {
+      const __m256i v = Load4Widened(col + j);
+      const __m256i m = Expand4Mask(cmp + j);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(key + j),
+                          _mm256_blendv_epi8(vnull, v, m));
+    }
   }
   for (; j < len; ++j) {
     const int64_t m = -static_cast<int64_t>(cmp[j]);
@@ -1144,6 +1458,8 @@ int64_t SumMasked(const T* col, const uint8_t* cmp, int64_t len) {
     case Backend::kAvx2:
       return avx2::SumMasked<T>(col, cmp, len);
 #endif
+    case Backend::kSwar:
+      return swar::SumMasked<T>(col, cmp, len);
     default:
       return scalar::SumMasked<T>(col, cmp, len);
   }

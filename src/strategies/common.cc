@@ -3,14 +3,27 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "common/logging.h"
 #include "cost/estimates.h"
 #include "exec/scheduler.h"
+#include "obs/metrics.h"
 
 namespace swole::pipeline {
 
 namespace {
+
+// One count per filter tile, bucketed by execution mode. Host-side only:
+// kernels.h stays free of obs so JIT-compiled objects keep their minimal
+// link surface.
+void CountScanTile() {
+  static obs::Counter& native =
+      obs::MetricsRegistry::Global().GetCounter("simd.tiles_native");
+  static obs::Counter& widened =
+      obs::MetricsRegistry::Global().GetCounter("simd.tiles_widened");
+  (kernels::WidenEnabled() ? widened : native).Add(1);
+}
 
 kernels::CmpOp ToCmpOp(BinaryOp op) {
   switch (op) {
@@ -108,6 +121,7 @@ Scratch::Scratch(int64_t tile_size)
 
 void FilterToMask(VectorEvaluator* eval, const Expr* filter, int64_t start,
                   int64_t len, uint8_t* cmp) {
+  CountScanTile();
   if (filter == nullptr) {
     std::memset(cmp, 1, len);
     return;
@@ -134,6 +148,7 @@ int32_t CompactSel(StrategyKind kind, int32_t* sel, const uint8_t* flags,
 int32_t FilterToSelVec(StrategyKind kind, VectorEvaluator* eval,
                        const Table& table, const Expr* filter, int64_t start,
                        int64_t len, Scratch* scratch, int32_t* out_sel) {
+  CountScanTile();
   if (filter == nullptr) {
     IotaSel(out_sel, len);
     return static_cast<int32_t>(len);
@@ -1020,6 +1035,28 @@ QueryResult HistogramOfAgg0(const QueryResult& grouped) {
     result.AddGroup(value, &count);
   }
   return result;
+}
+
+double AvgFactReadWidthBytes(const Table& fact, const QueryPlan& plan) {
+  if (kernels::WidenEnabled()) return 8.0;
+  std::set<std::string> refs;
+  for (const AggSpec& agg : plan.aggs) {
+    if (agg.expr == nullptr) continue;
+    for (const std::string& ref : CollectColumnRefs(*agg.expr)) {
+      refs.insert(ref);
+    }
+  }
+  if (plan.group_by != nullptr) {
+    for (const std::string& ref : CollectColumnRefs(*plan.group_by)) {
+      refs.insert(ref);
+    }
+  }
+  if (refs.empty()) return 8.0;
+  int64_t bytes = 0;
+  for (const std::string& ref : refs) {
+    bytes += PhysicalTypeSize(fact.ColumnRef(ref).type().physical);
+  }
+  return static_cast<double>(bytes) / static_cast<double>(refs.size());
 }
 
 int64_t ExpectedGroups(const Catalog& catalog, const QueryPlan& plan) {

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
@@ -441,6 +442,10 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
   phase->Attr("morsels", probe_stats.morsels);
   phase->Attr("steals", probe_stats.steals);
   phase->Attr("workers", static_cast<int64_t>(probe_stats.workers));
+  phase->Attr("width", StringFormat("%.1fB",
+                                    pipeline::AvgFactReadWidthBytes(fact,
+                                                                    plan)));
+  phase->Attr("widen", int64_t{kernels::WidenEnabled() ? 1 : 0});
   phase.reset();  // probe
   SWOLE_RETURN_NOT_OK(probe_stats.status);
 

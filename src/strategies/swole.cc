@@ -112,6 +112,7 @@ struct SwoleStrategy::PlanAnalysis {
   bool use_ea = false;
   int groupjoin_dim = -1;
   int num_read_columns = 1;
+  double avg_read_width = 8.0;  // bytes; 8.0 when forced to widen
   // Cost-model decision inputs, rendered once for the trace (obs/trace.h).
   std::string agg_cost_detail;
   std::string ea_cost_detail;
@@ -283,6 +284,18 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   }
   analysis.num_read_columns =
       std::max<int>(1, static_cast<int>(agg_columns.size()));
+  // Average physical width of the aggregation inputs: kernels execute at
+  // native width, so sequential bandwidth terms scale with it. Under the
+  // SWOLE_WIDEN escape hatch every read inflates to int64 first, so the
+  // model sees the legacy 8-byte traffic again.
+  if (!agg_columns.empty() && !kernels::WidenEnabled()) {
+    int64_t bytes = 0;
+    for (const std::string& ref : agg_columns) {
+      bytes += PhysicalTypeSize(fact.ColumnRef(ref).type().physical);
+    }
+    analysis.avg_read_width =
+        static_cast<double>(bytes) / static_cast<double>(agg_columns.size());
+  }
 
   if (plan.HasGroupBy()) {
     analysis.expected_groups = pipeline::ExpectedGroups(catalog_, plan);
@@ -317,6 +330,7 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
     w.ea_ht_bytes = EstimateGroupHtBytes(
         dim_table.num_rows(), static_cast<int>(plan.aggs.size()));
     w.num_read_columns = analysis.num_read_columns;
+    w.avg_read_width = analysis.avg_read_width;
     analysis.use_ea = options_.force_eager_aggregation ||
                       ChooseEagerAggregation(profile_, w);
     decisions_.rationale += StringFormat(
@@ -333,6 +347,7 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   w.comp_ns = analysis.comp_ns;
   w.group_ht_bytes = analysis.group_ht_bytes;
   w.num_read_columns = analysis.num_read_columns;
+  w.avg_read_width = analysis.avg_read_width;
   switch (options_.force_agg) {
     case StrategyOptions::ForceAgg::kValueMasking:
       analysis.agg_choice = AggChoice::kValueMasking;
@@ -893,6 +908,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   phase->Attr("morsels", probe_stats.morsels);
   phase->Attr("steals", probe_stats.steals);
   phase->Attr("workers", static_cast<int64_t>(probe_stats.workers));
+  phase->Attr("width", StringFormat("%.1fB", analysis.avg_read_width));
+  phase->Attr("widen", int64_t{kernels::WidenEnabled() ? 1 : 0});
   phase.reset();  // probe
   SWOLE_RETURN_NOT_OK(probe_stats.status);
 
@@ -1099,6 +1116,8 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
   phase->Attr("morsels", probe_stats.morsels);
   phase->Attr("steals", probe_stats.steals);
   phase->Attr("workers", static_cast<int64_t>(probe_stats.workers));
+  phase->Attr("width", StringFormat("%.1fB", analysis.avg_read_width));
+  phase->Attr("widen", int64_t{kernels::WidenEnabled() ? 1 : 0});
   phase.reset();
   SWOLE_RETURN_NOT_OK(probe_stats.status);
 
@@ -1152,6 +1171,7 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
     w.group_ht_bytes = EstimateGroupHtBytes(
         dim_table.num_rows(), static_cast<int>(plan.aggs.size()));
     w.num_read_columns = analysis.num_read_columns;
+    w.avg_read_width = analysis.avg_read_width;
     sub_choice = ChooseAggregation(profile_, w);
   }
 
@@ -1246,6 +1266,8 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
   phase->Attr("morsels", agg_stats.morsels);
   phase->Attr("steals", agg_stats.steals);
   phase->Attr("workers", static_cast<int64_t>(agg_stats.workers));
+  phase->Attr("width", StringFormat("%.1fB", analysis.avg_read_width));
+  phase->Attr("widen", int64_t{kernels::WidenEnabled() ? 1 : 0});
   phase.reset();
   SWOLE_RETURN_NOT_OK(agg_stats.status);
   phase.emplace(trace, "merge");

@@ -85,9 +85,11 @@ TEST_F(CodegenTest, HybridSourceHasPrepassAndSelectionVector) {
       codegen::GenerateKernel(MicroQ1(false, 13), data_->catalog,
                               Options(StrategyKind::kHybrid))
           .value();
-  // Fig. 1 middle: tiled prepass into cmp, then the dispatched no-branch
-  // selection-vector kernel (scalar/SWAR/AVX2 picked at runtime).
-  EXPECT_NE(kernel.source.find("cmp[j] = (uint8_t)"), std::string::npos);
+  // Fig. 1 middle: tiled prepass into cmp — the column-vs-literal leaf
+  // lowers to the dispatched width-native CompareLit kernel — then the
+  // no-branch selection-vector kernel (scalar/SWAR/AVX2 at runtime).
+  EXPECT_NE(kernel.source.find("swole::kernels::CompareLit("),
+            std::string::npos);
   EXPECT_NE(
       kernel.source.find("swole::kernels::SelVecFromCmpNoBranch(cmp, len"),
       std::string::npos);

@@ -248,6 +248,128 @@ TEST(SimdMaskedSums, Int16) { BackendGuard g; CheckMaskedSums<int16_t>(); }
 TEST(SimdMaskedSums, Int32) { BackendGuard g; CheckMaskedSums<int32_t>(); }
 TEST(SimdMaskedSums, Int64) { BackendGuard g; CheckMaskedSums<int64_t>(); }
 
+// Full-range values incl. the width's own min/max in every lane position —
+// the narrow-lane vector paths must widen before any intermediate can wrap.
+// Lengths/widths are chosen so the final int64 sums stay in range (the sums
+// themselves overflowing would be UB in the scalar reference too).
+template <typename T>
+void CheckMaskedSumExtremes(bool products) {
+  std::mt19937_64 rng(51);
+  for (int64_t len : kLens) {
+    std::vector<T> a = RandomValues<T>(&rng, len, /*extremes=*/true);
+    std::vector<T> b = RandomValues<T>(&rng, len, /*extremes=*/true);
+    if (len >= 4) {  // min*min and min*max lanes
+      b[0] = std::numeric_limits<T>::min();
+      b[1] = std::numeric_limits<T>::max();
+      a[2] = std::numeric_limits<T>::min();
+      a[3] = std::numeric_limits<T>::max();
+    }
+    for (int kind = 0; kind < 3; ++kind) {
+      std::vector<uint8_t> cmp = MaskBytes(&rng, len, kind);
+      simd::SetBackend(Backend::kScalar);
+      int64_t sum_ref = simd::SumMasked<T>(a.data(), cmp.data(), len);
+      int64_t prod_ref =
+          products
+              ? simd::SumProductMasked<T, T>(a.data(), b.data(), cmp.data(),
+                                             len)
+              : 0;
+      std::vector<int64_t> tmp_ref(static_cast<size_t>(len) + 1, -7);
+      simd::MaskIntoTmp<T>(a.data(), cmp.data(), len, tmp_ref.data());
+      for (Backend back : AltBackends()) {
+        simd::SetBackend(back);
+        EXPECT_EQ(simd::SumMasked<T>(a.data(), cmp.data(), len), sum_ref)
+            << simd::BackendName(back) << " len " << len << " kind " << kind;
+        if (products) {
+          EXPECT_EQ((simd::SumProductMasked<T, T>(a.data(), b.data(),
+                                                  cmp.data(), len)),
+                    prod_ref)
+              << simd::BackendName(back) << " len " << len << " kind "
+              << kind;
+        }
+        std::vector<int64_t> tmp_got(static_cast<size_t>(len) + 1, -9);
+        simd::MaskIntoTmp<T>(a.data(), cmp.data(), len, tmp_got.data());
+        for (int64_t j = 0; j < len; ++j) {
+          ASSERT_EQ(tmp_got[j], tmp_ref[j])
+              << simd::BackendName(back) << " len " << len << " lane " << j;
+        }
+      }
+    }
+  }
+}
+
+// int32 products of two extremes ((-2^31)^2 = 2^62) overflow int64 with
+// just two masked lanes, so the product leg runs only where a full tile of
+// extreme products still fits in the int64 accumulator.
+TEST(SimdMaskedSumExtremes, Int8) {
+  BackendGuard g;
+  CheckMaskedSumExtremes<int8_t>(/*products=*/true);
+}
+TEST(SimdMaskedSumExtremes, Int16) {
+  BackendGuard g;
+  CheckMaskedSumExtremes<int16_t>(/*products=*/true);
+}
+TEST(SimdMaskedSumExtremes, Int32) {
+  BackendGuard g;
+  CheckMaskedSumExtremes<int32_t>(/*products=*/false);
+}
+
+// Lengths past the AVX2 32-bit-partial fold boundaries: the int16 masked
+// sum folds its i32 partials into i64 every 2^14 vector iterations (2^18
+// lanes) and the int8 product path every 2^15 iterations (2^19 lanes). A
+// tile of all-min values maximizes partial magnitude, so an off-by-one in
+// the fold bound shows up as a wrapped partial, not a rounding blur.
+TEST(SimdMaskedSums, FoldBoundaryInt16Sum) {
+  BackendGuard g;
+  const int64_t len = (int64_t{1} << 18) + 1027;
+  std::vector<int16_t> a(len, std::numeric_limits<int16_t>::min());
+  std::vector<uint8_t> cmp(len, 1);
+  simd::SetBackend(Backend::kScalar);
+  int64_t ref = simd::SumMasked<int16_t>(a.data(), cmp.data(), len);
+  EXPECT_EQ(ref, len * int64_t{std::numeric_limits<int16_t>::min()});
+  for (Backend back : AltBackends()) {
+    simd::SetBackend(back);
+    EXPECT_EQ(simd::SumMasked<int16_t>(a.data(), cmp.data(), len), ref)
+        << simd::BackendName(back);
+  }
+}
+
+TEST(SimdMaskedSums, FoldBoundaryInt8Sum) {
+  BackendGuard g;
+  // The int8 masked sum folds every 2^20 iterations of 32 lanes (2^25
+  // lanes); ~34M constant-min lanes cross that bound once.
+  const int64_t len = (int64_t{1} << 25) + 1027;
+  std::vector<int8_t> a(len, std::numeric_limits<int8_t>::min());
+  std::vector<uint8_t> cmp(len, 1);
+  simd::SetBackend(Backend::kScalar);
+  int64_t ref = simd::SumMasked<int8_t>(a.data(), cmp.data(), len);
+  EXPECT_EQ(ref, len * int64_t{-128});
+  for (Backend back : AltBackends()) {
+    simd::SetBackend(back);
+    EXPECT_EQ(simd::SumMasked<int8_t>(a.data(), cmp.data(), len), ref)
+        << simd::BackendName(back);
+  }
+}
+
+TEST(SimdMaskedSums, FoldBoundaryInt8Product) {
+  BackendGuard g;
+  const int64_t len = (int64_t{1} << 19) + 1027;
+  std::vector<int8_t> a(len, std::numeric_limits<int8_t>::min());
+  std::vector<int8_t> b(len, std::numeric_limits<int8_t>::min());
+  std::vector<uint8_t> cmp(len, 1);
+  simd::SetBackend(Backend::kScalar);
+  int64_t ref =
+      simd::SumProductMasked<int8_t, int8_t>(a.data(), b.data(), cmp.data(),
+                                             len);
+  EXPECT_EQ(ref, len * int64_t{128 * 128});
+  for (Backend back : AltBackends()) {
+    simd::SetBackend(back);
+    EXPECT_EQ((simd::SumProductMasked<int8_t, int8_t>(a.data(), b.data(),
+                                                      cmp.data(), len)),
+              ref)
+        << simd::BackendName(back);
+  }
+}
+
 template <typename T>
 void CheckCompareLitMaskIntoTmp() {
   std::mt19937_64 rng(46);
@@ -279,6 +401,10 @@ void CheckCompareLitMaskIntoTmp() {
 TEST(SimdCompareLitMaskIntoTmp, Int8) {
   BackendGuard g;
   CheckCompareLitMaskIntoTmp<int8_t>();
+}
+TEST(SimdCompareLitMaskIntoTmp, Int16) {
+  BackendGuard g;
+  CheckCompareLitMaskIntoTmp<int16_t>();
 }
 TEST(SimdCompareLitMaskIntoTmp, Int32) {
   BackendGuard g;
@@ -315,6 +441,7 @@ void CheckMaskKeys() {
 }
 
 TEST(SimdMaskKeys, Int8) { BackendGuard g; CheckMaskKeys<int8_t>(); }
+TEST(SimdMaskKeys, Int16) { BackendGuard g; CheckMaskKeys<int16_t>(); }
 TEST(SimdMaskKeys, Int32) { BackendGuard g; CheckMaskKeys<int32_t>(); }
 TEST(SimdMaskKeys, Int64) { BackendGuard g; CheckMaskKeys<int64_t>(); }
 
@@ -400,6 +527,122 @@ TEST(SimdDispatch, UnsupportedRequestsClampDown) {
   EXPECT_STREQ(simd::BackendName(Backend::kAvx2), "avx2");
 }
 
+// ---- Native-width vs forced-widening differentials ----
+//
+// SWOLE_WIDEN=1 (kernels::SetWidenMode) routes every narrow-typed kernel
+// through the legacy widen-to-int64 path. Both modes must agree bit for
+// bit on every primitive, under every backend.
+
+class WidenGuard {
+ public:
+  WidenGuard() : saved_(kernels::WidenEnabled()) {}
+  ~WidenGuard() { kernels::SetWidenMode(saved_); }
+
+ private:
+  bool saved_;
+};
+
+template <typename T>
+void CheckWidenedKernels() {
+  std::mt19937_64 rng(52);
+  const int64_t null_key = HashTable::kMaskKey;
+  for (int64_t len : kLens) {
+    std::vector<T> a = RandomValues<T>(&rng, len, /*extremes=*/true);
+    std::vector<T> b = RandomValues<T>(&rng, len, /*extremes=*/true);
+    std::vector<uint8_t> cmp = MaskBytes(&rng, len, 0);
+    // Small values for the sum legs (see CheckMaskedSums).
+    std::vector<T> sm_a(static_cast<size_t>(len) + 1);
+    std::vector<T> sm_b(static_cast<size_t>(len) + 1);
+    std::uniform_int_distribution<int64_t> small(-100, 100);
+    for (int64_t j = 0; j < len; ++j) {
+      sm_a[j] = static_cast<T>(small(rng));
+      sm_b[j] = static_cast<T>(small(rng));
+    }
+    const int64_t lit =
+        len > 0 ? static_cast<int64_t>(a[len / 2])
+                : static_cast<int64_t>(std::numeric_limits<T>::max());
+    for (Backend back : SupportedBackends()) {
+      simd::SetBackend(back);
+      for (CmpOp op : kOps) {
+        std::vector<uint8_t> cl_ref(static_cast<size_t>(len) + 1, 0xAB);
+        std::vector<uint8_t> cc_ref(static_cast<size_t>(len) + 1, 0xAB);
+        std::vector<int64_t> ct_ref(static_cast<size_t>(len) + 1, -7);
+        kernels::SetWidenMode(false);
+        kernels::CompareLit<T>(op, a.data(), lit, cl_ref.data(), len);
+        kernels::CompareCol<T>(op, a.data(), b.data(), cc_ref.data(), len);
+        kernels::CompareLitMaskIntoTmp<T>(op, a.data(), lit, len,
+                                          ct_ref.data());
+        kernels::SetWidenMode(true);
+        std::vector<uint8_t> cl_got(static_cast<size_t>(len) + 1, 0xCD);
+        std::vector<uint8_t> cc_got(static_cast<size_t>(len) + 1, 0xCD);
+        std::vector<int64_t> ct_got(static_cast<size_t>(len) + 1, -9);
+        kernels::CompareLit<T>(op, a.data(), lit, cl_got.data(), len);
+        kernels::CompareCol<T>(op, a.data(), b.data(), cc_got.data(), len);
+        kernels::CompareLitMaskIntoTmp<T>(op, a.data(), lit, len,
+                                          ct_got.data());
+        for (int64_t j = 0; j < len; ++j) {
+          ASSERT_EQ(cl_got[j], cl_ref[j])
+              << simd::BackendName(back) << " CompareLit op "
+              << static_cast<int>(op) << " len " << len << " lane " << j;
+          ASSERT_EQ(cc_got[j], cc_ref[j])
+              << simd::BackendName(back) << " CompareCol op "
+              << static_cast<int>(op) << " len " << len << " lane " << j;
+          ASSERT_EQ(ct_got[j], ct_ref[j])
+              << simd::BackendName(back) << " CompareLitMaskIntoTmp op "
+              << static_cast<int>(op) << " len " << len << " lane " << j;
+        }
+      }
+
+      kernels::SetWidenMode(false);
+      int64_t sum_ref = kernels::SumMasked<T>(sm_a.data(), cmp.data(), len);
+      int64_t prod_ref = kernels::SumProductMasked<T, T>(
+          sm_a.data(), sm_b.data(), cmp.data(), len);
+      std::vector<int64_t> mt_ref(static_cast<size_t>(len) + 1, -7);
+      std::vector<int64_t> mk_ref(static_cast<size_t>(len) + 1, -7);
+      kernels::MaskIntoTmp<T>(sm_a.data(), cmp.data(), len, mt_ref.data());
+      kernels::MaskKeys<T>(a.data(), cmp.data(), null_key, len,
+                           mk_ref.data());
+      kernels::SetWidenMode(true);
+      EXPECT_EQ(kernels::SumMasked<T>(sm_a.data(), cmp.data(), len), sum_ref)
+          << simd::BackendName(back) << " len " << len;
+      EXPECT_EQ((kernels::SumProductMasked<T, T>(sm_a.data(), sm_b.data(),
+                                                 cmp.data(), len)),
+                prod_ref)
+          << simd::BackendName(back) << " len " << len;
+      std::vector<int64_t> mt_got(static_cast<size_t>(len) + 1, -9);
+      std::vector<int64_t> mk_got(static_cast<size_t>(len) + 1, -9);
+      kernels::MaskIntoTmp<T>(sm_a.data(), cmp.data(), len, mt_got.data());
+      kernels::MaskKeys<T>(a.data(), cmp.data(), null_key, len,
+                           mk_got.data());
+      for (int64_t j = 0; j < len; ++j) {
+        ASSERT_EQ(mt_got[j], mt_ref[j])
+            << simd::BackendName(back) << " MaskIntoTmp len " << len
+            << " lane " << j;
+        ASSERT_EQ(mk_got[j], mk_ref[j])
+            << simd::BackendName(back) << " MaskKeys len " << len << " lane "
+            << j;
+      }
+      kernels::SetWidenMode(false);
+    }
+  }
+}
+
+TEST(WidenedKernels, Int8) {
+  BackendGuard b;
+  WidenGuard w;
+  CheckWidenedKernels<int8_t>();
+}
+TEST(WidenedKernels, Int16) {
+  BackendGuard b;
+  WidenGuard w;
+  CheckWidenedKernels<int16_t>();
+}
+TEST(WidenedKernels, Int32) {
+  BackendGuard b;
+  WidenGuard w;
+  CheckWidenedKernels<int32_t>();
+}
+
 // ---- Query-level cross-backend bit-exactness ----
 //
 // Every strategy engine, under every backend, at 1/2/8 threads, must
@@ -467,6 +710,27 @@ TEST_F(SimdQueryTest, GroupByAggregation) {
 TEST_F(SimdQueryTest, FkJoin) { CheckAcrossBackends(MicroQ4(true, 60, 40)); }
 
 TEST_F(SimdQueryTest, Groupjoin) {
+  CheckAcrossBackends(MicroQ5(false, 50, 100));
+}
+
+// The SWOLE_WIDEN=1 escape hatch must reproduce the oracle bit for bit on
+// the same strategy × backend × thread-count grid as the native-width runs
+// above — together the two suites prove native and widened execution agree.
+TEST_F(SimdQueryTest, WidenedScalarAggregation) {
+  WidenGuard w;
+  kernels::SetWidenMode(true);
+  CheckAcrossBackends(MicroQ1(false, 37));
+}
+
+TEST_F(SimdQueryTest, WidenedGroupByAggregation) {
+  WidenGuard w;
+  kernels::SetWidenMode(true);
+  CheckAcrossBackends(MicroQ2(data_->c_columns[1], data_->c_actual[1], 45));
+}
+
+TEST_F(SimdQueryTest, WidenedGroupjoin) {
+  WidenGuard w;
+  kernels::SetWidenMode(true);
   CheckAcrossBackends(MicroQ5(false, 50, 100));
 }
 

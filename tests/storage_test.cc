@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "common/random.h"
@@ -29,6 +30,35 @@ TEST(TypesTest, NarrowestPhysicalType) {
   EXPECT_EQ(NarrowestPhysicalType(0, 128), PhysicalType::kInt16);
   EXPECT_EQ(NarrowestPhysicalType(0, 40000), PhysicalType::kInt32);
   EXPECT_EQ(NarrowestPhysicalType(0, int64_t{1} << 40),
+            PhysicalType::kInt64);
+}
+
+// Exact width boundaries and one past them, both directions — the
+// width-specialized kernels trust this classification, so a column
+// misclassified by one at an edge would execute at the wrong lane width.
+TEST(TypesTest, NarrowestPhysicalTypeBoundaries) {
+  // int8 edges: [-128, 127] fits; one past either end promotes.
+  EXPECT_EQ(NarrowestPhysicalType(-128, -128), PhysicalType::kInt8);
+  EXPECT_EQ(NarrowestPhysicalType(127, 127), PhysicalType::kInt8);
+  EXPECT_EQ(NarrowestPhysicalType(-129, 0), PhysicalType::kInt16);
+  EXPECT_EQ(NarrowestPhysicalType(-129, 127), PhysicalType::kInt16);
+  EXPECT_EQ(NarrowestPhysicalType(-128, 128), PhysicalType::kInt16);
+
+  // int16 edges: [-32768, 32767].
+  EXPECT_EQ(NarrowestPhysicalType(-32768, 32767), PhysicalType::kInt16);
+  EXPECT_EQ(NarrowestPhysicalType(-32769, 0), PhysicalType::kInt32);
+  EXPECT_EQ(NarrowestPhysicalType(0, 32768), PhysicalType::kInt32);
+
+  // int32 edges: [-2^31, 2^31 - 1].
+  EXPECT_EQ(NarrowestPhysicalType(-(int64_t{1} << 31), (int64_t{1} << 31) - 1),
+            PhysicalType::kInt32);
+  EXPECT_EQ(NarrowestPhysicalType(-(int64_t{1} << 31) - 1, 0),
+            PhysicalType::kInt64);
+  EXPECT_EQ(NarrowestPhysicalType(0, int64_t{1} << 31), PhysicalType::kInt64);
+
+  // int64 extremes classify without overflowing the classifier itself.
+  EXPECT_EQ(NarrowestPhysicalType(std::numeric_limits<int64_t>::min(),
+                                  std::numeric_limits<int64_t>::max()),
             PhysicalType::kInt64);
 }
 
@@ -65,6 +95,74 @@ TEST(ColumnTest, AppendN) {
   EXPECT_EQ(col.ValueAt(1), -7);
   EXPECT_EQ(col.ValueAt(2), 1000000);
 }
+
+// Append/AppendN at the exact representable edges of every physical width:
+// the values must survive the narrow store and widen back identically, and
+// the cached min/max stats (which drive NarrowestPhysicalType re-derivation
+// and zone pruning) must land exactly on the edges.
+TEST(ColumnTest, AppendNRoundTripsWidthEdges) {
+  struct Edge {
+    PhysicalType type;
+    int64_t min;
+    int64_t max;
+  };
+  const Edge edges[] = {
+      {PhysicalType::kInt8, -128, 127},
+      {PhysicalType::kInt16, -32768, 32767},
+      {PhysicalType::kInt32, -(int64_t{1} << 31), (int64_t{1} << 31) - 1},
+      {PhysicalType::kInt64, std::numeric_limits<int64_t>::min(),
+       std::numeric_limits<int64_t>::max()},
+  };
+  for (const Edge& e : edges) {
+    Column col("x", ColumnType::Int(e.type));
+    const int64_t values[] = {e.min, 0, e.max, e.min + 1, e.max - 1};
+    col.AppendN(values, 5);
+    ASSERT_EQ(col.size(), 5);
+    for (int64_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(col.ValueAt(i), values[i])
+          << PhysicalTypeName(e.type) << " row " << i;
+    }
+    EXPECT_EQ(col.MinValue(), e.min) << PhysicalTypeName(e.type);
+    EXPECT_EQ(col.MaxValue(), e.max) << PhysicalTypeName(e.type);
+    EXPECT_EQ(col.ByteSize(), 5 * PhysicalTypeSize(e.type));
+  }
+}
+
+#ifndef NDEBUG
+// One past the width edge is a programming error AppendN's per-element
+// range DCHECK catches in debug builds (release narrows silently, which is
+// why NarrowestPhysicalType classification must be exact).
+TEST(ColumnDeathTest, AppendNRejectsOutOfRangeInDebug) {
+  const int64_t above = 128;
+  const int64_t below = -129;
+  EXPECT_DEATH(
+      {
+        Column col("x", ColumnType::Int(PhysicalType::kInt8));
+        col.AppendN(&above, 1);
+      },
+      "");
+  EXPECT_DEATH(
+      {
+        Column col("x", ColumnType::Int(PhysicalType::kInt8));
+        col.AppendN(&below, 1);
+      },
+      "");
+  EXPECT_DEATH(
+      {
+        Column col("x", ColumnType::Int(PhysicalType::kInt16));
+        const int64_t v = 32768;
+        col.AppendN(&v, 1);
+      },
+      "");
+  EXPECT_DEATH(
+      {
+        Column col("x", ColumnType::Int(PhysicalType::kInt32));
+        const int64_t v = int64_t{1} << 31;
+        col.AppendN(&v, 1);
+      },
+      "");
+}
+#endif
 
 TEST(ColumnTest, StatsInvalidateOnAppend) {
   Column col("x", ColumnType::Int(PhysicalType::kInt64));
