@@ -14,6 +14,15 @@
 //       shed.
 //   serving/q1_single/<strategy>    - single-threaded Q1 baseline; the
 //       acceptance bar is < 5% regression vs the pre-scheduler seed.
+//   serving/jit_corpus/{cold,warm}  - time-to-first-result for the JIT
+//       path over the bench's query set (tpch q1/q3/q6, swole) starting
+//       from an empty kernel cache. cold serves straight away and eats
+//       the compiles; warm runs the startup corpus precompile
+//       (SWOLE_WARM_CORPUS=auto path) first, so first clients hit a warm
+//       cache. Counters: warm_hit_ratio (from jit.corpus.warm_hits /
+//       cold_misses — 1.0 means every consult was corpus-served),
+//       precompile_ms (startup cost the warm row paid outside the timed
+//       serving wave).
 //
 // Tail percentiles are computed over every per-query latency observed
 // across all iterations of a series, not per iteration, so the p999 row
@@ -31,8 +40,12 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "codegen/corpus.h"
+#include "codegen/jit.h"
+#include "codegen/kernel_cache.h"
 #include "common/logging.h"
 #include "exec/admission.h"
+#include "obs/metrics.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -195,6 +208,62 @@ void ServingOverload(benchmark::State& state) {
       total_seconds > 0 ? static_cast<double>(admitted) / total_seconds : 0;
 }
 
+// The JIT-served subset of the bench workload: the registered corpus
+// queries that the serving mix actually runs (q1/q3/q6 under swole).
+std::vector<codegen::CorpusEntry> JitWorkloadCorpus(const Catalog& catalog) {
+  std::vector<codegen::CorpusEntry> all = codegen::AutoCorpus(catalog);
+  std::vector<codegen::CorpusEntry> picked;
+  for (codegen::CorpusEntry& entry : all) {
+    for (const char* name : {"tpch.q1/", "tpch.q3/", "tpch.q6/"}) {
+      if (entry.name.rfind(name, 0) == 0) picked.push_back(std::move(entry));
+    }
+  }
+  return picked;
+}
+
+// Time-to-first-result from an empty kernel cache, with and without the
+// startup corpus precompile. The timed region is only the serving wave —
+// the warm row's precompile cost is reported separately, because that is
+// exactly the cost the corpus moves out of the first clients' latency.
+void ServingJitCorpus(benchmark::State& state, const tpch::TpchData& data,
+                      bool warm) {
+  obs::Counter& warm_hits =
+      obs::MetricsRegistry::Global().GetCounter("jit.corpus.warm_hits");
+  obs::Counter& cold_misses =
+      obs::MetricsRegistry::Global().GetCounter("jit.corpus.cold_misses");
+  int64_t warm_before = warm_hits.value();
+  int64_t cold_before = cold_misses.value();
+  double precompile_ms = 0;
+  for (auto _ : state) {
+    // Model a fresh process: empty cache, no corpus keys from prior rows.
+    codegen::KernelCache::Global().Clear();
+    codegen::ResetCorpusKeysForTest();
+    std::vector<codegen::CorpusEntry> entries =
+        JitWorkloadCorpus(data.catalog);
+    if (warm) {
+      codegen::CorpusReport report =
+          codegen::PrecompileCorpus(entries, data.catalog);
+      precompile_ms += static_cast<double>(report.elapsed_ms);
+    }
+    Clock::time_point start = Clock::now();
+    for (const codegen::CorpusEntry& entry : entries) {
+      Result<QueryResult> result = codegen::ExecuteWithFallback(
+          entry.plan, data.catalog, entry.gen);
+      result.status().CheckOK();
+      benchmark::DoNotOptimize(result->grouped ? result->NumGroups()
+                                               : result->scalar[0]);
+    }
+    state.SetIterationTime(static_cast<double>(ElapsedUs(start)) / 1e6);
+  }
+  codegen::ResetCorpusKeysForTest();
+  const double hits = static_cast<double>(warm_hits.value() - warm_before);
+  const double misses =
+      static_cast<double>(cold_misses.value() - cold_before);
+  state.counters["warm_hit_ratio"] =
+      hits + misses > 0 ? hits / (hits + misses) : 0;
+  state.counters["precompile_ms"] = precompile_ms;
+}
+
 void RegisterAll(const tpch::TpchData& data) {
   BuildWorkload(data);
   for (int clients : {1, 2, 4, 8}) {
@@ -211,6 +280,17 @@ void RegisterAll(const tpch::TpchData& data) {
       ->UseManualTime()
       ->Unit(benchmark::kMillisecond)
       ->Iterations(5);
+  for (bool warm : {false, true}) {
+    benchmark::RegisterBenchmark(
+        StringFormat("serving/jit_corpus/%s", warm ? "warm" : "cold")
+            .c_str(),
+        [&data, warm](benchmark::State& state) {
+          ServingJitCorpus(state, data, warm);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
   // Single-query baseline: the shared-scheduler refactor must keep this
   // within 5% of the pre-refactor seed (acceptance bar in ISSUE/ROADMAP).
   for (StrategyKind kind : {StrategyKind::kDataCentric, StrategyKind::kSwole}) {

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "codegen/corpus.h"
 #include "codegen/generator.h"
 #include "codegen/jit.h"
 #include "micro/micro.h"
@@ -20,6 +21,15 @@ int main() {
   config.s_small_rows = 100;
   config.s_large_rows = 1000;
   auto data = MicroData::Generate(config);
+
+  // SWOLE_WARM_CORPUS=auto (or a descriptor path) pre-compiles the known
+  // kernel corpus before any query runs; later compiles of those keys are
+  // served from the warm cache (jit.corpus.* in the shutdown metrics).
+  codegen::CorpusReport warm = codegen::WarmCorpusFromEnv(data->catalog);
+  if (warm.entries > 0) {
+    std::printf("warm corpus: %s\n\n", warm.ToString().c_str());
+  }
+
   QueryPlan plan = MicroQ1(/*division=*/false, /*sel=*/13);
 
   struct Variant {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "codegen/corpus.h"
 #include "common/env.h"
 #include "common/timer.h"
 #include "engine/reference_engine.h"
@@ -27,6 +28,13 @@ int main() {
   std::printf("generated %lld lineitems in %.1fs\n\n",
               static_cast<long long>(data->num_lineitems),
               gen_timer.ElapsedSeconds());
+
+  // SWOLE_WARM_CORPUS=auto pre-compiles the JIT kernel corpus for every
+  // registered query whose tables exist, before serving starts.
+  codegen::CorpusReport warm = codegen::WarmCorpusFromEnv(data->catalog);
+  if (warm.entries > 0) {
+    std::printf("warm corpus: %s\n\n", warm.ToString().c_str());
+  }
 
   static constexpr const char* kNames[] = {"Q1",  "Q3",  "Q4",  "Q5",
                                            "Q6",  "Q13", "Q14", "Q19"};

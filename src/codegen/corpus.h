@@ -1,0 +1,103 @@
+#ifndef SWOLE_CODEGEN_CORPUS_H_
+#define SWOLE_CODEGEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "codegen/generator.h"
+#include "codegen/jit.h"
+#include "plan/plan.h"
+
+// Startup kernel-corpus precompilation. A serving process pays the ~1s JIT
+// compile exactly once per distinct (source, compiler, flags) key — but
+// "once" lands on the first unlucky client of every kernel. A workload
+// corpus moves those compiles to startup: a descriptor (or the automatic
+// registry of known benchmark queries) names (plan, strategy) pairs, and
+// PrecompileCorpus drives each through the content-addressed kernel cache
+// in parallel on the shared worker pool, so the first client of every
+// known query hits a warm cache.
+//
+// Activation: SWOLE_WARM_CORPUS=auto precompiles every registered query
+// whose tables exist in the catalog; SWOLE_WARM_CORPUS=<path> loads a JSON
+// descriptor:
+//
+//   { "entries": [
+//       { "query": "tpch.q1", "strategy": "swole" },
+//       { "query": "micro.q4_small", "strategy": "data-centric" } ] }
+//
+// `query` is a registered corpus name (CorpusQueryNames); `strategy` is
+// optional and defaults to swole. Only the JSON subset shown is parsed —
+// string-valued fields inside an "entries" array of objects.
+//
+// Effectiveness is observable: every precompiled cache key is registered,
+// and CompileKernel reports each later consult of a registered key as
+// jit.corpus.warm_hits (served from cache) or jit.corpus.cold_misses
+// (compiled again — e.g. the cache was cleared). The precompile itself
+// reports jit.corpus.entries / precompiled / cache_hits / unsupported /
+// failures / precompile_ms.
+
+namespace swole::codegen {
+
+/// One corpus member: a plan plus the generator configuration whose
+/// emitted source keys the cache.
+struct CorpusEntry {
+  std::string name;  // e.g. "tpch.q1/swole"
+  QueryPlan plan;
+  GeneratorOptions gen;
+};
+
+struct CorpusReport {
+  int64_t entries = 0;      // corpus size
+  int64_t compiled = 0;     // fresh compiles performed
+  int64_t cache_hits = 0;   // already cached (memory or disk layer)
+  int64_t unsupported = 0;  // plan shape outside the codegen subset
+  int64_t failures = 0;     // generation or compile errors (logged)
+  int64_t elapsed_ms = 0;
+
+  std::string ToString() const;
+};
+
+/// Names accepted by descriptors and used by AutoCorpus, with the catalog
+/// tables each requires ("tpch.q1", "micro.q4_small", ...).
+std::vector<std::string> CorpusQueryNames();
+
+/// Every registered query whose required tables exist in `catalog`, under
+/// the default (swole) generator configuration.
+std::vector<CorpusEntry> AutoCorpus(const Catalog& catalog);
+
+/// Parses a workload descriptor file (see header comment) against
+/// `catalog`. Unknown query names and malformed structure are errors;
+/// entries whose tables are missing from the catalog are skipped with a
+/// warning (a descriptor is shared across differently-loaded processes).
+Result<std::vector<CorpusEntry>> LoadCorpusFile(const std::string& path,
+                                                const Catalog& catalog);
+
+/// Generates and compiles every entry in parallel on the shared worker
+/// pool (exec/scheduler.h), registering each cache key for warm-hit
+/// accounting. Individual failures are counted and logged, never fatal —
+/// a corpus must not stop a server from starting.
+CorpusReport PrecompileCorpus(const std::vector<CorpusEntry>& entries,
+                              const Catalog& catalog,
+                              const JitOptions& jit_options = {});
+
+/// SWOLE_WARM_CORPUS entry point: "" (unset) does nothing, "auto" runs
+/// AutoCorpus, anything else is a descriptor path. Descriptor errors are
+/// logged and reported as zero entries, not raised.
+CorpusReport WarmCorpusFromEnv(const Catalog& catalog,
+                               const JitOptions& jit_options = {});
+
+/// Registers `cache_key` as corpus-precompiled (PrecompileCorpus does this
+/// for every entry; exposed for tests).
+void RegisterCorpusKey(const std::string& cache_key);
+
+/// CompileKernel's accounting hook: counts the consult of a registered key
+/// as jit.corpus.warm_hits (hit) or jit.corpus.cold_misses. No-op until a
+/// corpus has registered keys, so non-corpus processes pay one atomic load.
+void NoteCorpusLookup(const std::string& cache_key, bool hit);
+
+/// Drops all registered corpus keys (tests).
+void ResetCorpusKeysForTest();
+
+}  // namespace swole::codegen
+
+#endif  // SWOLE_CODEGEN_CORPUS_H_

@@ -8,12 +8,15 @@
 #include <fstream>
 #include <optional>
 
+#include "codegen/corpus.h"
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/subprocess.h"
 #include "common/timer.h"
+#include "cost/estimates.h"
+#include "cost/feedback.h"
 #include "engine/reference_engine.h"
 #include "exec/admission.h"
 #include "exec/kernels.h"
@@ -40,13 +43,34 @@ struct WorkDir {
   bool auto_created = false;
 };
 
+// Base directory for auto-created JIT work dirs: SWOLE_JIT_TMPDIR wins,
+// then the standard TMPDIR, then /tmp. The work-dir path crosses the
+// compiler's exec boundary, so an exec-unsafe base (whitespace, quotes,
+// shell metacharacters) is refused with a warning rather than propagated.
+std::string ResolvedTmpBase() {
+  std::string base = GetEnvString("SWOLE_JIT_TMPDIR", "");
+  if (base.empty()) base = GetEnvString("TMPDIR", "");
+  if (base.empty()) base = "/tmp";
+  while (base.size() > 1 && base.back() == '/') base.pop_back();
+  if (!IsExecSafe(base)) {
+    SWOLE_LOG(WARNING) << "JIT tmp base \"" << base
+                       << "\" (SWOLE_JIT_TMPDIR/TMPDIR) contains characters "
+                          "unsafe for exec; falling back to /tmp";
+    base = "/tmp";
+  }
+  return base;
+}
+
 Result<WorkDir> MakeWorkDir(const JitOptions& options) {
   SWOLE_FAULT_POINT("jit_workdir",
                     Status::IOError("injected fault: jit_workdir"));
   if (!options.work_dir.empty()) return WorkDir{options.work_dir, false};
-  std::string tmpl = "/tmp/swole_jit_XXXXXX";
+  std::string tmpl = ResolvedTmpBase() + "/swole_jit_XXXXXX";
   if (::mkdtemp(tmpl.data()) == nullptr) {
-    return Status::IOError("mkdtemp failed for JIT work dir");
+    return Status::IOError(StringFormat(
+        "mkdtemp failed for JIT work dir \"%s\" (is the directory writable? "
+        "override with SWOLE_JIT_TMPDIR)",
+        tmpl.c_str()));
   }
   return WorkDir{tmpl, true};
 }
@@ -190,6 +214,12 @@ JitStats& GlobalJitStats() {
   return *stats;
 }
 
+std::string ResolvedKernelCacheKey(const std::string& source,
+                                   const JitOptions& options) {
+  return KernelCacheKey(source, ResolvedCompiler(options),
+                        FlagConfig(options));
+}
+
 Result<std::unique_ptr<CompiledKernel>> CompileKernel(
     GeneratedKernel kernel, const QueryPlan& plan,
     const JitOptions& options) {
@@ -228,6 +258,7 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
     if (std::shared_ptr<KernelLibrary> library =
             KernelCache::Global().Lookup(cache_key)) {
       stats.cache_hits_memory.Add(1);
+      NoteCorpusLookup(cache_key, /*hit=*/true);
       return make_compiled(std::move(library), "", /*from_cache=*/true);
     }
     if (!disk_cache_dir.empty()) {
@@ -235,6 +266,7 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
           KernelCache::Global().LookupDisk(disk_cache_dir, cache_key);
       if (from_disk.ok() && *from_disk != nullptr) {
         stats.cache_hits_disk.Add(1);
+        NoteCorpusLookup(cache_key, /*hit=*/true);
         KernelCache::Global().Insert(cache_key, *from_disk);
         return make_compiled(std::move(*from_disk), "", /*from_cache=*/true);
       }
@@ -245,6 +277,10 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
       }
     }
   }
+
+  // Reaching here means a fresh compile — for a key the startup corpus
+  // claimed to have precompiled, that is a cold miss worth accounting.
+  NoteCorpusLookup(cache_key, /*hit=*/false);
 
   SWOLE_ASSIGN_OR_RETURN(WorkDir dir, MakeWorkDir(options));
   ArtifactGuard guard;
@@ -604,6 +640,28 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
     qctx->set_priority(gen_options.priority);
   }
   obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+
+  // Estimate side of the cost-feedback observation (cost/feedback.h); the
+  // owning scope completes and forwards it on teardown. Interpreted
+  // fallbacks re-enter engine Execute with this same context and overwrite
+  // the carrier with their own estimates, so the record reflects whatever
+  // engine actually served the query.
+  if (qctx != nullptr && cost::RefitEnabled()) {
+    Result<const Table*> fact = catalog.GetTable(plan.fact_table);
+    if (fact.ok()) {
+      AggWorkload w;
+      w.rows = static_cast<double>((*fact)->num_rows());
+      w.selectivity = plan.fact_filter != nullptr
+                          ? EstimateSelectivity(**fact, *plan.fact_filter)
+                          : 1.0;
+      cost::QueryObservation* record = qctx->MutableObservation();
+      record->rows = w.rows;
+      record->selectivity = w.selectivity;
+      record->predicted_ns = HybridCost(CostProfile::Default(), w);
+      record->technique =
+          std::string("jit/") + StrategyKindName(gen_options.strategy);
+    }
+  }
 
   static obs::Counter& queries =
       obs::MetricsRegistry::Global().GetCounter("queries.jit");

@@ -154,6 +154,12 @@ class CompiledKernel {
   bool sort_groups_ = true;
 };
 
+/// The kernel-cache key CompileKernel will use for `source` under
+/// `options`, with environment overrides (SWOLE_CXX) resolved — what the
+/// startup corpus (codegen/corpus.h) registers for warm-hit accounting.
+std::string ResolvedKernelCacheKey(const std::string& source,
+                                   const JitOptions& options = {});
+
 /// Compiles a generated kernel into a shared object and loads it, going
 /// through the cache and the flag-degradation retry ladder.
 Result<std::unique_ptr<CompiledKernel>> CompileKernel(

@@ -120,9 +120,17 @@ double MeasureNsPerCycle() {
 
 CostProfile CalibrateCostProfile(const CalibrationOptions& options) {
   CostProfile p = CostProfile::Default();
-  p.l1_bytes = GetEnvInt64("SWOLE_L1_BYTES", p.l1_bytes);
-  p.l2_bytes = GetEnvInt64("SWOLE_L2_BYTES", p.l2_bytes);
-  p.l3_bytes = GetEnvInt64("SWOLE_L3_BYTES", p.l3_bytes);
+  // Option > environment > default. GetEnvInt64 warns on malformed values
+  // (trailing garbage, negatives, overflow) and keeps the fallback.
+  p.l1_bytes = options.l1_bytes > 0
+                   ? options.l1_bytes
+                   : GetEnvInt64("SWOLE_L1_BYTES", p.l1_bytes);
+  p.l2_bytes = options.l2_bytes > 0
+                   ? options.l2_bytes
+                   : GetEnvInt64("SWOLE_L2_BYTES", p.l2_bytes);
+  p.l3_bytes = options.l3_bytes > 0
+                   ? options.l3_bytes
+                   : GetEnvInt64("SWOLE_L3_BYTES", p.l3_bytes);
 
   p.read_seq = MeasureReadSeqNs(options);
   p.read_cond = MeasureReadCondNs(options);

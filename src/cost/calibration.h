@@ -17,11 +17,19 @@ struct CalibrationOptions {
   // Probes per hash-table size point.
   int64_t ht_probes = 1 << 20;
   uint64_t seed = 0xC0FFEE;
+  // Explicit cache-capacity overrides (bytes); 0 defers to the SWOLE_L*
+  // environment variables, whose absence means the compiled-in defaults.
+  // Precedence: option > environment > default.
+  int64_t l1_bytes = 0;
+  int64_t l2_bytes = 0;
+  int64_t l3_bytes = 0;
 };
 
 /// Runs the calibration probes (a few hundred ms) and returns the measured
-/// profile. Cache capacities come from compiled-in defaults and can be
-/// overridden with SWOLE_L1_BYTES / SWOLE_L2_BYTES / SWOLE_L3_BYTES.
+/// profile. Cache capacities come from compiled-in defaults, overridden by
+/// SWOLE_L1_BYTES / SWOLE_L2_BYTES / SWOLE_L3_BYTES (malformed values are
+/// warned about and ignored — common/env.h), overridden in turn by any
+/// non-zero CalibrationOptions capacity.
 CostProfile CalibrateCostProfile(const CalibrationOptions& options = {});
 
 // Individual probes (exposed for the calibration benchmark / tests).

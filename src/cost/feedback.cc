@@ -1,0 +1,216 @@
+#include "cost/feedback.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace swole::cost {
+
+namespace {
+
+RefitMode ParseRefitMode(const std::string& value) {
+  if (value.empty() || value == "off" || value == "0") return RefitMode::kOff;
+  if (value == "observe") return RefitMode::kObserve;
+  if (value == "apply" || value == "on" || value == "1") {
+    return RefitMode::kApply;
+  }
+  SWOLE_LOG(WARNING) << "ignoring malformed SWOLE_COST_REFIT=\"" << value
+                     << "\"; expected off|observe|apply, using off";
+  return RefitMode::kOff;
+}
+
+std::atomic<int>& ModeStorage() {
+  // Parsed once; SetRefitModeForTest overwrites.
+  static std::atomic<int> mode{static_cast<int>(
+      ParseRefitMode(GetEnvString("SWOLE_COST_REFIT", "")))};
+  return mode;
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+// One guarded update step: the raw decayed-LS estimate moves the applied
+// scale by at most ±kMaxStepPerObservation relative, then the absolute
+// guard rail clamps it.
+double GuardedStep(double current, double raw) {
+  double stepped =
+      Clamp(raw, current * (1.0 - CostFeedback::kMaxStepPerObservation),
+            current * (1.0 + CostFeedback::kMaxStepPerObservation));
+  return Clamp(stepped, CostFeedback::kMinScale, CostFeedback::kMaxScale);
+}
+
+}  // namespace
+
+RefitMode CurrentRefitMode() {
+  return static_cast<RefitMode>(
+      ModeStorage().load(std::memory_order_relaxed));
+}
+
+void SetRefitModeForTest(RefitMode mode) {
+  ModeStorage().store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+bool RefitEnabled() { return CurrentRefitMode() != RefitMode::kOff; }
+
+const char* RefitModeName(RefitMode mode) {
+  switch (mode) {
+    case RefitMode::kOff:
+      return "off";
+    case RefitMode::kObserve:
+      return "observe";
+    case RefitMode::kApply:
+      return "apply";
+  }
+  return "?";
+}
+
+CostFeedback& CostFeedback::Global() {
+  static CostFeedback* instance = new CostFeedback();
+  return *instance;
+}
+
+void CostFeedback::Observe(const QueryObservation& record) {
+  if (record.rows <= 0 || record.elapsed_ns <= 0 || record.predicted_ns <= 0) {
+    return;
+  }
+
+  static obs::Counter& observations =
+      obs::MetricsRegistry::Global().GetCounter("cost.refit.observations");
+  static obs::Gauge& bw_gauge = obs::MetricsRegistry::Global().GetGauge(
+      "cost.refit.bandwidth_scale_x1000");
+  static obs::Gauge& mem_gauge = obs::MetricsRegistry::Global().GetGauge(
+      "cost.refit.memory_scale_x1000");
+  static obs::Gauge& sample_gauge =
+      obs::MetricsRegistry::Global().GetGauge("cost.refit.samples");
+  observations.Add(1);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ += 1;
+
+  // Bandwidth fit: one-parameter decayed least squares of observed total
+  // ns against the model's prediction. Minimizing sum lambda^k (obs_k -
+  // s * pred_k)^2 gives s = sum(pred*obs) / sum(pred^2).
+  time_pp_ = time_pp_ * kDecay + record.predicted_ns * record.predicted_ns;
+  time_po_ = time_po_ * kDecay + record.predicted_ns * record.elapsed_ns;
+  if (time_pp_ > 0) {
+    bandwidth_scale_ = GuardedStep(bandwidth_scale_, time_po_ / time_pp_);
+  }
+
+  // Memory fit: same decayed LS over LLC misses per tuple, usable only
+  // when hardware counters ran and the model expected misses (a cache-
+  // resident aggregation predicts ~0 misses — no signal to fit).
+  if (record.cycles > 0 && record.expected_misses_per_tuple > 0) {
+    double observed_mpt =
+        static_cast<double>(record.llc_misses) / std::max(1.0, record.rows);
+    mem_pp_ =
+        mem_pp_ * kDecay +
+        record.expected_misses_per_tuple * record.expected_misses_per_tuple;
+    mem_po_ =
+        mem_po_ * kDecay + record.expected_misses_per_tuple * observed_mpt;
+    if (mem_pp_ > 0) {
+      memory_scale_ = GuardedStep(memory_scale_, mem_po_ / mem_pp_);
+    }
+  }
+
+  if (record.cycles > 0) {
+    double observed = record.elapsed_ns / static_cast<double>(record.cycles);
+    ns_per_cycle_ = ns_per_cycle_ <= 0
+                        ? observed
+                        : ns_per_cycle_ * kDecay + observed * (1.0 - kDecay);
+  }
+
+  // Epoch: bump only on material movement (> 1% relative), so a converged
+  // fit stops invalidating memoized plan analyses.
+  if (std::abs(bandwidth_scale_ - epoch_bandwidth_scale_) >
+          0.01 * epoch_bandwidth_scale_ ||
+      std::abs(memory_scale_ - epoch_memory_scale_) >
+          0.01 * epoch_memory_scale_) {
+    epoch_ += 1;
+    epoch_bandwidth_scale_ = bandwidth_scale_;
+    epoch_memory_scale_ = memory_scale_;
+  }
+
+  bw_gauge.Set(static_cast<int64_t>(bandwidth_scale_ * 1000));
+  mem_gauge.Set(static_cast<int64_t>(memory_scale_ * 1000));
+  sample_gauge.Set(samples_);
+}
+
+CostProfile CostFeedback::Refitted(const CostProfile& base) const {
+  if (CurrentRefitMode() != RefitMode::kApply) return base;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_ < kMinSamples) return base;
+  CostProfile p = base;
+  p.read_seq *= bandwidth_scale_;
+  p.read_cond *= bandwidth_scale_;
+  p.ht_lookup_l3 *= memory_scale_;
+  p.ht_lookup_mem *= memory_scale_;
+  p.ht_insert *= memory_scale_;
+  p.ht_delete *= memory_scale_;
+  if (ns_per_cycle_ > 0) {
+    p.ns_per_cycle =
+        Clamp(ns_per_cycle_, base.ns_per_cycle * 0.5, base.ns_per_cycle * 2.0);
+  }
+  return p;
+}
+
+int64_t CostFeedback::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int64_t CostFeedback::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+double CostFeedback::bandwidth_scale() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bandwidth_scale_;
+}
+
+double CostFeedback::memory_scale() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_scale_;
+}
+
+void CostFeedback::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  time_pp_ = time_po_ = 0;
+  bandwidth_scale_ = 1.0;
+  mem_pp_ = mem_po_ = 0;
+  memory_scale_ = 1.0;
+  ns_per_cycle_ = 0;
+  samples_ = 0;
+  epoch_bandwidth_scale_ = epoch_memory_scale_ = 1.0;
+  epoch_ += 1;  // memoized analyses made under the old state re-analyze
+}
+
+void CostFeedback::ForceStateForTest(double bandwidth_scale,
+                                     double memory_scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bandwidth_scale_ = Clamp(bandwidth_scale, kMinScale, kMaxScale);
+  memory_scale_ = Clamp(memory_scale, kMinScale, kMaxScale);
+  samples_ = kMinSamples;
+  ns_per_cycle_ = 0;
+  epoch_bandwidth_scale_ = bandwidth_scale_;
+  epoch_memory_scale_ = memory_scale_;
+  epoch_ += 1;
+}
+
+std::string CostFeedback::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return StringFormat(
+      "refit{mode=%s samples=%lld bw=%.3f mem=%.3f ns_per_cycle=%.3f "
+      "epoch=%lld}",
+      RefitModeName(CurrentRefitMode()), static_cast<long long>(samples_),
+      bandwidth_scale_, memory_scale_, ns_per_cycle_,
+      static_cast<long long>(epoch_));
+}
+
+}  // namespace swole::cost

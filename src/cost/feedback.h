@@ -1,0 +1,144 @@
+#ifndef SWOLE_COST_FEEDBACK_H_
+#define SWOLE_COST_FEEDBACK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "cost/cost_model.h"
+
+// Online cost-model refit (the feedback half of "workload-specialized
+// kernels and an online cost model", DESIGN.md §13).
+//
+// The offline profile (cost/calibration.h) measures access constants with
+// synthetic probes once; real queries then observe what those constants
+// should have been — wall time vs the model's prediction, and (when
+// SWOLE_PERF_COUNTERS=1) hardware cycles and LLC misses vs the model's
+// expected miss traffic. CostFeedback accumulates those observations with
+// exponentially-decayed least squares and derives guard-railed correction
+// scales:
+//
+//   * bandwidth scale  — applied to read_seq / read_cond, fitted from
+//     observed-vs-predicted total ns (elapsed ≈ scale * predicted is a
+//     one-parameter decayed LS fit);
+//   * memory scale     — applied to the random-access constants
+//     (ht_lookup_l3 / ht_lookup_mem / ht_insert / ht_delete), fitted from
+//     observed-vs-expected LLC misses per tuple when counters are present;
+//   * ns_per_cycle     — decayed mean of elapsed_ns / cycles.
+//
+// Guard rails: a scale moves at most ±25% per observation (decayed LS can
+// lurch on an outlier query; the step bound turns that into a nudge), is
+// clamped to [0.25, 4.0] of the calibrated base, and nothing is applied
+// before kMinSamples observations. The refit NEVER changes kernels'
+// numeric behavior — every consumer re-runs a *decision* (VM/KM/hybrid,
+// EA, groupjoin) whose alternatives are bit-identical by construction.
+//
+// Modes (SWOLE_COST_REFIT):
+//   off      — no observations, no refit (the default; zero overhead);
+//   observe  — accumulate observations and export cost.refit.* metrics,
+//              but Refitted() returns the base profile unchanged;
+//   apply    — Refitted() returns the scaled profile and the strategies'
+//              mid-query re-decision points may overturn choices.
+
+namespace swole::cost {
+
+enum class RefitMode { kOff, kObserve, kApply };
+
+/// The process-wide mode: parsed once from SWOLE_COST_REFIT (malformed
+/// values warn and mean off), overridable by SetRefitModeForTest.
+RefitMode CurrentRefitMode();
+
+/// Overrides the mode for tests and benchmarks (process-wide).
+void SetRefitModeForTest(RefitMode mode);
+
+/// True when observations should flow (mode != off).
+bool RefitEnabled();
+
+const char* RefitModeName(RefitMode mode);
+
+/// One query's worth of feedback. Engines fill the estimate-side fields
+/// before execution (rows, selectivity, predicted cost); GovernanceScope
+/// fills the observed side (elapsed, hardware counts) when it tears down
+/// and forwards the whole record to CostFeedback::Global().
+struct QueryObservation {
+  double rows = 0;              // fact rows scanned
+  double selectivity = -1;      // qualification selectivity (estimate, or
+                                // the observed popcount once a strategy's
+                                // mid-query re-decision measured it)
+  int num_read_columns = 1;
+  double avg_read_width = 8.0;  // bytes
+  int64_t group_ht_bytes = 0;
+  double predicted_ns = 0;      // cost model's total for the chosen plan
+  // Model-expected LLC misses per fact tuple for the chosen technique
+  // (0 when the group table fits in cache; < 0 when not modeled).
+  double expected_misses_per_tuple = -1;
+  double elapsed_ns = 0;        // observed (GovernanceScope)
+  int64_t cycles = 0;           // observed (perf counters; 0 = unavailable)
+  int64_t llc_misses = 0;
+  std::string technique;        // e.g. "swole/key-masking", "data-centric"
+};
+
+class CostFeedback {
+ public:
+  static CostFeedback& Global();
+
+  /// Ingests one query's observation. Ignored when the record is unusable
+  /// (no rows, no elapsed time, or no prediction to compare against).
+  /// Thread-safe.
+  void Observe(const QueryObservation& obs);
+
+  /// The refitted profile: `base` with the correction scales applied.
+  /// Returns `base` unchanged unless the mode is apply AND at least
+  /// kMinSamples observations accumulated.
+  CostProfile Refitted(const CostProfile& base) const;
+
+  /// Monotonic counter bumped whenever the fitted scales move materially
+  /// (> 1% relative). Memoized plan analyses key on it so a converged fit
+  /// stops invalidating them.
+  int64_t epoch() const;
+
+  int64_t samples() const;
+  double bandwidth_scale() const;
+  double memory_scale() const;
+
+  /// Clears all accumulated state (tests/benchmarks).
+  void Reset();
+
+  /// Installs a fitted state directly: scales applied as-is (still clamped
+  /// to the absolute guard rail), sample count satisfied, epoch bumped.
+  /// For determinism tests that need a known refit state without replaying
+  /// observations.
+  void ForceStateForTest(double bandwidth_scale, double memory_scale);
+
+  std::string ToString() const;
+
+  static constexpr int64_t kMinSamples = 3;
+  static constexpr double kMaxStepPerObservation = 0.25;  // ±25%
+  static constexpr double kMinScale = 0.25;
+  static constexpr double kMaxScale = 4.0;
+  static constexpr double kDecay = 0.9;
+
+ private:
+  CostFeedback() = default;
+
+  mutable std::mutex mu_;
+  // Decayed least-squares accumulators for elapsed ≈ s * predicted.
+  double time_pp_ = 0;
+  double time_po_ = 0;
+  double bandwidth_scale_ = 1.0;
+  // Decayed LS for observed ≈ s * expected LLC misses per tuple.
+  double mem_pp_ = 0;
+  double mem_po_ = 0;
+  double memory_scale_ = 1.0;
+  // Decayed mean of elapsed_ns / cycles.
+  double ns_per_cycle_ = 0;
+  int64_t samples_ = 0;
+  // Scales as of the last epoch bump, for the material-change test.
+  double epoch_bandwidth_scale_ = 1.0;
+  double epoch_memory_scale_ = 1.0;
+  int64_t epoch_ = 0;
+};
+
+}  // namespace swole::cost
+
+#endif  // SWOLE_COST_FEEDBACK_H_

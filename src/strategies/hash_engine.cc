@@ -8,6 +8,8 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "cost/estimates.h"
+#include "cost/feedback.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
 #include "obs/metrics.h"
@@ -89,6 +91,46 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
   if (governance.ctx() != nullptr && options_.priority != 0) {
     governance.ctx()->set_priority(options_.priority);
   }
+
+  // Estimate side of the cost-feedback observation (cost/feedback.h): the
+  // traditional engines run the conditional-access plan the Hybrid formula
+  // models, so their observed runtimes anchor the bandwidth fit from the
+  // non-pullup side. The owning GovernanceScope completes the record with
+  // elapsed time and hardware counts on teardown.
+  if (governance.ctx() != nullptr && cost::RefitEnabled()) {
+    const Table& fact = catalog_.TableRef(plan.fact_table);
+    double sigma = plan.fact_filter != nullptr
+                       ? EstimateSelectivity(fact, *plan.fact_filter)
+                       : 1.0;
+    for (const DimJoin& dim : plan.dims) {
+      if (dim.filter != nullptr) {
+        sigma *= EstimateSelectivity(catalog_.TableRef(dim.hop.to_table),
+                                     *dim.filter);
+      }
+    }
+    AggWorkload w;
+    w.rows = static_cast<double>(fact.num_rows());
+    w.selectivity = sigma;
+    w.avg_read_width = pipeline::AvgFactReadWidthBytes(fact, plan);
+    if (plan.HasGroupBy()) {
+      // Rough open-addressing footprint: key slot + payload per aggregate.
+      w.group_ht_bytes = pipeline::ExpectedGroups(catalog_, plan) * 8 *
+                         static_cast<int64_t>(2 + plan.aggs.size());
+    }
+    const CostProfile profile = options_.cost_profile != nullptr
+                                    ? *options_.cost_profile
+                                    : CostProfile::Default();
+    cost::QueryObservation* record =
+        governance.ctx()->MutableObservation();
+    record->rows = w.rows;
+    record->selectivity = sigma;
+    record->num_read_columns = w.num_read_columns;
+    record->avg_read_width = w.avg_read_width;
+    record->group_ht_bytes = w.group_ht_bytes;
+    record->predicted_ns = HybridCost(profile, w);
+    record->technique = name();
+  }
+
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     try {
       return ExecuteGoverned(plan, governance.ctx());

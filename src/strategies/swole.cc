@@ -11,6 +11,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "cost/estimates.h"
+#include "cost/feedback.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
 #include "obs/metrics.h"
@@ -113,6 +114,10 @@ struct SwoleStrategy::PlanAnalysis {
   int groupjoin_dim = -1;
   int num_read_columns = 1;
   double avg_read_width = 8.0;  // bytes; 8.0 when forced to widen
+  // Feedback inputs (cost/feedback.h): the chosen technique's total model
+  // cost and its expected LLC misses per fact tuple (0 = cache-resident).
+  double predicted_ns = 0;
+  double expected_misses_per_tuple = 0;
   // Cost-model decision inputs, rendered once for the trace (obs/trace.h).
   std::string agg_cost_detail;
   std::string ea_cost_detail;
@@ -121,10 +126,13 @@ struct SwoleStrategy::PlanAnalysis {
   ExprPtr residual_filter;           // fact filter minus merged conjuncts
 };
 
-// Memoized analysis + the decision trace it produced.
+// Memoized analysis + the decision trace it produced. refit_epoch records
+// which cost-feedback state the analysis was made under: -1 = refit not
+// applied (the profile was the static one), otherwise the feedback epoch.
 struct SwoleStrategy::CachedAnalysis {
   PlanAnalysis analysis;
   SwoleDecisions decisions;
+  int64_t refit_epoch = -1;
 };
 
 SwoleStrategy::SwoleStrategy(const Catalog& catalog, StrategyOptions options)
@@ -163,6 +171,24 @@ Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
     qctx->set_priority(options_.priority);
   }
   obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+
+  // Estimate side of the cost-feedback observation; the owning
+  // GovernanceScope completes it with elapsed time + hardware counts on
+  // teardown. The mid-query re-decision below upgrades selectivity from
+  // estimate to observed when the build phase measured it.
+  if (qctx != nullptr && cost::RefitEnabled()) {
+    cost::QueryObservation* record = qctx->MutableObservation();
+    record->rows =
+        static_cast<double>(catalog_.TableRef(plan.fact_table).num_rows());
+    record->selectivity = analysis.sigma_total;
+    record->num_read_columns = analysis.num_read_columns;
+    record->avg_read_width = analysis.avg_read_width;
+    record->group_ht_bytes = analysis.group_ht_bytes;
+    record->predicted_ns = analysis.predicted_ns;
+    record->expected_misses_per_tuple = analysis.expected_misses_per_tuple;
+    record->technique =
+        std::string("swole/") + cached.decisions.aggregation;
+  }
 
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
     // The strategy decision and the cost-model numbers it was made on go
@@ -239,11 +265,28 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   // a serving bottleneck; entries are heap-stable once published, so the
   // returned reference outlives the lock.
   std::lock_guard<std::mutex> lock(analysis_mu_);
+  // Under SWOLE_COST_REFIT=apply the decisions are made on the refitted
+  // profile, and a memoized entry is only valid for the feedback epoch it
+  // was computed under — a materially moved fit re-analyzes the plan. The
+  // superseded entry is retired, not destroyed: concurrent Executes may
+  // still hold references into it.
+  const bool refit_apply =
+      cost::CurrentRefitMode() == cost::RefitMode::kApply;
+  const int64_t refit_epoch =
+      refit_apply ? cost::CostFeedback::Global().epoch() : -1;
   auto cache_it = analysis_cache_.find(&plan);
-  if (cache_it != analysis_cache_.end()) {
+  if (cache_it != analysis_cache_.end() &&
+      cache_it->second->refit_epoch == refit_epoch) {
     decisions_ = cache_it->second->decisions;
     return *cache_it->second;
   }
+  if (cache_it != analysis_cache_.end()) {
+    retired_analyses_.push_back(std::move(cache_it->second));
+    analysis_cache_.erase(cache_it);
+  }
+  const CostProfile profile =
+      refit_apply ? cost::CostFeedback::Global().Refitted(profile_)
+                  : profile_;
 
   const Table& fact = catalog_.TableRef(plan.fact_table);
   PlanAnalysis analysis;
@@ -271,7 +314,7 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   std::set<std::string> agg_columns;
   for (const AggSpec& agg : plan.aggs) {
     if (agg.expr != nullptr) {
-      analysis.comp_ns += EstimateComputeNs(profile_, *agg.expr);
+      analysis.comp_ns += EstimateComputeNs(profile, *agg.expr);
       for (const std::string& ref : CollectColumnRefs(*agg.expr)) {
         agg_columns.insert(ref);
       }
@@ -332,12 +375,12 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
     w.num_read_columns = analysis.num_read_columns;
     w.avg_read_width = analysis.avg_read_width;
     analysis.use_ea = options_.force_eager_aggregation ||
-                      ChooseEagerAggregation(profile_, w);
+                      ChooseEagerAggregation(profile, w);
     decisions_.rationale += StringFormat(
         "EA=%.0fms vs groupjoin=%.0fms; ",
-        EagerAggregationCost(profile_, w) / 1e6,
-        GroupjoinCost(profile_, w) / 1e6);
-    analysis.ea_cost_detail = DescribeEagerDecision(profile_, w);
+        EagerAggregationCost(profile, w) / 1e6,
+        GroupjoinCost(profile, w) / 1e6);
+    analysis.ea_cost_detail = DescribeEagerDecision(profile, w);
   }
 
   // ---- Aggregation technique decision (§III-A/B) ----
@@ -359,7 +402,7 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
       analysis.agg_choice = AggChoice::kHybridFallback;
       break;
     case StrategyOptions::ForceAgg::kAuto: {
-      analysis.agg_choice = ChooseAggregation(profile_, w);
+      analysis.agg_choice = ChooseAggregation(profile, w);
       if (analysis.agg_choice == AggChoice::kValueMasking &&
           !options_.enable_value_masking) {
         analysis.agg_choice = AggChoice::kHybridFallback;
@@ -374,7 +417,34 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
     }
   }
   decisions_.aggregation = AggChoiceName(analysis.agg_choice);
-  analysis.agg_cost_detail = DescribeAggDecision(profile_, w);
+  analysis.agg_cost_detail = DescribeAggDecision(profile, w);
+  // Feedback inputs for the chosen technique: its own cost formula is the
+  // prediction the refit compares wall time against, and its expected LLC
+  // miss traffic (≈ one lookup per aggregated tuple once the group table
+  // spills past L3) is what the memory-scale fit compares misses against.
+  switch (analysis.agg_choice) {
+    case AggChoice::kHybridFallback:
+      analysis.predicted_ns = HybridCost(profile, w);
+      break;
+    case AggChoice::kValueMasking:
+      analysis.predicted_ns = ValueMaskingCost(profile, w);
+      break;
+    case AggChoice::kKeyMasking:
+      analysis.predicted_ns = KeyMaskingCost(profile, w);
+      break;
+  }
+  if (w.group_ht_bytes > profile.l3_bytes) {
+    analysis.expected_misses_per_tuple =
+        analysis.agg_choice == AggChoice::kValueMasking ? 1.0
+                                                        : w.selectivity;
+  }
+  if (refit_apply && refit_epoch > 0) {
+    decisions_.rationale += StringFormat(
+        "[refit epoch=%lld bw=%.2f mem=%.2f] ",
+        static_cast<long long>(refit_epoch),
+        cost::CostFeedback::Global().bandwidth_scale(),
+        cost::CostFeedback::Global().memory_scale());
+  }
   decisions_.used_eager_aggregation = analysis.use_ea;
   decisions_.used_positional_bitmaps =
       options_.enable_positional_bitmaps &&
@@ -465,8 +535,91 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   auto cached = std::make_unique<CachedAnalysis>();
   cached->analysis = std::move(analysis);
   cached->decisions = decisions_;
+  cached->refit_epoch = refit_epoch;
   cache_it = analysis_cache_.emplace(&plan, std::move(cached)).first;
   return *cache_it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Mid-query re-decision (adaptive pullup): between the build and probe
+// phases, the dim qualification structures just materialized turn the
+// plan's estimated selectivity / group-table size into measurements — so
+// the VM/KM/hybrid choice can be re-run on facts before any probe work is
+// committed. Safe by construction: every technique is bit-identical
+// (DESIGN.md §7), so an overturned choice changes performance, never
+// results; and the observed inputs (bitmap popcounts, seeded table bytes)
+// are thread-count invariant, so the re-decision is deterministic at any
+// parallelism. In observe mode the would-be decision is only recorded; in
+// apply mode it takes effect.
+// ---------------------------------------------------------------------------
+
+AggChoice SwoleStrategy::ReDecideAggregation(const PlanAnalysis& analysis,
+                                             double fact_rows,
+                                             double observed_sigma,
+                                             int64_t observed_ht_bytes,
+                                             exec::QueryContext* qctx,
+                                             const char* where) {
+  static obs::Counter& considered = obs::MetricsRegistry::Global().GetCounter(
+      "cost.redecision.considered");
+  static obs::Counter& overturned = obs::MetricsRegistry::Global().GetCounter(
+      "cost.redecision.overturned");
+  considered.Add(1);
+
+  // Rebuild the workload the up-front decision used, with observations
+  // substituted where the build phase produced them.
+  AggWorkload w;
+  w.rows = fact_rows;
+  w.selectivity = observed_sigma;
+  w.comp_ns = analysis.comp_ns;
+  w.group_ht_bytes =
+      observed_ht_bytes > 0 ? observed_ht_bytes : analysis.group_ht_bytes;
+  w.num_read_columns = analysis.num_read_columns;
+  w.avg_read_width = analysis.avg_read_width;
+
+  const bool apply = cost::CurrentRefitMode() == cost::RefitMode::kApply;
+  const CostProfile profile =
+      apply ? cost::CostFeedback::Global().Refitted(profile_) : profile_;
+
+  AggChoice rechoice = ChooseAggregation(profile, w);
+  // Mirror Analyze's ablation gates.
+  if (rechoice == AggChoice::kValueMasking &&
+      !options_.enable_value_masking) {
+    rechoice = AggChoice::kHybridFallback;
+  }
+  if (rechoice == AggChoice::kKeyMasking && !options_.enable_key_masking) {
+    rechoice = options_.enable_value_masking ? AggChoice::kValueMasking
+                                             : AggChoice::kHybridFallback;
+  }
+
+  obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
+  if (trace != nullptr) {
+    obs::QueryTrace::Span* root = trace->root();
+    trace->AddAttr(root, "redecision.point", where);
+    trace->AddAttr(root, "redecision.sigma_obs",
+                   StringFormat("%.4f", observed_sigma));
+    if (observed_ht_bytes > 0) {
+      trace->AddAttr(root, "redecision.ht_bytes", observed_ht_bytes);
+    }
+    trace->AddAttr(root, "redecision.agg", AggChoiceName(rechoice));
+    trace->AddAttr(root, "redecision.applied",
+                   int64_t{apply && rechoice != analysis.agg_choice ? 1 : 0});
+  }
+  if (qctx != nullptr && qctx->has_observation()) {
+    qctx->MutableObservation()->selectivity = observed_sigma;
+  }
+
+  if (rechoice == analysis.agg_choice) return analysis.agg_choice;
+  overturned.Add(1);
+  if (!apply) return analysis.agg_choice;  // observe mode: record only
+  {
+    std::lock_guard<std::mutex> lock(analysis_mu_);
+    decisions_.aggregation = AggChoiceName(rechoice);
+    decisions_.rationale += StringFormat(
+        " [mid-query re-decision at %s: %s -> %s, sigma_obs=%.4f]", where,
+        AggChoiceName(analysis.agg_choice), AggChoiceName(rechoice),
+        observed_sigma);
+  }
+  return rechoice;
 }
 
 // ---------------------------------------------------------------------------
@@ -567,12 +720,43 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     }
   }
 
-  const Expr* mask_filter = decisions_.used_access_merging
-                                ? analysis.residual_filter.get()
-                                : plan.fact_filter.get();
+  // ---- Mid-query re-decision point ----
+  // The dim and reverse bitmaps just built carry exact qualification
+  // popcounts; substitute them for the estimated factors and re-choose the
+  // technique before the probe commits. Only when the choice was the cost
+  // model's to make (kAuto) and feedback is collecting.
+  AggChoice live_choice = analysis.agg_choice;
+  if (cost::RefitEnabled() &&
+      options_.force_agg == StrategyOptions::ForceAgg::kAuto && use_bitmaps &&
+      (!dim_bitmaps.empty() || !reverse_bitmaps.empty())) {
+    double observed_sigma = analysis.sigma_fact;
+    for (const PositionalBitmap& bm : dim_bitmaps) {
+      if (bm.num_bits() > 0) {
+        observed_sigma *= static_cast<double>(bm.CountSetBits()) /
+                          static_cast<double>(bm.num_bits());
+      }
+    }
+    for (const PositionalBitmap& bm : reverse_bitmaps) {
+      if (bm.num_bits() > 0) {
+        observed_sigma *= static_cast<double>(bm.CountSetBits()) /
+                          static_cast<double>(bm.num_bits());
+      }
+    }
+    live_choice = ReDecideAggregation(
+        analysis, static_cast<double>(fact.num_rows()), observed_sigma,
+        groups != nullptr ? groups->ht_bytes() : 0, qctx, "general-probe");
+  }
 
-  const bool mask_mode =
-      analysis.agg_choice != AggChoice::kHybridFallback;
+  // Access merging was analyzed under the up-front VM choice; if the
+  // re-decision moved away from VM the merged path is simply not taken
+  // (scalar VM is the only consumer), and the mask filter must be the full
+  // plan filter again.
+  const bool merging = decisions_.used_access_merging &&
+                       live_choice == AggChoice::kValueMasking;
+  const Expr* mask_filter =
+      merging ? analysis.residual_filter.get() : plan.fact_filter.get();
+
+  const bool mask_mode = live_choice != AggChoice::kHybridFallback;
 
   // Per-worker probe context: every scheduler participant aggregates into
   // a private state; worker 0 owns the primary (seeded) group table and
@@ -749,8 +933,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
         pipeline::AccumulateScalarMasked(
             fact, &eval, plan, shapes, factor_paths, start, cmp, len,
             &scratch, scalar_acc.data(),
-            decisions_.used_access_merging ? &analysis.merged_aggs
-                                           : nullptr);
+            merging ? &analysis.merged_aggs : nullptr);
         return;
       }
 
@@ -777,7 +960,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
           }
         }
       }
-      if (analysis.agg_choice == AggChoice::kKeyMasking) {
+      if (live_choice == AggChoice::kKeyMasking) {
         MaskKeysInPlace(keys, cmp, len);
         groups->UpdateMaskedKeys(keys, value_ptrs, len);
       } else {
@@ -1010,9 +1193,26 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
     shapes.push_back(pipeline::DetectAggShape(fact, agg));
   }
 
+  // Mid-query re-decision: the groupjoin table is seeded and the other-dim
+  // bitmaps are built, so the estimate side of the §III-A/B choice can be
+  // replaced with observations before the probe commits to a technique.
+  AggChoice live_choice = analysis.agg_choice;
+  if (cost::RefitEnabled() &&
+      options_.force_agg == StrategyOptions::ForceAgg::kAuto) {
+    double observed_sigma = analysis.sigma_fact;
+    for (const PositionalBitmap& bm : other_bitmaps) {
+      if (bm.num_bits() > 0) {
+        observed_sigma *= static_cast<double>(bm.CountSetBits()) /
+                          static_cast<double>(bm.num_bits());
+      }
+    }
+    live_choice = ReDecideAggregation(
+        analysis, static_cast<double>(fact.num_rows()), observed_sigma,
+        groups.ht_bytes(), qctx, "groupjoin-probe");
+  }
+
   const Column& fk = fact.ColumnRef(gdim.hop.fk_column);
-  const bool hybrid_fallback =
-      analysis.agg_choice == AggChoice::kHybridFallback;
+  const bool hybrid_fallback = live_choice == AggChoice::kHybridFallback;
 
   // Per-worker probe context. The groupjoin probe is join-mode (Find, no
   // insert), so every worker's table must carry the seeded key set:
@@ -1070,7 +1270,7 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
         pipeline::AggValuesAll(fact, &eval, plan.aggs[a], shapes[a], start,
                                len, &scratch, value_ptrs[a]);
       }
-      if (analysis.agg_choice == AggChoice::kKeyMasking) {
+      if (live_choice == AggChoice::kKeyMasking) {
         MaskKeysInPlace(keys, cmp, len);
         groups.UpdateJoinMasked(keys, value_ptrs, nullptr, len);
       } else {

@@ -3,11 +3,39 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "cost/calibration.h"
 #include "storage/text_data.h"
 
 namespace swole {
 namespace {
+
+// Sets an environment variable for the lifetime of the scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
 
 CalibrationOptions TinyOptions() {
   CalibrationOptions options;
@@ -45,6 +73,53 @@ TEST(CalibrationTest, NsPerCycleIsPlausible) {
   double ns = MeasureNsPerCycle();
   EXPECT_GT(ns, 0.05);  // no 20GHz machines
   EXPECT_LT(ns, 5.0);   // no 200MHz machines
+}
+
+TEST(CalibrationTest, CacheBytesEnvOverridesDefault) {
+  ScopedEnv l1("SWOLE_L1_BYTES", "16384");
+  ScopedEnv l2("SWOLE_L2_BYTES", "262144");
+  ScopedEnv l3("SWOLE_L3_BYTES", "2097152");
+  CostProfile p = CalibrateCostProfile(TinyOptions());
+  EXPECT_EQ(p.l1_bytes, 16384);
+  EXPECT_EQ(p.l2_bytes, 262144);
+  EXPECT_EQ(p.l3_bytes, 2097152);
+}
+
+TEST(CalibrationTest, CacheBytesOptionOverridesEnvironment) {
+  // Precedence: option > environment > default. An explicit option wins
+  // even with all three env vars set.
+  ScopedEnv l1("SWOLE_L1_BYTES", "16384");
+  ScopedEnv l2("SWOLE_L2_BYTES", "262144");
+  ScopedEnv l3("SWOLE_L3_BYTES", "2097152");
+  CalibrationOptions options = TinyOptions();
+  options.l1_bytes = 32768;
+  options.l2_bytes = 524288;
+  options.l3_bytes = 4194304;
+  CostProfile p = CalibrateCostProfile(options);
+  EXPECT_EQ(p.l1_bytes, 32768);
+  EXPECT_EQ(p.l2_bytes, 524288);
+  EXPECT_EQ(p.l3_bytes, 4194304);
+
+  // A partial override mixes sources per level.
+  CalibrationOptions partial = TinyOptions();
+  partial.l2_bytes = 524288;
+  CostProfile q = CalibrateCostProfile(partial);
+  EXPECT_EQ(q.l1_bytes, 16384);   // env
+  EXPECT_EQ(q.l2_bytes, 524288);  // option
+  EXPECT_EQ(q.l3_bytes, 2097152); // env
+}
+
+TEST(CalibrationTest, MalformedCacheBytesEnvKeepsDefaults) {
+  // GetEnvInt64 warns on unparseable values and keeps the fallback — a
+  // typo'd override must not silently zero a cache capacity.
+  const CostProfile defaults = CostProfile::Default();
+  ScopedEnv l1("SWOLE_L1_BYTES", "32k");
+  ScopedEnv l2("SWOLE_L2_BYTES", "lots");
+  ScopedEnv l3("SWOLE_L3_BYTES", "-5");
+  CostProfile p = CalibrateCostProfile(TinyOptions());
+  EXPECT_EQ(p.l1_bytes, defaults.l1_bytes);
+  EXPECT_EQ(p.l2_bytes, defaults.l2_bytes);
+  EXPECT_EQ(p.l3_bytes, defaults.l3_bytes);
 }
 
 TEST(TextDataTest, AppendAndGet) {

@@ -1,0 +1,303 @@
+// Online cost-model refit (cost/feedback.h): the decayed least-squares
+// fit, its guard rails, the observe/apply mode gate, and the properties
+// the engine integration depends on — bit-identical results in every
+// refit mode and deterministic mid-query re-decisions.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/feedback.h"
+#include "engine/reference_engine.h"
+#include "micro/micro.h"
+#include "obs/metrics.h"
+#include "strategies/strategy.h"
+#include "strategies/swole.h"
+
+namespace swole {
+namespace {
+
+using cost::CostFeedback;
+using cost::QueryObservation;
+using cost::RefitMode;
+
+QueryObservation MakeObservation(double predicted_ns, double elapsed_ns) {
+  QueryObservation record;
+  record.rows = 1'000'000;
+  record.selectivity = 0.5;
+  record.predicted_ns = predicted_ns;
+  record.elapsed_ns = elapsed_ns;
+  return record;
+}
+
+class CostFeedbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CostFeedback::Global().Reset();
+    cost::SetRefitModeForTest(RefitMode::kApply);
+  }
+  void TearDown() override {
+    CostFeedback::Global().Reset();
+    cost::SetRefitModeForTest(RefitMode::kOff);
+  }
+};
+
+TEST_F(CostFeedbackTest, ModeNames) {
+  EXPECT_STREQ(cost::RefitModeName(RefitMode::kOff), "off");
+  EXPECT_STREQ(cost::RefitModeName(RefitMode::kObserve), "observe");
+  EXPECT_STREQ(cost::RefitModeName(RefitMode::kApply), "apply");
+
+  cost::SetRefitModeForTest(RefitMode::kOff);
+  EXPECT_FALSE(cost::RefitEnabled());
+  cost::SetRefitModeForTest(RefitMode::kObserve);
+  EXPECT_TRUE(cost::RefitEnabled());
+  cost::SetRefitModeForTest(RefitMode::kApply);
+  EXPECT_TRUE(cost::RefitEnabled());
+}
+
+TEST_F(CostFeedbackTest, ConvergesToObservedScale) {
+  // Machine consistently 2x slower than the model: the decayed LS estimate
+  // is exactly 2.0 from the first sample; the +-25% guard rail walks the
+  // applied scale there over a few observations.
+  CostFeedback& fb = CostFeedback::Global();
+  for (int i = 0; i < 10; ++i) {
+    fb.Observe(MakeObservation(1e6, 2e6));
+  }
+  EXPECT_NEAR(fb.bandwidth_scale(), 2.0, 0.05);
+
+  CostProfile base = CostProfile::Default();
+  CostProfile refit = fb.Refitted(base);
+  EXPECT_NEAR(refit.read_seq, base.read_seq * fb.bandwidth_scale(), 1e-9);
+  EXPECT_NEAR(refit.read_cond, base.read_cond * fb.bandwidth_scale(), 1e-9);
+}
+
+TEST_F(CostFeedbackTest, GuardRailCapsRunawayScale) {
+  // A 100x mismatch (e.g. a mis-measured first query) must not let the
+  // model run away: the absolute rail clamps at kMaxScale.
+  CostFeedback& fb = CostFeedback::Global();
+  for (int i = 0; i < 50; ++i) {
+    fb.Observe(MakeObservation(1e6, 100e6));
+  }
+  EXPECT_LE(fb.bandwidth_scale(), CostFeedback::kMaxScale + 1e-9);
+  for (int i = 0; i < 50; ++i) {
+    fb.Observe(MakeObservation(1e6, 1e3));
+  }
+  EXPECT_GE(fb.bandwidth_scale(), CostFeedback::kMinScale - 1e-9);
+}
+
+TEST_F(CostFeedbackTest, StepIsBoundedPerObservation) {
+  CostFeedback& fb = CostFeedback::Global();
+  fb.Observe(MakeObservation(1e6, 100e6));
+  // One observation moves the applied scale at most 25% from 1.0.
+  EXPECT_LE(fb.bandwidth_scale(),
+            1.0 + CostFeedback::kMaxStepPerObservation + 1e-9);
+}
+
+TEST_F(CostFeedbackTest, ObserveModeNeverChangesTheProfile) {
+  cost::SetRefitModeForTest(RefitMode::kObserve);
+  CostFeedback& fb = CostFeedback::Global();
+  for (int i = 0; i < 10; ++i) {
+    fb.Observe(MakeObservation(1e6, 4e6));
+  }
+  CostProfile base = CostProfile::Default();
+  CostProfile refit = fb.Refitted(base);
+  EXPECT_EQ(refit.read_seq, base.read_seq);
+  EXPECT_EQ(refit.read_cond, base.read_cond);
+  EXPECT_EQ(refit.ht_lookup_mem, base.ht_lookup_mem);
+  // The fit itself still ran — flipping to apply uses it immediately.
+  EXPECT_GT(fb.bandwidth_scale(), 1.0);
+}
+
+TEST_F(CostFeedbackTest, MinimumSamplesBeforeApplying) {
+  CostFeedback& fb = CostFeedback::Global();
+  for (int i = 0; i < CostFeedback::kMinSamples - 1; ++i) {
+    fb.Observe(MakeObservation(1e6, 2e6));
+  }
+  CostProfile base = CostProfile::Default();
+  EXPECT_EQ(fb.Refitted(base).read_seq, base.read_seq);
+  fb.Observe(MakeObservation(1e6, 2e6));
+  EXPECT_NE(fb.Refitted(base).read_seq, base.read_seq);
+}
+
+TEST_F(CostFeedbackTest, MemoryScaleFitsFromLlcMisses) {
+  CostFeedback& fb = CostFeedback::Global();
+  QueryObservation record = MakeObservation(1e6, 1e6);
+  record.cycles = 1'000'000;
+  record.expected_misses_per_tuple = 0.5;
+  record.llc_misses = static_cast<int64_t>(record.rows);  // observed 1.0/t
+  for (int i = 0; i < 10; ++i) fb.Observe(record);
+  EXPECT_NEAR(fb.memory_scale(), 2.0, 0.05);
+
+  CostProfile base = CostProfile::Default();
+  CostProfile refit = fb.Refitted(base);
+  EXPECT_NEAR(refit.ht_lookup_mem, base.ht_lookup_mem * fb.memory_scale(),
+              1e-9);
+  EXPECT_NEAR(refit.ht_insert, base.ht_insert * fb.memory_scale(), 1e-9);
+}
+
+TEST_F(CostFeedbackTest, InvalidObservationsAreIgnored) {
+  CostFeedback& fb = CostFeedback::Global();
+  QueryObservation empty;  // all zeros
+  fb.Observe(empty);
+  QueryObservation no_prediction = MakeObservation(0, 1e6);
+  fb.Observe(no_prediction);
+  EXPECT_EQ(fb.samples(), 0);
+}
+
+TEST_F(CostFeedbackTest, EpochAdvancesOnMaterialMovementOnly) {
+  CostFeedback& fb = CostFeedback::Global();
+  int64_t epoch0 = fb.epoch();
+  fb.Observe(MakeObservation(1e6, 2e6));
+  EXPECT_GT(fb.epoch(), epoch0);  // 25% step is material
+
+  // Converged: identical observations stop moving the scale, so the epoch
+  // stabilizes and memoized plan analyses stop re-running.
+  for (int i = 0; i < 20; ++i) fb.Observe(MakeObservation(1e6, 2e6));
+  int64_t converged = fb.epoch();
+  for (int i = 0; i < 5; ++i) fb.Observe(MakeObservation(1e6, 2e6));
+  EXPECT_EQ(fb.epoch(), converged);
+}
+
+TEST_F(CostFeedbackTest, ForceStateClampsAndBumpsEpoch) {
+  CostFeedback& fb = CostFeedback::Global();
+  int64_t epoch0 = fb.epoch();
+  fb.ForceStateForTest(100.0, 0.001);
+  EXPECT_EQ(fb.bandwidth_scale(), CostFeedback::kMaxScale);
+  EXPECT_EQ(fb.memory_scale(), CostFeedback::kMinScale);
+  EXPECT_GT(fb.epoch(), epoch0);
+  // Forced state is immediately applicable (samples >= minimum).
+  CostProfile base = CostProfile::Default();
+  EXPECT_NE(fb.Refitted(base).read_seq, base.read_seq);
+}
+
+TEST_F(CostFeedbackTest, NsPerCycleStaysWithinRail) {
+  CostFeedback& fb = CostFeedback::Global();
+  QueryObservation record = MakeObservation(1e6, 1e6);
+  record.cycles = 10;  // absurd elapsed/cycles ratio
+  for (int i = 0; i < 5; ++i) fb.Observe(record);
+  CostProfile base = CostProfile::Default();
+  CostProfile refit = fb.Refitted(base);
+  EXPECT_LE(refit.ns_per_cycle, base.ns_per_cycle * 2.0 + 1e-9);
+  EXPECT_GE(refit.ns_per_cycle, base.ns_per_cycle * 0.5 - 1e-9);
+}
+
+// ---- Engine integration ----
+
+class CostFeedbackEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MicroConfig config;
+    config.r_rows = 40'000;
+    config.s_small_rows = 100;
+    config.s_large_rows = 4'000;
+    config.c_cardinalities = {10, 2'000};
+    config.seed = 11;
+    micro_ = MicroData::Generate(config).release();
+  }
+  static void TearDownTestSuite() {
+    delete micro_;
+    micro_ = nullptr;
+  }
+  void SetUp() override { CostFeedback::Global().Reset(); }
+  void TearDown() override {
+    CostFeedback::Global().Reset();
+    cost::SetRefitModeForTest(RefitMode::kOff);
+  }
+
+  static MicroData* micro_;
+};
+
+MicroData* CostFeedbackEngineTest::micro_ = nullptr;
+
+TEST_F(CostFeedbackEngineTest, ResultsBitIdenticalAcrossRefitModes) {
+  // The refit invariant: every mode (and any fitted state) produces the
+  // same bits — refit redirects work, never results.
+  ReferenceEngine oracle(micro_->catalog);
+  std::vector<QueryPlan> plans;
+  plans.push_back(MicroQ1(false, 50));
+  plans.push_back(MicroQ2(micro_->c_columns[0], micro_->c_actual[0], 50));
+  plans.push_back(MicroQ4(false, 50, 50));
+  plans.push_back(MicroQ5(false, 50, micro_->config.s_small_rows));
+
+  for (const QueryPlan& plan : plans) {
+    Result<QueryResult> expected = oracle.Execute(plan);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    for (RefitMode mode :
+         {RefitMode::kOff, RefitMode::kObserve, RefitMode::kApply}) {
+      cost::SetRefitModeForTest(mode);
+      CostFeedback::Global().Reset();
+      if (mode == RefitMode::kApply) {
+        // Extreme fitted state, to force decisions to actually differ.
+        CostFeedback::Global().ForceStateForTest(4.0, 0.25);
+      }
+      std::unique_ptr<SwoleStrategy> engine =
+          MakeSwoleStrategy(micro_->catalog, {});
+      Result<QueryResult> actual = engine->Execute(plan);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      ASSERT_EQ(*actual, *expected)
+          << "refit mode " << cost::RefitModeName(mode) << " diverges on "
+          << plan.name;
+    }
+  }
+}
+
+TEST_F(CostFeedbackEngineTest, EngineRunsFeedObservations) {
+  cost::SetRefitModeForTest(RefitMode::kObserve);
+  obs::Counter& observations =
+      obs::MetricsRegistry::Global().GetCounter("cost.refit.observations");
+  int64_t before = observations.value();
+  std::unique_ptr<SwoleStrategy> engine =
+      MakeSwoleStrategy(micro_->catalog, {});
+  QueryPlan plan = MicroQ1(false, 50);
+  engine->Execute(plan).status().CheckOK();
+  EXPECT_GT(observations.value(), before);
+  EXPECT_GT(CostFeedback::Global().samples(), 0);
+}
+
+TEST_F(CostFeedbackEngineTest, MidQueryReDecisionIsConsidered) {
+  cost::SetRefitModeForTest(RefitMode::kApply);
+  obs::Counter& considered = obs::MetricsRegistry::Global().GetCounter(
+      "cost.redecision.considered");
+  int64_t before = considered.value();
+  std::unique_ptr<SwoleStrategy> engine =
+      MakeSwoleStrategy(micro_->catalog, {});
+  // A join query reaches the general-probe re-decision point (bitmaps are
+  // built, so observed selectivity is available).
+  QueryPlan plan = MicroQ4(false, 50, 50);
+  engine->Execute(plan).status().CheckOK();
+  EXPECT_GT(considered.value(), before);
+}
+
+TEST_F(CostFeedbackEngineTest, ReDecisionIsThreadCountInvariant) {
+  // The re-decision consumes bitmap popcounts and seeded-table bytes, both
+  // thread-count invariant — so the chosen technique (and the results)
+  // must match at every parallelism under a forced refit state.
+  cost::SetRefitModeForTest(RefitMode::kApply);
+  CostFeedback::Global().ForceStateForTest(0.25, 4.0);
+  QueryPlan plan = MicroQ2(micro_->c_columns[0], micro_->c_actual[0], 30);
+
+  std::string first_choice;
+  std::optional<QueryResult> first;
+  for (int threads : {1, 2, 8}) {
+    StrategyOptions options;
+    options.num_threads = threads;
+    std::unique_ptr<SwoleStrategy> engine =
+        MakeSwoleStrategy(micro_->catalog, options);
+    Result<QueryResult> result = engine->Execute(plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (!first.has_value()) {
+      first_choice = engine->last_decisions().aggregation;
+      first = std::move(*result);
+      continue;
+    }
+    EXPECT_EQ(engine->last_decisions().aggregation, first_choice)
+        << "at " << threads << " threads";
+    ASSERT_EQ(*result, *first) << "at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace swole

@@ -452,6 +452,102 @@ TEST_F(JitRobustnessTest, DiskCacheSurvivesMemoryCacheClear) {
   RemoveTree(tmpl);
 }
 
+// ---- JIT temp-directory resolution (SWOLE_JIT_TMPDIR / TMPDIR) ----
+
+namespace {
+
+// Removes a base directory that holds swole_jit_* work dirs (one level).
+void RemoveBaseTree(const std::string& base) {
+  DIR* d = ::opendir(base.c_str());
+  if (d != nullptr) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      RemoveTree(base + "/" + name);
+    }
+    ::closedir(d);
+  }
+  ::rmdir(base.c_str());
+}
+
+}  // namespace
+
+TEST_F(JitRobustnessTest, JitTmpDirFollowsEnvironmentWithPrecedence) {
+  std::string tmpdir_base = "/tmp/swole_tmpbase_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpdir_base.data()), nullptr);
+  std::string own_base = "/tmp/swole_ownbase_XXXXXX";
+  ASSERT_NE(::mkdtemp(own_base.data()), nullptr);
+
+  // keep_artifacts + no cache: every compile is fresh and leaves its
+  // source where the work dir was created.
+  JitOptions jit;
+  jit.use_cache = false;
+  jit.keep_artifacts = true;
+  jit.extra_flags = "-O1";
+  jit.degrade_flags.clear();
+
+  {
+    ScopedEnv tmpdir("TMPDIR", tmpdir_base);
+    Result<std::unique_ptr<CompiledKernel>> compiled =
+        codegen::GenerateAndCompile(MicroQ1(false, 11), data_->catalog,
+                                    SwoleOptions(), jit);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    EXPECT_EQ((*compiled)->source_path().rfind(tmpdir_base + "/swole_jit_",
+                                               0),
+              0u)
+        << (*compiled)->source_path();
+  }
+  {
+    // SWOLE_JIT_TMPDIR wins over TMPDIR; a trailing slash is tolerated.
+    ScopedEnv tmpdir("TMPDIR", tmpdir_base);
+    ScopedEnv own("SWOLE_JIT_TMPDIR", own_base + "/");
+    Result<std::unique_ptr<CompiledKernel>> compiled =
+        codegen::GenerateAndCompile(MicroQ1(false, 12), data_->catalog,
+                                    SwoleOptions(), jit);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    EXPECT_EQ(
+        (*compiled)->source_path().rfind(own_base + "/swole_jit_", 0), 0u)
+        << (*compiled)->source_path();
+  }
+
+  RemoveBaseTree(tmpdir_base);
+  RemoveBaseTree(own_base);
+}
+
+TEST_F(JitRobustnessTest, ExecUnsafeJitTmpDirFallsBackToTmp) {
+  // The work-dir path crosses the compiler's exec boundary: a base with
+  // shell metacharacters is refused (with a warning), not propagated.
+  ScopedEnv bad("SWOLE_JIT_TMPDIR", "/tmp/evil base; rm -rf /");
+  JitOptions jit;
+  jit.use_cache = false;
+  jit.keep_artifacts = true;
+  jit.extra_flags = "-O1";
+  jit.degrade_flags.clear();
+  Result<std::unique_ptr<CompiledKernel>> compiled =
+      codegen::GenerateAndCompile(MicroQ1(false, 13), data_->catalog,
+                                  SwoleOptions(), jit);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ((*compiled)->source_path().rfind("/tmp/swole_jit_", 0), 0u)
+      << (*compiled)->source_path();
+  // Drop the kept artifacts.
+  std::string dir = (*compiled)->source_path();
+  dir = dir.substr(0, dir.find_last_of('/'));
+  RemoveTree(dir);
+}
+
+TEST_F(JitRobustnessTest, UnwritableJitTmpDirReportsActionableError) {
+  ScopedEnv bad("SWOLE_JIT_TMPDIR", "/nonexistent/swole_base");
+  JitOptions jit;
+  jit.use_cache = false;
+  Result<std::unique_ptr<CompiledKernel>> compiled =
+      codegen::GenerateAndCompile(MicroQ1(false, 14), data_->catalog,
+                                  SwoleOptions(), jit);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_NE(compiled.status().message().find("SWOLE_JIT_TMPDIR"),
+            std::string::npos)
+      << compiled.status().ToString();
+}
+
 // ---- Run-time binding validation ----
 
 namespace binding {
