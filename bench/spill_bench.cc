@@ -1,0 +1,150 @@
+// Spill-to-disk aggregation: overhead of the memory-pressure-graceful
+// group-by path vs the all-in-memory path, across budget pressure levels.
+// See BENCH_spill.json and EXPERIMENTS.md.
+//
+// Series (strategy in {data-centric, swole}):
+//   spill/q2_in_memory/<strategy>      - unbudgeted group-by; the baseline
+//       every other row is measured against. The spill subsystem is
+//       compiled in but fully dormant (no QueryContext): the acceptance
+//       bar is < 2% regression vs the pre-spill seed of this same row.
+//   spill/q2_budget_full/<strategy>    - a QueryContext with a budget
+//       comfortably above the in-memory peak, spill enabled. Measures the
+//       pure bookkeeping cost of charge-before-allocate + spill plumbing
+//       when nothing ever spills (counter spills stays 0).
+//   spill/q2_budget_div<N>/<strategy>  - budget = in_memory_peak / N for
+//       N in {2, 4, 8}: the group-by state is N times the budget, so the
+//       query only completes by radix-spilling to disk and merging.
+//       Counters: spills (spill events per query), peak_mb (observed
+//       high-water mark — must stay under the budget), budget_mb.
+//
+// The in-memory peak is measured once at startup with an unlimited
+// budgeted run, so the div-N rows track the workload if it changes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "exec/query_context.h"
+#include "micro/micro.h"
+#include "storage/table.h"
+
+namespace swole {
+namespace {
+
+constexpr StrategyKind kKinds[] = {StrategyKind::kDataCentric,
+                                   StrategyKind::kSwole};
+
+MicroData* Data() {
+  static std::unique_ptr<MicroData> data = [] {
+    MicroConfig config;
+    config.r_rows = 1'000'000;
+    config.s_small_rows = 100;
+    config.s_large_rows = 1'000;
+    config.c_cardinalities = {250'000};
+    config.seed = 29;
+    return MicroData::Generate(config);
+  }();
+  return data.get();
+}
+
+QueryPlan SpillPlan() {
+  return MicroQ2(Data()->c_columns[0], Data()->c_actual[0], 100);
+}
+
+// One budgeted, spill-enabled run at an effectively unlimited budget:
+// its high-water mark is the in-memory working set the div-N budgets are
+// derived from.
+int64_t MeasureInMemoryPeak() {
+  static int64_t peak = [] {
+    exec::QueryContext ctx(
+        exec::QueryContext::Limits{/*mem_limit_bytes=*/1LL << 40});
+    StrategyOptions options;
+    options.num_threads = 1;
+    options.query_ctx = &ctx;
+    options.spill = 1;
+    MakeStrategy(StrategyKind::kDataCentric, Data()->catalog, options)
+        ->Execute(SpillPlan())
+        .status()
+        .CheckOK();
+    return ctx.peak_bytes();
+  }();
+  return peak;
+}
+
+// Budgeted run: divisor 0 means "no QueryContext at all" (the dormant
+// in-memory path), divisor < 0 means "budget well above the peak".
+void SpillGroupBy(benchmark::State& state, StrategyKind kind,
+                  int64_t divisor) {
+  QueryPlan plan = SpillPlan();
+  const int64_t peak = divisor != 0 ? MeasureInMemoryPeak() : 0;
+  const int64_t budget =
+      divisor > 0 ? std::max<int64_t>(peak / divisor, 1) : 4 * peak;
+  int64_t spills = 0;
+  int64_t observed_peak = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    StrategyOptions options;
+    options.num_threads = 1;
+    std::unique_ptr<exec::QueryContext> ctx;
+    if (divisor != 0) {
+      ctx = std::make_unique<exec::QueryContext>(
+          exec::QueryContext::Limits{budget});
+      options.query_ctx = ctx.get();
+      options.spill = 1;
+    }
+    Result<QueryResult> result =
+        MakeStrategy(kind, Data()->catalog, options)->Execute(plan);
+    result.status().CheckOK();
+    benchmark::DoNotOptimize(result->NumGroups());
+    if (ctx != nullptr) {
+      spills += ctx->spills();
+      observed_peak = std::max(observed_peak, ctx->peak_bytes());
+    }
+    ++runs;
+  }
+  if (divisor != 0 && runs > 0) {
+    state.counters["spills"] =
+        static_cast<double>(spills) / static_cast<double>(runs);
+    state.counters["peak_mb"] =
+        static_cast<double>(observed_peak) / (1024.0 * 1024.0);
+    state.counters["budget_mb"] =
+        static_cast<double>(budget) / (1024.0 * 1024.0);
+  }
+}
+
+void RegisterAll() {
+  struct Row {
+    const char* label;
+    int64_t divisor;
+  };
+  static constexpr Row kRows[] = {{"q2_in_memory", 0},
+                                  {"q2_budget_full", -1},
+                                  {"q2_budget_div2", 2},
+                                  {"q2_budget_div4", 4},
+                                  {"q2_budget_div8", 8}};
+  for (const Row& row : kRows) {
+    for (StrategyKind kind : kKinds) {
+      benchmark::RegisterBenchmark(
+          StringFormat("spill/%s/%s", row.label, StrategyKindName(kind))
+              .c_str(),
+          [kind, divisor = row.divisor](benchmark::State& state) {
+            SpillGroupBy(state, kind, divisor);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swole
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  swole::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/scratch_dir.h"
 #include "common/string_util.h"
 #include "common/subprocess.h"
 #include "common/timer.h"
@@ -34,71 +35,34 @@
 
 namespace swole::codegen {
 
+SWOLE_REGISTER_FAULT_SITE("jit_workdir",
+                          "JIT work-dir creation (mkdtemp)")
+SWOLE_REGISTER_FAULT_SITE("jit_source_write",
+                          "generated kernel source write")
+SWOLE_REGISTER_FAULT_SITE("jit_compile", "kernel compile subprocess")
+
 namespace {
 
 std::atomic<int64_t> g_kernel_counter{0};
 
-struct WorkDir {
-  std::string path;
-  bool auto_created = false;
-};
-
-// Base directory for auto-created JIT work dirs: SWOLE_JIT_TMPDIR wins,
-// then the standard TMPDIR, then /tmp. The work-dir path crosses the
-// compiler's exec boundary, so an exec-unsafe base (whitespace, quotes,
-// shell metacharacters) is refused with a warning rather than propagated.
-std::string ResolvedTmpBase() {
-  std::string base = GetEnvString("SWOLE_JIT_TMPDIR", "");
-  if (base.empty()) base = GetEnvString("TMPDIR", "");
-  if (base.empty()) base = "/tmp";
-  while (base.size() > 1 && base.back() == '/') base.pop_back();
-  if (!IsExecSafe(base)) {
-    SWOLE_LOG(WARNING) << "JIT tmp base \"" << base
-                       << "\" (SWOLE_JIT_TMPDIR/TMPDIR) contains characters "
-                          "unsafe for exec; falling back to /tmp";
-    base = "/tmp";
-  }
-  return base;
-}
-
-Result<WorkDir> MakeWorkDir(const JitOptions& options) {
+// The work dir for one compile is a ScratchDir (common/scratch_dir.h): the
+// same base-resolution policy (SWOLE_JIT_TMPDIR > TMPDIR > /tmp, with the
+// exec-unsafe refusal — the path crosses the compiler's exec boundary) and
+// the same cleanup-on-every-exit-path guarantee the spill subsystem uses.
+// A caller-provided work_dir is adopted: tracked artifacts are removed on
+// teardown, but the directory itself is left alone.
+Result<ScratchDir> MakeWorkDir(const JitOptions& options) {
   SWOLE_FAULT_POINT("jit_workdir",
                     Status::IOError("injected fault: jit_workdir"));
-  if (!options.work_dir.empty()) return WorkDir{options.work_dir, false};
-  std::string tmpl = ResolvedTmpBase() + "/swole_jit_XXXXXX";
-  if (::mkdtemp(tmpl.data()) == nullptr) {
+  if (!options.work_dir.empty()) return ScratchDir::Adopt(options.work_dir);
+  Result<ScratchDir> dir = ScratchDir::CreateUnder(
+      ScratchDir::ResolveBase("SWOLE_JIT_TMPDIR", "JIT tmp"), "swole_jit_");
+  if (!dir.ok()) {
     return Status::IOError(StringFormat(
-        "mkdtemp failed for JIT work dir \"%s\" (is the directory writable? "
-        "override with SWOLE_JIT_TMPDIR)",
-        tmpl.c_str()));
+        "%s (override with SWOLE_JIT_TMPDIR)", dir.status().message().c_str()));
   }
-  return WorkDir{tmpl, true};
+  return dir;
 }
-
-// Removes the artifacts of one compile (and the work dir itself, when it was
-// auto-created) unless disarmed. Runs on every exit path — error paths must
-// not leak /tmp/swole_jit_* directories any more than success paths.
-class ArtifactGuard {
- public:
-  ~ArtifactGuard() {
-    if (!armed_) return;
-    for (const std::string& file : files_) std::remove(file.c_str());
-    if (remove_dir_) ::rmdir(dir_.c_str());
-  }
-
-  void Track(std::string file) { files_.push_back(std::move(file)); }
-  void TrackDir(std::string dir, bool auto_created) {
-    dir_ = std::move(dir);
-    remove_dir_ = auto_created;
-  }
-  void Disarm() { armed_ = false; }
-
- private:
-  std::vector<std::string> files_;
-  std::string dir_;
-  bool remove_dir_ = false;
-  bool armed_ = true;
-};
 
 std::string ResolvedCompiler(const JitOptions& options) {
   return GetEnvString("SWOLE_CXX", options.compiler);
@@ -282,16 +246,14 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
   // claimed to have precompiled, that is a cold miss worth accounting.
   NoteCorpusLookup(cache_key, /*hit=*/false);
 
-  SWOLE_ASSIGN_OR_RETURN(WorkDir dir, MakeWorkDir(options));
-  ArtifactGuard guard;
-  guard.TrackDir(dir.path, dir.auto_created);
+  SWOLE_ASSIGN_OR_RETURN(ScratchDir dir, MakeWorkDir(options));
   int64_t id = g_kernel_counter.fetch_add(1);
-  std::string base = StringFormat("%s/kernel_%lld", dir.path.c_str(),
+  std::string base = StringFormat("%s/kernel_%lld", dir.path().c_str(),
                                   static_cast<long long>(id));
   std::string source_path = base + ".cc";
   std::string library_path = base + ".so";
-  guard.Track(source_path);
-  guard.Track(library_path);
+  dir.Track(source_path);
+  dir.Track(library_path);
 
   SWOLE_FAULT_POINT("jit_source_write",
                     Status::IOError("injected fault: jit_source_write"));
@@ -385,10 +347,10 @@ Result<std::unique_ptr<CompiledKernel>> CompileKernel(
   }
 
   if (options.keep_artifacts) {
-    guard.Disarm();
+    dir.Disarm();
   }
-  // Otherwise the guard unlinks source + .so (the mapped object survives
-  // the unlink) and removes the auto-created work dir itself.
+  // Otherwise the scratch dir unlinks source + .so (the mapped object
+  // survives the unlink) and removes the auto-created work dir itself.
   return make_compiled(std::move(library), source_path,
                        /*from_cache=*/false);
 }
@@ -710,6 +672,33 @@ Result<QueryResult> ExecuteWithFallback(const QueryPlan& plan,
   // budget breach, which earns one retry on the memory-lean data-centric
   // interpreter under the same context (SwoleStrategy's degradation path).
   if (jit_failure.IsGovernance()) {
+    if (jit_failure.code() == StatusCode::kBudgetExceeded && qctx != nullptr &&
+        qctx->spill_enabled()) {
+      // Spill engages host-side only: generated kernels keep their
+      // in-memory group tables (and therefore their source text and cache
+      // keys — a spilling kernel variant would fork the kernel corpus), so
+      // a budget breach with spill enabled retries on the interpreted
+      // engine of the SAME strategy, whose group tables spill to disk
+      // under this same context instead of aborting.
+      SWOLE_LOG(WARNING) << "JIT kernel for plan \"" << plan.name
+                         << "\" breached its memory budget ("
+                         << jit_failure.ToString()
+                         << "); retrying interpreted "
+                         << StrategyKindName(gen_options.strategy)
+                         << " with spill-to-disk";
+      GlobalJitStats().fallbacks.Add(1);
+      report->used_fallback = true;
+      report->fallback_reason = jit_failure.ToString();
+      StrategyOptions spill_options;
+      spill_options.tile_size = gen_options.tile_size;
+      spill_options.num_threads = gen_options.num_threads;
+      spill_options.query_ctx = qctx;
+      std::unique_ptr<Strategy> spilling =
+          MakeStrategy(gen_options.strategy, catalog, spill_options);
+      Result<QueryResult> spilled = spilling->Execute(plan);
+      if (spilled.ok()) report->fallback_engine = spilling->name();
+      return spilled;
+    }
     if (jit_failure.code() == StatusCode::kBudgetExceeded && qctx != nullptr &&
         gen_options.strategy == StrategyKind::kSwole) {
       SWOLE_LOG(WARNING) << "JIT kernel for plan \"" << plan.name

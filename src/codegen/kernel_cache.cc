@@ -6,14 +6,41 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "codegen/generator.h"
+#include "common/checksum.h"
 #include "common/fault_injection.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace swole::codegen {
+
+SWOLE_REGISTER_FAULT_SITE("jit_dlopen", "kernel shared-object dlopen")
+SWOLE_REGISTER_FAULT_SITE("jit_dlsym",
+                          "kernel entry-point symbol resolution")
+
+namespace {
+
+// Sidecar carrying the XXH64 of the cached shared object, as 16 hex chars.
+// A cached kernel is executable code: it is verified against this before
+// any dlopen, and a mismatch (or a missing sidecar — a torn store, or an
+// entry from before checksums existed) quarantines the entry and
+// recompiles rather than executing bytes of unknown provenance.
+std::string SumPath(const std::string& so_path) { return so_path + ".sum"; }
+
+bool ReadStoredSum(const std::string& sum_path, uint64_t* out) {
+  std::ifstream in(sum_path);
+  std::string hex;
+  if (!in || !(in >> hex) || hex.size() != 16) return false;
+  char* end = nullptr;
+  *out = std::strtoull(hex.c_str(), &end, 16);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
 
 KernelLibrary::~KernelLibrary() {
   if (handle_ != nullptr) ::dlclose(handle_);
@@ -95,6 +122,25 @@ Result<std::shared_ptr<KernelLibrary>> KernelCache::LookupDisk(
   if (::access(path.c_str(), R_OK) != 0) {
     return std::shared_ptr<KernelLibrary>(nullptr);  // miss, not an error
   }
+  std::string sum_path = SumPath(path);
+  uint64_t stored = 0;
+  const bool have_stored = ReadStoredSum(sum_path, &stored);
+  Result<uint64_t> actual = Xxh64File(path);
+  if (!have_stored || !actual.ok() || *actual != stored) {
+    // Quarantine, don't delete: the corrupt object stays inspectable but
+    // can never be picked up as a cache entry again.
+    std::string quarantine =
+        StringFormat("%s.corrupt.%d", path.c_str(), ::getpid());
+    ::rename(path.c_str(), quarantine.c_str());
+    ::unlink(sum_path.c_str());
+    SWOLE_LOG(WARNING) << "kernel cache entry " << path
+                       << (have_stored
+                               ? " failed its content checksum"
+                               : " has no readable checksum sidecar")
+                       << "; quarantined to " << quarantine
+                       << ", recompiling";
+    return std::shared_ptr<KernelLibrary>(nullptr);  // treated as a miss
+  }
   return KernelLibrary::Load(path);
 }
 
@@ -132,6 +178,35 @@ Status KernelCache::StoreDisk(const std::string& dir, const std::string& key,
     ::unlink(temp_path.c_str());
     return Status::IOError(StringFormat("cannot rename into cache: %s",
                                         std::strerror(errno)));
+  }
+
+  // Checksum sidecar, written with the same temp-file + rename discipline
+  // so a concurrent LookupDisk never reads a half-written sum. Until the
+  // rename lands the entry has no sidecar and loads quarantine it — the
+  // safe direction for executable content.
+  SWOLE_ASSIGN_OR_RETURN(uint64_t sum, Xxh64File(final_path));
+  std::string sum_path = SumPath(final_path);
+  std::string sum_temp =
+      StringFormat("%s.tmp.%d", sum_path.c_str(), ::getpid());
+  {
+    std::ofstream out(sum_temp, std::ios::trunc);
+    if (!out) {
+      return Status::IOError(
+          StringFormat("cannot write %s", sum_temp.c_str()));
+    }
+    out << StringFormat("%016llx", static_cast<unsigned long long>(sum));
+    if (!out.good()) {
+      out.close();
+      ::unlink(sum_temp.c_str());
+      return Status::IOError(
+          StringFormat("short write to %s", sum_temp.c_str()));
+    }
+  }
+  if (::rename(sum_temp.c_str(), sum_path.c_str()) != 0) {
+    ::unlink(sum_temp.c_str());
+    return Status::IOError(StringFormat(
+        "cannot rename checksum sidecar into cache: %s",
+        std::strerror(errno)));
   }
   return Status::OK();
 }

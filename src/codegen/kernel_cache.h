@@ -79,14 +79,19 @@ class KernelCache {
   std::shared_ptr<KernelLibrary> Lookup(const std::string& key);
   void Insert(const std::string& key, std::shared_ptr<KernelLibrary> library);
 
-  /// Disk layer: loads <dir>/swole_kernel_<key>.so if present. Returns
-  /// nullptr (OK status) when the file does not exist; an error Status only
-  /// when it exists but cannot be loaded.
+  /// Disk layer: loads <dir>/swole_kernel_<key>.so if present. The object
+  /// is verified against its .sum checksum sidecar before dlopen; a
+  /// mismatch (or missing sidecar) quarantines the entry — renamed to
+  /// *.corrupt.<pid> with a warning — and reads as a miss, so the caller
+  /// recompiles instead of executing corrupt code. Returns nullptr (OK
+  /// status) when the file does not exist; an error Status only when a
+  /// verified object still cannot be loaded.
   Result<std::shared_ptr<KernelLibrary>> LookupDisk(const std::string& dir,
                                                     const std::string& key);
 
   /// Copies a freshly compiled `library_path` into the disk layer under
-  /// `key` (atomic temp-file + rename; creates `dir` if needed).
+  /// `key` (atomic temp-file + rename; creates `dir` if needed) and writes
+  /// the XXH64 content checksum sidecar LookupDisk verifies.
   Status StoreDisk(const std::string& dir, const std::string& key,
                    const std::string& library_path);
 

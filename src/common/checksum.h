@@ -1,0 +1,26 @@
+#ifndef SWOLE_COMMON_CHECKSUM_H_
+#define SWOLE_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+// Content checksums for on-disk artifacts: spill-run blocks (exec/spill.h)
+// and cached JIT kernels (codegen/kernel_cache.h). XXH64 — fast enough to
+// sit on the spill write path, 64 bits so block corruption is detected with
+// ~2^-64 false-accept probability. Not cryptographic; these files defend
+// against torn writes and bit rot, not adversaries.
+
+namespace swole {
+
+/// XXH64 of `len` bytes at `data`.
+uint64_t Xxh64(const void* data, size_t len, uint64_t seed = 0);
+
+/// XXH64 of a file's entire contents. IOError if the file cannot be read.
+Result<uint64_t> Xxh64File(const std::string& path);
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_CHECKSUM_H_

@@ -1,5 +1,6 @@
 #include "common/fault_injection.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/env.h"
@@ -31,6 +32,19 @@ uint64_t HashSiteName(const std::string& site) {
 
 constexpr uint64_t kDefaultSeed = 42;
 
+// Registry backing SWOLE_FAULT=list. Function-local statics so registrars
+// in other translation units can run during static initialization in any
+// order.
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, std::string>& Registry() {
+  static auto* registry = new std::map<std::string, std::string>();
+  return *registry;
+}
+
 }  // namespace
 
 FaultInjector& FaultInjector::Global() {
@@ -53,7 +67,36 @@ void FaultInjector::LoadFromEnv() {
   }
 }
 
+void FaultInjector::RegisterSite(const char* site, const char* description) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().emplace(site, description);
+}
+
+std::vector<std::pair<std::string, std::string>>
+FaultInjector::RegisteredSites() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return {Registry().begin(), Registry().end()};  // map iteration is sorted
+}
+
+void FaultInjector::PrintRegisteredSites() {
+  auto sites = RegisteredSites();
+  std::fprintf(stderr, "SWOLE_FAULT sites (%zu registered):\n", sites.size());
+  for (const auto& [name, description] : sites) {
+    std::fprintf(stderr, "  %-24s %s\n", name.c_str(), description.c_str());
+  }
+}
+
 Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  if (spec == "list") {
+    // Enumeration mode: print the registered fault surface and arm nothing,
+    // so `SWOLE_FAULT=list ./any_binary` is a safe discovery command.
+    PrintRegisteredSites();
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    sites_.clear();
+    armed_.store(false, std::memory_order_release);
+    return Status::OK();
+  }
   std::map<std::string, Site> parsed;
   for (const std::string& entry : StrSplit(spec, ',')) {
     if (entry.empty()) continue;

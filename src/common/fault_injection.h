@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -19,6 +20,11 @@
 //   SWOLE_FAULT=jit_compile:0.5           one site, 50% of calls fail
 //   SWOLE_FAULT=jit_dlopen:1.0,jit_workdir:0.25
 //   SWOLE_FAULT_SEED=7                    reseed the per-site PRNG streams
+//   SWOLE_FAULT=list                      print every registered site, arm none
+//
+// Sites self-register (SWOLE_REGISTER_FAULT_SITE at namespace scope next to
+// the code that evaluates them), so `SWOLE_FAULT=list` enumerates the whole
+// fault surface without grepping; the table is also kept in EXPERIMENTS.md.
 //
 // Probabilities use a per-site xorshift-style stream seeded from
 // hash(site) ^ SWOLE_FAULT_SEED, so a given configuration injects the same
@@ -55,8 +61,19 @@ class FaultInjector {
   int64_t TotalInjected() const;
 
   /// Parses a SWOLE_FAULT-style spec ("site:prob[,site:prob...]") into this
-  /// injector. Empty spec clears everything.
+  /// injector. Empty spec clears everything. The literal spec "list" arms
+  /// nothing and instead prints every registered site to stderr.
   Status Configure(const std::string& spec, uint64_t seed);
+
+  /// Adds `site` to the process-wide registry `SWOLE_FAULT=list` prints.
+  /// Idempotent; normally invoked via SWOLE_REGISTER_FAULT_SITE.
+  static void RegisterSite(const char* site, const char* description);
+
+  /// All registered (site, description) pairs, sorted by site name.
+  static std::vector<std::pair<std::string, std::string>> RegisteredSites();
+
+  /// Writes the registered-site table to stderr (the =list output).
+  static void PrintRegisteredSites();
 
  private:
   FaultInjector() = default;
@@ -84,6 +101,16 @@ class FaultInjector {
       return (error_status);                                              \
     }                                                                     \
   } while (false)
+
+// Namespace-scope registrar: places `site` in the SWOLE_FAULT=list table.
+// Use once per site, next to the code that evaluates it.
+#define SWOLE_REGISTER_FAULT_SITE(site, description)                      \
+  namespace {                                                             \
+  const bool SWOLE_CONCAT(swole_fault_site_registrar_, __LINE__) = [] {   \
+    ::swole::FaultInjector::RegisterSite(site, description);              \
+    return true;                                                          \
+  }();                                                                    \
+  }  // namespace
 
 }  // namespace swole
 

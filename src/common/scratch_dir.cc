@@ -1,0 +1,112 @@
+#include "common/scratch_dir.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace swole {
+
+std::string ScratchDir::ResolveBase(const char* env_var, const char* what) {
+  std::string base = GetEnvString(env_var, "");
+  if (base.empty()) base = GetEnvString("TMPDIR", "");
+  if (base.empty()) base = "/tmp";
+  while (base.size() > 1 && base.back() == '/') base.pop_back();
+  if (!IsExecSafe(base)) {
+    SWOLE_LOG(WARNING) << what << " base \"" << base << "\" (" << env_var
+                       << "/TMPDIR) contains characters unsafe for exec; "
+                          "falling back to /tmp";
+    base = "/tmp";
+  }
+  return base;
+}
+
+Result<ScratchDir> ScratchDir::CreateUnder(const std::string& base,
+                                           const char* prefix) {
+  std::string tmpl = StringFormat("%s/%sXXXXXX", base.c_str(), prefix);
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    return Status::IOError(StringFormat(
+        "mkdtemp failed for \"%s\" (is the directory writable?)",
+        tmpl.c_str()));
+  }
+  ScratchDir dir;
+  dir.path_ = std::move(tmpl);
+  dir.owned_ = true;
+  dir.armed_ = true;
+  return dir;
+}
+
+ScratchDir ScratchDir::Adopt(std::string existing_dir) {
+  ScratchDir dir;
+  dir.path_ = std::move(existing_dir);
+  dir.owned_ = false;
+  dir.armed_ = true;
+  return dir;
+}
+
+ScratchDir::ScratchDir(ScratchDir&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  path_ = std::move(other.path_);
+  files_ = std::move(other.files_);
+  owned_ = other.owned_;
+  armed_ = other.armed_;
+  other.path_.clear();
+  other.files_.clear();
+  other.armed_ = false;
+}
+
+ScratchDir& ScratchDir::operator=(ScratchDir&& other) noexcept {
+  if (this != &other) {
+    RemoveAll();
+    std::scoped_lock lock(mu_, other.mu_);
+    path_ = std::move(other.path_);
+    files_ = std::move(other.files_);
+    owned_ = other.owned_;
+    armed_ = other.armed_;
+    other.path_.clear();
+    other.files_.clear();
+    other.armed_ = false;
+  }
+  return *this;
+}
+
+ScratchDir::~ScratchDir() { RemoveAll(); }
+
+void ScratchDir::Track(std::string file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.push_back(std::move(file));
+}
+
+void ScratchDir::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+}
+
+void ScratchDir::RemoveAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || path_.empty()) return;
+  for (const std::string& file : files_) std::remove(file.c_str());
+  files_.clear();
+  if (owned_) {
+    // Sweep stragglers (e.g. a partial temp file from an injected fault
+    // between create and Track) so an owned scratch dir never leaks
+    // contents, then remove the directory itself.
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (dirent* entry = ::readdir(dir)) {
+        std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        std::remove((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  armed_ = false;
+}
+
+}  // namespace swole

@@ -1,0 +1,79 @@
+#ifndef SWOLE_COMMON_SCRATCH_DIR_H_
+#define SWOLE_COMMON_SCRATCH_DIR_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// RAII scratch directory shared by the JIT compile pipeline (codegen/jit.cc)
+// and the spill subsystem (exec/spill.h). Both need the same three
+// guarantees:
+//
+//   1. Base-dir policy: a subsystem env var (SWOLE_JIT_TMPDIR /
+//      SWOLE_SPILL_DIR) wins, then TMPDIR, then /tmp — with exec-unsafe
+//      bases (whitespace, quotes, shell metacharacters) refused with a
+//      warning rather than propagated into an exec or a spill path.
+//   2. A private mkdtemp directory, so concurrent queries and processes
+//      never collide.
+//   3. Cleanup on every exit path — abort, cancel, deadline, injected
+//      fault — removes tracked files, sweeps any stragglers in an owned
+//      directory, and removes the directory itself. Disarm() keeps
+//      artifacts for debugging (keep_artifacts / post-mortem).
+
+namespace swole {
+
+class ScratchDir {
+ public:
+  /// Disengaged; path() is empty and the destructor is a no-op.
+  ScratchDir() = default;
+
+  /// Base-directory resolution shared by every scratch consumer:
+  /// `env_var` > TMPDIR > /tmp, trailing slashes stripped, exec-unsafe
+  /// values refused (warning naming `what`) in favor of /tmp.
+  static std::string ResolveBase(const char* env_var, const char* what);
+
+  /// Creates `<base>/<prefix>XXXXXX` via mkdtemp. The directory is owned:
+  /// the destructor sweeps and removes it unless Disarm() was called.
+  static Result<ScratchDir> CreateUnder(const std::string& base,
+                                        const char* prefix);
+
+  /// Wraps a caller-provided directory (e.g. JitOptions::work_dir). Not
+  /// owned: the destructor removes tracked files only, never the directory
+  /// or untracked contents.
+  static ScratchDir Adopt(std::string existing_dir);
+
+  ScratchDir(ScratchDir&& other) noexcept;
+  ScratchDir& operator=(ScratchDir&& other) noexcept;
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  ~ScratchDir();
+
+  /// Registers a file for removal at destruction. Thread-safe (spill
+  /// workers create partition files concurrently).
+  void Track(std::string file);
+
+  /// Keeps everything on disk (artifact debugging). One-way.
+  void Disarm();
+
+  /// Removes tracked files (and, for owned dirs, sweeps + rmdirs) now
+  /// instead of at destruction. Idempotent.
+  void RemoveAll();
+
+  const std::string& path() const { return path_; }
+  bool owned() const { return owned_; }
+  bool armed() const { return armed_; }
+
+ private:
+  std::mutex mu_;
+  std::string path_;
+  std::vector<std::string> files_;
+  bool owned_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace swole
+
+#endif  // SWOLE_COMMON_SCRATCH_DIR_H_

@@ -31,6 +31,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kSpillFailed:
+      return "SpillFailed";
     case StatusCode::kAdmissionRejected:
       return "AdmissionRejected";
     case StatusCode::kQueueTimeout:

@@ -33,6 +33,7 @@ enum class StatusCode {
   kBudgetExceeded,    // memory budget breached (SWOLE_MEM_LIMIT)
   kDeadlineExceeded,  // wall-clock deadline fired (SWOLE_DEADLINE_MS)
   kCancelled,         // cooperative cancellation was requested
+  kSpillFailed,       // spill-to-disk exhausted (depth/IO); budget still binds
   // Admission-control outcomes (exec/admission.h): the query was never
   // started — the server shed it at the door instead of degrading every
   // in-flight query. Retryable by the client after backoff.
@@ -89,6 +90,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status SpillFailed(std::string msg) {
+    return Status(StatusCode::kSpillFailed, std::move(msg));
+  }
   static Status AdmissionRejected(std::string msg) {
     return Status(StatusCode::kAdmissionRejected, std::move(msg));
   }
@@ -100,10 +104,15 @@ class Status {
   /// stopped by policy (budget/deadline/cancel), not by a defect — callers
   /// like the JIT fallback chain must surface these instead of retrying on
   /// another engine.
+  /// kSpillFailed counts as governance: the spill ladder already gave the
+  /// query every chance under its budget, and retrying on an engine that
+  /// does not charge memory (the reference oracle) would silently violate
+  /// the limit the user set.
   bool IsGovernance() const {
     return code_ == StatusCode::kBudgetExceeded ||
            code_ == StatusCode::kDeadlineExceeded ||
-           code_ == StatusCode::kCancelled;
+           code_ == StatusCode::kCancelled ||
+           code_ == StatusCode::kSpillFailed;
   }
 
   /// True for the admission-control codes (exec/admission.h): the server

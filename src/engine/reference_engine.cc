@@ -11,6 +11,7 @@
 #include "exec/admission.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
+#include "exec/spill.h"
 #include "expr/scalar_eval.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -193,6 +194,7 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
     EvaluatorPool pool;
     std::map<int64_t, std::vector<int64_t>> groups;
     std::vector<int64_t> scalar;
+    int64_t charged = 0;  // groups charged at "reference_groups"
     explicit Shard(const Catalog& catalog) : pool(catalog) {}
   };
   std::vector<std::unique_ptr<Shard>> shards;
@@ -200,6 +202,82 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
     shards.push_back(std::make_unique<Shard>(catalog_));
     shards.back()->scalar = identities;
   }
+
+  // Spill engagement (DESIGN.md §14). Historically the oracle charged
+  // nothing — it exists to check answers, not budgets — so group charging
+  // at "reference_groups" only turns on together with spill: a
+  // budget-constrained oracle then degrades the same ladder as the
+  // strategy engines instead of silently ignoring the limit. Spilled
+  // payloads are the raw aggregate values; the merge combines them by
+  // aggregate kind (sum/count add, min/max compare — all associative and
+  // commutative, so fragment order cannot change the result).
+  std::unique_ptr<exec::SpillManager> spill;
+  if (plan.HasGroupBy() && !plan.group_seed.has_value() && qctx != nullptr &&
+      qctx->spill_enabled() && num_aggs > 0) {
+    exec::SpillConfig spill_cfg = exec::SpillConfig::FromEnv();
+    spill_cfg.enabled = true;
+    spill = std::make_unique<exec::SpillManager>(spill_cfg, num_aggs, qctx);
+  }
+  // Approximate footprint of one group: red-black node overhead + key +
+  // vector header + aggregate slots.
+  const int64_t group_bytes = 64 + 8 * static_cast<int64_t>(num_aggs);
+  struct ChargeRelease {
+    exec::QueryContext* ctx = nullptr;
+    std::vector<std::unique_ptr<Shard>>* shards = nullptr;
+    int64_t group_bytes = 0;
+    ~ChargeRelease() {
+      if (ctx == nullptr) return;
+      for (auto& shard : *shards) {
+        if (shard->charged > 0) {
+          ctx->TryCharge(-shard->charged * group_bytes, "reference_groups");
+          shard->charged = 0;
+        }
+      }
+    }
+  } charge_release{spill != nullptr ? qctx : nullptr, &shards, group_bytes};
+
+  // Drains a shard's accumulated groups to disk and releases their charge.
+  auto spill_shard = [&](Shard& shard) {
+    for (const auto& [key, aggs] : shard.groups) {
+      exec::ThrowIfError(spill->SpillRow(key, aggs.data()));
+    }
+    spill->NoteSpillEvent();
+    if (shard.charged > 0) {
+      qctx->TryCharge(-shard.charged * group_bytes, "reference_groups");
+      shard.charged = 0;
+    }
+    shard.groups.clear();
+    qctx->CountSpill();
+  };
+
+  // Group-slot lookup with budget charging: a refused insert spills the
+  // shard (including the just-inserted identity entry, whose real updates
+  // follow the re-insert — identities merge neutrally) and retries once.
+  auto locate_group = [&](Shard& shard, int64_t key) -> std::vector<int64_t>* {
+    auto [it, inserted] = shard.groups.try_emplace(key, identities);
+    if (!inserted || spill == nullptr) return &it->second;
+    AbortReason reason = qctx->TryCharge(group_bytes, "reference_groups");
+    if (reason == AbortReason::kNone) {
+      ++shard.charged;
+      return &it->second;
+    }
+    if (reason != AbortReason::kBudget) {
+      throw QueryAbort(reason, "reference_groups", group_bytes);
+    }
+    // Recovering from the refusal: drop its pending-abort record first so a
+    // failure inside the spill itself classifies as its own error.
+    qctx->ClearRecoveredBudgetAbort();
+    spill_shard(shard);
+    it = shard.groups.try_emplace(key, identities).first;
+    reason = qctx->TryCharge(group_bytes, "reference_groups");
+    if (reason != AbortReason::kNone) {
+      // One group from an empty shard still refused: the budget itself is
+      // too small, and spilling again would loop without progress.
+      throw QueryAbort(reason, "reference_groups", group_bytes);
+    }
+    ++shard.charged;
+    return &it->second;
+  };
 
   if (plan.group_seed.has_value()) {
     const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
@@ -280,8 +358,7 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
               ? fact_eval.Eval(*plan.group_by, row)
               : ResolvePath(*plan.FindPath(plan.group_by_path), catalog_,
                             plan.fact_table, row);
-      auto [it, inserted] = shard.groups.try_emplace(key, identities);
-      slots = &it->second;
+      slots = locate_group(shard, key);
     }
 
     for (int a = 0; a < num_aggs; ++a) {
@@ -320,9 +397,12 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
       UpdateAgg(plan.aggs[a].kind, &scalar[a], shards[w]->scalar[a]);
     }
     for (const auto& [key, partial] : shards[w]->groups) {
-      auto [it, inserted] = groups.try_emplace(key, identities);
+      // locate_group keeps the merge budget-honest too: a refused insert
+      // spills shard 0 and continues from this same entry, so each partial
+      // is applied exactly once across memory and disk fragments.
+      std::vector<int64_t>* slots = locate_group(*shards[0], key);
       for (int a = 0; a < num_aggs; ++a) {
-        UpdateAgg(plan.aggs[a].kind, &it->second[a], partial[a]);
+        UpdateAgg(plan.aggs[a].kind, &(*slots)[a], partial[a]);
       }
     }
   }
@@ -339,6 +419,59 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
   }
 
   result.grouped = true;
+  if (spill != nullptr && spill->spilled()) {
+    // Partitioned rebuild: drain the residual, then merge partitions as
+    // morsels on the shared pool. Partitions hold disjoint key sets and
+    // every per-kind combine is associative and commutative, so the final
+    // key sort makes the result bit-identical to the in-memory path.
+    obs::SpanScope spill_span(trace, "spill-merge");
+    spill_shard(*shards[0]);
+    exec::ThrowIfError(spill->Flush());
+    const int partitions = spill->num_partitions();
+    std::vector<std::vector<int64_t>> partition_rows(partitions);
+    const exec::SpillMergeFn merge_fn = [&](int64_t* dst,
+                                            const int64_t* src) {
+      for (int a = 0; a < num_aggs; ++a) {
+        UpdateAgg(plan.aggs[a].kind, &dst[a], src[a]);
+      }
+    };
+    exec::MorselStats merge_stats = exec::ParallelMorsels(
+        qctx, num_threads, partitions, /*morsel_size=*/1,
+        [&](int /*worker*/, int64_t begin, int64_t end) {
+          for (int64_t p = begin; p < end; ++p) {
+            exec::ThrowIfError(spill->MergePartition(
+                static_cast<int>(p), merge_fn, &partition_rows[p]));
+          }
+        });
+    SWOLE_RETURN_NOT_OK(merge_stats.status);
+    spill_span.Attr("spill.bytes_written", spill->bytes_written());
+    spill_span.Attr("spill.partitions", static_cast<int64_t>(partitions));
+    spill_span.Attr("spill.max_depth", spill->max_depth_reached());
+    spill_span.Attr("spill.events", spill->spill_events());
+    const size_t stride = 1 + static_cast<size_t>(num_aggs);
+    if (plan.histogram_of_agg0) {
+      std::map<int64_t, int64_t> histogram;
+      for (const auto& rows : partition_rows) {
+        for (size_t i = 0; i < rows.size(); i += stride) {
+          histogram[rows[i + 1]]++;
+        }
+      }
+      result.num_aggs = 1;
+      for (const auto& [value, count] : histogram) {
+        result.AddGroup(value, &count);
+      }
+      result.agg_names = {"group_count"};
+    } else {
+      result.num_aggs = num_aggs;
+      for (const auto& rows : partition_rows) {
+        for (size_t i = 0; i < rows.size(); i += stride) {
+          result.AddGroup(rows[i], rows.data() + i + 1);
+        }
+      }
+      result.SortGroups();
+    }
+    return result;
+  }
   if (plan.histogram_of_agg0) {
     // Second-level aggregation (Q13): count groups per value of agg 0.
     std::map<int64_t, int64_t> histogram;

@@ -16,6 +16,35 @@
 
 namespace swole::exec {
 
+// Tracked-allocation sites: TryCharge evaluates the fault injector at every
+// site name below, so each is a deterministic budget-breach injection point
+// (SWOLE_FAULT=group_table:1.0). The synthetic deadline_fire site lives in
+// CheckLiveReason.
+SWOLE_REGISTER_FAULT_SITE("group_table", "group-by hash table growth charge")
+SWOLE_REGISTER_FAULT_SITE("spill_merge",
+                          "spill partition rebuild table growth charge")
+SWOLE_REGISTER_FAULT_SITE("reference_groups",
+                          "reference-engine shard map growth charge "
+                          "(spill-enabled runs only)")
+SWOLE_REGISTER_FAULT_SITE("dim_keyset", "dim-side key-set build charge")
+SWOLE_REGISTER_FAULT_SITE("dim_bitmap", "dim positional-bitmap build charge")
+SWOLE_REGISTER_FAULT_SITE("reverse_keyset",
+                          "reverse-lookup key-set build charge")
+SWOLE_REGISTER_FAULT_SITE("reverse_bitmap",
+                          "reverse-lookup bitmap build charge")
+SWOLE_REGISTER_FAULT_SITE("disjunctive_ht",
+                          "disjunctive-clause hash-table build charge")
+SWOLE_REGISTER_FAULT_SITE("disjunctive_bitmap",
+                          "disjunctive-clause bitmap build charge")
+SWOLE_REGISTER_FAULT_SITE("jit_groups",
+                          "JIT kernel group-table growth charge")
+SWOLE_REGISTER_FAULT_SITE("jit_dim_keyset",
+                          "JIT kernel dim key-set build charge")
+SWOLE_REGISTER_FAULT_SITE("jit_dim_bitmap",
+                          "JIT kernel dim bitmap build charge")
+SWOLE_REGISTER_FAULT_SITE("deadline_fire",
+                          "synthetic deadline expiry in CheckLive")
+
 namespace {
 // Governance events feed the process-wide registry so budget breaches and
 // deadline fires are visible without per-query tracing.
@@ -43,6 +72,12 @@ obs::Counter& DegradationCounter() {
 bool TraceRequestedFromEnv() {
   static const bool requested = GetEnvInt64("SWOLE_TRACE", 0) != 0;
   return requested;
+}
+
+// Not cached: the spill tests toggle SWOLE_SPILL between queries.
+bool SpillRequestedFromEnv() {
+  std::string mode = GetEnvString("SWOLE_SPILL", "off");
+  return mode == "auto" || mode == "on" || mode == "1";
 }
 }  // namespace
 
@@ -287,6 +322,12 @@ void QueryContext::RecordPendingAbort(AbortReason reason, const char* site,
   pending_reason_.store(static_cast<int>(reason), std::memory_order_release);
 }
 
+void QueryContext::ClearRecoveredBudgetAbort() {
+  int expected = static_cast<int>(AbortReason::kBudget);
+  pending_reason_.compare_exchange_strong(expected, 0,
+                                          std::memory_order_acq_rel);
+}
+
 AbortReason QueryContext::TakePendingAbort(std::string* site_out,
                                            int64_t* requested_out) {
   int reason = pending_reason_.exchange(0, std::memory_order_acq_rel);
@@ -331,6 +372,7 @@ GovernanceScope::GovernanceScope(QueryContext* external,
       external->set_trace(trace);
       attached_trace_ = true;
     }
+    if (SpillRequestedFromEnv()) external->set_spill_enabled(true);
     return;
   }
   QueryContext::Limits limits;
@@ -353,6 +395,7 @@ GovernanceScope::GovernanceScope(QueryContext* external,
       ctx_->AttachGlobalPool(pool);
       attached_pool_ = true;
     }
+    if (SpillRequestedFromEnv()) ctx_->set_spill_enabled(true);
   }
   if (trace_requested) {
     if (trace == nullptr) {

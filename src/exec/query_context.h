@@ -140,6 +140,12 @@ class QueryContext {
   /// Takes (and clears) the pending abort; kNone if none was recorded.
   AbortReason TakePendingAbort(std::string* site_out, int64_t* requested_out);
 
+  /// Drops a pending kBudget record after a spill path recovered from the
+  /// refusal, so StatusFromCurrentException cannot misclassify a later
+  /// unrelated exception with the stale record. Non-budget records
+  /// (deadline, cancellation) are never recovered from and are preserved.
+  void ClearRecoveredBudgetAbort();
+
   // ---- Hook thunks ----
 
   /// MemHookFn-shaped thunk (`ctx` is the QueryContext*): also the
@@ -156,6 +162,27 @@ class QueryContext {
     return degradations_.load(std::memory_order_relaxed);
   }
   void CountDegradation();
+
+  // ---- Spill (exec/spill.h) ----
+
+  /// When enabled, a budget refusal at a spill-capable group-table site
+  /// triggers partitioned spill-to-disk instead of aborting the query: the
+  /// site catches the refusal, spills its accumulated state through the
+  /// attached SpillManager, and retries under a near-empty table — the
+  /// first rung of the spill degradation ladder (DESIGN.md §14). Resolved
+  /// by GovernanceScope from SWOLE_SPILL (or forced per-query via
+  /// StrategyOptions::spill); join-mode and seeded tables stay non-spill
+  /// regardless (spilling would drop their seeded keys).
+  bool spill_enabled() const {
+    return spill_enabled_.load(std::memory_order_acquire);
+  }
+  void set_spill_enabled(bool enabled) {
+    spill_enabled_.store(enabled, std::memory_order_release);
+  }
+
+  /// How many spill events this query's sites performed.
+  int64_t spills() const { return spills_.load(std::memory_order_relaxed); }
+  void CountSpill() { spills_.fetch_add(1, std::memory_order_relaxed); }
 
   // ---- Tracing (obs/trace.h) ----
 
@@ -210,6 +237,8 @@ class QueryContext {
   int64_t pending_requested_ = 0;
 
   std::atomic<int64_t> degradations_{0};
+  std::atomic<bool> spill_enabled_{false};
+  std::atomic<int64_t> spills_{0};
 
   // Shared-pool accounting: the pool this context draws from (null = query
   // budget only) and how many bytes this context currently holds in it —

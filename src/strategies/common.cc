@@ -1,14 +1,18 @@
 #include "strategies/common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <map>
 #include <set>
 
 #include "common/logging.h"
 #include "cost/estimates.h"
 #include "exec/scheduler.h"
+#include "exec/spill.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swole::pipeline {
 
@@ -886,40 +890,149 @@ GroupTable::GroupTable(const QueryPlan& plan, int64_t expected_keys,
 
 void GroupTable::SeedKey(int64_t key) { table_.GetOrInsert(key); }
 
+// Budget refusals during a spill retry can be transient: sibling workers
+// charge the same QueryContext and release their tables the next time they
+// are themselves refused. A handful of retries rides out that contention;
+// refusals past the bound mean the budget genuinely cannot hold the
+// working set of one batch.
+constexpr int kSpillRetries = 4;
+
+int64_t SpillSoftCap(const exec::QueryContext* ctx, int num_threads) {
+  if (ctx == nullptr) return 0;
+  const int64_t limit = ctx->limit_bytes();
+  if (limit <= 0) return 0;
+  return std::max<int64_t>(1, limit / (2 * std::max(num_threads, 1)));
+}
+
+void GroupTable::SpillAndReset() {
+  SWOLE_DCHECK(spill_ != nullptr);
+  // A budget refusal that routed here left a pending-abort record. Clear it
+  // before attempting the spill: we are handling that refusal, so any
+  // exception from this point on (including an I/O failure during the spill
+  // itself) must classify on its own, not as the recovered budget abort.
+  if (ctx_ != nullptr) ctx_->ClearRecoveredBudgetAbort();
+  exec::ThrowIfError(spill_->SpillTable(table_, HashTable::kMaskKey));
+  // Move-assigning a fresh table releases the full old charge through the
+  // hook before the minimum footprint is charged back.
+  table_ = HashTable(1 + num_aggs_, 16);
+  if (ctx_ != nullptr) {
+    table_.SetMemHook(exec::QueryContext::MemHookThunk, ctx_, site_);
+    ctx_->CountSpill();
+  }
+  table_.GetOrInsert(HashTable::kMaskKey);
+}
+
+template <typename Fn>
+void GroupTable::RunSpillable(Fn&& fn) {
+  if (spill_ == nullptr) {
+    fn();
+    return;
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      fn();
+      break;
+    } catch (const QueryAbort& abort) {
+      // Only a budget refusal is recoverable by spilling. Deadline and
+      // cancellation aborts propagate. Retries are bounded: a refusal can
+      // come from sibling workers transiently holding the budget (they
+      // release on their own next refused charge), so a single retry gives
+      // up too early — but kSpillRetries consecutive refusals of a batch
+      // probing an emptied table means the budget itself cannot hold one
+      // batch, and spilling again would loop forever without progress.
+      if (abort.reason != AbortReason::kBudget ||
+          attempt >= kSpillRetries) {
+        throw;
+      }
+      SpillAndReset();
+      // Back off before re-applying: the refusal usually means a sibling
+      // worker's table is mid-batch at its transient peak, and its
+      // proactive spill releases the budget within its batch window —
+      // immediate retries would all land inside that window and give up.
+      if (attempt > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  // Proactive spill at the per-worker soft quota: siblings sharing the
+  // budget stay refusal-free, so no worker ever depends on another
+  // releasing memory to make progress. Outside the retry loop — a throw
+  // from here must propagate, never re-run the (already applied) batch.
+  if (spill_soft_cap_ > 0 && table_.ByteSize() > spill_soft_cap_) {
+    SpillAndReset();
+  }
+}
+
 void GroupTable::UpdateSel(const int64_t* keys,
                            const std::vector<int64_t*>& values, int32_t n,
                            bool prefetch) {
-  int64_t** p = ProbeScratch(n);
-  table_.GetOrInsertBatch(keys, n, p, prefetch);
-  for (int32_t k = 0; k < n; ++k) {
-    p[k][0] += 1;
-    for (int a = 0; a < num_aggs_; ++a) p[k][1 + a] += values[a][k];
-  }
+  RunSpillable([&] {
+    int64_t** p = ProbeScratch(n);
+    table_.GetOrInsertBatch(keys, n, p, prefetch);
+    for (int32_t k = 0; k < n; ++k) {
+      p[k][0] += 1;
+      for (int a = 0; a < num_aggs_; ++a) p[k][1 + a] += values[a][k];
+    }
+  });
 }
 
 void GroupTable::UpdateMaskedValues(const int64_t* keys,
                                     const std::vector<int64_t*>& values,
                                     const uint8_t* cmp, int64_t len) {
-  const int32_t n = static_cast<int32_t>(len);
-  int64_t** p = ProbeScratch(n);
-  table_.GetOrInsertBatch(keys, n, p, /*prefetch=*/true);
-  for (int32_t j = 0; j < n; ++j) {
-    int64_t m = cmp[j];
-    p[j][0] += m;
-    for (int a = 0; a < num_aggs_; ++a) p[j][1 + a] += values[a][j] * m;
-  }
+  RunSpillable([&] {
+    const int32_t n = static_cast<int32_t>(len);
+    int64_t** p = ProbeScratch(n);
+    table_.GetOrInsertBatch(keys, n, p, /*prefetch=*/true);
+    for (int32_t j = 0; j < n; ++j) {
+      int64_t m = cmp[j];
+      p[j][0] += m;
+      for (int a = 0; a < num_aggs_; ++a) p[j][1 + a] += values[a][j] * m;
+    }
+  });
 }
 
 void GroupTable::UpdateMaskedKeys(const int64_t* masked_keys,
                                   const std::vector<int64_t*>& values,
                                   int64_t len) {
-  const int32_t n = static_cast<int32_t>(len);
-  int64_t** p = ProbeScratch(n);
-  table_.GetOrInsertBatch(masked_keys, n, p, /*prefetch=*/true);
-  for (int32_t j = 0; j < n; ++j) {
-    p[j][0] += 1;
-    for (int a = 0; a < num_aggs_; ++a) p[j][1 + a] += values[a][j];
+  RunSpillable([&] {
+    const int32_t n = static_cast<int32_t>(len);
+    int64_t** p = ProbeScratch(n);
+    table_.GetOrInsertBatch(masked_keys, n, p, /*prefetch=*/true);
+    for (int32_t j = 0; j < n; ++j) {
+      p[j][0] += 1;
+      for (int a = 0; a < num_aggs_; ++a) p[j][1 + a] += values[a][j];
+    }
+  });
+}
+
+void GroupTable::MergeFrom(const GroupTable& other) {
+  if (spill_ == nullptr) {
+    table_.MergeAdd(other.table_);
+    return;
   }
+  // Per-entry merge: GetOrInsert charges before inserting and the payload
+  // adds cannot throw, so each source entry is applied exactly once even
+  // when a refusal spills the destination mid-merge. The loop continues
+  // from the same entry, never restarts the merge.
+  const int width = 1 + num_aggs_;
+  other.table_.ForEach([&](int64_t key, const int64_t* payload) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        int64_t* dst = table_.GetOrInsert(key);
+        for (int w = 0; w < width; ++w) dst[w] += payload[w];
+        return;
+      } catch (const QueryAbort& abort) {
+        if (abort.reason != AbortReason::kBudget ||
+            attempt >= kSpillRetries) {
+          throw;
+        }
+        SpillAndReset();
+        if (attempt > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    }
+  });
 }
 
 void GroupTable::UpdateJoinMasked(const int64_t* keys,
@@ -974,6 +1087,71 @@ QueryResult GroupTable::Extract(const QueryPlan& plan,
     result.AddGroup(key, payload + 1);
   });
   result.SortGroups();
+  if (plan.histogram_of_agg0) return HistogramOfAgg0(result);
+  return result;
+}
+
+Result<QueryResult> GroupTable::ExtractSpilled(const QueryPlan& plan,
+                                               int num_threads) {
+  SWOLE_DCHECK(spill_ != nullptr);
+  obs::QueryTrace* trace = ctx_ != nullptr ? ctx_->trace() : nullptr;
+  obs::SpanScope span(trace, "spill-merge");
+
+  // Drain the in-memory remainder so every group lives wholly in the
+  // partition its hash prefix names, then release the table's charge — the
+  // merge phase wants the budget headroom for its rebuild tables.
+  SWOLE_RETURN_NOT_OK(spill_->SpillTable(table_, HashTable::kMaskKey));
+  table_ = HashTable(1 + num_aggs_, 16);
+  if (ctx_ != nullptr) {
+    table_.SetMemHook(exec::QueryContext::MemHookThunk, ctx_, site_);
+  }
+  table_.GetOrInsert(HashTable::kMaskKey);
+  SWOLE_RETURN_NOT_OK(spill_->Flush());
+
+  const int width = 1 + num_aggs_;
+  const int partitions = spill_->num_partitions();
+  std::vector<std::vector<int64_t>> partition_rows(partitions);
+  const exec::SpillMergeFn merge_fn = [width](int64_t* dst,
+                                              const int64_t* src) {
+    for (int w = 0; w < width; ++w) dst[w] += src[w];
+  };
+  // One morsel per partition on the shared pool. Partitions hold disjoint
+  // key sets, so rebuild order doesn't matter; the ascending concatenation
+  // below plus the same key sort Extract uses keeps the result
+  // bit-identical at every thread count.
+  exec::MorselStats stats = exec::ParallelMorsels(
+      ctx_, num_threads, partitions, /*morsel_size=*/1,
+      [&](int /*worker*/, int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          exec::ThrowIfError(spill_->MergePartition(
+              static_cast<int>(p), merge_fn, &partition_rows[p]));
+        }
+      });
+  SWOLE_RETURN_NOT_OK(stats.status);
+
+  QueryResult result;
+  result.grouped = true;
+  result.num_aggs = num_aggs_;
+  for (const AggSpec& agg : plan.aggs) result.agg_names.push_back(agg.name);
+  int64_t merged_groups = 0;
+  const size_t stride = 1 + static_cast<size_t>(width);
+  for (int p = 0; p < partitions; ++p) {
+    const std::vector<int64_t>& rows = partition_rows[p];
+    for (size_t i = 0; i < rows.size(); i += stride) {
+      const int64_t* row = rows.data() + i;  // [key, touched, agg0, ...]
+      // Untouched entries are batch-probe artifacts with zero
+      // contributions — dropped exactly as the in-memory Extract does.
+      if (row[1] == 0) continue;
+      result.AddGroup(row[0], row + 2);
+    }
+    merged_groups += static_cast<int64_t>(rows.size() / stride);
+  }
+  result.SortGroups();
+  span.Attr("spill.bytes_written", spill_->bytes_written());
+  span.Attr("spill.partitions", static_cast<int64_t>(partitions));
+  span.Attr("spill.max_depth", spill_->max_depth_reached());
+  span.Attr("spill.events", spill_->spill_events());
+  span.Attr("spill.merged_groups", merged_groups);
   if (plan.histogram_of_agg0) return HistogramOfAgg0(result);
   return result;
 }

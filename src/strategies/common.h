@@ -19,6 +19,10 @@
 // differ (branching vs prepass filters, hash vs positional probes,
 // prefetching); the rest is the common "library code".
 
+namespace swole::exec {
+class SpillManager;
+}  // namespace swole::exec
+
 namespace swole::pipeline {
 
 /// Per-engine scratch buffers, sized for one tile.
@@ -249,8 +253,12 @@ class GroupTable {
   /// Merges a worker-local partial state: payloads added element-wise
   /// ([touched, sums/counts] — all additive). Called in worker order (the
   /// ordered merge); Extract sorts by key, so results are bit-exact with
-  /// single-thread runs regardless of steal order.
-  void MergeFrom(const GroupTable& other) { table_.MergeAdd(other.table_); }
+  /// single-thread runs regardless of steal order. Spill-aware: with a
+  /// manager attached, a budget refusal mid-merge spills the destination
+  /// and continues from the same source entry (additive payloads make the
+  /// fragment split exact; a blind retry of the whole merge would
+  /// double-count entries applied before the refusal).
+  void MergeFrom(const GroupTable& other);
 
   /// A worker-local copy with the same key set and zeroed payloads.
   /// Join-mode probes (UpdateJoinMasked/UpdateJoinSel) only Find keys, so
@@ -265,7 +273,47 @@ class GroupTable {
   /// groups unless `keep_untouched` (Q13's left-outer zero counts).
   QueryResult Extract(const QueryPlan& plan, bool keep_untouched) const;
 
+  // ---- Spill-to-disk (DESIGN.md §14) ----
+
+  /// Attaches the query's spill manager: insert-mode updates
+  /// (UpdateSel/UpdateMaskedValues/UpdateMaskedKeys) that hit a budget
+  /// refusal at this table's site spill the accumulated groups to disk and
+  /// retry the batch instead of aborting. Only valid for unseeded
+  /// insert-mode tables — join-mode probes (Find-only) and group-seeded
+  /// tables need their key set resident, so engines never enable spill for
+  /// them. Worker-local tables of one query share one manager.
+  /// `soft_cap_bytes` (0 = none) proactively spills this table once its own
+  /// footprint crosses the cap, keeping concurrent workers' combined charge
+  /// well under the budget. Without it a refused worker can starve: its
+  /// retries only succeed after siblings release, and siblings holding
+  /// stable tables never charge — so never spill — again.
+  void EnableSpill(exec::SpillManager* spill, int64_t soft_cap_bytes = 0) {
+    spill_ = spill;
+    spill_soft_cap_ = soft_cap_bytes;
+  }
+  exec::SpillManager* spill() const { return spill_; }
+
+  /// Extracts the final result for a query that spilled: drains this
+  /// table's in-memory remainder, then merges every partition — as morsels
+  /// on the shared pool — and concatenates in ascending partition order
+  /// before the same key sort Extract uses, so the result is bit-identical
+  /// to the in-memory path at every thread count. Untouched groups are
+  /// always dropped (spill is never enabled for group-seeded plans).
+  Result<QueryResult> ExtractSpilled(const QueryPlan& plan, int num_threads);
+
  private:
+  /// Spills every accumulated group to spill_ and restarts the table empty
+  /// (the move-assign releases the old charge before the minimum footprint
+  /// is re-charged). Throws exec::ThrownStatus on spill I/O failure.
+  void SpillAndReset();
+
+  /// Runs one batch update, spilling and retrying once on a budget refusal
+  /// when a manager is attached. Safe because every insert-mode update
+  /// batch-probes all pointers before the first payload add: a refusal can
+  /// only fire during the probe, so no contribution is applied twice.
+  template <typename Fn>
+  void RunSpillable(Fn&& fn);
+
   /// Resizes the batched-probe pointer scratch to at least n entries.
   int64_t** ProbeScratch(int64_t n) {
     if (static_cast<int64_t>(probe_.size()) < n) probe_.resize(n);
@@ -278,6 +326,8 @@ class GroupTable {
   const char* site_;         // propagates both to worker-local copies
   HashTable table_;
   std::vector<int64_t*> probe_;  // batched-probe payload pointers
+  exec::SpillManager* spill_ = nullptr;  // non-owning; null = no spill
+  int64_t spill_soft_cap_ = 0;           // per-table quota; 0 = uncapped
 };
 
 /// Initializes a scalar accumulator to each aggregate's identity (0 for
@@ -298,6 +348,12 @@ QueryResult HistogramOfAgg0(const QueryResult& grouped);
 
 /// Expected group count: plan hint, or a sampled estimate.
 int64_t ExpectedGroups(const Catalog& catalog, const QueryPlan& plan);
+
+/// Per-worker group-table quota under spill (GroupTable::EnableSpill): half
+/// the context's byte budget split across workers, so the workers' combined
+/// steady-state footprint stays near 50% of the limit and growth transients
+/// cannot exhaust it. 0 (uncapped) when the context has no byte limit.
+int64_t SpillSoftCap(const exec::QueryContext* ctx, int num_threads);
 
 }  // namespace swole::pipeline
 

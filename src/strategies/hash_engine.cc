@@ -12,6 +12,7 @@
 #include "cost/feedback.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
+#include "exec/spill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -90,6 +91,9 @@ Result<QueryResult> HashStrategyEngine::Execute(const QueryPlan& plan) {
                                    options_.deadline_ms, options_.trace);
   if (governance.ctx() != nullptr && options_.priority != 0) {
     governance.ctx()->set_priority(options_.priority);
+  }
+  if (governance.ctx() != nullptr && options_.spill >= 0) {
+    governance.ctx()->set_spill_enabled(options_.spill == 1);
   }
 
   // Estimate side of the cost-feedback observation (cost/feedback.h): the
@@ -182,10 +186,21 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
 
   // Group table. For the groupjoin fusion its keys ARE the qualifying
   // dimension keys (build side); probing uses join mode (Find, no insert).
+  // Spill engagement (DESIGN.md §14): only unseeded insert-mode group
+  // tables may spill — join-mode probes and seeded tables need their key
+  // set resident. One manager is shared by every worker-local table.
+  std::unique_ptr<exec::SpillManager> spill;
   std::unique_ptr<GroupTable> groups;
+  const bool spillable = plan.HasGroupBy() && groupjoin_dim < 0 &&
+                         !plan.group_seed.has_value() && qctx != nullptr &&
+                         qctx->spill_enabled();
   if (plan.HasGroupBy()) {
+    // Under spill, skip the cardinality-sized pre-allocation: charging the
+    // full estimate upfront would breach the budget before a single row is
+    // aggregated. The table starts minimal and grows (or spills) on demand.
     groups = std::make_unique<GroupTable>(
-        plan, pipeline::ExpectedGroups(catalog_, plan), qctx);
+        plan, spillable ? 16 : pipeline::ExpectedGroups(catalog_, plan),
+        qctx);
     if (plan.group_seed.has_value()) {
       const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
       const Column& key_col =
@@ -208,6 +223,14 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
           kind_, catalog_, dim, tile, num_threads, qctx);
       qualifying->ForEach(
           [&](int64_t key, const int64_t*) { groups->SeedKey(key); });
+    }
+    if (spillable) {
+      exec::SpillConfig spill_cfg = exec::SpillConfig::FromEnv();
+      spill_cfg.enabled = true;
+      spill = std::make_unique<exec::SpillManager>(
+          spill_cfg, 1 + static_cast<int>(plan.aggs.size()), qctx);
+      groups->EnableSpill(spill.get(),
+                          pipeline::SpillSoftCap(qctx, num_threads));
     }
   }
 
@@ -290,7 +313,13 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
         ctx->groups = ctx->owned_groups.get();
       } else {
         ctx->owned_groups = std::make_unique<GroupTable>(
-            plan, pipeline::ExpectedGroups(catalog_, plan), qctx);
+            plan,
+            spill != nullptr ? 16 : pipeline::ExpectedGroups(catalog_, plan),
+            qctx);
+        if (spill != nullptr) {
+          ctx->owned_groups->EnableSpill(
+              spill.get(), pipeline::SpillSoftCap(qctx, num_threads));
+        }
         ctx->groups = ctx->owned_groups.get();
       }
     }
@@ -505,7 +534,15 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
   for (int w = 1; w < num_threads; ++w) {
     pipeline::MergeScalarAcc(plan, ctxs[0]->scalar_acc.data(),
                              ctxs[w]->scalar_acc.data());
-    if (plan.HasGroupBy()) groups->MergeFrom(*ctxs[w]->groups);
+    if (plan.HasGroupBy()) {
+      groups->MergeFrom(*ctxs[w]->groups);
+      // Release each worker table as soon as it is merged so the budget
+      // headroom grows monotonically through the merge — under spill the
+      // destination may need to grow while later tables still hold their
+      // charges.
+      ctxs[w]->groups = nullptr;
+      ctxs[w]->owned_groups.reset();
+    }
   }
 
   phase.reset();  // merge
@@ -516,6 +553,9 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
     return pipeline::MakeScalarResult(plan, ctxs[0]->scalar_acc.data());
   }
   bool keep_untouched = plan.group_seed.has_value();
+  if (spill != nullptr && spill->spilled()) {
+    return groups->ExtractSpilled(plan, num_threads);
+  }
   return groups->Extract(plan, keep_untouched);
 }
 

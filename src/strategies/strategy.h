@@ -91,6 +91,12 @@ struct StrategyOptions {
   // SWOLE_DEADLINE_MS (absent = none); 0 explicitly none.
   int64_t deadline_ms = -1;
 
+  // Spill-to-disk for group tables that breach the memory budget
+  // (exec/spill.h, DESIGN.md §14): -1 defers to SWOLE_SPILL (default off),
+  // 0 forces off, 1 forces on. Only insert-mode group tables spill;
+  // join-mode and group-seeded plans keep their budget-abort behavior.
+  int spill = -1;
+
   // ---- Concurrent serving (exec/admission.h, exec/scheduler.h) ----
 
   // Scheduler priority of this query's morsel work in the shared worker

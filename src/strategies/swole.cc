@@ -14,6 +14,7 @@
 #include "cost/feedback.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
+#include "exec/spill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -169,6 +170,9 @@ Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
   exec::QueryContext* qctx = governance.ctx();
   if (qctx != nullptr && options_.priority != 0) {
     qctx->set_priority(options_.priority);
+  }
+  if (qctx != nullptr && options_.spill >= 0) {
+    qctx->set_spill_enabled(options_.spill == 1);
   }
   obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
 
@@ -706,10 +710,21 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
                               *plan.FindPath(eq.right_alias)));
   }
 
+  // Spill engagement (DESIGN.md §14): ExecuteGeneral's group updates are
+  // all insert-mode (UpdateSel / UpdateMaskedValues / UpdateMaskedKeys),
+  // so any unseeded group table may spill; group-seeded plans need their
+  // key set resident. One manager is shared by every worker-local table.
+  std::unique_ptr<exec::SpillManager> spill;
   std::unique_ptr<GroupTable> groups;
+  const bool spillable = plan.HasGroupBy() &&
+                         !plan.group_seed.has_value() && qctx != nullptr &&
+                         qctx->spill_enabled();
   if (plan.HasGroupBy()) {
-    groups =
-        std::make_unique<GroupTable>(plan, analysis.expected_groups, qctx);
+    // Under spill, skip the cardinality-sized pre-allocation: charging the
+    // full estimate upfront would breach the budget before a single row is
+    // aggregated. The table starts minimal and grows (or spills) on demand.
+    groups = std::make_unique<GroupTable>(
+        plan, spillable ? 16 : analysis.expected_groups, qctx);
     if (plan.group_seed.has_value()) {
       const Table& seed_table = catalog_.TableRef(plan.group_seed->table);
       const Column& key_col =
@@ -717,6 +732,13 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
       for (int64_t row = 0; row < seed_table.num_rows(); ++row) {
         groups->SeedKey(key_col.ValueAt(row));
       }
+    } else if (spillable) {
+      exec::SpillConfig spill_cfg = exec::SpillConfig::FromEnv();
+      spill_cfg.enabled = true;
+      spill = std::make_unique<exec::SpillManager>(
+          spill_cfg, 1 + static_cast<int>(plan.aggs.size()), qctx);
+      groups->EnableSpill(spill.get(),
+                          pipeline::SpillSoftCap(qctx, num_threads));
     }
   }
 
@@ -800,7 +822,11 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
         // Insert-mode updates: workers start empty (the ctor provisions
         // the throwaway entry); seeds stay in the primary only.
         ctx->owned_groups = std::make_unique<GroupTable>(
-            plan, analysis.expected_groups, qctx);
+            plan, spill != nullptr ? 16 : analysis.expected_groups, qctx);
+        if (spill != nullptr) {
+          ctx->owned_groups->EnableSpill(
+              spill.get(), pipeline::SpillSoftCap(qctx, num_threads));
+        }
         ctx->groups = ctx->owned_groups.get();
       }
     }
@@ -1101,13 +1127,22 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   for (int w = 1; w < num_threads; ++w) {
     pipeline::MergeScalarAcc(plan, ctxs[0]->scalar_acc.data(),
                              ctxs[w]->scalar_acc.data());
-    if (plan.HasGroupBy()) groups->MergeFrom(*ctxs[w]->groups);
+    if (plan.HasGroupBy()) {
+      groups->MergeFrom(*ctxs[w]->groups);
+      // Release merged worker tables eagerly: under spill the destination
+      // may need budget headroom the unmerged tables are still holding.
+      ctxs[w]->groups = nullptr;
+      ctxs[w]->owned_groups.reset();
+    }
   }
   phase.reset();  // merge
 
   phase.emplace(trace, "extract");
   if (!plan.HasGroupBy()) {
     return pipeline::MakeScalarResult(plan, ctxs[0]->scalar_acc.data());
+  }
+  if (spill != nullptr && spill->spilled()) {
+    return groups->ExtractSpilled(plan, num_threads);
   }
   return groups->Extract(plan, plan.group_seed.has_value());
 }

@@ -452,6 +452,81 @@ TEST_F(JitRobustnessTest, DiskCacheSurvivesMemoryCacheClear) {
   RemoveTree(tmpl);
 }
 
+TEST_F(JitRobustnessTest, CorruptedDiskCacheEntryIsQuarantinedAndRecompiled) {
+  std::string tmpl = "/tmp/swole_diskcache_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+  JitOptions jit;
+  jit.disk_cache_dir = tmpl;
+
+  QueryPlan plan = MicroQ1(false, 77);
+  Result<std::unique_ptr<CompiledKernel>> first =
+      codegen::GenerateAndCompile(plan, data_->catalog, SwoleOptions(), jit);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  QueryResult expected = Oracle(plan);
+  EXPECT_EQ(*(*first)->Run(data_->catalog), expected);
+
+  // Corrupt the cached shared object in place (flip one byte mid-file).
+  // The .sum sidecar now disagrees with the content, exactly as after a
+  // torn write or bit rot.
+  auto list_entries = [&](const std::string& suffix) {
+    std::vector<std::string> out;
+    DIR* d = ::opendir(tmpl.c_str());
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0) {
+        out.push_back(tmpl + "/" + name);
+      }
+    }
+    ::closedir(d);
+    return out;
+  };
+  std::vector<std::string> sos = list_entries(".so");
+  ASSERT_EQ(sos.size(), 1u);
+  {
+    std::fstream f(sos[0],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(128);
+    char byte = 0;
+    f.seekg(128);
+    f.get(byte);
+    byte ^= 0x1;
+    f.seekp(128);
+    f.put(byte);
+  }
+
+  // A fresh process (empty memory cache) must not dlopen the corrupt
+  // object: the lookup quarantines it and the compile path rebuilds.
+  KernelCache::Global().Clear();
+  JitStats::Snapshot before = codegen::GlobalJitStats().snapshot();
+  Result<std::unique_ptr<CompiledKernel>> second = codegen::GenerateAndCompile(
+      MicroQ1(false, 77), data_->catalog, SwoleOptions(), jit);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE((*second)->from_cache());
+  JitStats::Snapshot after = codegen::GlobalJitStats().snapshot();
+  EXPECT_EQ(after.cache_hits_disk, before.cache_hits_disk);
+  EXPECT_GE(after.compiles - before.compiles, 1);
+  EXPECT_EQ(*(*second)->Run(data_->catalog), expected);
+
+  // The corrupt object is preserved for inspection, not silently deleted,
+  // and the rebuilt entry has a fresh checksum sidecar.
+  EXPECT_FALSE(list_entries(".corrupt." + std::to_string(::getpid())).empty());
+  EXPECT_EQ(list_entries(".so").size(), 1u);
+  EXPECT_EQ(list_entries(".so.sum").size(), 1u);
+
+  // The rebuilt entry serves disk hits again.
+  KernelCache::Global().Clear();
+  Result<std::unique_ptr<CompiledKernel>> third = codegen::GenerateAndCompile(
+      MicroQ1(false, 77), data_->catalog, SwoleOptions(), jit);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_TRUE((*third)->from_cache());
+  EXPECT_EQ(*(*third)->Run(data_->catalog), expected);
+
+  RemoveTree(tmpl);
+}
+
 // ---- JIT temp-directory resolution (SWOLE_JIT_TMPDIR / TMPDIR) ----
 
 namespace {

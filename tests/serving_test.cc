@@ -16,6 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstdlib>
 
 #include <atomic>
@@ -572,6 +575,77 @@ TEST_F(ServingTest, GlobalPoolArbitratesConcurrentBudgets) {
   // Releases mirror back to the pool too.
   EXPECT_EQ(ctx2->TryCharge(-600, "group_table"), AbortReason::kNone);
   EXPECT_EQ(pool.reserved_bytes(), 0);
+}
+
+TEST_F(ServingTest, ConcurrentSpillingQueriesStayIsolatedAndBitIdentical) {
+  // Four clients, one per strategy, all running the same group-by under a
+  // budget tight enough that every one of them spills — concurrently,
+  // through the shared scheduler. Spill state is per-query: results must
+  // match the unconstrained sequential baseline bit-for-bit, and every
+  // query's scratch directory must be gone when it finishes.
+  std::string spill_base = "/tmp/swole_serving_spill_XXXXXX";
+  ASSERT_NE(::mkdtemp(spill_base.data()), nullptr);
+  setenv("SWOLE_SPILL_DIR", spill_base.c_str(), /*overwrite=*/1);
+
+  QueryPlan plan = MicroQ2(micro_->c_columns[1], micro_->c_actual[1], 45);
+  std::vector<QueryResult> baselines;
+  for (StrategyKind kind : kAllStrategies) {
+    StrategyOptions options;
+    options.num_threads = 1;
+    baselines.push_back(
+        MakeStrategy(kind, micro_->catalog, options)->Execute(plan).value());
+  }
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::string> errors(kClients);
+  std::vector<int64_t> spills(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Tight enough that the per-worker soft quota (limit / 2*threads)
+      // undercuts the worker tables' steady size, so every worker spills
+      // proactively after each batch — yet loose enough that two workers
+      // at their transient batch peak (~8KB each at a 64-row tile) always
+      // fit together. Spilling is then deterministic, not a race on
+      // sibling workers releasing the budget.
+      exec::QueryContext ctx(
+          exec::QueryContext::Limits{/*mem_limit_bytes=*/24'576});
+      StrategyOptions options;
+      options.num_threads = 2;
+      options.tile_size = 64;
+      options.query_ctx = &ctx;
+      options.spill = 1;
+      Result<QueryResult> result =
+          MakeStrategy(kAllStrategies[c], micro_->catalog, options)
+              ->Execute(plan);
+      if (!result.ok()) {
+        errors[c] = result.status().ToString();
+      } else if (!(*result == baselines[c])) {
+        errors[c] = "result mismatch vs sequential baseline";
+      }
+      spills[c] = ctx.spills();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(errors[c].empty())
+        << StrategyKindName(kAllStrategies[c]) << ": " << errors[c];
+    EXPECT_GT(spills[c], 0) << StrategyKindName(kAllStrategies[c]);
+  }
+
+  // Every per-query scratch directory was removed on completion.
+  int stranded = 0;
+  DIR* d = ::opendir(spill_base.c_str());
+  ASSERT_NE(d, nullptr);
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") ++stranded;
+  }
+  ::closedir(d);
+  EXPECT_EQ(stranded, 0);
+
+  unsetenv("SWOLE_SPILL_DIR");
+  ::rmdir(spill_base.c_str());
 }
 
 TEST_F(ServingTest, SharedSchedulerReportsPoolState) {
