@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "cost/string_placement.h"
 #include "storage/table.h"
 
 namespace swole::codegen {
@@ -32,6 +33,27 @@ class CodeWriter {
   std::string out_;
   int indent_ = 0;
 };
+
+// Renders `s` as a C string literal for the generated unit. Quotes,
+// backslashes, and non-printable bytes use 3-digit octal escapes — hex
+// escapes are greedy ("\x6C" followed by 'a' reads as \x6CA), octal with a
+// fixed width never is — so arbitrary LIKE patterns (embedded NUL,
+// non-ASCII bytes) round-trip exactly.
+std::string CStringLiteral(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c >= 0x20 && c < 0x7F) {
+      out += static_cast<char>(c);
+    } else {
+      out += StringFormat("\\%03o", static_cast<int>(c));
+    }
+  }
+  out += '"';
+  return out;
+}
 
 // Tracks column slot assignment per (table, column).
 class SlotTable {
@@ -81,6 +103,33 @@ class SlotTable {
     return StringFormat("offs%d", static_cast<int>(fk_tables_.size() - 1));
   }
 
+  // Slot index of a raw-text column's (arena, offsets) pointer pair,
+  // registering it on first use. Declared as tb%d / to%d.
+  int Text(const std::string& table, const std::string& column) {
+    for (size_t s = 0; s < text_tables_.size(); ++s) {
+      if (text_tables_[s] == table && text_columns_[s] == column) {
+        return static_cast<int>(s);
+      }
+    }
+    text_tables_.push_back(table);
+    text_columns_.push_back(column);
+    return static_cast<int>(text_tables_.size() - 1);
+  }
+
+  // Index of the file-scope compiled-LIKE static for (pattern, negated),
+  // registering it on first use. Declared as lk%d.
+  int Like(const Expr& e) {
+    for (size_t s = 0; s < like_patterns_.size(); ++s) {
+      if (like_patterns_[s] == e.like_pattern &&
+          like_negated_[s] == e.like_negated) {
+        return static_cast<int>(s);
+      }
+    }
+    like_patterns_.push_back(e.like_pattern);
+    like_negated_.push_back(e.like_negated);
+    return static_cast<int>(like_patterns_.size() - 1);
+  }
+
   void EmitDeclarations(CodeWriter* w) const {
     for (size_t s = 0; s < slots_.size(); ++s) {
       w->Line(StringFormat(
@@ -98,13 +147,41 @@ class SlotTable {
           "const uint32_t* __restrict__ offs%d = io->fk_offsets[%d];",
           static_cast<int>(s), static_cast<int>(s)));
     }
+    for (size_t s = 0; s < text_tables_.size(); ++s) {
+      w->Line(StringFormat(
+          "const uint8_t* __restrict__ tb%d = "
+          "static_cast<const uint8_t*>(io->text_bytes[%d]);",
+          static_cast<int>(s), static_cast<int>(s)));
+      w->Line(StringFormat(
+          "const uint32_t* __restrict__ to%d = io->text_offsets[%d];",
+          static_cast<int>(s), static_cast<int>(s)));
+    }
   }
+
+  // File-scope compiled-LIKE statics. The pattern is passed with an
+  // explicit length so embedded NUL bytes survive the round trip.
+  void EmitLikeStatics(CodeWriter* w) const {
+    for (size_t s = 0; s < like_patterns_.size(); ++s) {
+      w->Line(StringFormat(
+          "static const swole::simd::CompiledLike lk%d = "
+          "swole::simd::CompileLike(std::string_view(%s, %d), %s);",
+          static_cast<int>(s), CStringLiteral(like_patterns_[s]).c_str(),
+          static_cast<int>(like_patterns_[s].size()),
+          like_negated_[s] ? "true" : "false"));
+    }
+  }
+
+  bool HasLikes() const { return !like_patterns_.empty(); }
 
   std::vector<ColumnSlot> slots_;
   std::vector<std::string> tables_;
   std::vector<std::string> fk_tables_;
   std::vector<std::string> fk_columns_;
   std::vector<std::string> fk_ref_tables_;
+  std::vector<std::string> text_tables_;
+  std::vector<std::string> text_columns_;
+  std::vector<std::string> like_patterns_;
+  std::vector<bool> like_negated_;
 
  private:
   const Catalog& catalog_;
@@ -112,8 +189,12 @@ class SlotTable {
 
 enum class BoolStyle { kShortCircuit, kBranchFree };
 
-// Checks that an expression stays inside the codegen subset.
-Status CheckExprSupported(const Expr& expr) {
+// Checks that an expression over `table` stays inside the codegen subset.
+// LIKE is supported only over raw-text (LogicalType::kText) columns, where
+// it lowers to the compiled string kernels; dictionary LIKE stays with the
+// interpreted engines.
+Status CheckExprSupported(const Expr& expr, const Catalog& catalog,
+                          const std::string& table) {
   switch (expr.kind) {
     case ExprKind::kColumnRef:
     case ExprKind::kLiteral:
@@ -121,11 +202,23 @@ Status CheckExprSupported(const Expr& expr) {
     case ExprKind::kBinary:
     case ExprKind::kNot:
       for (const ExprPtr& child : expr.children) {
-        SWOLE_RETURN_NOT_OK(CheckExprSupported(*child));
+        SWOLE_RETURN_NOT_OK(CheckExprSupported(*child, catalog, table));
       }
       return Status::OK();
     case ExprKind::kInList:
-      return CheckExprSupported(*expr.children[0]);
+      return CheckExprSupported(*expr.children[0], catalog, table);
+    case ExprKind::kLike: {
+      const Expr& target = *expr.children[0];
+      if (target.kind == ExprKind::kColumnRef) {
+        auto col = catalog.TableRef(table).GetColumn(target.column);
+        if (col.ok() && (*col)->type().logical == LogicalType::kText) {
+          return Status::OK();
+        }
+      }
+      return Status::Unimplemented(StringFormat(
+          "codegen: LIKE is only supported over raw-text columns: %s",
+          expr.ToString().c_str()));
+    }
     default:
       return Status::Unimplemented(StringFormat(
           "codegen: unsupported expression: %s", expr.ToString().c_str()));
@@ -169,6 +262,15 @@ std::string EmitExpr(const Expr& expr, const std::string& table,
       return StringFormat(
           "((%s) == 0 ? INT64_C(1) : INT64_C(0))",
           EmitExpr(*expr.children[0], table, row, slots, style).c_str());
+    case ExprKind::kLike: {
+      // Compiled single-row LIKE over the raw arena; NOT LIKE is folded
+      // into the compiled program, so no negation here.
+      const int t = slots->Text(table, expr.children[0]->column);
+      const int lk = slots->Like(expr);
+      return StringFormat(
+          "((int64_t)swole::kernels::StrLikeOne(tb%d, to%d, %s, lk%d))", t,
+          t, row.c_str(), lk);
+    }
     case ExprKind::kInList: {
       std::string value =
           EmitExpr(*expr.children[0], table, row, slots, style);
@@ -190,7 +292,7 @@ std::string EmitExpr(const Expr& expr, const std::string& table,
   }
 }
 
-Status CheckPlanSupported(const QueryPlan& plan) {
+Status CheckPlanSupported(const QueryPlan& plan, const Catalog& catalog) {
   if (!plan.reverse_dims.empty() || plan.disjunctive.has_value() ||
       !plan.paths.empty() || !plan.path_equalities.empty() ||
       plan.group_seed.has_value() || plan.histogram_of_agg0 ||
@@ -200,18 +302,21 @@ Status CheckPlanSupported(const QueryPlan& plan) {
         "(paths/reverse/disjunctive/seed/histogram)");
   }
   if (plan.fact_filter != nullptr) {
-    SWOLE_RETURN_NOT_OK(CheckExprSupported(*plan.fact_filter));
+    SWOLE_RETURN_NOT_OK(
+        CheckExprSupported(*plan.fact_filter, catalog, plan.fact_table));
   }
   for (const DimJoin& dim : plan.dims) {
     if (!dim.children.empty()) {
       return Status::Unimplemented("codegen: nested dimension joins");
     }
     if (dim.filter != nullptr) {
-      SWOLE_RETURN_NOT_OK(CheckExprSupported(*dim.filter));
+      SWOLE_RETURN_NOT_OK(
+          CheckExprSupported(*dim.filter, catalog, dim.hop.to_table));
     }
   }
   if (plan.group_by != nullptr) {
-    SWOLE_RETURN_NOT_OK(CheckExprSupported(*plan.group_by));
+    SWOLE_RETURN_NOT_OK(
+        CheckExprSupported(*plan.group_by, catalog, plan.fact_table));
   }
   for (const AggSpec& agg : plan.aggs) {
     if (agg.kind != AggKind::kSum && agg.kind != AggKind::kCount) {
@@ -221,7 +326,8 @@ Status CheckPlanSupported(const QueryPlan& plan) {
       return Status::Unimplemented("codegen: path factors");
     }
     if (agg.expr != nullptr) {
-      SWOLE_RETURN_NOT_OK(CheckExprSupported(*agg.expr));
+      SWOLE_RETURN_NOT_OK(
+          CheckExprSupported(*agg.expr, catalog, plan.fact_table));
     }
   }
   return Status::OK();
@@ -289,14 +395,16 @@ const char* CmpOpName(BinaryOp op, bool swapped) {
 
 // Splits the prepass predicate's And-tree into column-vs-literal
 // comparison leaves — lowered to the width-native CompareLit kernel so the
-// generated code reads the column at its physical width — and a residual
+// generated code reads the column at its physical width — top-level LIKE
+// leaves — lowered to the StrLikeTile string kernel — and a residual
 // evaluated in the branch-free lane loop. 0/1 bytes AND bitwise-identically
 // in any order, so the decomposition cannot change the mask.
 void SplitPrepassConjuncts(const Expr& e, std::vector<const Expr*>* simple,
+                           std::vector<const Expr*>* likes,
                            std::vector<const Expr*>* rest) {
   if (e.kind == ExprKind::kBinary && e.op == BinaryOp::kAnd) {
-    SplitPrepassConjuncts(*e.children[0], simple, rest);
-    SplitPrepassConjuncts(*e.children[1], simple, rest);
+    SplitPrepassConjuncts(*e.children[0], simple, likes, rest);
+    SplitPrepassConjuncts(*e.children[1], simple, likes, rest);
     return;
   }
   if (e.kind == ExprKind::kBinary && IsComparisonOp(e.op) &&
@@ -305,6 +413,10 @@ void SplitPrepassConjuncts(const Expr& e, std::vector<const Expr*>* simple,
        (e.children[0]->kind == ExprKind::kLiteral &&
         e.children[1]->kind == ExprKind::kColumnRef))) {
     simple->push_back(&e);
+    return;
+  }
+  if (e.kind == ExprKind::kLike) {
+    likes->push_back(&e);
     return;
   }
   rest->push_back(&e);
@@ -316,7 +428,7 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
                                        const Catalog& catalog,
                                        const GeneratorOptions& options) {
   SWOLE_RETURN_NOT_OK(ValidatePlan(plan, catalog));
-  SWOLE_RETURN_NOT_OK(CheckPlanSupported(plan));
+  SWOLE_RETURN_NOT_OK(CheckPlanSupported(plan, catalog));
   if (options.strategy == StrategyKind::kRof) {
     return Status::Unimplemented(
         "codegen: ROF emission is not implemented (the paper's evaluation "
@@ -333,6 +445,15 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
       swole && options.agg_choice != AggChoice::kHybridFallback;
   const bool key_masked =
       masked && grouped && options.agg_choice == AggChoice::kKeyMasking;
+
+  // Access-aware string placement: the same split every interpreted engine
+  // honors (cost/string_placement.h). The scan evaluates scan_filter;
+  // pulled conjuncts refine after every other qualification. Placement
+  // changes the emitted source — and thus the kernel-cache key — but AND
+  // commutes, so results are identical either way.
+  const StringPredSplit str_split =
+      DecideStringPlacement(plan, catalog, CostProfile::Default());
+  const Expr* scan_filter = str_split.scan_filter.get();
 
   SlotTable slots(catalog);
   // Bodies of the build and morsel entry points; thread-state creation,
@@ -444,10 +565,10 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   if (dc) {
     // Fig. 1 (top): one fused tuple-at-a-time loop with branching.
     body.Open("for (int64_t i = morsel_begin; i < morsel_end; ++i) {");
-    if (plan.fact_filter != nullptr) {
+    if (scan_filter != nullptr) {
       body.Line(StringFormat(
           "if (!(%s)) continue;",
-          EmitExpr(*plan.fact_filter, fact, "i", &slots,
+          EmitExpr(*scan_filter, fact, "i", &slots,
                    BoolStyle::kShortCircuit)
               .c_str()));
     }
@@ -456,6 +577,14 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
           "if (!dim%d.Contains(%s)) continue;", static_cast<int>(d),
           EmitExpr(*Col(plan.dims[d].hop.fk_column), fact, "i", &slots,
                    BoolStyle::kShortCircuit)
+              .c_str()));
+    }
+    // Pulled string conjuncts run last: only rows that survived every
+    // cheaper qualification touch the arena.
+    for (const Expr* pred : str_split.pulled) {
+      body.Line(StringFormat(
+          "if (!(%s)) continue;",
+          EmitExpr(*pred, fact, "i", &slots, BoolStyle::kShortCircuit)
               .c_str()));
     }
     if (grouped) {
@@ -486,12 +615,14 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
     // width-native CompareLit kernel (reading the column at its physical
     // width), anything else stays in the branch-free lane loop.
     std::vector<const Expr*> pre_simple;
+    std::vector<const Expr*> pre_likes;
     std::vector<const Expr*> pre_rest;
-    if (plan.fact_filter != nullptr) {
-      SplitPrepassConjuncts(*plan.fact_filter, &pre_simple, &pre_rest);
+    if (scan_filter != nullptr) {
+      SplitPrepassConjuncts(*scan_filter, &pre_simple, &pre_likes,
+                            &pre_rest);
     }
     const size_t mask_producers =
-        pre_simple.size() + (pre_rest.empty() ? 0 : 1);
+        pre_simple.size() + pre_likes.size() + (pre_rest.empty() ? 0 : 1);
     body.Line(StringFormat("constexpr int64_t kTile = %lld;",
                            static_cast<long long>(options.tile_size)));
     body.Line("uint8_t cmp[kTile];");
@@ -529,6 +660,18 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
         if (!first) body.Line("swole::kernels::AndBytes(cmp, cmp2, len);");
         first = false;
       }
+      for (const Expr* leaf : pre_likes) {
+        // Pushed LIKE: the unconditional tile kernel — every row in the
+        // tile pays the sequential arena match (the pushdown access
+        // pattern the cost model priced).
+        const int t = slots.Text(fact, leaf->children[0]->column);
+        const int lk = slots.Like(*leaf);
+        body.Line(StringFormat(
+            "swole::kernels::StrLikeTile(tb%d, to%d, i, len, lk%d, %s);",
+            t, t, lk, first ? "cmp" : "cmp2"));
+        if (!first) body.Line("swole::kernels::AndBytes(cmp, cmp2, len);");
+        first = false;
+      }
       if (!pre_rest.empty()) {
         const char* target = first ? "cmp" : "cmp2";
         body.Open("for (int64_t j = 0; j < len; ++j) {");
@@ -558,6 +701,20 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
         body.Line(StringFormat("cmp[j] &= (uint8_t)bm%d.Test(%s[i + j]);",
                                static_cast<int>(d), offs.c_str()));
         body.Close();
+      }
+    }
+
+    if (masked) {
+      // Pulled string conjuncts refine the mask after every other
+      // qualification; the guarded kernel skips dead lanes, so only
+      // survivors touch the arena (the pullup access pattern).
+      for (const Expr* pred : str_split.pulled) {
+        const int t = slots.Text(fact, pred->children[0]->column);
+        const int lk = slots.Like(*pred);
+        body.Line(StringFormat(
+            "swole::kernels::StrLikeTileAnd(tb%d, to%d, i, len, lk%d, "
+            "cmp);",
+            t, t, lk));
       }
     }
 
@@ -665,6 +822,28 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
           body.Close();
         }
       }
+      // Pulled string conjuncts: per-lane compiled match over the
+      // surviving selection vector, then the usual no-branch compaction
+      // (cmp is dead after the selection vector is built, so it doubles
+      // as the match-byte scratch).
+      for (const Expr* pred : str_split.pulled) {
+        const int t = slots.Text(fact, pred->children[0]->column);
+        const int lk = slots.Like(*pred);
+        body.Open("{");
+        body.Open("for (int32_t k = 0; k < n; ++k) {");
+        body.Line(StringFormat(
+            "cmp[k] = (uint8_t)swole::kernels::StrLikeOne(tb%d, to%d, "
+            "i + idx[k], lk%d);",
+            t, t, lk));
+        body.Close();
+        body.Line("int32_t m = 0;");
+        body.Open("for (int32_t k = 0; k < n; ++k) {");
+        body.Line("idx[m] = idx[k];");
+        body.Line("m += cmp[k] != 0;");
+        body.Close();
+        body.Line("n = m;");
+        body.Close();
+      }
       if (!grouped) {
         body.Open("for (int32_t k = 0; k < n; ++k) {");
         for (int a = 0; a < naggs; ++a) {
@@ -717,7 +896,12 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("#include \"exec/kernels.h\"");
   unit.Line("#include \"storage/bitmap.h\"");
   unit.Line("");
-  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO, ABI v4).");
+  if (slots.HasLikes()) {
+    unit.Line("// Compiled LIKE programs, one per distinct pattern.");
+    slots.EmitLikeStatics(&unit);
+    unit.Line("");
+  }
+  unit.Line("// Host ABI (mirror of swole::codegen::KernelIO, ABI v5).");
   unit.Open("struct SwoleKernelIO {");
   unit.Line("const void* const* columns;");
   unit.Line("const int64_t* table_rows;");
@@ -731,6 +915,9 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   unit.Line("int (*cancel_check)(void* ctx);");
   unit.Line("// Nonzero forces the legacy widening path (SWOLE_WIDEN).");
   unit.Line("int64_t widen;");
+  unit.Line("// Raw-text slots (ABI v5): byte arena + offsets per slot.");
+  unit.Line("const void* const* text_bytes;");
+  unit.Line("const uint32_t* const* text_offsets;");
   unit.Close("};");
   unit.Line("");
   unit.Line("// Build-phase output: dimension structures, read-only while");
@@ -888,6 +1075,8 @@ Result<GeneratedKernel> GenerateKernel(const QueryPlan& plan,
   kernel.fk_slots_table = slots.fk_tables_;
   kernel.fk_slots_column = slots.fk_columns_;
   kernel.fk_slots_ref_table = slots.fk_ref_tables_;
+  kernel.text_slots_table = slots.text_tables_;
+  kernel.text_slots_column = slots.text_columns_;
   kernel.num_aggs = naggs;
   kernel.grouped = grouped;
   kernel.fact_table = fact;

@@ -30,10 +30,16 @@
 // scheduler.
 //
 // Supported plan subset: fact scan + filter (comparisons, AND/OR/NOT,
-// BETWEEN, IN over integer columns), existence dimension joins (single
-// level), scalar or grouped sum/count aggregation. LIKE, column paths,
-// reverse/disjunctive joins return Unimplemented — the interpreted engines
-// cover those.
+// BETWEEN, IN over integer columns, LIKE over raw-text columns), existence
+// dimension joins (single level), scalar or grouped sum/count aggregation.
+// Dictionary LIKE, column paths, reverse/disjunctive joins return
+// Unimplemented — the interpreted engines cover those.
+//
+// Raw-text LIKE conjuncts honor the access-aware placement decision
+// (cost/string_placement.h): pushed conjuncts run in the scan prepass via
+// the tile kernel, pulled ones refine the mask / selection vector after
+// every other qualification. Placement changes the emitted source (and
+// thus the kernel-cache key), never the results.
 
 namespace swole::codegen {
 
@@ -65,6 +71,14 @@ struct KernelIO {
   // kernels::WidenEnabled() here on every run. Always emitted, so kernel
   // source and cache keys are identical in both modes.
   int64_t widen = 0;
+  // ---- Raw text columns (ABI v5) ----
+  // One entry per text slot (GeneratedKernel::text_slots_table/column):
+  // the StringColumn's byte arena and its rows+1 offset array. Plans
+  // without raw-text LIKE predicates have zero text slots and never read
+  // these; the fields are always emitted so the struct layout (and thus
+  // cache keys) is placement- and plan-independent.
+  const void* const* text_bytes = nullptr;
+  const uint32_t* const* text_offsets = nullptr;
 };
 
 /// Names of the entry points exported by every generated unit.
@@ -105,6 +119,11 @@ struct GeneratedKernel {
   // bound fk index is sized for the owner and referenced tables it is given,
   // so stale indexes can't send generated code out of bounds.
   std::vector<std::string> fk_slots_ref_table;
+  // Raw-text slots (ABI v5): table/column per text slot, in the order the
+  // kernel expects KernelIO::text_bytes / text_offsets. The bound column
+  // must be logical kText stored raw (Column::text() != nullptr).
+  std::vector<std::string> text_slots_table;
+  std::vector<std::string> text_slots_column;
   int num_aggs = 0;
   bool grouped = false;
   // The fact table driving the morsel loop, and the tile size the emitted

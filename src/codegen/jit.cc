@@ -416,6 +416,28 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
     fk_offsets.push_back(index->offsets());
   }
 
+  // Bind raw-text slots (ABI v5): the StringColumn byte arena + offset
+  // array per slot. The logical-type check mirrors the generator's — a
+  // slot bound to anything but raw text would send the compiled matcher
+  // into garbage.
+  std::vector<const void*> text_bytes;
+  std::vector<const uint32_t*> text_offsets;
+  for (size_t s = 0; s < kernel_.text_slots_table.size(); ++s) {
+    SWOLE_ASSIGN_OR_RETURN(const Table* table,
+                           catalog.GetTable(kernel_.text_slots_table[s]));
+    SWOLE_ASSIGN_OR_RETURN(const Column* column,
+                           table->GetColumn(kernel_.text_slots_column[s]));
+    if (column->type().logical != LogicalType::kText ||
+        column->text() == nullptr) {
+      return Status::TypeError(StringFormat(
+          "kernel text slot %s.%s expects a raw-text column",
+          kernel_.text_slots_table[s].c_str(),
+          kernel_.text_slots_column[s].c_str()));
+    }
+    text_bytes.push_back(column->text()->bytes());
+    text_offsets.push_back(column->text()->offsets());
+  }
+
   QueryResult result;
   result.agg_names = agg_names_;
   std::vector<int64_t> scalar(kernel_.num_aggs, 0);
@@ -437,6 +459,9 @@ Result<QueryResult> CompiledKernel::Run(const Catalog& catalog,
   // ABI v4: mirror the host's widening mode into the kernel image (the
   // dlopened unit has its own copy of the inline flag).
   io.widen = kernels::WidenEnabled() ? 1 : 0;
+  // ABI v5: raw-text arenas (empty for plans without string predicates).
+  io.text_bytes = text_bytes.data();
+  io.text_offsets = text_offsets.data();
 
   // Governance (ABI v3): the kernel's structures charge the context's
   // memory tracker and its morsel entry polls the cancellation token. The

@@ -35,9 +35,15 @@ bool IsExecSafe(std::string_view s);
 /// FNV-1a 64-bit hash; used for content-addressing (kernel cache keys).
 uint64_t Fnv1aHash64(std::string_view s, uint64_t seed = 0xCBF29CE484222325ULL);
 
-/// SQL LIKE with '%' (any run) and '_' (any single char) wildcards.
+/// SQL LIKE with '%' (any run) and '_' (any single byte) wildcards.
 /// Case-sensitive, as in TPC-H. Iterative two-pointer algorithm, O(n*m) worst
-/// case but linear on the patterns TPC-H uses.
+/// case but linear on the patterns TPC-H uses. Matching is plain byte
+/// comparison over the string_view's full extent: embedded NUL bytes are
+/// ordinary bytes (in the value and in the pattern), non-ASCII/high-bit
+/// bytes match only themselves ('_' consumes exactly one byte, not one
+/// UTF-8 code point), and the empty value matches exactly the patterns
+/// made of '%'s only. This is the reference the SIMD LIKE kernels
+/// (exec/simd_string.h) are differentially tested against.
 bool LikeMatch(std::string_view value, std::string_view pattern);
 
 /// Formats a fixed-point int64 (value * 10^scale) as a decimal string,

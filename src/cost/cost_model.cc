@@ -11,9 +11,9 @@ std::string CostProfile::ToString() const {
   return StringFormat(
       "read_seq=%.2f read_cond=%.2f ht_insert=%.2f ht_null=%.2f "
       "ht_delete=%.2f ht_lookup={l1=%.2f l2=%.2f l3=%.2f mem=%.2f} "
-      "ns_per_cycle=%.3f",
+      "ns_per_cycle=%.3f str_seq_byte=%.3f",
       read_seq, read_cond, ht_insert, ht_null, ht_delete, ht_lookup_l1,
-      ht_lookup_l2, ht_lookup_l3, ht_lookup_mem, ns_per_cycle);
+      ht_lookup_l2, ht_lookup_l3, ht_lookup_mem, ns_per_cycle, str_seq_byte);
 }
 
 namespace {
@@ -95,6 +95,14 @@ double EagerAggregationCost(const CostProfile& p,
   return build + del;
 }
 
+double StringPushedCost(const CostProfile& p, const StringPredWorkload& w) {
+  return w.rows * (p.read_seq + w.avg_len * p.str_seq_byte);
+}
+
+double StringPulledCost(const CostProfile& p, const StringPredWorkload& w) {
+  return w.rows * w.sigma_other * (p.read_cond + w.avg_len * p.str_seq_byte);
+}
+
 double EstimateComputeNs(const CostProfile& p, const Expr& expr) {
   double cycles = 0;
   switch (expr.kind) {
@@ -167,6 +175,23 @@ bool ChooseEagerAggregation(const CostProfile& p,
   return EagerAggregationCost(p, w) < GroupjoinCost(p, w);
 }
 
+const char* StringPlacementName(StringPlacement placement) {
+  switch (placement) {
+    case StringPlacement::kPushdown:
+      return "pushdown";
+    case StringPlacement::kPullup:
+      return "pullup";
+  }
+  return "?";
+}
+
+StringPlacement ChooseStringPlacement(const CostProfile& p,
+                                      const StringPredWorkload& w) {
+  return StringPulledCost(p, w) < StringPushedCost(p, w)
+             ? StringPlacement::kPullup
+             : StringPlacement::kPushdown;
+}
+
 std::string DescribeAggDecision(const CostProfile& p, const AggWorkload& w) {
   std::string out = StringFormat(
       "hybrid=%.1fms vm=%.1fms", HybridCost(p, w) / 1e6,
@@ -188,6 +213,14 @@ std::string DescribeEagerDecision(const CostProfile& p,
       GroupjoinCost(p, w) / 1e6, EagerAggregationCost(p, w) / 1e6, w.sigma_s,
       w.match_prob, w.avg_read_width, static_cast<long long>(w.ht_bytes),
       static_cast<long long>(w.ea_ht_bytes));
+}
+
+std::string DescribeStringDecision(const CostProfile& p,
+                                   const StringPredWorkload& w) {
+  return StringFormat(
+      "pushed=%.1fms pulled=%.1fms sigma_other=%.3f avg_len=%.1fB",
+      StringPushedCost(p, w) / 1e6, StringPulledCost(p, w) / 1e6,
+      w.sigma_other, w.avg_len);
 }
 
 }  // namespace swole

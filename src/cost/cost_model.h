@@ -34,6 +34,12 @@ struct CostProfile {
   double ht_null = 1.5;      // throwaway-entry access (always cached)
   double ht_delete = 12.0;   // tombstone delete
   double ns_per_cycle = 0.45;
+  // String-kernel cost per byte streamed through a match (arena bytes are
+  // read sequentially inside one row). Deliberately outside the online
+  // refit's fitted set (cost/feedback.h): the refit regresses tuple-grain
+  // access constants, and mixing a byte-grain term in would let string
+  // workloads skew the numeric fits.
+  double str_seq_byte = 0.03;
 
   // Cache capacities (bytes) and per-level lookup costs.
   int64_t l1_bytes = 32 << 10;
@@ -105,6 +111,33 @@ struct GroupjoinWorkload {
 double GroupjoinCost(const CostProfile& p, const GroupjoinWorkload& w);
 double EagerAggregationCost(const CostProfile& p, const GroupjoinWorkload& w);
 
+// ---- String predicate placement (access-aware pullup for raw text) ----
+//
+// A string predicate on the fact table can run in two places:
+//
+//   Pushed (into the scan): every fact row pays a kernel match — the arena
+//     streams sequentially at full bandwidth, nothing is skipped.
+//       rows * (read_seq + avg_len * str_seq_byte)
+//   Pulled (above the joins / other conjuncts): only rows that survive
+//     everything else pay the match, but each surviving row is a random
+//     arena touch (read_cond) before its bytes stream.
+//       rows * sigma_other * (read_cond + avg_len * str_seq_byte)
+//
+// The flip point is sigma_other = (read_seq + avg_len * str_seq_byte) /
+// (read_cond + avg_len * str_seq_byte): selective join trees favor pulling
+// the expensive match up, unselective ones favor the sequential scan.
+// AND is commutative, so placement changes performance only — results are
+// bit-identical either way (the differential tests pin this).
+
+struct StringPredWorkload {
+  double rows = 0;          // fact rows scanned
+  double sigma_other = 1;   // selectivity of all non-string quals combined
+  double avg_len = 0;       // average string length in bytes
+};
+
+double StringPushedCost(const CostProfile& p, const StringPredWorkload& w);
+double StringPulledCost(const CostProfile& p, const StringPredWorkload& w);
+
 /// "Introspection" estimate of the per-tuple compute cost of an expression
 /// (cycle counts per operator, converted by the profile's clock).
 double EstimateComputeNs(const CostProfile& p, const Expr& expr);
@@ -113,6 +146,14 @@ double EstimateComputeNs(const CostProfile& p, const Expr& expr);
 
 enum class AggChoice : uint8_t { kHybridFallback, kValueMasking, kKeyMasking };
 const char* AggChoiceName(AggChoice choice);
+
+enum class StringPlacement : uint8_t { kPushdown, kPullup };
+const char* StringPlacementName(StringPlacement placement);
+
+/// Picks where a fact-side string predicate runs (cheaper of the two
+/// formulas above).
+StringPlacement ChooseStringPlacement(const CostProfile& p,
+                                      const StringPredWorkload& w);
 
 /// Picks the cheapest aggregation technique. Scalar aggregations
 /// (group_ht_bytes == 0) never pick key masking — there is no key.
@@ -132,6 +173,10 @@ std::string DescribeAggDecision(const CostProfile& p, const AggWorkload& w);
 /// "groupjoin=8.1ms ea=6.9ms sigma_s=0.500 match=0.100 ht=4096B/65536B".
 std::string DescribeEagerDecision(const CostProfile& p,
                                   const GroupjoinWorkload& w);
+
+/// "pushed=2.1ms pulled=4.0ms sigma_other=0.800 avg_len=48.2B".
+std::string DescribeStringDecision(const CostProfile& p,
+                                   const StringPredWorkload& w);
 
 }  // namespace swole
 

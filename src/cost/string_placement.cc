@@ -1,0 +1,133 @@
+#include "cost/string_placement.h"
+
+#include <utility>
+
+#include "common/env.h"
+#include "common/string_util.h"
+#include "cost/estimates.h"
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace swole {
+
+namespace {
+
+/// True for a conjunct the string kernels own: LIKE over a raw-text fact
+/// column. Dictionary LIKE stays where it is — its per-code mask lookup is
+/// already a cheap integer probe, not a per-row string match.
+bool IsRawStringConjunct(const Expr& e, const Table& fact) {
+  if (e.kind != ExprKind::kLike) return false;
+  const Expr& target = *e.children[0];
+  if (target.kind != ExprKind::kColumnRef) return false;
+  auto col = fact.GetColumn(target.column);
+  return col.ok() && (*col)->type().logical == LogicalType::kText;
+}
+
+/// Product of the estimated selectivities of every filter in a dim tree.
+double DimTreeSelectivity(const std::vector<DimJoin>& dims,
+                          const Catalog& catalog) {
+  double sigma = 1.0;
+  for (const DimJoin& dim : dims) {
+    if (dim.filter != nullptr) {
+      sigma *= EstimateSelectivity(catalog.TableRef(dim.hop.to_table),
+                                   *dim.filter);
+    }
+    sigma *= DimTreeSelectivity(dim.children, catalog);
+  }
+  return sigma;
+}
+
+/// AND-folds clones of `conjuncts` (null when empty).
+ExprPtr FoldConjunction(const std::vector<const Expr*>& conjuncts) {
+  ExprPtr out;
+  for (const Expr* c : conjuncts) {
+    out = out == nullptr ? c->Clone() : And(std::move(out), c->Clone());
+  }
+  return out;
+}
+
+}  // namespace
+
+StringPlacementMode StringPlacementModeFromEnv() {
+  const std::string mode = GetEnvString("SWOLE_STR_PLACEMENT", "auto");
+  if (mode == "push") return StringPlacementMode::kForcePush;
+  if (mode == "pull") return StringPlacementMode::kForcePull;
+  return StringPlacementMode::kAuto;
+}
+
+StringPredSplit DecideStringPlacement(const QueryPlan& plan,
+                                      const Catalog& catalog,
+                                      const CostProfile& profile,
+                                      StringPlacementMode mode) {
+  StringPredSplit split;
+  if (plan.fact_filter == nullptr) {
+    split.rationale = "no fact filter";
+    return split;
+  }
+  const Table& fact = catalog.TableRef(plan.fact_table);
+
+  std::vector<const Expr*> scan_conjuncts;
+  std::vector<const Expr*> string_conjuncts;
+  for (const Expr* c : SplitConjuncts(*plan.fact_filter)) {
+    (IsRawStringConjunct(*c, fact) ? string_conjuncts : scan_conjuncts)
+        .push_back(c);
+  }
+  if (string_conjuncts.empty()) {
+    split.scan_filter = plan.fact_filter->Clone();
+    split.rationale = "no raw-string conjuncts";
+    return split;
+  }
+
+  // Model inputs: everything that qualifies a fact row besides the string
+  // match itself — the non-string fact conjuncts and the dim trees.
+  split.workload.rows = static_cast<double>(fact.num_rows());
+  double sigma_other = DimTreeSelectivity(plan.dims, catalog);
+  ExprPtr rest = FoldConjunction(scan_conjuncts);
+  if (rest != nullptr) sigma_other *= EstimateSelectivity(fact, *rest);
+  split.workload.sigma_other = sigma_other;
+  double avg_len = 0;
+  for (const Expr* c : string_conjuncts) {
+    const Column& col = fact.ColumnRef(c->children[0]->column);
+    avg_len += col.text()->ComputeStats().avg_len;
+  }
+  split.workload.avg_len =
+      avg_len / static_cast<double>(string_conjuncts.size());
+
+  StringPlacement choice;
+  const char* why;
+  switch (mode) {
+    case StringPlacementMode::kForcePush:
+      choice = StringPlacement::kPushdown;
+      why = "forced (SWOLE_STR_PLACEMENT=push)";
+      break;
+    case StringPlacementMode::kForcePull:
+      choice = StringPlacement::kPullup;
+      why = "forced (SWOLE_STR_PLACEMENT=pull)";
+      break;
+    default:
+      choice = ChooseStringPlacement(profile, split.workload);
+      why = "cost model";
+      break;
+  }
+  split.rationale =
+      StringFormat("str_placement=%s (%s; %s)", StringPlacementName(choice),
+                   why, DescribeStringDecision(profile, split.workload).c_str());
+
+  if (choice == StringPlacement::kPullup) {
+    split.pull = true;
+    split.pulled = std::move(string_conjuncts);
+    split.scan_filter = std::move(rest);
+  } else {
+    split.scan_filter = plan.fact_filter->Clone();
+  }
+  return split;
+}
+
+StringPredSplit DecideStringPlacement(const QueryPlan& plan,
+                                      const Catalog& catalog,
+                                      const CostProfile& profile) {
+  return DecideStringPlacement(plan, catalog, profile,
+                               StringPlacementModeFromEnv());
+}
+
+}  // namespace swole

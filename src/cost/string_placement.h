@@ -1,0 +1,70 @@
+#ifndef SWOLE_COST_STRING_PLACEMENT_H_
+#define SWOLE_COST_STRING_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "expr/expr.h"
+
+// Access-aware placement of raw-string predicates (the pullup question,
+// applied to the predicate class that dominates real OLAP traffic). A
+// kLike conjunct over a kText fact column can run pushed into the scan —
+// every row pays a sequential kernel match — or pulled above the join
+// tree and the other fact conjuncts, where only surviving rows pay a
+// random arena touch plus the match. DecideStringPlacement splits the
+// fact filter accordingly; every strategy engine, the reference oracle,
+// and the JIT generator honor the same split, so placement changes access
+// patterns only, never results (AND is commutative).
+
+namespace swole {
+
+class Catalog;
+struct QueryPlan;
+
+enum class StringPlacementMode : uint8_t {
+  kAuto,       // cost model decides (default)
+  kForcePush,  // SWOLE_STR_PLACEMENT=push
+  kForcePull,  // SWOLE_STR_PLACEMENT=pull
+};
+
+/// Reads SWOLE_STR_PLACEMENT=auto|push|pull (unset/unknown -> auto).
+/// Re-read on every call: tests and benches flip it between queries.
+StringPlacementMode StringPlacementModeFromEnv();
+
+struct StringPredSplit {
+  /// What the scan evaluates: the whole fact filter when nothing is
+  /// pulled, the non-string remainder otherwise (null when the plan has
+  /// no fact filter, or every conjunct was pulled).
+  ExprPtr scan_filter;
+
+  /// String conjuncts to evaluate after all other qualifications. The
+  /// pointers alias plan.fact_filter's tree — the plan outlives execution.
+  std::vector<const Expr*> pulled;
+
+  bool pull = false;  // true iff `pulled` is non-empty
+
+  /// Model inputs behind the decision (zeroed when there was nothing to
+  /// decide) and the one-line rendering for traces/decision logs.
+  StringPredWorkload workload;
+  std::string rationale;
+};
+
+/// Splits plan.fact_filter into scan-resident and pulled string conjuncts.
+/// sigma_other combines the estimated selectivity of the non-string fact
+/// conjuncts with every dim-tree filter (reverse/disjunctive joins are
+/// conservatively ignored: they only make pulling more attractive, so
+/// ignoring them biases toward the safe pushdown default).
+StringPredSplit DecideStringPlacement(const QueryPlan& plan,
+                                      const Catalog& catalog,
+                                      const CostProfile& profile,
+                                      StringPlacementMode mode);
+
+/// Convenience overload using the env-configured mode.
+StringPredSplit DecideStringPlacement(const QueryPlan& plan,
+                                      const Catalog& catalog,
+                                      const CostProfile& profile);
+
+}  // namespace swole
+
+#endif  // SWOLE_COST_STRING_PLACEMENT_H_

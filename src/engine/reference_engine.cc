@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "cost/string_placement.h"
 #include "exec/admission.h"
 #include "exec/query_context.h"
 #include "exec/scheduler.h"
@@ -147,6 +148,16 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
     const QueryPlan& plan, exec::QueryContext* qctx) {
   const Table& fact = catalog_.TableRef(plan.fact_table);
   const int num_threads = exec::ResolveNumThreads(num_threads_);
+
+  // Raw-string predicate placement (cost/string_placement.h): the oracle
+  // honors the same split as the strategy engines — scan_filter first,
+  // pulled conjuncts after every other qualification — through a fully
+  // independent evaluator (ScalarEvaluator's LikeMatch, not the kernels).
+  // AND commutes, so this changes evaluation order only; what it buys is a
+  // second implementation of the split for the differential tests to pin
+  // the engines against.
+  const StringPredSplit str_split =
+      DecideStringPlacement(plan, catalog_, CostProfile::Default());
 
   obs::QueryTrace* trace = qctx != nullptr ? qctx->trace() : nullptr;
   obs::SpanScope engine_span(trace, "reference");
@@ -291,8 +302,8 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
     EvaluatorPool& pool = shard.pool;
     ScalarEvaluator& fact_eval = pool.For(plan.fact_table);
 
-    if (plan.fact_filter != nullptr &&
-        fact_eval.Eval(*plan.fact_filter, row) == 0) {
+    if (str_split.scan_filter != nullptr &&
+        fact_eval.Eval(*str_split.scan_filter, row) == 0) {
       return;
     }
 
@@ -349,6 +360,11 @@ Result<QueryResult> ReferenceEngine::ExecuteGoverned(
       }
     }
     if (!equalities_hold) return;
+
+    // Pulled raw-string predicates: last, as in the strategy engines.
+    for (const Expr* pred : str_split.pulled) {
+      if (fact_eval.Eval(*pred, row) == 0) return;
+    }
 
     // Locate the aggregation slots for this row.
     std::vector<int64_t>* slots = &shard.scalar;

@@ -7,8 +7,11 @@
 #include <cstdlib>
 #include <type_traits>
 
+#include <string_view>
+
 #include "common/macros.h"
 #include "exec/simd.h"
+#include "exec/simd_string.h"
 
 // The shared primitive kernels ("library code" in the paper's terms, §IV:
 // all strategies are built from the same library code so the comparison
@@ -447,6 +450,81 @@ void MaskKeys(const T* col, const uint8_t* cmp, int64_t null_key, int64_t len,
 /// Software prefetch helper (ROF §II-A.3): hints the cache line of `addr`.
 SWOLE_ALWAYS_INLINE void PrefetchRead(const void* addr) {
   __builtin_prefetch(addr, /*rw=*/0, /*locality=*/1);
+}
+
+// ---- String kernels (raw arena columns, exec/simd_string.h) ----
+//
+// Same routing contract as the numeric primitives: strategy engines and
+// JIT translation units call these wrappers, the wrappers call the
+// runtime-dispatched simd:: entry points. Strings have no widened legacy
+// path, so SWOLE_WIDEN does not apply here.
+
+using simd::CompiledLike;
+using simd::CompileLike;
+
+/// Prepass LIKE over a tile of arena rows: out[j] = row matches (0/1).
+/// The pushed-placement loop — bytes stream sequentially.
+inline void StrLikeTile(const uint8_t* bytes, const uint32_t* offsets,
+                        int64_t start, int64_t len, const CompiledLike& lk,
+                        uint8_t* out) {
+  simd::StrLikeTile(bytes, offsets, start, len, lk, out);
+}
+
+/// Guarded LIKE refine: cmp[j] &= row matches, skipping dead lanes. The
+/// pulled-placement loop — only survivors touch the arena.
+inline void StrLikeTileAnd(const uint8_t* bytes, const uint32_t* offsets,
+                           int64_t start, int64_t len, const CompiledLike& lk,
+                           uint8_t* cmp) {
+  simd::StrLikeTileAnd(bytes, offsets, start, len, lk, cmp);
+}
+
+/// Single-row compiled LIKE (data-centric emission, reference engine).
+inline bool StrLikeOne(const uint8_t* bytes, const uint32_t* offsets,
+                       int64_t row, const CompiledLike& lk) {
+  return simd::StrLikeOne(bytes, offsets, row, lk);
+}
+
+/// String equality / ordering / prefix / suffix / substring prepasses.
+inline void StrEqLit(const uint8_t* bytes, const uint32_t* offsets,
+                     int64_t start, int64_t len, std::string_view lit,
+                     uint8_t* out) {
+  simd::StrEqLit(bytes, offsets, start, len, lit, out);
+}
+
+inline void StrCmpLit(CmpOp op, const uint8_t* bytes, const uint32_t* offsets,
+                      int64_t start, int64_t len, std::string_view lit,
+                      uint8_t* out) {
+  simd::StrCmpLit(op, bytes, offsets, start, len, lit, out);
+}
+
+inline void StrPrefix(const uint8_t* bytes, const uint32_t* offsets,
+                      int64_t start, int64_t len, std::string_view prefix,
+                      uint8_t* out) {
+  simd::StrPrefix(bytes, offsets, start, len, prefix, out);
+}
+
+inline void StrSuffix(const uint8_t* bytes, const uint32_t* offsets,
+                      int64_t start, int64_t len, std::string_view suffix,
+                      uint8_t* out) {
+  simd::StrSuffix(bytes, offsets, start, len, suffix, out);
+}
+
+inline void StrContains(const uint8_t* bytes, const uint32_t* offsets,
+                        int64_t start, int64_t len, std::string_view needle,
+                        uint8_t* out) {
+  simd::StrContains(bytes, offsets, start, len, needle, out);
+}
+
+/// Dispatched memmem; -1 when absent.
+inline int64_t StrFindFirst(const uint8_t* hay, int64_t hlen,
+                            const uint8_t* needle, int64_t nlen) {
+  return simd::StrFindFirst(hay, hlen, needle, nlen);
+}
+
+/// Per-row FNV-1a hashes over a tile (build-side string keys).
+inline void StrHashTile(const uint8_t* bytes, const uint32_t* offsets,
+                        int64_t start, int64_t len, uint64_t* out) {
+  simd::StrHashTile(bytes, offsets, start, len, out);
 }
 
 }  // namespace swole::kernels

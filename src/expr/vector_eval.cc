@@ -85,6 +85,15 @@ const std::vector<uint8_t>& VectorEvaluator::LikeMaskFor(const Expr& like) {
   return like_masks_.emplace(&like, std::move(mask)).first->second;
 }
 
+const simd::CompiledLike& VectorEvaluator::CompiledLikeFor(const Expr& like) {
+  auto it = compiled_likes_.find(&like);
+  if (it != compiled_likes_.end()) return it->second;
+  return compiled_likes_
+      .emplace(&like,
+               simd::CompileLike(like.like_pattern, like.like_negated))
+      .first->second;
+}
+
 void VectorEvaluator::EvalBool(const Expr& expr, int64_t start, int64_t len,
                                uint8_t* cmp) {
   SWOLE_DCHECK_LE(len, tile_size_);
@@ -179,14 +188,11 @@ void VectorEvaluator::EvalBool(const Expr& expr, int64_t start, int64_t len,
       {
         const Column& col = table_.ColumnRef(expr.children[0]->column);
         if (col.type().logical == LogicalType::kText) {
-          // Raw text: a real string match per row, identically expensive
-          // for every strategy (the Q13 bottleneck).
-          const TextData& text = *col.text();
-          const bool negated = expr.like_negated;
-          for (int64_t j = 0; j < len; ++j) {
-            bool match = LikeMatch(text.Get(start + j), expr.like_pattern);
-            cmp[j] = (match != negated) ? 1 : 0;
-          }
+          // Raw text: the dispatched string-kernel prepass over the arena
+          // (the Q13 bottleneck). Patterns compile once per expression.
+          const StringColumn& text = *col.text();
+          kernels::StrLikeTile(text.bytes(), text.offsets(), start, len,
+                               CompiledLikeFor(expr), cmp);
           return;
         }
       }

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/simd_string.h"
 #include "expr/expr.h"
 
 // Tile-at-a-time expression evaluation over a table's columns. This is the
@@ -40,6 +41,9 @@ class VectorEvaluator {
   /// The 0/1 dictionary mask for a LIKE expression (built once, cached).
   const std::vector<uint8_t>& LikeMaskFor(const Expr& like);
 
+  /// The compiled pattern for a raw-text LIKE expression (cached per node).
+  const simd::CompiledLike& CompiledLikeFor(const Expr& like);
+
   /// Column overrides for compacted evaluation: while set, every column
   /// reference named in the list reads from the given widened int64 buffer
   /// (indexed from `start`, normally 0) instead of the table. Used after a
@@ -62,6 +66,7 @@ class VectorEvaluator {
   std::vector<std::unique_ptr<int64_t[]>> num_scratch_;
   std::vector<std::unique_ptr<uint8_t[]>> bool_scratch_;
   std::map<const Expr*, std::vector<uint8_t>> like_masks_;
+  std::map<const Expr*, simd::CompiledLike> compiled_likes_;
 };
 
 }  // namespace swole

@@ -20,6 +20,7 @@ MicroConfig MicroConfig::FromEnv() {
   config.seed = static_cast<uint64_t>(
       GetEnvInt64("SWOLE_MICRO_SEED", static_cast<int64_t>(config.seed)));
   config.zipf_theta = GetEnvDouble("SWOLE_MICRO_ZIPF", config.zipf_theta);
+  config.str_len = GetEnvInt64("SWOLE_MICRO_STRLEN", config.str_len);
   return config;
 }
 
@@ -67,6 +68,31 @@ std::unique_ptr<Column> DenseKeyColumn(const std::string& name,
   return col;
 }
 
+// r_s: raw variable-length strings drawn from the letters a..y, with
+// "zebra" spliced into ~2% of rows. The needle's 'z' cannot occur in the
+// background text, so LIKE '%zebra%' selectivity is exactly the injection
+// rate — no accidental matches to blur a sweep.
+std::unique_ptr<Column> StringColumnR(int64_t rows, int64_t avg_len,
+                                      Rng* rng) {
+  auto text = std::make_shared<TextData>();
+  std::string buf;
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t len = rng->UniformInt(avg_len / 2, avg_len + avg_len / 2);
+    buf.resize(len);
+    for (int64_t j = 0; j < len; ++j) {
+      buf[j] = static_cast<char>('a' + rng->NextBounded(25));
+    }
+    if (len >= 5 && rng->Bernoulli(0.02)) {
+      int64_t pos = rng->UniformInt(0, len - 5);
+      buf.replace(pos, 5, "zebra");
+    }
+    text->Append(buf);
+  }
+  auto col = std::make_unique<Column>("r_s", ColumnType::Text());
+  col->set_text(std::move(text));
+  return col;
+}
+
 std::shared_ptr<Table> BuildS(const std::string& name, int64_t rows,
                               Rng* rng) {
   auto table = std::make_shared<Table>(name);
@@ -94,6 +120,7 @@ std::unique_ptr<MicroData> MicroData::Generate(const MicroConfig& config) {
   // r_y is constant 1 so the figures' x-axis equals [SEL] exactly; the
   // conjunct is still evaluated by every strategy.
   r->AddColumn(UniformColumn("r_y", rows, 1, 1, &rng)).CheckOK();
+  r->AddColumn(StringColumnR(rows, config.str_len, &rng)).CheckOK();
 
   for (int64_t requested : config.c_cardinalities) {
     int64_t actual = std::min(requested, std::max<int64_t>(1, rows / 4));
@@ -209,6 +236,23 @@ QueryPlan MicroQ5(bool large_s, int64_t sel, int64_t s_rows) {
   plan.dims.push_back(std::move(dim));
   plan.group_by = Col(fk);
   plan.group_cardinality_hint = s_rows;
+  plan.aggs.emplace_back(AggKind::kSum, Mul(Col("r_a"), Col("r_b")),
+                         "sum_ab");
+  return plan;
+}
+
+QueryPlan MicroQ6(bool large_s, int64_t sel) {
+  const char* s_table = large_s ? "s_large" : "s_small";
+  const char* fk = large_s ? "r_fk_large" : "r_fk_small";
+  QueryPlan plan;
+  plan.name = StringFormat("micro_q6_%s_sel%lld", s_table,
+                           static_cast<long long>(sel));
+  plan.fact_table = "r";
+  plan.fact_filter = Like("r_s", "%zebra%");
+  DimJoin dim;
+  dim.hop = {fk, s_table, "s_pk"};
+  dim.filter = Lt(Col("s_x"), Lit(sel));
+  plan.dims.push_back(std::move(dim));
   plan.aggs.emplace_back(AggKind::kSum, Mul(Col("r_a"), Col("r_b")),
                          "sum_ab");
   return plan;

@@ -39,8 +39,13 @@ struct MicroConfig {
   // resident (the skew ablation benchmark).
   double zipf_theta = 0.0;
 
+  // Average byte length of r_s, the raw variable-length string column
+  // (actual lengths are uniform in [len/2, 3*len/2]).
+  int64_t str_len = 48;
+
   /// Reads SWOLE_MICRO_R / SWOLE_MICRO_S_SMALL / SWOLE_MICRO_S_LARGE /
-  /// SWOLE_MICRO_SEED / SWOLE_MICRO_ZIPF over the defaults.
+  /// SWOLE_MICRO_SEED / SWOLE_MICRO_ZIPF / SWOLE_MICRO_STRLEN over the
+  /// defaults.
   static MicroConfig FromEnv();
 };
 
@@ -76,6 +81,13 @@ QueryPlan MicroQ4(bool large_s, int64_t sel1, int64_t sel2);
 /// Q5: groupjoin: select r_fk, sum(r_a*r_b) ... where r_fk = s_pk and
 /// s_x < [SEL] group by r_fk.
 QueryPlan MicroQ5(bool large_s, int64_t sel, int64_t s_rows);
+
+/// Q6 (string placement, cost/string_placement.h): sum(r_a*r_b) where
+/// r_fk = s_pk and s_x < [SEL] and r_s LIKE '%zebra%'. The dim filter is
+/// the only non-string qualification, so [SEL] directly sets sigma_other
+/// and sweeping it crosses the push-vs-pull flip point (~44% with the
+/// default cost profile and 48-byte strings).
+QueryPlan MicroQ6(bool large_s, int64_t sel);
 
 }  // namespace swole
 

@@ -9,7 +9,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "storage/dictionary.h"
-#include "storage/text_data.h"
+#include "storage/string_column.h"
 #include "storage/types.h"
 
 // A typed, contiguous in-memory column. This is the unit every strategy's
@@ -69,9 +69,9 @@ class Column {
   }
 
   /// Raw text payload (logical type kText); null otherwise. Text columns
-  /// carry no numeric data — only the blob.
-  const TextData* text() const { return text_.get(); }
-  void set_text(std::shared_ptr<const TextData> text) {
+  /// carry no numeric data — only the string arena.
+  const StringColumn* text() const { return text_.get(); }
+  void set_text(std::shared_ptr<const StringColumn> text) {
     SWOLE_CHECK(type_.logical == LogicalType::kText);
     text_ = std::move(text);
   }
@@ -99,7 +99,7 @@ class Column {
                std::vector<int32_t>, std::vector<int64_t>>
       data_;
   std::shared_ptr<const Dictionary> dictionary_;
-  std::shared_ptr<const TextData> text_;
+  std::shared_ptr<const StringColumn> text_;
 
   mutable bool stats_valid_ = false;
   mutable int64_t min_value_ = 0;

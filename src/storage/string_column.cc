@@ -1,0 +1,118 @@
+#include "storage/string_column.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/fault_injection.h"
+
+namespace swole {
+
+// The charge path below routes through whatever hook is registered —
+// normally QueryContext::TryCharge, which evaluates the fault injector at
+// the site name — so arming SWOLE_FAULT=string_arena:1.0 deterministically
+// refuses string-arena growth as a synthetic budget breach.
+SWOLE_REGISTER_FAULT_SITE("string_arena",
+                          "string-column arena/offset growth charge")
+
+void StringColumn::ChargeDelta(int64_t delta) {
+  if (mem_hook_ == nullptr || delta == 0) return;
+  if (delta < 0) {
+    mem_hook_(mem_ctx_, delta, mem_site_);
+    tracked_bytes_ += delta;
+    return;
+  }
+  int refused = mem_hook_(mem_ctx_, delta, mem_site_);
+  if (SWOLE_UNLIKELY(refused != 0)) {
+    throw QueryAbort(static_cast<AbortReason>(refused), mem_site_, delta);
+  }
+  tracked_bytes_ += delta;
+}
+
+void StringColumn::EnsureRoom(size_t value_len, bool with_null_words) {
+  // Grow by explicit doubling so the charged delta matches the reserve
+  // exactly (vector's own growth factor is implementation-defined).
+  const int64_t before = FootprintBytes();
+  size_t need_bytes = bytes_.size() + value_len;
+  size_t cap_bytes = bytes_.capacity();
+  if (need_bytes > cap_bytes) {
+    cap_bytes = std::max({need_bytes, cap_bytes * 2, size_t{64}});
+  }
+  size_t need_offsets = offsets_.size() + 1;
+  size_t cap_offsets = offsets_.capacity();
+  if (need_offsets > cap_offsets) {
+    cap_offsets = std::max({need_offsets, cap_offsets * 2, size_t{16}});
+  }
+  size_t cap_nulls = null_words_.capacity();
+  if (with_null_words || !null_words_.empty()) {
+    size_t need_nulls = static_cast<size_t>(size() / 64) + 1;
+    if (need_nulls > cap_nulls) {
+      cap_nulls = std::max({need_nulls, cap_nulls * 2, size_t{4}});
+    }
+  }
+  const int64_t after = static_cast<int64_t>(cap_bytes) +
+                        static_cast<int64_t>(cap_offsets) * 4 +
+                        static_cast<int64_t>(cap_nulls) * 8;
+  if (after > before) ChargeDelta(after - before);  // throws on refusal
+  bytes_.reserve(cap_bytes);
+  offsets_.reserve(cap_offsets);
+  if (cap_nulls > null_words_.capacity()) null_words_.reserve(cap_nulls);
+}
+
+void StringColumn::Append(std::string_view value) {
+  SWOLE_CHECK_LE(bytes_.size() + value.size(),
+                 size_t{std::numeric_limits<uint32_t>::max()})
+      << "string arena exceeds uint32 offset space";
+  EnsureRoom(value.size(), /*with_null_words=*/false);
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+  offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
+  if (!null_words_.empty()) {
+    const int64_t row = size() - 1;
+    const size_t word = static_cast<size_t>(row >> 6);
+    if (word >= null_words_.size()) null_words_.resize(word + 1, 0);
+  }
+}
+
+void StringColumn::AppendNull() {
+  EnsureRoom(0, /*with_null_words=*/true);
+  const int64_t row = size();  // the row this append creates
+  const size_t word = static_cast<size_t>(row >> 6);
+  if (word >= null_words_.size()) null_words_.resize(word + 1, 0);
+  // Backfill: rows appended before the first null have their bits at 0
+  // already (resize zero-fills), so only the new row's bit is set.
+  null_words_[word] |= uint64_t{1} << (static_cast<uint64_t>(row) & 63);
+  ++null_count_;
+  offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
+}
+
+StringColumn::Stats StringColumn::ComputeStats() const {
+  Stats s;
+  const int64_t n = size();
+  if (n == 0) return s;
+  s.min_len = std::numeric_limits<uint32_t>::max();
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t len = offsets_[i + 1] - offsets_[i];
+    s.min_len = std::min(s.min_len, len);
+    s.max_len = std::max(s.max_len, len);
+  }
+  s.total_bytes = total_bytes();
+  s.avg_len = static_cast<double>(s.total_bytes) / static_cast<double>(n);
+  return s;
+}
+
+void StringColumn::Reserve(int64_t rows, int64_t arena_bytes) {
+  SWOLE_CHECK_GE(rows, 0);
+  SWOLE_CHECK_GE(arena_bytes, 0);
+  const int64_t before = FootprintBytes();
+  const size_t cap_bytes =
+      std::max(bytes_.capacity(), static_cast<size_t>(arena_bytes));
+  const size_t cap_offsets =
+      std::max(offsets_.capacity(), static_cast<size_t>(rows) + 1);
+  const int64_t after = static_cast<int64_t>(cap_bytes) +
+                        static_cast<int64_t>(cap_offsets) * 4 +
+                        static_cast<int64_t>(null_words_.capacity()) * 8;
+  if (after > before) ChargeDelta(after - before);
+  bytes_.reserve(cap_bytes);
+  offsets_.reserve(cap_offsets);
+}
+
+}  // namespace swole

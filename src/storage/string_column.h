@@ -1,0 +1,188 @@
+#ifndef SWOLE_STORAGE_STRING_COLUMN_H_
+#define SWOLE_STORAGE_STRING_COLUMN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/query_abort.h"
+
+// Raw variable-length string storage: an append-only byte arena plus
+// uint32 row offsets (offsets[0] == 0, row i spans
+// [offsets[i], offsets[i+1])), with an optional null bitmap. This is the
+// layout the SIMD string kernels (exec/simd_string.h) read directly —
+// sequential bytes for pushed predicates, per-row views for pulled ones —
+// and the shape the string-placement cost terms reason about
+// (cost/cost_model.h): a pushed predicate streams `total_bytes()`
+// sequentially, a pulled one makes random arena touches for the surviving
+// rows only.
+//
+// High-cardinality TPC-H text (o_comment, l_comment) lives here; low-
+// cardinality strings stay behind storage/dictionary.h. Values may contain
+// any bytes, including NUL and non-ASCII — nothing in the engine treats
+// text as C strings.
+//
+// Governance mirrors exec/hash_table.h: SetMemHook registers a
+// charge-before-allocate hook (normally QueryContext::MemHookThunk with
+// site "string_arena"); arena/offset growth asks permission first and
+// throws QueryAbort on refusal, so query-time string materialization is
+// charged against the query budget and the site doubles as a deterministic
+// SWOLE_FAULT injection point.
+
+namespace swole {
+
+class StringColumn {
+ public:
+  StringColumn() { offsets_.push_back(0); }
+
+  ~StringColumn() { ReleaseTracked(); }
+
+  StringColumn(const StringColumn&) = delete;
+  StringColumn& operator=(const StringColumn&) = delete;
+
+  // Moves transfer the hook registration (and the charge it tracks) to the
+  // destination, mirroring HashTable's move semantics.
+  StringColumn(StringColumn&& other) noexcept
+      : bytes_(std::move(other.bytes_)),
+        offsets_(std::move(other.offsets_)),
+        null_words_(std::move(other.null_words_)),
+        null_count_(other.null_count_),
+        tracked_bytes_(other.tracked_bytes_),
+        mem_hook_(other.mem_hook_),
+        mem_ctx_(other.mem_ctx_),
+        mem_site_(other.mem_site_) {
+    other.offsets_.clear();
+    other.offsets_.push_back(0);
+    other.null_count_ = 0;
+    other.tracked_bytes_ = 0;
+    other.mem_hook_ = nullptr;
+    other.mem_ctx_ = nullptr;
+  }
+
+  StringColumn& operator=(StringColumn&& other) noexcept {
+    if (this == &other) return *this;
+    ReleaseTracked();
+    bytes_ = std::move(other.bytes_);
+    offsets_ = std::move(other.offsets_);
+    null_words_ = std::move(other.null_words_);
+    null_count_ = other.null_count_;
+    tracked_bytes_ = other.tracked_bytes_;
+    mem_hook_ = other.mem_hook_;
+    mem_ctx_ = other.mem_ctx_;
+    mem_site_ = other.mem_site_;
+    other.offsets_.clear();
+    other.offsets_.push_back(0);
+    other.null_count_ = 0;
+    other.tracked_bytes_ = 0;
+    other.mem_hook_ = nullptr;
+    other.mem_ctx_ = nullptr;
+    return *this;
+  }
+
+  /// Appends one value. Any byte content is legal (embedded NUL included).
+  /// Throws QueryAbort if a registered mem hook refuses the arena growth.
+  void Append(std::string_view value);
+
+  /// Appends a null row (empty payload + null bit).
+  void AppendNull();
+
+  int64_t size() const { return static_cast<int64_t>(offsets_.size()) - 1; }
+
+  std::string_view Get(int64_t row) const {
+    SWOLE_DCHECK_GE(row, 0);
+    SWOLE_DCHECK_LT(row, size());
+    return std::string_view(bytes_.data() + offsets_[row],
+                            offsets_[row + 1] - offsets_[row]);
+  }
+
+  bool IsNull(int64_t row) const {
+    SWOLE_DCHECK_GE(row, 0);
+    SWOLE_DCHECK_LT(row, size());
+    if (null_words_.empty()) return false;
+    return (null_words_[static_cast<size_t>(row >> 6)] >>
+            (static_cast<uint64_t>(row) & 63)) &
+           1;
+  }
+
+  int64_t null_count() const { return null_count_; }
+
+  /// Raw arena views for the tile kernels (exec/simd_string.h).
+  const uint8_t* bytes() const {
+    return reinterpret_cast<const uint8_t*>(bytes_.data());
+  }
+  const uint32_t* offsets() const { return offsets_.data(); }
+
+  int64_t total_bytes() const { return static_cast<int64_t>(bytes_.size()); }
+
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(bytes_.size()) +
+           static_cast<int64_t>(offsets_.size()) * 4 +
+           static_cast<int64_t>(null_words_.size()) * 8;
+  }
+
+  /// Per-column length statistics for the placement cost model — the
+  /// string analogue of NarrowestPhysicalType's width stats.
+  struct Stats {
+    uint32_t min_len = 0;
+    uint32_t max_len = 0;
+    int64_t total_bytes = 0;
+    double avg_len = 0.0;
+  };
+  Stats ComputeStats() const;
+
+  /// Pre-sizes the arena/offsets (charged through the mem hook if set).
+  void Reserve(int64_t rows, int64_t arena_bytes);
+
+  /// Registers the allocation-charge hook (see exec/hash_table.h for the
+  /// contract). Charges the current footprint on attach.
+  void SetMemHook(MemHookFn hook, void* ctx, const char* site) {
+    ReleaseTracked();
+    mem_hook_ = hook;
+    mem_ctx_ = ctx;
+    mem_site_ = site;
+    if (mem_hook_ != nullptr) ChargeDelta(FootprintBytes());
+  }
+
+ private:
+  // Capacity-based footprint: what the vectors actually hold from the
+  // allocator, so hook accounting matches real memory.
+  int64_t FootprintBytes() const {
+    return static_cast<int64_t>(bytes_.capacity()) +
+           static_cast<int64_t>(offsets_.capacity()) * 4 +
+           static_cast<int64_t>(null_words_.capacity()) * 8;
+  }
+
+  /// Asks the hook for `delta` more bytes; throws QueryAbort on refusal
+  /// without allocating. Negative deltas (releases) are always accepted.
+  void ChargeDelta(int64_t delta);
+
+  void ReleaseTracked() {
+    if (mem_hook_ != nullptr && tracked_bytes_ > 0) {
+      mem_hook_(mem_ctx_, -tracked_bytes_, mem_site_);
+    }
+    tracked_bytes_ = 0;
+  }
+
+  /// Ensures capacity for one more row of `value_len` bytes, charging the
+  /// growth before reserving.
+  void EnsureRoom(size_t value_len, bool with_null_words);
+
+  std::vector<char> bytes_;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint64_t> null_words_;  // bit per row; empty until first null
+  int64_t null_count_ = 0;
+
+  int64_t tracked_bytes_ = 0;
+  MemHookFn mem_hook_ = nullptr;
+  void* mem_ctx_ = nullptr;
+  const char* mem_site_ = "string_arena";
+};
+
+/// Legacy name: raw text storage predates StringColumn and several layers
+/// still say TextData (column.h accessors, dbgen).
+using TextData = StringColumn;
+
+}  // namespace swole
+
+#endif  // SWOLE_STORAGE_STRING_COLUMN_H_

@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "cost/estimates.h"
 #include "cost/feedback.h"
+#include "cost/string_placement.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
 #include "exec/spill.h"
@@ -152,6 +153,16 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
   const int num_threads = exec::ResolveNumThreads(options_.num_threads);
   const Table& fact = catalog_.TableRef(plan.fact_table);
   const bool rof = kind_ == StrategyKind::kRof;
+
+  // Raw-string predicate placement (cost/string_placement.h): every
+  // strategy honors the same split, so a strategy-vs-strategy comparison
+  // on a string-heavy plan measures the strategy, not the placement. The
+  // scan evaluates scan_filter; pulled conjuncts run per surviving lane
+  // after all other qualifications.
+  const StringPredSplit str_split = DecideStringPlacement(
+      plan, catalog_,
+      options_.cost_profile != nullptr ? *options_.cost_profile
+                                       : CostProfile::Default());
 
   // Spans open/close only on this (driving) thread, so the tree shape is
   // identical at every thread count; worker rollups arrive as attributes.
@@ -398,6 +409,21 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
       n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
     }
 
+    // Pulled raw-string predicates: per-surviving-lane match. `base + sel`
+    // is the global fact row for DC/hybrid (tile-local sel, base = tile
+    // start) AND for ROF (global carry, base = 0).
+    for (const Expr* pred : str_split.pulled) {
+      if (n == 0) return;
+      const Column& col = fact.ColumnRef(pred->children[0]->column);
+      const StringColumn& text = *col.text();
+      const simd::CompiledLike& lk = eval.CompiledLikeFor(*pred);
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = static_cast<uint8_t>(kernels::StrLikeOne(
+            text.bytes(), text.offsets(), base + sel[k], lk));
+      }
+      n = pipeline::CompactSel(kind_, sel, scratch.cmp2.data(), n);
+    }
+
     if (n == 0) return;
 
     // Aggregation.
@@ -474,8 +500,8 @@ Result<QueryResult> HashStrategyEngine::ExecuteGoverned(
       }
 
       int32_t n = pipeline::FilterToSelVec(kind_, &ctx.eval, fact,
-                                           plan.fact_filter.get(), start,
-                                           len, &ctx.scratch,
+                                           str_split.scan_filter.get(),
+                                           start, len, &ctx.scratch,
                                            ctx.scratch.sel.data());
 
       if (!rof) {

@@ -126,6 +126,10 @@ struct SwoleDecisions {
   bool used_access_merging = false;
   bool used_positional_bitmaps = false;
   bool used_eager_aggregation = false;
+  // A raw-string fact predicate was pulled above the joins and the other
+  // conjuncts (string placement, cost/string_placement.h). False when the
+  // plan had no raw-string conjunct or the cost model chose pushdown.
+  bool used_string_pullup = false;
   // The pullup plan breached its memory budget and the execution was
   // retried (successfully or not) under the memory-lean data-centric
   // strategy (graceful degradation).

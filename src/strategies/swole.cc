@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "cost/estimates.h"
 #include "cost/feedback.h"
+#include "cost/string_placement.h"
 #include "exec/admission.h"
 #include "exec/scheduler.h"
 #include "exec/spill.h"
@@ -125,6 +126,10 @@ struct SwoleStrategy::PlanAnalysis {
   std::vector<MergeCandidate> merges;
   std::vector<uint8_t> merged_aggs;  // per agg: handled by merging?
   ExprPtr residual_filter;           // fact filter minus merged conjuncts
+  // Raw-string predicate placement (cost/string_placement.h): the scan
+  // evaluates str_split.scan_filter; pulled conjuncts run after every
+  // other qualification. Identical results either way (AND commutes).
+  StringPredSplit str_split;
 };
 
 // Memoized analysis + the decision trace it produced. refit_epoch records
@@ -134,6 +139,17 @@ struct SwoleStrategy::CachedAnalysis {
   PlanAnalysis analysis;
   SwoleDecisions decisions;
   int64_t refit_epoch = -1;
+  // The SWOLE_STR_PLACEMENT mode the analysis was made under: tests and
+  // benches flip the env between queries on the same plan object, so a
+  // mode change must invalidate the memoized split.
+  StringPlacementMode str_mode = StringPlacementMode::kAuto;
+  // Name of the plan the entry was computed for. The cache is keyed by
+  // plan address, and a destroyed plan's address can be reused by a
+  // different plan (e.g. two temporaries in a row); the analysis holds
+  // pointers into the analyzed plan's expression tree, so following a
+  // stale entry would chase dangling pointers. A name mismatch retires
+  // the entry instead.
+  std::string plan_name;
 };
 
 SwoleStrategy::SwoleStrategy(const Catalog& catalog, StrategyOptions options)
@@ -210,6 +226,9 @@ Result<QueryResult> SwoleStrategy::Execute(const QueryPlan& plan) {
       if (cached.decisions.used_access_merging) {
         engine_span.Attr("access_merging", int64_t{1});
       }
+      if (analysis.str_split.workload.rows > 0) {
+        engine_span.Attr("cost.str", analysis.str_split.rationale);
+      }
       if (!analysis.agg_cost_detail.empty()) {
         engine_span.Attr("cost.agg", analysis.agg_cost_detail);
       }
@@ -278,9 +297,12 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
       cost::CurrentRefitMode() == cost::RefitMode::kApply;
   const int64_t refit_epoch =
       refit_apply ? cost::CostFeedback::Global().epoch() : -1;
+  const StringPlacementMode str_mode = StringPlacementModeFromEnv();
   auto cache_it = analysis_cache_.find(&plan);
   if (cache_it != analysis_cache_.end() &&
-      cache_it->second->refit_epoch == refit_epoch) {
+      cache_it->second->refit_epoch == refit_epoch &&
+      cache_it->second->str_mode == str_mode &&
+      cache_it->second->plan_name == plan.name) {
     decisions_ = cache_it->second->decisions;
     return *cache_it->second;
   }
@@ -348,6 +370,14 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
     analysis.expected_groups = pipeline::ExpectedGroups(catalog_, plan);
     analysis.group_ht_bytes = EstimateGroupHtBytes(
         analysis.expected_groups, static_cast<int>(plan.aggs.size()));
+  }
+
+  // ---- String predicate placement (access-aware pullup for raw text) ----
+  analysis.str_split = DecideStringPlacement(plan, catalog_, profile,
+                                             str_mode);
+  if (analysis.str_split.workload.rows > 0) {
+    decisions_.used_string_pullup = analysis.str_split.pull;
+    decisions_.rationale += "[" + analysis.str_split.rationale + "] ";
   }
 
   analysis.groupjoin_dim = FindGroupjoinDim(plan);
@@ -464,10 +494,14 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   // shared mask, so it is only sound when every aggregate absorbs it —
   // i.e. single-aggregate plans (the paper's Fig. 5 / Q6 shape).
   analysis.merged_aggs.assign(plan.aggs.size(), 0);
-  if (options_.enable_access_merging && plan.fact_filter != nullptr &&
+  // Merging analyzes the scan-side filter: pulled string conjuncts are not
+  // in the shared mask, so they are not candidates (and kLike conjuncts
+  // never fold into a first read anyway — only simple comparisons do).
+  const Expr* merge_source = analysis.str_split.scan_filter.get();
+  if (options_.enable_access_merging && merge_source != nullptr &&
       !plan.HasGroupBy() && plan.aggs.size() == 1 &&
       analysis.agg_choice == AggChoice::kValueMasking) {
-    std::vector<const Expr*> conjuncts = SplitConjuncts(*plan.fact_filter);
+    std::vector<const Expr*> conjuncts = SplitConjuncts(*merge_source);
     std::vector<uint8_t> conjunct_used(conjuncts.size(), 0);
     for (size_t a = 0; a < plan.aggs.size(); ++a) {
       const AggSpec& agg = plan.aggs[a];
@@ -540,6 +574,8 @@ const SwoleStrategy::CachedAnalysis& SwoleStrategy::Analyze(
   cached->analysis = std::move(analysis);
   cached->decisions = decisions_;
   cached->refit_epoch = refit_epoch;
+  cached->str_mode = str_mode;
+  cached->plan_name = plan.name;
   cache_it = analysis_cache_.emplace(&plan, std::move(cached)).first;
   return *cache_it->second;
 }
@@ -772,11 +808,12 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
   // Access merging was analyzed under the up-front VM choice; if the
   // re-decision moved away from VM the merged path is simply not taken
   // (scalar VM is the only consumer), and the mask filter must be the full
-  // plan filter again.
+  // scan-side filter again. Pulled string conjuncts are in neither: they
+  // run after every other qualification below.
   const bool merging = decisions_.used_access_merging &&
                        live_choice == AggChoice::kValueMasking;
-  const Expr* mask_filter =
-      merging ? analysis.residual_filter.get() : plan.fact_filter.get();
+  const Expr* mask_filter = merging ? analysis.residual_filter.get()
+                                    : analysis.str_split.scan_filter.get();
 
   const bool mask_mode = live_choice != AggChoice::kHybridFallback;
 
@@ -907,6 +944,17 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
         }
       }
 
+      // Pulled raw-string predicates run last: only lanes that survived
+      // every other qualification pay the arena touch + match (the guarded
+      // kernel skips zero lanes), which is exactly the access pattern the
+      // pulled-cost formula prices.
+      for (const Expr* pred : analysis.str_split.pulled) {
+        const Column& col = fact.ColumnRef(pred->children[0]->column);
+        const StringColumn& text = *col.text();
+        kernels::StrLikeTileAnd(text.bytes(), text.offsets(), start, len,
+                                eval.CompiledLikeFor(*pred), cmp);
+      }
+
       if (!plan.HasGroupBy()) {
         // Access-merged aggregates: tmp = col * (col OP lit), one read of
         // the shared attribute (Fig. 5 bottom). A product can merge one or
@@ -996,9 +1044,10 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
     }
 
     // ---- Hybrid-fallback pipeline (selection vectors + bitmap probes) ----
-    int32_t n = pipeline::FilterToSelVec(StrategyKind::kSwole, &eval, fact,
-                                         plan.fact_filter.get(), start, len,
-                                         &scratch, scratch.sel.data());
+    int32_t n = pipeline::FilterToSelVec(
+        StrategyKind::kSwole, &eval, fact,
+        analysis.str_split.scan_filter.get(), start, len, &scratch,
+        scratch.sel.data());
     for (size_t d = 0; d < plan.dims.size() && n > 0; ++d) {
       if (use_bitmaps && compressed) {
         const uint32_t* offs = dim_offsets[d] + start;
@@ -1061,6 +1110,20 @@ Result<QueryResult> SwoleStrategy::ExecuteGeneral(
                               scratch.vals2.data());
       for (int32_t k = 0; k < n; ++k) {
         scratch.cmp2[k] = scratch.vals[k] == scratch.vals2[k] ? 1 : 0;
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    // Pulled raw-string predicates: per-surviving-lane match (sel-vector
+    // form of the pulled access pattern — a random arena touch per lane).
+    for (const Expr* pred : analysis.str_split.pulled) {
+      if (n == 0) break;
+      const Column& col = fact.ColumnRef(pred->children[0]->column);
+      const StringColumn& text = *col.text();
+      const simd::CompiledLike& lk = eval.CompiledLikeFor(*pred);
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = static_cast<uint8_t>(kernels::StrLikeOne(
+            text.bytes(), text.offsets(), start + scratch.sel[k], lk));
       }
       n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
                                scratch.cmp2.data(), n);
@@ -1290,12 +1353,20 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
 
     if (!hybrid_fallback) {
       uint8_t* cmp = scratch.cmp.data();
-      pipeline::FilterToMask(&eval, plan.fact_filter.get(), start, len, cmp);
+      pipeline::FilterToMask(&eval, analysis.str_split.scan_filter.get(),
+                             start, len, cmp);
       for (size_t d = 0; d < other_bitmaps.size(); ++d) {
         const uint32_t* offs = other_offsets[d] + start;
         for (int64_t j = 0; j < len; ++j) {
           cmp[j] &= static_cast<uint8_t>(other_bitmaps[d].Test(offs[j]));
         }
+      }
+      // Pulled raw-string predicates: guarded match over surviving lanes.
+      for (const Expr* pred : analysis.str_split.pulled) {
+        const Column& col = fact.ColumnRef(pred->children[0]->column);
+        const StringColumn& text = *col.text();
+        kernels::StrLikeTileAnd(text.bytes(), text.offsets(), start, len,
+                                eval.CompiledLikeFor(*pred), cmp);
       }
       int64_t* keys = scratch.keys.data();
       DispatchPhysical(fk.type().physical, [&]<typename T>() {
@@ -1314,14 +1385,27 @@ Result<QueryResult> SwoleStrategy::ExecuteGroupjoin(
       return;
     }
 
-    int32_t n = pipeline::FilterToSelVec(StrategyKind::kSwole, &eval, fact,
-                                         plan.fact_filter.get(), start, len,
-                                         &scratch, scratch.sel.data());
+    int32_t n = pipeline::FilterToSelVec(
+        StrategyKind::kSwole, &eval, fact,
+        analysis.str_split.scan_filter.get(), start, len, &scratch,
+        scratch.sel.data());
     for (size_t d = 0; d < other_bitmaps.size() && n > 0; ++d) {
       const uint32_t* offs = other_offsets[d] + start;
       for (int32_t k = 0; k < n; ++k) {
         scratch.cmp2[k] =
             static_cast<uint8_t>(other_bitmaps[d].Test(offs[scratch.sel[k]]));
+      }
+      n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
+                               scratch.cmp2.data(), n);
+    }
+    for (const Expr* pred : analysis.str_split.pulled) {
+      if (n == 0) break;
+      const Column& col = fact.ColumnRef(pred->children[0]->column);
+      const StringColumn& text = *col.text();
+      const simd::CompiledLike& lk = eval.CompiledLikeFor(*pred);
+      for (int32_t k = 0; k < n; ++k) {
+        scratch.cmp2[k] = static_cast<uint8_t>(kernels::StrLikeOne(
+            text.bytes(), text.offsets(), start + scratch.sel[k], lk));
       }
       n = pipeline::CompactSel(StrategyKind::kSwole, scratch.sel.data(),
                                scratch.cmp2.data(), n);
@@ -1395,6 +1479,11 @@ Result<QueryResult> SwoleStrategy::ExecuteEagerAggregation(
 
   GroupTable groups(plan, dim_table.num_rows(), qctx);
 
+  // EA keeps the FULL fact filter (string conjuncts included): its phase-1
+  // aggregation is unconditional by construction, so there is no "after
+  // the joins" point for a pulled predicate to run at — the mask applied
+  // during aggregation is the only qualification the fact side gets.
+  //
   // Sub-choice for handling the fact's own filter during the unconditional
   // aggregation ("min(Hybrid, VM, KM)" in the EA formula).
   AggChoice sub_choice = AggChoice::kValueMasking;

@@ -374,6 +374,7 @@ std::unique_ptr<TpchData> TpchData::Generate(const TpchConfig& config) {
         std::make_unique<Column>("l_receiptdate", ColumnType::Date());
     auto shipinstruct = DictColumn("l_shipinstruct", instr_dict);
     auto shipmode = DictColumn("l_shipmode", mode_dict);
+    auto comment_text = std::make_shared<TextData>();
 
     for (int64_t order = 0; order < num_orders; ++order) {
       int64_t lines = rng.UniformInt(1, 7);
@@ -406,9 +407,17 @@ std::unique_ptr<TpchData> TpchData::Generate(const TpchConfig& config) {
             status_dict->Lookup(ship > CurrentDate() ? "O" : "F"));
         shipinstruct->Append(rng.NextBounded(instructions.size()));
         shipmode->Append(rng.NextBounded(modes.size()));
+        // Raw comment on the fact table itself: the string-placement
+        // workloads (Q14/Q19 string variants) LIKE over it, so its match
+        // fraction is controlled the same way as o_comment's.
+        bool inject = rng.Bernoulli(0.019);
+        bool decoy = !inject && rng.Bernoulli(0.05);
+        comment_text->Append(MakeComment(&rng, inject, decoy));
       }
     }
     data->num_lineitems = orderkey->size();
+    auto lcomment = std::make_unique<Column>("l_comment", ColumnType::Text());
+    lcomment->set_text(comment_text);
     lineitem->AddColumn(std::move(orderkey)).CheckOK();
     lineitem->AddColumn(std::move(partkey)).CheckOK();
     lineitem->AddColumn(std::move(suppkey)).CheckOK();
@@ -423,6 +432,7 @@ std::unique_ptr<TpchData> TpchData::Generate(const TpchConfig& config) {
     lineitem->AddColumn(std::move(receiptdate)).CheckOK();
     lineitem->AddColumn(std::move(shipinstruct)).CheckOK();
     lineitem->AddColumn(std::move(shipmode)).CheckOK();
+    lineitem->AddColumn(std::move(lcomment)).CheckOK();
   }
   RegisterFk(lineitem.get(), "l_orderkey", *orders, "o_orderkey");
   RegisterFk(lineitem.get(), "l_partkey", *part, "p_partkey");

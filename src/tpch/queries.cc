@@ -277,6 +277,77 @@ QueryPlan Q19(const Catalog& catalog) {
   return plan;
 }
 
+// Q13 string variant: the positive form of Q13's comment predicate
+// (~1.9% of orders mention "special ... requests") against a filtered
+// customer dimension. The dim filter makes the non-string selectivity low
+// enough that the cost model pulls the LIKE above the join.
+QueryPlan Q13String(const Catalog& catalog) {
+  QueryPlan plan;
+  plan.name = "tpch_q13_string";
+  plan.fact_table = "orders";
+  plan.fact_filter = Like("o_comment", "%special%requests%");
+
+  DimJoin cust;
+  cust.hop = {"o_custkey", "customer", "c_custkey"};
+  cust.filter = Eq(Col("c_mktsegment"),
+                   Lit(DictCode(catalog, "customer", "c_mktsegment",
+                                "BUILDING")));
+  plan.dims.push_back(std::move(cust));
+
+  plan.aggs.emplace_back(AggKind::kCount, nullptr, "special_orders");
+  return plan;
+}
+
+// Q14 string variant: Q14's one-month shipdate window plus a raw comment
+// match on the fact table itself — the date conjuncts qualify ~1.2% of
+// lineitem, so only those rows should pay the arena touch (pullup).
+QueryPlan Q14String(const Catalog& catalog) {
+  (void)catalog;
+  QueryPlan plan;
+  plan.name = "tpch_q14_string";
+  plan.fact_table = "lineitem";
+  int32_t from = ParseDate("1995-09-01");
+  plan.fact_filter =
+      And(And(Ge(Col("l_shipdate"), Lit(from)),
+              Lt(Col("l_shipdate"), Lit(from + 30))),
+          Like("l_comment", "%special%requests%"));
+
+  DimJoin part;
+  part.hop = {"l_partkey", "part", "p_partkey"};
+  plan.dims.push_back(std::move(part));
+
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "promo_revenue");
+  plan.aggs.emplace_back(AggKind::kCount, nullptr, "matched_lines");
+  return plan;
+}
+
+// Q19 string variant: Q19's common shipmode/shipinstruct conjuncts plus a
+// NOT LIKE over the raw comment (~98% pass — the Q13 shape), joined to a
+// size-filtered part dimension. The integer conjuncts qualify ~7% of
+// lineitem, so pulling the nearly-always-true string match saves almost
+// all of its arena traffic.
+QueryPlan Q19String(const Catalog& catalog) {
+  QueryPlan plan;
+  plan.name = "tpch_q19_string";
+  plan.fact_table = "lineitem";
+  plan.fact_filter =
+      And(And(InList(Col("l_shipmode"),
+                     DictCodes(catalog, "lineitem", "l_shipmode",
+                               {"AIR", "REG AIR"})),
+              Eq(Col("l_shipinstruct"),
+                 Lit(DictCode(catalog, "lineitem", "l_shipinstruct",
+                              "DELIVER IN PERSON")))),
+          NotLike("l_comment", "%special%requests%"));
+
+  DimJoin part;
+  part.hop = {"l_partkey", "part", "p_partkey"};
+  part.filter = Between(Col("p_size"), 1, 15);
+  plan.dims.push_back(std::move(part));
+
+  plan.aggs.emplace_back(AggKind::kSum, Revenue(), "revenue");
+  return plan;
+}
+
 std::vector<QueryPlan> AllQueries(const Catalog& catalog) {
   std::vector<QueryPlan> plans;
   plans.push_back(Q1(catalog));
@@ -287,6 +358,14 @@ std::vector<QueryPlan> AllQueries(const Catalog& catalog) {
   plans.push_back(Q13(catalog));
   plans.push_back(Q14(catalog));
   plans.push_back(Q19(catalog));
+  return plans;
+}
+
+std::vector<QueryPlan> StringQueries(const Catalog& catalog) {
+  std::vector<QueryPlan> plans;
+  plans.push_back(Q13String(catalog));
+  plans.push_back(Q14String(catalog));
+  plans.push_back(Q19String(catalog));
   return plans;
 }
 

@@ -25,8 +25,19 @@ QueryPlan Q13(const Catalog& catalog);
 QueryPlan Q14(const Catalog& catalog);
 QueryPlan Q19(const Catalog& catalog);
 
+// String-heavy variants (raw-text LIKE on the fact table, so the
+// access-aware placement decision in cost/string_placement.h has work to
+// do). All three stay inside the codegen subset, so the JIT generator
+// compiles them too.
+QueryPlan Q13String(const Catalog& catalog);
+QueryPlan Q14String(const Catalog& catalog);
+QueryPlan Q19String(const Catalog& catalog);
+
 /// All eight plans in paper order (Q1, Q3, Q4, Q5, Q6, Q13, Q14, Q19).
 std::vector<QueryPlan> AllQueries(const Catalog& catalog);
+
+/// The three string-heavy variants (q13_string, q14_string, q19_string).
+std::vector<QueryPlan> StringQueries(const Catalog& catalog);
 
 /// Dictionary code of `value` in `table.column`. Aborts if the column is
 /// not dictionary-encoded; returns -1 if the value does not occur (the

@@ -7,7 +7,7 @@
 #include <string>
 
 #include "cost/calibration.h"
-#include "storage/text_data.h"
+#include "storage/string_column.h"
 
 namespace swole {
 namespace {

@@ -198,6 +198,43 @@ TEST(LikeMatchTest, BacktrackingStress) {
   EXPECT_TRUE(LikeMatch("abcabcabc", "%abc%abc"));
 }
 
+TEST(LikeMatchTest, EmbeddedNulIsAnOrdinaryByte) {
+  // string_view carries length, so NUL neither terminates the value nor
+  // the pattern; '_' and '%' consume it like any byte.
+  const std::string_view v("ab\0cd", 5);
+  EXPECT_TRUE(LikeMatch(v, std::string_view("ab\0cd", 5)));
+  EXPECT_FALSE(LikeMatch(v, "abcd"));   // NUL is not skippable
+  EXPECT_FALSE(LikeMatch(v, "ab"));     // nor a terminator
+  EXPECT_TRUE(LikeMatch(v, "ab_cd"));
+  EXPECT_TRUE(LikeMatch(v, std::string_view("%\0%", 3)));
+  EXPECT_TRUE(LikeMatch(v, std::string_view("ab\0%", 4)));
+  EXPECT_FALSE(LikeMatch("abcd", std::string_view("ab\0cd", 5)));
+  EXPECT_TRUE(LikeMatch(std::string_view("\0", 1), "_"));
+}
+
+TEST(LikeMatchTest, NonAsciiBytesMatchThemselvesOnly) {
+  // High-bit bytes are compared as raw bytes regardless of char
+  // signedness; '_' consumes one byte, so a two-byte UTF-8 sequence needs
+  // two '_'s.
+  // Literal splicing keeps the 'c' after \xA9 out of the hex escape.
+  const std::string_view euro("pri\xC3\xA9" "ce");  // 'é' as two bytes
+  EXPECT_TRUE(LikeMatch(euro, "pri\xC3\xA9" "ce"));
+  EXPECT_TRUE(LikeMatch(euro, "pri__ce"));
+  EXPECT_FALSE(LikeMatch(euro, "pri_ce"));
+  EXPECT_TRUE(LikeMatch(euro, "%\xC3\xA9%"));
+  EXPECT_FALSE(LikeMatch(euro, "%\xC3\xA8%"));  // è: last byte differs
+  EXPECT_TRUE(LikeMatch("\xFF\xFE", "%\xFE"));
+}
+
+TEST(LikeMatchTest, EmptyValueAndEmptyPattern) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_TRUE(LikeMatch("", "%%"));
+  EXPECT_FALSE(LikeMatch("", "%_%"));
+  EXPECT_FALSE(LikeMatch("x", ""));
+  EXPECT_FALSE(LikeMatch("", "a"));
+  EXPECT_TRUE(LikeMatch("x", "%x%"));
+}
+
 TEST(DecimalFormatTest, Basics) {
   EXPECT_EQ(FormatDecimal(123456, 2), "1234.56");
   EXPECT_EQ(FormatDecimal(5, 2), "0.05");

@@ -5,12 +5,18 @@
 
 #include <limits>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
 
+#include "common/fault_injection.h"
+#include "common/query_abort.h"
 #include "common/random.h"
 #include "storage/bitmap.h"
 #include "storage/column.h"
 #include "storage/dictionary.h"
 #include "storage/fk_index.h"
+#include "storage/string_column.h"
 #include "storage/table.h"
 #include "storage/types.h"
 
@@ -209,6 +215,196 @@ TEST(ColumnTest, StringViaDictionary) {
   EXPECT_EQ(col.StringAt(0), "HIGH");
   EXPECT_EQ(col.StringAt(1), "LOW");
 }
+
+TEST(DictionaryTest, EmptyStringAndDuplicateInsertionOrder) {
+  // Duplicates collapse and codes are assigned in sorted order regardless of
+  // insertion order; the empty string is a legal entry and sorts first.
+  Dictionary dict = Dictionary::FromValues({"b", "", "a", "b", "", "a", "b"});
+  ASSERT_EQ(dict.size(), 3);
+  EXPECT_EQ(dict.Lookup(""), 0);
+  EXPECT_EQ(dict.Lookup("a"), 1);
+  EXPECT_EQ(dict.Lookup("b"), 2);
+  EXPECT_EQ(dict.At(0), "");
+  // The empty entry matches exactly the all-'%' patterns.
+  std::vector<int32_t> empty_only = dict.MatchLike("");
+  ASSERT_EQ(empty_only.size(), 1u);
+  EXPECT_EQ(empty_only[0], 0);
+  EXPECT_EQ(dict.MatchLike("%").size(), 3u);
+  std::vector<uint8_t> underscore = dict.LikeMask("_");
+  EXPECT_EQ(underscore[0], 0);  // '' has no byte for '_' to consume
+  EXPECT_EQ(underscore[1], 1);
+  EXPECT_EQ(underscore[2], 1);
+}
+
+TEST(DictionaryTest, LargeValuesRoundTrip) {
+  // Values past 64KB exercise any accidental uint16 length assumptions.
+  const std::string big_x(70'000, 'x');
+  std::string big_y = big_x;
+  big_y.back() = 'y';  // differs only in the final byte
+  Dictionary dict = Dictionary::FromValues({big_y, "short", big_x});
+  ASSERT_EQ(dict.size(), 3);
+  EXPECT_EQ(dict.At(dict.Lookup(big_x)), big_x);
+  EXPECT_EQ(dict.At(dict.Lookup(big_y)), big_y);
+  EXPECT_NE(dict.Lookup(big_x), dict.Lookup(big_y));
+  // A pattern that forces the matcher to scan the full value.
+  std::vector<int32_t> tail = dict.MatchLike("x%y");
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(dict.At(tail[0]), big_y);
+}
+
+TEST(DictionaryDeathTest, AtRejectsOutOfRangeCodes) {
+  // At() range checks are SWOLE_CHECKs (always on): a code from a foreign
+  // dictionary is data corruption, not a recoverable lookup miss.
+  Dictionary dict = Dictionary::FromValues({"a", "b"});
+  EXPECT_DEATH(dict.At(-1), "");
+  EXPECT_DEATH(dict.At(2), "");
+}
+
+// Allocation-charge hook used by the StringColumn governance tests: tracks
+// the net charged bytes, enforces an optional budget, and routes through the
+// fault injector at the site name exactly like QueryContext::TryCharge does.
+struct HookLedger {
+  int64_t charged = 0;
+  int64_t budget = std::numeric_limits<int64_t>::max();
+  int refusals = 0;
+};
+
+int LedgerHook(void* ctx, int64_t delta, const char* site) {
+  auto* ledger = static_cast<HookLedger*>(ctx);
+  if (delta > 0) {
+    if (FaultInjector::Global().ShouldFail(site) ||
+        ledger->charged + delta > ledger->budget) {
+      ++ledger->refusals;
+      return static_cast<int>(AbortReason::kBudget);
+    }
+  }
+  ledger->charged += delta;
+  return 0;
+}
+
+TEST(StringColumnTest, EmptyEmbeddedNulAndLargeValuesRoundTrip) {
+  StringColumn col;
+  const std::string big(70'000, 'q');
+  const std::string_view nul_value("a\0b", 3);
+  col.Append("");
+  col.Append(nul_value);
+  col.Append(big);
+  col.Append("");
+  ASSERT_EQ(col.size(), 4);
+  EXPECT_EQ(col.Get(0), "");
+  EXPECT_EQ(col.Get(1), nul_value);
+  EXPECT_EQ(col.Get(2), big);
+  EXPECT_EQ(col.Get(3), "");
+  EXPECT_EQ(col.total_bytes(), 3 + 70'000);
+  EXPECT_EQ(col.null_count(), 0);
+  StringColumn::Stats stats = col.ComputeStats();
+  EXPECT_EQ(stats.min_len, 0u);
+  EXPECT_EQ(stats.max_len, 70'000u);
+  EXPECT_EQ(stats.total_bytes, 70'003);
+  EXPECT_DOUBLE_EQ(stats.avg_len, 70'003 / 4.0);
+}
+
+TEST(StringColumnTest, NullBitmapBackfillsEarlierRows) {
+  StringColumn col;
+  col.Append("first");
+  col.Append("second");
+  EXPECT_EQ(col.null_count(), 0);
+  col.AppendNull();
+  col.Append("after");
+  col.AppendNull();
+  ASSERT_EQ(col.size(), 5);
+  EXPECT_EQ(col.null_count(), 2);
+  // Rows appended before the first null read as non-null, and a null row's
+  // payload is the empty view.
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_FALSE(col.IsNull(1));
+  EXPECT_TRUE(col.IsNull(2));
+  EXPECT_FALSE(col.IsNull(3));
+  EXPECT_TRUE(col.IsNull(4));
+  EXPECT_EQ(col.Get(2), "");
+  EXPECT_EQ(col.Get(3), "after");
+}
+
+TEST(StringColumnTest, MemHookChargesFootprintAndMoveTransfersIt) {
+  HookLedger ledger;
+  {
+    StringColumn col;
+    for (int i = 0; i < 100; ++i) col.Append("some padding value");
+    // Attaching mid-life charges the existing footprint, not just future
+    // growth.
+    col.SetMemHook(&LedgerHook, &ledger, "string_arena");
+    EXPECT_GE(ledger.charged, col.ByteSize());
+    const int64_t after_attach = ledger.charged;
+    for (int i = 0; i < 5'000; ++i) col.Append("grow the arena further");
+    EXPECT_GT(ledger.charged, after_attach);
+
+    // The move transfers the registration without double-charging or
+    // releasing; the destination's destructor settles the account.
+    const int64_t before_move = ledger.charged;
+    StringColumn dst(std::move(col));
+    EXPECT_EQ(ledger.charged, before_move);
+    ASSERT_EQ(dst.size(), 5'100);
+    EXPECT_EQ(dst.Get(0), "some padding value");
+    EXPECT_EQ(dst.Get(5'099), "grow the arena further");
+  }
+  EXPECT_EQ(ledger.charged, 0);
+  EXPECT_EQ(ledger.refusals, 0);
+}
+
+TEST(StringColumnTest, MemHookRefusalThrowsQueryAbortWithoutAllocating) {
+  HookLedger ledger;
+  StringColumn col;
+  col.Append("pre-existing");
+  col.SetMemHook(&LedgerHook, &ledger, "string_arena");
+  ledger.budget = ledger.charged;  // freeze: any growth is refused
+  const std::string big(1 << 20, 'z');
+  try {
+    col.Append(big);
+    FAIL() << "expected QueryAbort";
+  } catch (const QueryAbort& abort) {
+    EXPECT_EQ(abort.reason, AbortReason::kBudget);
+    EXPECT_STREQ(abort.site, "string_arena");
+    EXPECT_GT(abort.requested_bytes, 0);
+  }
+  EXPECT_EQ(ledger.refusals, 1);
+  // The charge is asked before the reserve, so the refused append left the
+  // column untouched.
+  ASSERT_EQ(col.size(), 1);
+  EXPECT_EQ(col.Get(0), "pre-existing");
+  // Lifting the budget lets the same append through.
+  ledger.budget = std::numeric_limits<int64_t>::max();
+  col.Append(big);
+  ASSERT_EQ(col.size(), 2);
+  EXPECT_EQ(col.Get(1), big);
+}
+
+TEST(StringColumnTest, StringArenaFaultSiteInjectsDeterministically) {
+  // The "string_arena" fault site (SWOLE_FAULT=string_arena:1.0) fires on
+  // the growth charge: with probability 1 every charged append aborts.
+  FaultInjector::Global().ClearAll();
+  HookLedger ledger;
+  StringColumn col;
+  col.SetMemHook(&LedgerHook, &ledger, "string_arena");
+  FaultInjector::Global().SetFault("string_arena", 1.0);
+  EXPECT_THROW(col.Append("boom"), QueryAbort);
+  EXPECT_EQ(col.size(), 0);
+  EXPECT_GE(FaultInjector::Global().InjectedCount("string_arena"), 1);
+  FaultInjector::Global().ClearAll();
+  col.Append("boom");
+  ASSERT_EQ(col.size(), 1);
+  EXPECT_EQ(col.Get(0), "boom");
+}
+
+#ifndef NDEBUG
+// Get's range checks are debug-only DCHECKs (the kernels index the arena on
+// the hot path); out-of-range rows must trap in debug builds.
+TEST(StringColumnDeathTest, GetRejectsOutOfRangeInDebug) {
+  StringColumn col;
+  col.Append("only");
+  EXPECT_DEATH(col.Get(-1), "");
+  EXPECT_DEATH(col.Get(1), "");
+}
+#endif
 
 std::unique_ptr<Column> MakeIntColumn(const std::string& name,
                                       std::vector<int64_t> values) {
